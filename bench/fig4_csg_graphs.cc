@@ -1,0 +1,37 @@
+// Regenerates Figure 4: the running example's source and target schemas
+// translated into cardinality-constrained schema graphs, rendered as
+// text (nodes plus directed relationships with their prescribed κ).
+
+#include <cstdio>
+
+#include "efes/csg/builder.h"
+#include "efes/csg/render_dot.h"
+#include "efes/scenario/paper_example.h"
+
+int main() {
+  auto scenario = efes::MakePaperExample();
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "scenario: %s\n",
+                 scenario.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "Figure 4: The integration scenario translated into cardinality-\n"
+      "constrained schema graphs.\n"
+      "(-> attribute relationships, ==> equality/FK relationships;\n"
+      " [k] is the prescribed cardinality of the printed direction)\n");
+
+  std::printf("\n--- Target CSG ---\n");
+  efes::CsgGraph target = efes::BuildCsgGraph(scenario->target);
+  std::printf("%s", target.ToText().c_str());
+
+  std::printf("\n--- Source CSG ---\n");
+  efes::CsgGraph source =
+      efes::BuildCsgGraph(scenario->sources[0].database);
+  std::printf("%s", source.ToText().c_str());
+
+  std::printf(
+      "\n--- Graphviz form (render with: dot -Tsvg) ---\n%s",
+      efes::RenderCsgDot(target, "Target CSG (Figure 4, right)").c_str());
+  return 0;
+}

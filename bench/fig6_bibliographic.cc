@@ -1,0 +1,31 @@
+// Regenerates Figure 6: effort estimates (EFES), actual effort
+// (Measured), and baseline estimates (Counting) of the bibliographic
+// scenario, with the Mapping / Cleaning (Structure) / Cleaning (Values)
+// breakdown and the root-mean-square errors of Section 6.2.
+//
+// EFES and the counting baseline are calibrated on the *music* domain
+// (cross validation), exactly as in the paper.
+
+#include <cstdio>
+
+#include "efes/experiment/study.h"
+
+int main() {
+  auto studies = efes::RunCrossValidatedStudies();
+  if (!studies.ok()) {
+    std::fprintf(stderr, "study: %s\n", studies.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "Figure 6: Effort estimates (EFES), actual effort (Measured), and\n"
+      "baseline estimates (Counting) of the Bibliographic scenario.\n\n");
+  std::printf("%s", studies->bibliographic.ToText().c_str());
+  std::printf("\n%s", studies->bibliographic.ToBarChart().c_str());
+  std::printf(
+      "\nPaper reference: rmse(Efes) = 0.47, rmse(Counting) = 1.90 —\n"
+      "\"an improvement in the effort estimation by a factor of four\".\n"
+      "Reproduced factor: %.2fx.\n",
+      studies->bibliographic.counting_rmse /
+          studies->bibliographic.efes_rmse);
+  return 0;
+}

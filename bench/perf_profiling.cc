@@ -1,0 +1,78 @@
+// Performance microbenchmarks for the Section 5.1 statistics.
+
+#include <benchmark/benchmark.h>
+
+#include "efes/common/random.h"
+#include "efes/profiling/statistics.h"
+
+namespace efes {
+namespace {
+
+std::vector<Value> RandomTextColumn(size_t n) {
+  Random rng(99);
+  std::vector<Value> column;
+  column.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.05)) {
+      column.push_back(Value::Null());
+    } else {
+      column.push_back(Value::Text(rng.Word(3, 12) + " " +
+                                   std::to_string(rng.UniformUint64(1000))));
+    }
+  }
+  return column;
+}
+
+std::vector<Value> RandomNumericColumn(size_t n) {
+  Random rng(77);
+  std::vector<Value> column;
+  column.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    column.push_back(Value::Integer(rng.UniformInt(0, 1000000)));
+  }
+  return column;
+}
+
+void BM_TextStatistics(benchmark::State& state) {
+  std::vector<Value> column =
+      RandomTextColumn(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeStatistics(column, DataType::kText));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TextStatistics)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_NumericStatistics(benchmark::State& state) {
+  std::vector<Value> column =
+      RandomNumericColumn(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeStatistics(column, DataType::kInteger));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NumericStatistics)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_OverallFit(benchmark::State& state) {
+  AttributeStatistics a =
+      ComputeStatistics(RandomTextColumn(5000), DataType::kText);
+  AttributeStatistics b =
+      ComputeStatistics(RandomTextColumn(5000), DataType::kText);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OverallFit(a, b));
+  }
+}
+BENCHMARK(BM_OverallFit);
+
+void BM_GeneralizeToPattern(benchmark::State& state) {
+  std::string text = "Sweet Home Alabama 1974 (4:43)";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GeneralizeToPattern(text));
+  }
+}
+BENCHMARK(BM_GeneralizeToPattern);
+
+}  // namespace
+}  // namespace efes
+
+BENCHMARK_MAIN();

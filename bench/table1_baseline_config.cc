@@ -1,0 +1,27 @@
+// Regenerates Table 1: "Tasks and effort per attribute from [14]" — the
+// configuration of the attribute-counting baseline.
+
+#include <cstdio>
+
+#include "efes/baseline/counting_estimator.h"
+#include "efes/common/string_util.h"
+#include "efes/common/text_table.h"
+
+int main() {
+  std::printf("Table 1: Tasks and effort per attribute from Harden [14]\n\n");
+  efes::TextTable table;
+  table.SetHeader({"Task", "Hours per attribute"});
+  double total = 0.0;
+  for (const efes::HardenTaskWeight& weight : efes::HardenTaskWeights()) {
+    table.AddRow({weight.task,
+                  efes::FormatDouble(weight.hours_per_attribute, 4)});
+    total += weight.hours_per_attribute;
+  }
+  table.AddSeparator();
+  table.AddRow({"Total", efes::FormatDouble(total, 4)});
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("=> %s minutes of work per source attribute.\n",
+              efes::FormatDouble(efes::HardenMinutesPerAttribute(), 6)
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Regenerates Table 7: "Value heterogeneities and corresponding cleaning
+// tasks" — the value transformation planner's task matrix.
+
+#include <cstdio>
+
+#include "efes/common/text_table.h"
+#include "efes/values/value_module.h"
+
+namespace {
+
+std::string PlanOne(efes::ValueHeterogeneityType type,
+                    efes::ExpectedQuality quality) {
+  efes::ValueHeterogeneity heterogeneity;
+  heterogeneity.type = type;
+  heterogeneity.source_values = 100;
+  heterogeneity.source_distinct_values = 80;
+  heterogeneity.affected_values = 10;
+  heterogeneity.source_pattern_count = 2;
+  efes::ValueComplexityReport report({heterogeneity});
+  efes::ValueModule module;
+  auto tasks = module.PlanTasks(report, quality, {});
+  if (!tasks.ok() || tasks->empty()) return "-";
+  return std::string(efes::TaskTypeToString((*tasks)[0].type));
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Table 7: Value heterogeneities and corresponding cleaning tasks\n\n");
+  efes::TextTable table;
+  table.SetHeader({"Value heterogeneity", "Low effort", "High quality"});
+  const efes::ValueHeterogeneityType kTypes[] = {
+      efes::ValueHeterogeneityType::kTooFewSourceElements,
+      efes::ValueHeterogeneityType::kDifferentRepresentationsCritical,
+      efes::ValueHeterogeneityType::kDifferentRepresentations,
+      efes::ValueHeterogeneityType::kTooFineGrainedSourceValues,
+      efes::ValueHeterogeneityType::kTooCoarseGrainedSourceValues,
+  };
+  for (efes::ValueHeterogeneityType type : kTypes) {
+    table.AddRow({std::string(efes::ValueHeterogeneityTypeToString(type)),
+                  PlanOne(type, efes::ExpectedQuality::kLowEffort),
+                  PlanOne(type, efes::ExpectedQuality::kHighQuality)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}

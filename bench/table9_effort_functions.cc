@@ -1,0 +1,42 @@
+// Regenerates Table 9: "Effort calculation functions used for the
+// experiments" — the default effort model configuration.
+
+#include <cstdio>
+
+#include "efes/common/text_table.h"
+#include "efes/core/effort_model.h"
+
+int main() {
+  std::printf(
+      "Table 9: Effort calculation functions used for the experiments\n\n");
+  efes::TextTable table;
+  table.SetHeader({"Task", "Effort function (mins)"});
+  const efes::TaskType kTypes[] = {
+      efes::TaskType::kAggregateValues,
+      efes::TaskType::kConvertValues,
+      efes::TaskType::kGeneralizeValues,
+      efes::TaskType::kRefineValues,
+      efes::TaskType::kDropValues,
+      efes::TaskType::kAddValues,
+      efes::TaskType::kCreateEnclosingTuples,
+      efes::TaskType::kDropDetachedValues,
+      efes::TaskType::kRejectTuples,
+      efes::TaskType::kKeepAnyValue,
+      efes::TaskType::kAddTuples,
+      efes::TaskType::kAggregateTuples,
+      efes::TaskType::kDeleteDanglingValues,
+      efes::TaskType::kAddReferencedValues,
+      efes::TaskType::kDeleteDanglingTuples,
+      efes::TaskType::kUnlinkAllButOneTuple,
+      efes::TaskType::kAddMissingValues,
+      efes::TaskType::kMergeValues,
+      efes::TaskType::kSetValuesToNull,
+      efes::TaskType::kWriteMapping,
+  };
+  for (efes::TaskType type : kTypes) {
+    table.AddRow({std::string(efes::TaskTypeToString(type)),
+                  efes::EffortModel::DescribeDefaultFunction(type)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,27 @@
+-- schema music_source
+CREATE TABLE albums (
+  id INTEGER,
+  name TEXT NOT NULL,
+  artist_list INTEGER NOT NULL,
+  PRIMARY KEY (id),
+  FOREIGN KEY (artist_list) REFERENCES artist_lists (id)
+);
+CREATE TABLE songs (
+  album INTEGER,
+  name TEXT NOT NULL,
+  artist_list INTEGER,
+  length INTEGER,
+  FOREIGN KEY (album) REFERENCES albums (id),
+  FOREIGN KEY (artist_list) REFERENCES artist_lists (id)
+);
+CREATE TABLE artist_lists (
+  id INTEGER,
+  PRIMARY KEY (id)
+);
+CREATE TABLE artist_credits (
+  artist_list INTEGER,
+  position INTEGER,
+  artist TEXT NOT NULL,
+  PRIMARY KEY (artist_list, position),
+  FOREIGN KEY (artist_list) REFERENCES artist_lists (id)
+);

@@ -1,0 +1,89 @@
+// Dropping the correspondences-given assumption (Section 7): "a rather
+// technical challenge in our system is to drop the assumption that
+// correspondences among schemas are given."
+//
+// This example bootstraps the correspondences with the built-in schema
+// matcher — name similarity, identifier tokens, and instance statistics —
+// then runs the estimation on the *discovered* correspondences and
+// compares against the curated ones.
+
+#include <cstdio>
+
+#include "efes/experiment/default_pipeline.h"
+#include "efes/matching/match_accuracy.h"
+#include "efes/matching/schema_matcher.h"
+#include "efes/profiling/constraint_discovery.h"
+#include "efes/scenario/paper_example.h"
+
+int main() {
+  auto curated = efes::MakePaperExample();
+  if (!curated.ok()) {
+    std::fprintf(stderr, "scenario: %s\n",
+                 curated.status().ToString().c_str());
+    return 1;
+  }
+
+  // 1. Run the matcher source -> target. The two schemas share no
+  //    vocabulary (albums/records, name/title), so we lower the default
+  //    thresholds and lean on instance evidence.
+  efes::MatcherOptions options;
+  options.min_relation_confidence = 0.30;
+  options.min_attribute_confidence = 0.45;
+  efes::SchemaMatcher matcher(options);
+  efes::CorrespondenceSet discovered = matcher.Match(
+      curated->sources[0].database, curated->target);
+  std::printf("Discovered correspondences (with confidences):\n");
+  for (const efes::Correspondence& corr : discovered.all()) {
+    std::printf("  %-45s %.2f\n", corr.ToString().c_str(),
+                corr.confidence);
+  }
+
+  // 2. Also demonstrate profiling-based constraint discovery on the
+  //    source — the Completeness ingredient of Section 3.1.
+  auto mined = efes::DiscoverConstraints(curated->sources[0].database);
+  std::printf("\nConstraints mined from the source instance (top 8):\n");
+  for (size_t i = 0; i < mined.size() && i < 8; ++i) {
+    std::printf("  %s\n", mined[i].ToString().c_str());
+  }
+  std::printf("  (%zu total)\n", mined.size());
+
+  // 3. Score the proposal against the curated (intended) correspondences
+  //    with Melnik et al.'s accuracy measure, the paper's suggested tool
+  //    for quantifying matcher uncertainty (Section 7).
+  efes::MatchQuality quality =
+      EvaluateMatch(discovered, curated->sources[0].correspondences);
+  std::printf("\nMatch quality vs the curated correspondences:\n  %s\n",
+              quality.ToString().c_str());
+
+  // 4. Estimate on the matched correspondences and compare with the
+  //    curated ones.
+  efes::IntegrationScenario matched_scenario = std::move(*curated);
+  efes::CorrespondenceSet curated_correspondences =
+      matched_scenario.sources[0].correspondences;
+  matched_scenario.sources[0].correspondences = std::move(discovered);
+
+  efes::EfesEngine engine = efes::MakeDefaultEngine();
+  auto matched_estimate = engine.Run(
+      matched_scenario, efes::ExpectedQuality::kHighQuality, {});
+  matched_scenario.sources[0].correspondences =
+      std::move(curated_correspondences);
+  auto curated_estimate = engine.Run(
+      matched_scenario, efes::ExpectedQuality::kHighQuality, {});
+  if (!matched_estimate.ok() || !curated_estimate.ok()) {
+    std::fprintf(stderr, "estimation failed\n");
+    return 1;
+  }
+  std::printf(
+      "\nEstimate on matched correspondences: %.0f minutes\n"
+      "Estimate on curated correspondences: %.0f minutes\n",
+      matched_estimate->estimate.TotalMinutes(),
+      curated_estimate->estimate.TotalMinutes());
+  std::printf(
+      "\nAutomatically matched correspondences are incomplete (e.g. the\n"
+      "cross-relation correspondence artist_credits.artist ->\n"
+      "records.artist needs a join to surface, and dissimilar names like\n"
+      "length/duration weaken attribute scores), so the estimates differ\n"
+      "— quantifying the uncertainty the paper attributes to automatic\n"
+      "matching (Section 7).\n");
+  return 0;
+}

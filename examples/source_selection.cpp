@@ -1,0 +1,69 @@
+// Source selection (Sections 1/3.3): "given a set of integration
+// candidates, find the source with the best 'fit'".
+//
+// Three candidate discographic sources shall be integrated into the same
+// target; EFES's complexity assessment and effort estimate rank them
+// *before* anyone integrates anything:
+//   * candidate A — clean: every album has exactly one artist;
+//   * candidate B — the paper example: multi-artist albums and orphan
+//     artists;
+//   * candidate C — messy: mostly multi-artist albums, many orphans.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "efes/experiment/default_pipeline.h"
+#include "efes/experiment/source_selection.h"
+#include "efes/scenario/paper_example.h"
+
+namespace {
+
+efes::Result<efes::IntegrationScenario> Candidate(const std::string& name,
+                                                  size_t multi_artist,
+                                                  size_t orphans) {
+  efes::PaperExampleOptions options;
+  options.album_count = 1000;
+  options.song_count = 1500;
+  options.multi_artist_albums = multi_artist;
+  options.orphan_artists = orphans;
+  options.seed = 7 + multi_artist + orphans;  // distinct but deterministic
+  EFES_ASSIGN_OR_RETURN(efes::IntegrationScenario scenario,
+                        efes::MakePaperExample(options));
+  scenario.name = name;
+  return scenario;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<efes::IntegrationScenario> candidates;
+  for (auto& [name, multi, orphans] :
+       std::vector<std::tuple<std::string, size_t, size_t>>{
+           {"candidate-A (clean)", 0, 0},
+           {"candidate-B (paper example)", 250, 50},
+           {"candidate-C (messy)", 700, 200}}) {
+    auto scenario = Candidate(name, multi, orphans);
+    if (!scenario.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   scenario.status().ToString().c_str());
+      return 1;
+    }
+    candidates.push_back(std::move(*scenario));
+  }
+
+  efes::EfesEngine engine = efes::MakeDefaultEngine();
+  std::printf("Ranking candidate sources by integration effort...\n\n");
+  auto rankings = efes::RankSources(
+      engine, candidates, efes::ExpectedQuality::kHighQuality, {});
+  if (!rankings.ok()) {
+    std::fprintf(stderr, "ranking failed: %s\n",
+                 rankings.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", efes::RenderRanking(*rankings).c_str());
+  std::printf(
+      "The cheapest-to-integrate source wins; the breakdown per candidate\n"
+      "(run the quickstart on it) explains *why* the others cost more.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "efes/baseline/counting_estimator.h"
+
+namespace efes {
+
+const std::vector<HardenTaskWeight>& HardenTaskWeights() {
+  // Table 1 of the paper (from Harden [14]).
+  static const std::vector<HardenTaskWeight>* const kWeights =
+      new std::vector<HardenTaskWeight>{
+          {"Requirements and Mapping", 2.0, true},
+          {"High Level Design", 0.1, true},
+          {"Technical Design", 0.5, true},
+          {"Data Modeling", 1.0, true},
+          {"Development and Unit Testing", 1.0, false},
+          {"System Test", 0.5, false},
+          {"User Acceptance Testing", 0.25, false},
+          {"Production Support", 0.2, false},
+          {"Tech Lead Support", 0.5, false},
+          {"Project Management Support", 0.5, false},
+          {"Product Owner Support", 0.5, false},
+          {"Subject Matter Expert", 0.5, false},
+          {"Data Steward Support", 0.5, false},
+      };
+  return *kWeights;
+}
+
+double HardenMinutesPerAttribute() {
+  double hours = 0.0;
+  for (const HardenTaskWeight& weight : HardenTaskWeights()) {
+    hours += weight.hours_per_attribute;
+  }
+  return hours * 60.0;
+}
+
+namespace {
+
+double MappingFraction() {
+  double mapping = 0.0;
+  double total = 0.0;
+  for (const HardenTaskWeight& weight : HardenTaskWeights()) {
+    total += weight.hours_per_attribute;
+    if (weight.is_mapping) mapping += weight.hours_per_attribute;
+  }
+  return total == 0.0 ? 0.0 : mapping / total;
+}
+
+}  // namespace
+
+CountingEstimator::CountingEstimator(double minutes_per_attribute)
+    : minutes_per_attribute_(minutes_per_attribute > 0.0
+                                 ? minutes_per_attribute
+                                 : HardenMinutesPerAttribute()) {}
+
+CountingEstimator::Estimate CountingEstimator::EstimateFromAttributeCount(
+    size_t source_attributes) const {
+  Estimate estimate;
+  estimate.source_attributes = source_attributes;
+  estimate.total_minutes =
+      minutes_per_attribute_ * static_cast<double>(source_attributes);
+  double mapping_fraction = MappingFraction();
+  estimate.mapping_minutes = estimate.total_minutes * mapping_fraction;
+  estimate.cleaning_minutes =
+      estimate.total_minutes * (1.0 - mapping_fraction);
+  return estimate;
+}
+
+CountingEstimator::Estimate CountingEstimator::EstimateEffort(
+    const IntegrationScenario& scenario) const {
+  return EstimateFromAttributeCount(scenario.TotalSourceAttributeCount());
+}
+
+}  // namespace efes

@@ -1,0 +1,70 @@
+// The attribute-counting baseline (Harden [14], Table 1; Section 2).
+//
+// "For the latter he uses the number of source attributes and assigns for
+// each attribute a weighted set of tasks. In sum, he calculates slightly
+// more than 8 hours of work for each source attribute." The baseline has
+// no concept of the data; its only input is the number of source
+// attributes. The per-attribute rate is calibratable, which is how the
+// cross-validation experiments of Section 6.2 train it.
+
+#ifndef EFES_BASELINE_COUNTING_ESTIMATOR_H_
+#define EFES_BASELINE_COUNTING_ESTIMATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "efes/core/integration_scenario.h"
+
+namespace efes {
+
+/// One row of Table 1.
+struct HardenTaskWeight {
+  std::string task;
+  double hours_per_attribute = 0.0;
+  /// Whether the task counts towards the mapping share of the estimate
+  /// (the baseline "also distinguishes between mapping and cleaning
+  /// efforts" but "relates them neither to integration problems nor
+  /// actual tasks").
+  bool is_mapping = false;
+};
+
+/// The 13 task weights of Table 1 (8.05 hours per attribute in total).
+const std::vector<HardenTaskWeight>& HardenTaskWeights();
+
+/// Sum of Table 1 in minutes per attribute (= 483).
+double HardenMinutesPerAttribute();
+
+class CountingEstimator {
+ public:
+  struct Estimate {
+    double total_minutes = 0.0;
+    double mapping_minutes = 0.0;
+    double cleaning_minutes = 0.0;
+    size_t source_attributes = 0;
+  };
+
+  /// `minutes_per_attribute` defaults to Harden's 8.05 h = 483 min; the
+  /// calibration protocol replaces it with a trained rate while the
+  /// mapping/cleaning proportions of Table 1 are kept.
+  explicit CountingEstimator(
+      double minutes_per_attribute = -1.0 /* Harden default */);
+
+  double minutes_per_attribute() const { return minutes_per_attribute_; }
+  void set_minutes_per_attribute(double minutes) {
+    minutes_per_attribute_ = minutes;
+  }
+
+  /// total = rate * #source attributes, split into mapping/cleaning by
+  /// the Table 1 proportions.
+  Estimate EstimateEffort(const IntegrationScenario& scenario) const;
+
+  /// Same, from a raw attribute count.
+  Estimate EstimateFromAttributeCount(size_t source_attributes) const;
+
+ private:
+  double minutes_per_attribute_;
+};
+
+}  // namespace efes
+
+#endif  // EFES_BASELINE_COUNTING_ESTIMATOR_H_

@@ -1,0 +1,145 @@
+#include "efes/common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace efes {
+
+namespace {
+
+bool NeedsQuoting(std::string_view cell, char delimiter) {
+  return cell.find(delimiter) != std::string_view::npos ||
+         cell.find('"') != std::string_view::npos ||
+         cell.find('\n') != std::string_view::npos ||
+         cell.find('\r') != std::string_view::npos;
+}
+
+void AppendCell(std::string& out, std::string_view cell, char delimiter) {
+  if (!NeedsQuoting(cell, delimiter)) {
+    out.append(cell);
+    return;
+  }
+  out.push_back('"');
+  for (char c : cell) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+Result<CsvDocument> ParseCsv(std::string_view text, char delimiter) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> current_record;
+  std::string current_cell;
+  bool in_quotes = false;
+  bool cell_started = false;
+
+  auto end_cell = [&]() {
+    current_record.push_back(std::move(current_cell));
+    current_cell.clear();
+    cell_started = false;
+  };
+  auto end_record = [&]() {
+    end_cell();
+    records.push_back(std::move(current_record));
+    current_record.clear();
+  };
+
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          current_cell.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current_cell.push_back(c);
+      }
+    } else if (c == '"' && !cell_started && current_cell.empty()) {
+      in_quotes = true;
+      cell_started = true;
+    } else if (c == delimiter) {
+      end_cell();
+    } else if (c == '\r') {
+      // Swallow; the following \n (if any) ends the record.
+      if (i + 1 >= text.size() || text[i + 1] != '\n') {
+        end_record();
+      }
+    } else if (c == '\n') {
+      end_record();
+    } else {
+      current_cell.push_back(c);
+      cell_started = true;
+    }
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quoted CSV field");
+  }
+  // Final record without trailing newline.
+  if (!current_cell.empty() || !current_record.empty() || cell_started) {
+    end_record();
+  }
+
+  if (records.empty()) {
+    return Status::ParseError("CSV input contains no header row");
+  }
+
+  CsvDocument doc;
+  doc.header = std::move(records.front());
+  for (size_t r = 1; r < records.size(); ++r) {
+    if (records[r].size() != doc.header.size()) {
+      std::ostringstream oss;
+      oss << "CSV row " << r << " has " << records[r].size()
+          << " cells, expected " << doc.header.size();
+      return Status::ParseError(oss.str());
+    }
+    doc.rows.push_back(std::move(records[r]));
+  }
+  return doc;
+}
+
+std::string WriteCsv(const CsvDocument& doc, char delimiter) {
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(delimiter);
+      AppendCell(out, row[i], delimiter);
+    }
+    out.push_back('\n');
+  };
+  append_row(doc.header);
+  for (const auto& row : doc.rows) append_row(row);
+  return out;
+}
+
+Result<CsvDocument> ReadCsvFile(const std::string& path, char delimiter) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::NotFound("cannot open CSV file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseCsv(buffer.str(), delimiter);
+}
+
+Status WriteCsvFile(const CsvDocument& doc, const std::string& path,
+                    char delimiter) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    return Status::InvalidArgument("cannot open file for writing: " + path);
+  }
+  file << WriteCsv(doc, delimiter);
+  if (!file.good()) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace efes

@@ -1,0 +1,44 @@
+// Minimal RFC-4180-style CSV reading and writing.
+//
+// The scenario generators persist their synthetic datasets as CSV so the
+// examples can demonstrate loading external data, and tests round-trip
+// through this module.
+
+#ifndef EFES_COMMON_CSV_H_
+#define EFES_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "efes/common/result.h"
+
+namespace efes {
+
+/// A parsed CSV document: a header row plus data rows. All cells are kept
+/// as raw strings; typing happens at the relational layer.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses CSV text. Supports quoted fields with embedded delimiters,
+/// doubled quotes, and embedded newlines; accepts both \n and \r\n.
+/// Every row must have exactly as many cells as the header.
+Result<CsvDocument> ParseCsv(std::string_view text, char delimiter = ',');
+
+/// Serializes a document, quoting cells that contain the delimiter,
+/// quotes, or newlines.
+std::string WriteCsv(const CsvDocument& doc, char delimiter = ',');
+
+/// Reads and parses a CSV file from disk.
+Result<CsvDocument> ReadCsvFile(const std::string& path,
+                                char delimiter = ',');
+
+/// Writes a document to disk, overwriting any existing file.
+Status WriteCsvFile(const CsvDocument& doc, const std::string& path,
+                    char delimiter = ',');
+
+}  // namespace efes
+
+#endif  // EFES_COMMON_CSV_H_

@@ -1,0 +1,56 @@
+// A minimal streaming JSON writer for the machine-readable report
+// exports. Handles escaping, nesting, and comma placement; the caller
+// guarantees well-formedness (matched Begin/End, keys only inside
+// objects), which assertions check in debug builds.
+
+#ifndef EFES_COMMON_JSON_WRITER_H_
+#define EFES_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace efes {
+
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits an object key; must be followed by exactly one value.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Number(double value);
+  JsonWriter& Number(int64_t value);
+  JsonWriter& Number(size_t value) {
+    return Number(static_cast<int64_t>(value));
+  }
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// The document written so far. Call after closing all scopes.
+  std::string ToString() const { return out_.str(); }
+
+  /// Escapes a string for embedding in JSON (quotes not included).
+  static std::string Escape(std::string_view text);
+
+ private:
+  void BeforeValue();
+
+  std::ostringstream out_;
+  /// Per nesting level: whether a value has already been written (for
+  /// comma placement).
+  std::vector<bool> has_value_;
+  bool pending_key_ = false;
+};
+
+}  // namespace efes
+
+#endif  // EFES_COMMON_JSON_WRITER_H_

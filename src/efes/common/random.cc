@@ -1,0 +1,127 @@
+#include "efes/common/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace efes {
+
+namespace {
+
+// SplitMix64, used to expand the single seed into xoshiro's 256-bit state.
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  uint64_t sm = seed;
+  for (uint64_t& word : state_) {
+    word = SplitMix64(sm);
+  }
+}
+
+uint64_t Random::NextUint64() {
+  uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Random::UniformUint64(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = -bound % bound;
+  while (true) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Random::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(span == 0 ? NextUint64()
+                                             : UniformUint64(span));
+}
+
+double Random::UniformDouble() {
+  // 53 top bits give a uniform double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Random::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+double Random::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = UniformDouble();
+  double u2 = UniformDouble();
+  // Avoid log(0).
+  if (u1 < 1e-300) u1 = 1e-300;
+  double radius = std::sqrt(-2.0 * std::log(u1));
+  double angle = 2.0 * M_PI * u2;
+  cached_gaussian_ = radius * std::sin(angle);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+double Random::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+bool Random::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+size_t Random::Zipf(size_t n, double s) {
+  assert(n > 0);
+  // Inverse-CDF sampling over the (small) discrete distribution.
+  double total = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+  }
+  double target = UniformDouble() * total;
+  double cumulative = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    cumulative += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    if (cumulative >= target) return r;
+  }
+  return n - 1;
+}
+
+std::string Random::Word(size_t min_len, size_t max_len) {
+  assert(min_len <= max_len && min_len > 0);
+  static constexpr char kVowels[] = "aeiou";
+  static constexpr char kConsonants[] = "bcdfghjklmnpqrstvwz";
+  size_t length = min_len + static_cast<size_t>(
+                                UniformUint64(max_len - min_len + 1));
+  std::string word;
+  word.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    if (i % 2 == 0) {
+      word.push_back(kConsonants[UniformUint64(sizeof(kConsonants) - 1)]);
+    } else {
+      word.push_back(kVowels[UniformUint64(sizeof(kVowels) - 1)]);
+    }
+  }
+  return word;
+}
+
+}  // namespace efes

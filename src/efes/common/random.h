@@ -1,0 +1,77 @@
+// Deterministic pseudo-random number generation for the synthetic data
+// generators and the ground-truth effort simulator. All EFES experiments
+// are reproducible bit-for-bit given the same seed.
+
+#ifndef EFES_COMMON_RANDOM_H_
+#define EFES_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace efes {
+
+/// A small, fast, deterministic PRNG (xoshiro256**). Not for cryptography.
+class Random {
+ public:
+  /// Seeds the generator; the same seed yields the same sequence on every
+  /// platform (no dependence on std::random_device or libstdc++ details).
+  explicit Random(uint64_t seed);
+
+  /// Uniform over the full 64-bit range.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, bound). `bound` must be > 0.
+  uint64_t UniformUint64(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform in [0, 1).
+  double UniformDouble();
+
+  /// Uniform in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Standard normal via Box–Muller; deterministic per seed.
+  double Gaussian();
+
+  /// Gaussian with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Returns true with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Zipf-like rank selection over [0, n): rank r is drawn with probability
+  /// proportional to 1 / (r + 1)^s. Used to give generated values a
+  /// realistic skew. Requires n > 0.
+  size_t Zipf(size_t n, double s = 1.0);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformUint64(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Picks a uniformly random element. `items` must not be empty.
+  template <typename T>
+  const T& Choice(const std::vector<T>& items) {
+    return items[static_cast<size_t>(UniformUint64(items.size()))];
+  }
+
+  /// A random lowercase ASCII word of length in [min_len, max_len].
+  std::string Word(size_t min_len, size_t max_len);
+
+ private:
+  uint64_t state_[4];
+  // Cached second output of the last Box–Muller transform.
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace efes
+
+#endif  // EFES_COMMON_RANDOM_H_

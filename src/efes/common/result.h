@@ -1,0 +1,88 @@
+// Result<T>: the value-or-error companion to Status.
+//
+// A Result either holds a value of type T or a non-OK Status. It is
+// implicitly constructible from both, so functions can `return value;` or
+// `return Status::NotFound(...);` interchangeably, and
+// EFES_RETURN_IF_ERROR / EFES_ASSIGN_OR_RETURN compose naturally.
+
+#ifndef EFES_COMMON_RESULT_H_
+#define EFES_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "efes/common/status.h"
+
+namespace efes {
+
+template <typename T>
+class Result {
+ public:
+  /// Constructs an OK result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs an error result. `status` must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Accessors require `ok()`; violating this is a programming error.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value or `fallback` when in the error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace efes
+
+/// Evaluates `expr` (a Result<T>), propagates errors, otherwise moves the
+/// value into `lhs`. `lhs` may include a declaration, e.g.
+///   EFES_ASSIGN_OR_RETURN(auto table, db.table("tracks"));
+#define EFES_ASSIGN_OR_RETURN(lhs, expr)                    \
+  EFES_ASSIGN_OR_RETURN_IMPL(                               \
+      EFES_RESULT_MACRO_CONCAT(efes_result_tmp_, __LINE__), lhs, expr)
+
+#define EFES_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) {                                 \
+    return tmp.status();                           \
+  }                                                \
+  lhs = std::move(tmp).value()
+
+#define EFES_RESULT_MACRO_CONCAT_INNER(a, b) a##b
+#define EFES_RESULT_MACRO_CONCAT(a, b) EFES_RESULT_MACRO_CONCAT_INNER(a, b)
+
+#endif  // EFES_COMMON_RESULT_H_

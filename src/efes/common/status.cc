@@ -1,0 +1,41 @@
+#include "efes/common/status.h"
+
+namespace efes {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kAlreadyExists:
+      return "already exists";
+    case StatusCode::kParseError:
+      return "parse error";
+    case StatusCode::kTypeMismatch:
+      return "type mismatch";
+    case StatusCode::kInternal:
+      return "internal error";
+    case StatusCode::kUnsatisfiable:
+      return "unsatisfiable";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string result(StatusCodeToString(code_));
+  result += ": ";
+  result += message_;
+  return result;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace efes

@@ -1,0 +1,173 @@
+#include "efes/common/string_util.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+namespace efes {
+
+std::vector<std::string> Split(std::string_view input, char delimiter) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      pieces.emplace_back(input.substr(start));
+      break;
+    }
+    pieces.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return pieces;
+}
+
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view separator) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out.append(separator);
+    out.append(pieces[i]);
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view input) {
+  size_t begin = 0;
+  size_t end = input.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(input[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(input[end - 1]))) {
+    --end;
+  }
+  return input.substr(begin, end - begin);
+}
+
+std::string ToLower(std::string_view input) {
+  std::string out(input);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
+std::optional<int64_t> ParseInt64(std::string_view text) {
+  std::string_view trimmed = Trim(text);
+  if (trimmed.empty()) return std::nullopt;
+  std::string buffer(trimmed);
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(buffer.c_str(), &end, 10);
+  if (errno == ERANGE || end != buffer.c_str() + buffer.size()) {
+    return std::nullopt;
+  }
+  return static_cast<int64_t>(value);
+}
+
+std::optional<double> ParseDouble(std::string_view text) {
+  std::string_view trimmed = Trim(text);
+  if (trimmed.empty()) return std::nullopt;
+  std::string buffer(trimmed);
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(buffer.c_str(), &end);
+  if (errno == ERANGE || end != buffer.c_str() + buffer.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::string FormatDouble(double value, int precision) {
+  std::ostringstream oss;
+  oss.precision(precision);
+  oss << value;
+  return oss.str();
+}
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);
+  // b is now the shorter string; keep one rolling row of the DP matrix.
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diagonal = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t above = row[j];
+      size_t substitution = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({above + 1, row[j - 1] + 1, substitution});
+      diagonal = above;
+    }
+  }
+  return row[b.size()];
+}
+
+double NameSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  std::string la = ToLower(a);
+  std::string lb = ToLower(b);
+  size_t distance = EditDistance(la, lb);
+  size_t longest = std::max(la.size(), lb.size());
+  return 1.0 - static_cast<double>(distance) / static_cast<double>(longest);
+}
+
+std::vector<std::string> TokenizeIdentifier(std::string_view identifier) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&]() {
+    if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  };
+  for (size_t i = 0; i < identifier.size(); ++i) {
+    char c = identifier[i];
+    if (c == '_' || c == '-' || c == ' ' || c == '.') {
+      flush();
+      continue;
+    }
+    // camelCase boundary: lower/digit followed by upper starts a new token.
+    if (std::isupper(static_cast<unsigned char>(c)) && !current.empty() &&
+        !std::isupper(static_cast<unsigned char>(current.back()))) {
+      flush();
+    }
+    current.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  flush();
+  return tokens;
+}
+
+double TokenJaccard(std::string_view a, std::string_view b) {
+  std::vector<std::string> ta = TokenizeIdentifier(a);
+  std::vector<std::string> tb = TokenizeIdentifier(b);
+  if (ta.empty() && tb.empty()) return 1.0;
+  std::set<std::string> sa(ta.begin(), ta.end());
+  std::set<std::string> sb(tb.begin(), tb.end());
+  size_t intersection = 0;
+  for (const std::string& token : sa) {
+    intersection += sb.count(token);
+  }
+  size_t union_size = sa.size() + sb.size() - intersection;
+  if (union_size == 0) return 1.0;
+  return static_cast<double>(intersection) /
+         static_cast<double>(union_size);
+}
+
+}  // namespace efes

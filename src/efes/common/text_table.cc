@@ -1,0 +1,69 @@
+#include "efes/common/text_table.h"
+
+#include <algorithm>
+
+namespace efes {
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(Row{false, std::move(row)});
+}
+
+void TextTable::AddSeparator() { rows_.push_back(Row{true, {}}); }
+
+std::string TextTable::ToString() const {
+  size_t columns = header_.size();
+  for (const Row& row : rows_) {
+    columns = std::max(columns, row.cells.size());
+  }
+  if (columns == 0) return "";
+
+  std::vector<size_t> widths(columns, 0);
+  auto account = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  account(header_);
+  for (const Row& row : rows_) {
+    if (!row.is_separator) account(row.cells);
+  }
+
+  std::string out;
+  auto render_cells = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < columns; ++i) {
+      if (i > 0) out.append(" | ");
+      std::string cell = i < cells.size() ? cells[i] : "";
+      out.append(cell);
+      out.append(widths[i] - cell.size(), ' ');
+    }
+    // Trim trailing padding.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out.push_back('\n');
+  };
+  auto render_separator = [&]() {
+    for (size_t i = 0; i < columns; ++i) {
+      if (i > 0) out.append("-+-");
+      out.append(widths[i], '-');
+    }
+    out.push_back('\n');
+  };
+
+  if (!header_.empty()) {
+    render_cells(header_);
+    render_separator();
+  }
+  for (const Row& row : rows_) {
+    if (row.is_separator) {
+      render_separator();
+    } else {
+      render_cells(row.cells);
+    }
+  }
+  return out;
+}
+
+}  // namespace efes

@@ -1,0 +1,47 @@
+// Plain-text table rendering used by the complexity-report and
+// effort-estimate printers as well as by the benchmark harnesses that
+// regenerate the paper's tables.
+
+#ifndef EFES_COMMON_TEXT_TABLE_H_
+#define EFES_COMMON_TEXT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace efes {
+
+/// Accumulates rows of string cells and renders them column-aligned:
+///
+///   Target table | Source tables | Attributes | Primary key
+///   -------------+---------------+------------+------------
+///   records      | 3             | 2          | yes
+class TextTable {
+ public:
+  /// Sets the header row. Resets nothing else; call before adding rows.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row. Rows may have fewer cells than the header;
+  /// missing cells render empty.
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line at this position.
+  void AddSeparator();
+
+  size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table. Every line ends with '\n'.
+  std::string ToString() const;
+
+ private:
+  struct Row {
+    bool is_separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace efes
+
+#endif  // EFES_COMMON_TEXT_TABLE_H_

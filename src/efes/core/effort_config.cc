@@ -1,0 +1,157 @@
+#include "efes/core/effort_config.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "efes/common/string_util.h"
+#include "efes/core/formula.h"
+
+namespace efes {
+
+namespace {
+
+const TaskType kAllTaskTypes[] = {
+    TaskType::kWriteMapping,        TaskType::kRejectTuples,
+    TaskType::kAddMissingValues,    TaskType::kSetValuesToNull,
+    TaskType::kAggregateTuples,     TaskType::kKeepAnyValue,
+    TaskType::kMergeValues,         TaskType::kDropDetachedValues,
+    TaskType::kCreateEnclosingTuples, TaskType::kDeleteDanglingValues,
+    TaskType::kAddReferencedValues, TaskType::kAddTuples,
+    TaskType::kDeleteDanglingTuples, TaskType::kUnlinkAllButOneTuple,
+    TaskType::kAddValues,           TaskType::kDropValues,
+    TaskType::kConvertValues,       TaskType::kGeneralizeValues,
+    TaskType::kRefineValues,        TaskType::kAggregateValues,
+};
+
+Result<bool> ParseBool(std::string_view value) {
+  std::string lower = ToLower(Trim(value));
+  if (lower == "true" || lower == "yes" || lower == "1") return true;
+  if (lower == "false" || lower == "no" || lower == "0") return false;
+  return Status::ParseError("expected a boolean, got '" +
+                            std::string(value) + "'");
+}
+
+Result<double> ParseNumber(std::string_view value) {
+  std::optional<double> parsed = ParseDouble(value);
+  if (!parsed.has_value()) {
+    return Status::ParseError("expected a number, got '" +
+                              std::string(value) + "'");
+  }
+  return *parsed;
+}
+
+Status ApplySetting(ExecutionSettings* settings, std::string_view key,
+                    std::string_view value) {
+  if (key == "practitioner_skill") {
+    EFES_ASSIGN_OR_RETURN(settings->practitioner_skill, ParseNumber(value));
+  } else if (key == "data_familiarity") {
+    EFES_ASSIGN_OR_RETURN(settings->data_familiarity, ParseNumber(value));
+  } else if (key == "criticality") {
+    EFES_ASSIGN_OR_RETURN(settings->criticality, ParseNumber(value));
+  } else if (key == "mapping_tool_available") {
+    EFES_ASSIGN_OR_RETURN(settings->mapping_tool_available,
+                          ParseBool(value));
+  } else if (key == "mapping_tool_minutes") {
+    EFES_ASSIGN_OR_RETURN(settings->mapping_tool_minutes,
+                          ParseNumber(value));
+  } else {
+    return Status::ParseError("unknown setting '" + std::string(key) + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<TaskType> TaskTypeFromName(std::string_view name) {
+  for (TaskType type : kAllTaskTypes) {
+    if (TaskTypeToString(type) == name) return type;
+  }
+  return Status::NotFound("unknown task type '" + std::string(name) + "'");
+}
+
+Result<EstimationConfig> ParseEffortConfig(std::string_view text) {
+  EstimationConfig config;
+  std::string section;
+  size_t line_number = 0;
+
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_number;
+    std::string_view line = Trim(raw_line);
+    // Strip comments.
+    size_t hash = line.find('#');
+    if (hash != std::string_view::npos) {
+      line = Trim(line.substr(0, hash));
+    }
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        return Status::ParseError("line " + std::to_string(line_number) +
+                                  ": unterminated section header");
+      }
+      section = std::string(Trim(line.substr(1, line.size() - 2)));
+      if (section != "settings" && section != "efforts") {
+        return Status::ParseError("line " + std::to_string(line_number) +
+                                  ": unknown section '" + section + "'");
+      }
+      continue;
+    }
+
+    size_t equals = line.find('=');
+    if (equals == std::string_view::npos) {
+      return Status::ParseError("line " + std::to_string(line_number) +
+                                ": expected 'key = value'");
+    }
+    std::string key(Trim(line.substr(0, equals)));
+    std::string value(Trim(line.substr(equals + 1)));
+    if (section.empty()) {
+      return Status::ParseError("line " + std::to_string(line_number) +
+                                ": key outside of a section");
+    }
+
+    if (section == "settings") {
+      Status status = ApplySetting(&config.settings, key, value);
+      if (!status.ok()) {
+        return Status::ParseError("line " + std::to_string(line_number) +
+                                  ": " + status.message());
+      }
+      continue;
+    }
+
+    // [efforts]
+    if (key == "global_scale") {
+      EFES_ASSIGN_OR_RETURN(double scale, ParseNumber(value));
+      config.model.set_global_scale(scale);
+      continue;
+    }
+    auto task_type = TaskTypeFromName(key);
+    if (!task_type.ok()) {
+      return Status::ParseError("line " + std::to_string(line_number) +
+                                ": " + task_type.status().message());
+    }
+    auto formula = Formula::Parse(value);
+    if (!formula.ok()) {
+      return Status::ParseError("line " + std::to_string(line_number) +
+                                ": " + formula.status().message());
+    }
+    config.model.SetFunction(
+        *task_type,
+        [parsed = std::move(*formula)](const Task& task,
+                                       const ExecutionSettings&) {
+          return parsed.Evaluate(task);
+        });
+  }
+  return config;
+}
+
+Result<EstimationConfig> LoadEffortConfig(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound("cannot open config file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseEffortConfig(buffer.str());
+}
+
+}  // namespace efes

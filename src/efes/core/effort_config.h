@@ -1,0 +1,55 @@
+// Text-based configuration of the estimation context — the counterpart of
+// the original prototype's XML configuration ("It offers multiple
+// configuration options via an XML file and a command-line interface",
+// Section 6.1).
+//
+// Format: INI-style sections with `key = value` lines; `#` starts a
+// comment.
+//
+//   [settings]
+//   practitioner_skill   = 0.8
+//   data_familiarity     = 1.0
+//   criticality          = 1.5
+//   mapping_tool_available = true
+//   mapping_tool_minutes = 2
+//
+//   [efforts]
+//   global_scale   = 1.1
+//   Convert values = if dist_vals < 120 then 30 else 0.25 * dist_vals
+//   Write mapping  = 3*fks + 3*pks + attributes + 3*tables
+//   Reject tuples  = 5
+//
+// Keys in [efforts] are the Table 9 task names (TaskTypeToString); their
+// values are formulas over task parameters (see formula.h). Unlisted
+// tasks keep their Table 9 defaults.
+
+#ifndef EFES_CORE_EFFORT_CONFIG_H_
+#define EFES_CORE_EFFORT_CONFIG_H_
+
+#include <string>
+#include <string_view>
+
+#include "efes/common/result.h"
+#include "efes/core/effort_model.h"
+
+namespace efes {
+
+struct EstimationConfig {
+  ExecutionSettings settings;
+  EffortModel model = EffortModel::PaperDefault();
+};
+
+/// Parses a configuration document. Unknown sections, unknown setting
+/// keys, unknown task names, and malformed formulas are errors (typos in
+/// an effort configuration must not be silently ignored).
+Result<EstimationConfig> ParseEffortConfig(std::string_view text);
+
+/// Reads and parses a configuration file.
+Result<EstimationConfig> LoadEffortConfig(const std::string& path);
+
+/// Resolves a Table 9 display name ("Convert values") to its TaskType.
+Result<TaskType> TaskTypeFromName(std::string_view name);
+
+}  // namespace efes
+
+#endif  // EFES_CORE_EFFORT_CONFIG_H_

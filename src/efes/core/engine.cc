@@ -1,0 +1,97 @@
+#include "efes/core/engine.h"
+
+#include <sstream>
+
+#include "efes/common/string_util.h"
+#include "efes/common/text_table.h"
+
+namespace efes {
+
+double EffortEstimate::TotalMinutes() const {
+  double total = 0.0;
+  for (const TaskEstimate& t : tasks) total += t.minutes;
+  return total;
+}
+
+double EffortEstimate::CategoryMinutes(TaskCategory category) const {
+  double total = 0.0;
+  for (const TaskEstimate& t : tasks) {
+    if (t.task.category == category) total += t.minutes;
+  }
+  return total;
+}
+
+std::string EffortEstimate::ToText() const {
+  TextTable table;
+  table.SetHeader({"Task", "Category", "Effort [min]"});
+  for (const TaskEstimate& t : tasks) {
+    table.AddRow({t.task.ToString(),
+                  std::string(TaskCategoryToString(t.task.category)),
+                  FormatDouble(t.minutes, 6)});
+  }
+  table.AddSeparator();
+  for (TaskCategory category :
+       {TaskCategory::kMapping, TaskCategory::kCleaningStructure,
+        TaskCategory::kCleaningValues, TaskCategory::kOther}) {
+    double minutes = CategoryMinutes(category);
+    if (minutes > 0.0) {
+      table.AddRow({"Subtotal", std::string(TaskCategoryToString(category)),
+                    FormatDouble(minutes, 6)});
+    }
+  }
+  table.AddRow({"Total", "", FormatDouble(TotalMinutes(), 6)});
+  return table.ToString();
+}
+
+std::string EstimationResult::ToText() const {
+  std::ostringstream oss;
+  for (const ModuleRun& run : module_runs) {
+    oss << "=== " << run.module << " ===\n";
+    oss << run.report->ToText();
+    oss << "\n";
+  }
+  oss << "=== Effort estimate ===\n" << estimate.ToText();
+  return oss.str();
+}
+
+void EfesEngine::AddModule(std::unique_ptr<EstimationModule> module) {
+  modules_.push_back(std::move(module));
+}
+
+Result<EstimationResult> EfesEngine::Run(
+    const IntegrationScenario& scenario, ExpectedQuality quality,
+    const ExecutionSettings& settings) const {
+  EFES_RETURN_IF_ERROR(scenario.Validate());
+  EstimationResult result;
+  for (const auto& module : modules_) {
+    EFES_ASSIGN_OR_RETURN(std::unique_ptr<ComplexityReport> report,
+                          module->AssessComplexity(scenario));
+    EFES_ASSIGN_OR_RETURN(std::vector<Task> tasks,
+                          module->PlanTasks(*report, quality, settings));
+    ModuleRun run;
+    run.module = module->name();
+    run.report = std::move(report);
+    for (Task& task : tasks) {
+      double minutes = effort_model_.EstimateMinutes(task, settings);
+      run.tasks.push_back(TaskEstimate{std::move(task), minutes});
+    }
+    result.estimate.tasks.insert(result.estimate.tasks.end(),
+                                 run.tasks.begin(), run.tasks.end());
+    result.module_runs.push_back(std::move(run));
+  }
+  return result;
+}
+
+Result<std::vector<std::unique_ptr<ComplexityReport>>>
+EfesEngine::AssessComplexity(const IntegrationScenario& scenario) const {
+  EFES_RETURN_IF_ERROR(scenario.Validate());
+  std::vector<std::unique_ptr<ComplexityReport>> reports;
+  for (const auto& module : modules_) {
+    EFES_ASSIGN_OR_RETURN(std::unique_ptr<ComplexityReport> report,
+                          module->AssessComplexity(scenario));
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+}  // namespace efes

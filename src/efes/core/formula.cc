@@ -1,0 +1,347 @@
+#include "efes/core/formula.h"
+
+#include <cctype>
+#include <cmath>
+#include <vector>
+
+namespace efes {
+
+/// Expression tree node. Kept simple: a tagged union over the node kinds
+/// with up to three children (condition, left/then, right/else).
+struct Formula::Node {
+  enum class Kind {
+    kNumber,
+    kParameter,
+    kAdd,
+    kSubtract,
+    kMultiply,
+    kDivide,
+    kNegate,
+    kConditional,  // children: condition, then, else
+    kLess,
+    kLessEqual,
+    kGreater,
+    kGreaterEqual,
+    kEqual,
+  };
+
+  Kind kind = Kind::kNumber;
+  double number = 0.0;
+  std::string parameter;
+  std::shared_ptr<const Node> a;
+  std::shared_ptr<const Node> b;
+  std::shared_ptr<const Node> c;
+};
+
+namespace {
+
+using Node = Formula::Node;
+using NodePtr = std::shared_ptr<const Node>;
+
+NodePtr MakeNumber(double value) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kNumber;
+  node->number = value;
+  return node;
+}
+
+NodePtr MakeParameter(std::string name) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kParameter;
+  node->parameter = std::move(name);
+  return node;
+}
+
+NodePtr MakeBinary(Node::Kind kind, NodePtr a, NodePtr b) {
+  auto node = std::make_shared<Node>();
+  node->kind = kind;
+  node->a = std::move(a);
+  node->b = std::move(b);
+  return node;
+}
+
+NodePtr MakeUnary(Node::Kind kind, NodePtr a) {
+  auto node = std::make_shared<Node>();
+  node->kind = kind;
+  node->a = std::move(a);
+  return node;
+}
+
+NodePtr MakeConditional(NodePtr condition, NodePtr then_branch,
+                        NodePtr else_branch) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kConditional;
+  node->a = std::move(condition);
+  node->b = std::move(then_branch);
+  node->c = std::move(else_branch);
+  return node;
+}
+
+/// Recursive-descent parser over the formula grammar.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<NodePtr> ParseFormula() {
+    SkipSpace();
+    NodePtr root;
+    if (MatchKeyword("if")) {
+      EFES_ASSIGN_OR_RETURN(root, ParseConditional());
+    } else {
+      EFES_ASSIGN_OR_RETURN(root, ParseExpression());
+    }
+    SkipSpace();
+    if (position_ != text_.size()) {
+      return Error("unexpected trailing input");
+    }
+    return root;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::ParseError(message + " at position " +
+                              std::to_string(position_) + " in formula '" +
+                              std::string(text_) + "'");
+  }
+
+  void SkipSpace() {
+    while (position_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[position_]))) {
+      ++position_;
+    }
+  }
+
+  bool MatchChar(char c) {
+    SkipSpace();
+    if (position_ < text_.size() && text_[position_] == c) {
+      ++position_;
+      return true;
+    }
+    return false;
+  }
+
+  char Peek() {
+    SkipSpace();
+    return position_ < text_.size() ? text_[position_] : '\0';
+  }
+
+  /// Matches a whole-word keyword (not a prefix of an identifier).
+  bool MatchKeyword(std::string_view keyword) {
+    SkipSpace();
+    if (text_.substr(position_, keyword.size()) != keyword) return false;
+    size_t end = position_ + keyword.size();
+    if (end < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+         text_[end] == '_')) {
+      return false;
+    }
+    position_ = end;
+    return true;
+  }
+
+  /// Matches a literal operator token (no word-boundary requirement).
+  bool MatchToken(std::string_view token) {
+    SkipSpace();
+    if (text_.substr(position_, token.size()) != token) return false;
+    position_ += token.size();
+    return true;
+  }
+
+  Result<NodePtr> ParseConditional() {
+    EFES_ASSIGN_OR_RETURN(NodePtr condition, ParseComparison());
+    if (!MatchKeyword("then")) return Error("expected 'then'");
+    EFES_ASSIGN_OR_RETURN(NodePtr then_branch, ParseExpression());
+    if (!MatchKeyword("else")) return Error("expected 'else'");
+    NodePtr else_branch;
+    if (MatchKeyword("if")) {  // chained conditionals
+      EFES_ASSIGN_OR_RETURN(else_branch, ParseConditional());
+    } else {
+      EFES_ASSIGN_OR_RETURN(else_branch, ParseExpression());
+    }
+    return MakeConditional(std::move(condition), std::move(then_branch),
+                           std::move(else_branch));
+  }
+
+  Result<NodePtr> ParseComparison() {
+    EFES_ASSIGN_OR_RETURN(NodePtr left, ParseExpression());
+    SkipSpace();
+    Node::Kind kind;
+    if (MatchToken("<=")) {
+      kind = Node::Kind::kLessEqual;
+    } else if (MatchToken(">=")) {
+      kind = Node::Kind::kGreaterEqual;
+    } else if (MatchToken("==")) {
+      kind = Node::Kind::kEqual;
+    } else if (MatchChar('<')) {
+      kind = Node::Kind::kLess;
+    } else if (MatchChar('>')) {
+      kind = Node::Kind::kGreater;
+    } else {
+      return Error("expected comparison operator");
+    }
+    EFES_ASSIGN_OR_RETURN(NodePtr right, ParseExpression());
+    return MakeBinary(kind, std::move(left), std::move(right));
+  }
+
+  Result<NodePtr> ParseExpression() {
+    EFES_ASSIGN_OR_RETURN(NodePtr left, ParseTerm());
+    while (true) {
+      if (MatchChar('+')) {
+        EFES_ASSIGN_OR_RETURN(NodePtr right, ParseTerm());
+        left = MakeBinary(Node::Kind::kAdd, std::move(left),
+                          std::move(right));
+      } else if (MatchChar('-')) {
+        EFES_ASSIGN_OR_RETURN(NodePtr right, ParseTerm());
+        left = MakeBinary(Node::Kind::kSubtract, std::move(left),
+                          std::move(right));
+      } else {
+        return left;
+      }
+    }
+  }
+
+  Result<NodePtr> ParseTerm() {
+    EFES_ASSIGN_OR_RETURN(NodePtr left, ParseFactor());
+    while (true) {
+      if (MatchChar('*')) {
+        EFES_ASSIGN_OR_RETURN(NodePtr right, ParseFactor());
+        left = MakeBinary(Node::Kind::kMultiply, std::move(left),
+                          std::move(right));
+      } else if (MatchChar('/')) {
+        EFES_ASSIGN_OR_RETURN(NodePtr right, ParseFactor());
+        left = MakeBinary(Node::Kind::kDivide, std::move(left),
+                          std::move(right));
+      } else {
+        return left;
+      }
+    }
+  }
+
+  Result<NodePtr> ParseFactor() {
+    SkipSpace();
+    if (MatchChar('-')) {
+      EFES_ASSIGN_OR_RETURN(NodePtr operand, ParseFactor());
+      return MakeUnary(Node::Kind::kNegate, std::move(operand));
+    }
+    if (MatchChar('(')) {
+      EFES_ASSIGN_OR_RETURN(NodePtr inner, ParseExpression());
+      if (!MatchChar(')')) return Error("expected ')'");
+      return inner;
+    }
+    char c = Peek();
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      return ParseNumber();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+        c == '#') {
+      return ParseIdentifier();
+    }
+    return Error("expected number, identifier, or '('");
+  }
+
+  Result<NodePtr> ParseNumber() {
+    SkipSpace();
+    size_t start = position_;
+    while (position_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[position_])) ||
+            text_[position_] == '.')) {
+      ++position_;
+    }
+    std::string token(text_.substr(start, position_ - start));
+    try {
+      size_t consumed = 0;
+      double value = std::stod(token, &consumed);
+      if (consumed != token.size()) return Error("malformed number");
+      return MakeNumber(value);
+    } catch (...) {
+      return Error("malformed number");
+    }
+  }
+
+  Result<NodePtr> ParseIdentifier() {
+    SkipSpace();
+    size_t start = position_;
+    // Allow a leading '#', matching the paper's "#dist-vals" notation;
+    // '-' inside an identifier is accepted and normalized to '_'.
+    if (text_[position_] == '#') ++position_;
+    while (position_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[position_])) ||
+            text_[position_] == '_' ||
+            (text_[position_] == '-' && position_ + 1 < text_.size() &&
+             std::isalnum(
+                 static_cast<unsigned char>(text_[position_ + 1]))))) {
+      ++position_;
+    }
+    std::string name(text_.substr(start, position_ - start));
+    if (!name.empty() && name[0] == '#') name = name.substr(1);
+    for (char& ch : name) {
+      if (ch == '-') ch = '_';
+    }
+    if (name.empty()) return Error("empty identifier");
+    return MakeParameter(std::move(name));
+  }
+
+  std::string_view text_;
+  size_t position_ = 0;
+};
+
+double EvaluateNode(const Node& node, const Task& task) {
+  switch (node.kind) {
+    case Node::Kind::kNumber:
+      return node.number;
+    case Node::Kind::kParameter:
+      return task.Param(node.parameter);
+    case Node::Kind::kAdd:
+      return EvaluateNode(*node.a, task) + EvaluateNode(*node.b, task);
+    case Node::Kind::kSubtract:
+      return EvaluateNode(*node.a, task) - EvaluateNode(*node.b, task);
+    case Node::Kind::kMultiply:
+      return EvaluateNode(*node.a, task) * EvaluateNode(*node.b, task);
+    case Node::Kind::kDivide: {
+      double denominator = EvaluateNode(*node.b, task);
+      if (denominator == 0.0) return 0.0;
+      return EvaluateNode(*node.a, task) / denominator;
+    }
+    case Node::Kind::kNegate:
+      return -EvaluateNode(*node.a, task);
+    case Node::Kind::kConditional:
+      return EvaluateNode(*node.a, task) != 0.0
+                 ? EvaluateNode(*node.b, task)
+                 : EvaluateNode(*node.c, task);
+    case Node::Kind::kLess:
+      return EvaluateNode(*node.a, task) < EvaluateNode(*node.b, task) ? 1.0
+                                                                       : 0.0;
+    case Node::Kind::kLessEqual:
+      return EvaluateNode(*node.a, task) <= EvaluateNode(*node.b, task)
+                 ? 1.0
+                 : 0.0;
+    case Node::Kind::kGreater:
+      return EvaluateNode(*node.a, task) > EvaluateNode(*node.b, task)
+                 ? 1.0
+                 : 0.0;
+    case Node::Kind::kGreaterEqual:
+      return EvaluateNode(*node.a, task) >= EvaluateNode(*node.b, task)
+                 ? 1.0
+                 : 0.0;
+    case Node::Kind::kEqual:
+      return EvaluateNode(*node.a, task) == EvaluateNode(*node.b, task)
+                 ? 1.0
+                 : 0.0;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Result<Formula> Formula::Parse(std::string_view text) {
+  Parser parser(text);
+  EFES_ASSIGN_OR_RETURN(std::shared_ptr<const Node> root,
+                        parser.ParseFormula());
+  return Formula(std::move(root), std::string(text));
+}
+
+double Formula::Evaluate(const Task& task) const {
+  return EvaluateNode(*root_, task);
+}
+
+}  // namespace efes

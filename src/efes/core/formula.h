@@ -1,0 +1,62 @@
+// A small arithmetic formula language for user-defined effort calculation
+// functions (the paper's configurability requirement: "the user specifies
+// in advance for each task type an effort-calculation function that can
+// incorporate task parameters").
+//
+// Grammar:
+//   formula     := conditional | expression
+//   conditional := "if" comparison "then" expression "else" expression
+//   comparison  := expression ("<" | "<=" | ">" | ">=" | "==") expression
+//   expression  := term (("+" | "-") term)*
+//   term        := factor (("*" | "/") factor)*
+//   factor      := NUMBER | IDENTIFIER | "(" expression ")" | "-" factor
+//
+// Identifiers resolve to task parameters (missing parameters evaluate to
+// 0), so Table 9's entries are written naturally:
+//   "if dist_vals < 120 then 30 else 0.25 * dist_vals"
+//   "3*fks + 3*pks + attributes + 3*tables"
+
+#ifndef EFES_CORE_FORMULA_H_
+#define EFES_CORE_FORMULA_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "efes/common/result.h"
+#include "efes/core/task.h"
+
+namespace efes {
+
+class Formula {
+ public:
+  /// Parses `text`; fails with kParseError on malformed input (with a
+  /// position hint in the message).
+  static Result<Formula> Parse(std::string_view text);
+
+  Formula(const Formula&) = default;
+  Formula& operator=(const Formula&) = default;
+  Formula(Formula&&) = default;
+  Formula& operator=(Formula&&) = default;
+
+  /// Evaluates against a task's parameters. Division by zero yields 0
+  /// (effort functions must not blow up on degenerate inputs).
+  double Evaluate(const Task& task) const;
+
+  /// The original source text.
+  const std::string& text() const { return text_; }
+
+  /// Internal expression node (exposed for testing the tree shape only).
+  struct Node;
+
+ private:
+  explicit Formula(std::shared_ptr<const Node> root, std::string text)
+      : root_(std::move(root)), text_(std::move(text)) {}
+
+  std::shared_ptr<const Node> root_;
+  std::string text_;
+};
+
+}  // namespace efes
+
+#endif  // EFES_CORE_FORMULA_H_

@@ -1,0 +1,23 @@
+#include "efes/core/integration_scenario.h"
+
+namespace efes {
+
+Status IntegrationScenario::Validate() const {
+  EFES_RETURN_IF_ERROR(target.schema().Validate());
+  for (const SourceBinding& source : sources) {
+    EFES_RETURN_IF_ERROR(source.database.schema().Validate());
+    EFES_RETURN_IF_ERROR(source.correspondences.Validate(
+        source.database.schema(), target.schema()));
+  }
+  return Status::OK();
+}
+
+size_t IntegrationScenario::TotalSourceAttributeCount() const {
+  size_t total = 0;
+  for (const SourceBinding& source : sources) {
+    total += source.database.schema().TotalAttributeCount();
+  }
+  return total;
+}
+
+}  // namespace efes

@@ -1,0 +1,48 @@
+// The data integration scenario (Section 3.1): one target database, one
+// or more source databases, and correspondences describing how each
+// source relates to the target.
+
+#ifndef EFES_CORE_INTEGRATION_SCENARIO_H_
+#define EFES_CORE_INTEGRATION_SCENARIO_H_
+
+#include <string>
+#include <vector>
+
+#include "efes/relational/correspondence.h"
+#include "efes/relational/database.h"
+
+namespace efes {
+
+/// One source database together with its correspondences into the target.
+struct SourceBinding {
+  Database database;
+  CorrespondenceSet correspondences;
+
+  SourceBinding(Database db, CorrespondenceSet cs)
+      : database(std::move(db)), correspondences(std::move(cs)) {}
+};
+
+struct IntegrationScenario {
+  std::string name;
+  Database target;
+  std::vector<SourceBinding> sources;
+
+  IntegrationScenario(std::string scenario_name, Database target_db)
+      : name(std::move(scenario_name)), target(std::move(target_db)) {}
+
+  void AddSource(Database database, CorrespondenceSet correspondences) {
+    sources.emplace_back(std::move(database), std::move(correspondences));
+  }
+
+  /// Validates every source's schema, the target schema, and every
+  /// correspondence set against its schemas.
+  Status Validate() const;
+
+  /// Total number of source attributes across all sources — the input of
+  /// the attribute-counting baseline.
+  size_t TotalSourceAttributeCount() const;
+};
+
+}  // namespace efes
+
+#endif  // EFES_CORE_INTEGRATION_SCENARIO_H_

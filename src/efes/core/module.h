@@ -1,0 +1,64 @@
+// The estimation-module interface (Section 3.2, Figure 3).
+//
+// "EFES handles different kinds of integration challenges by accepting a
+// dedicated estimation module to cope with each of them independently."
+// A module contributes a data complexity detector (AssessComplexity) and
+// a task planner (PlanTasks). The engine wires them together with the
+// effort calculation functions.
+
+#ifndef EFES_CORE_MODULE_H_
+#define EFES_CORE_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "efes/common/result.h"
+#include "efes/core/effort_model.h"
+#include "efes/core/integration_scenario.h"
+#include "efes/core/task.h"
+
+namespace efes {
+
+/// Base class of all data complexity reports. "There is no formal
+/// definition for such a report; rather, it can be tailored to the
+/// specific, needed complexity indicators" — each module subclasses this
+/// with its own indicators and supplies a textual rendering.
+class ComplexityReport {
+ public:
+  virtual ~ComplexityReport() = default;
+
+  /// Name of the producing module.
+  virtual std::string module_name() const = 0;
+
+  /// Rendered report (the paper's Tables 2, 3, 6).
+  virtual std::string ToText() const = 0;
+
+  /// A single scalar summarizing how many distinct problems the report
+  /// contains (0 = nothing to do). Used by source-selection ranking.
+  virtual size_t ProblemCount() const = 0;
+};
+
+class EstimationModule {
+ public:
+  virtual ~EstimationModule() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Phase 1 — complexity assessment: analyze schemas and instances and
+  /// report objective integration problems. Independent of external
+  /// parameters by design.
+  virtual Result<std::unique_ptr<ComplexityReport>> AssessComplexity(
+      const IntegrationScenario& scenario) const = 0;
+
+  /// Phase 2 — task planning: turn the module's own report into concrete
+  /// tasks for the requested result quality. The report must have been
+  /// produced by this module's AssessComplexity.
+  virtual Result<std::vector<Task>> PlanTasks(
+      const ComplexityReport& report, ExpectedQuality quality,
+      const ExecutionSettings& settings) const = 0;
+};
+
+}  // namespace efes
+
+#endif  // EFES_CORE_MODULE_H_

@@ -1,0 +1,101 @@
+#include "efes/core/task.h"
+
+#include <sstream>
+
+#include "efes/common/string_util.h"
+
+namespace efes {
+
+std::string_view ExpectedQualityToString(ExpectedQuality quality) {
+  switch (quality) {
+    case ExpectedQuality::kLowEffort:
+      return "low effort";
+    case ExpectedQuality::kHighQuality:
+      return "high quality";
+  }
+  return "unknown";
+}
+
+std::string_view TaskCategoryToString(TaskCategory category) {
+  switch (category) {
+    case TaskCategory::kMapping:
+      return "Mapping";
+    case TaskCategory::kCleaningStructure:
+      return "Cleaning (Structure)";
+    case TaskCategory::kCleaningValues:
+      return "Cleaning (Values)";
+    case TaskCategory::kOther:
+      return "Other";
+  }
+  return "unknown";
+}
+
+std::string_view TaskTypeToString(TaskType type) {
+  switch (type) {
+    case TaskType::kWriteMapping:
+      return "Write mapping";
+    case TaskType::kRejectTuples:
+      return "Reject tuples";
+    case TaskType::kAddMissingValues:
+      return "Add missing values";
+    case TaskType::kSetValuesToNull:
+      return "Set values to null";
+    case TaskType::kAggregateTuples:
+      return "Aggregate tuples";
+    case TaskType::kKeepAnyValue:
+      return "Keep any value";
+    case TaskType::kMergeValues:
+      return "Merge values";
+    case TaskType::kDropDetachedValues:
+      return "Delete detached values";
+    case TaskType::kCreateEnclosingTuples:
+      return "Create enclosing tuples";
+    case TaskType::kDeleteDanglingValues:
+      return "Delete dangling values";
+    case TaskType::kAddReferencedValues:
+      return "Add referenced values";
+    case TaskType::kAddTuples:
+      return "Add tuples";
+    case TaskType::kDeleteDanglingTuples:
+      return "Delete dangling tuples";
+    case TaskType::kUnlinkAllButOneTuple:
+      return "Unlink all but one tuple";
+    case TaskType::kAddValues:
+      return "Add values";
+    case TaskType::kDropValues:
+      return "Drop values";
+    case TaskType::kConvertValues:
+      return "Convert values";
+    case TaskType::kGeneralizeValues:
+      return "Generalize values";
+    case TaskType::kRefineValues:
+      return "Refine values";
+    case TaskType::kAggregateValues:
+      return "Aggregate values";
+  }
+  return "unknown";
+}
+
+double Task::Param(std::string_view name, double fallback) const {
+  auto it = parameters.find(std::string(name));
+  return it == parameters.end() ? fallback : it->second;
+}
+
+std::string Task::ToString() const {
+  std::ostringstream oss;
+  oss << TaskTypeToString(type);
+  if (!subject.empty()) oss << " (" << subject << ")";
+  if (!parameters.empty()) {
+    oss << " [";
+    bool first = true;
+    for (const auto& [name, value] : parameters) {
+      if (!first) oss << ", ";
+      first = false;
+      oss << name << "=" << FormatDouble(value, 10);
+    }
+    oss << "]";
+  }
+  return oss.str();
+}
+
+}  // namespace efes

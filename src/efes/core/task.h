@@ -1,0 +1,100 @@
+// Integration/cleaning tasks — the currency between the task planners and
+// the effort calculation functions (Section 3.4).
+//
+// "Each of these tasks is of a certain type, is expected to deliver a
+// certain result quality, and comprises an arbitrary set of parameters,
+// such as on how many tuples it has to be executed."
+
+#ifndef EFES_CORE_TASK_H_
+#define EFES_CORE_TASK_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace efes {
+
+/// "We defined two instances of expected quality, namely low effort
+/// (removal of tuples) and high quality (updates)."
+enum class ExpectedQuality {
+  kLowEffort,
+  kHighQuality,
+};
+
+std::string_view ExpectedQualityToString(ExpectedQuality quality);
+
+/// The effort breakdown axes of Figures 6/7.
+enum class TaskCategory {
+  kMapping,
+  kCleaningStructure,
+  kCleaningValues,
+  kOther,
+};
+
+std::string_view TaskCategoryToString(TaskCategory category);
+
+/// Every task type that appears in Tables 4, 7, and 9 of the paper.
+enum class TaskType {
+  // Mapping (Example 3.8 / Table 9).
+  kWriteMapping,
+
+  // Structural cleaning (Table 4): one low-effort / high-quality pair per
+  // violated constraint kind.
+  kRejectTuples,           // NOT NULL violated, low effort
+  kAddMissingValues,       // NOT NULL violated, high quality
+  kSetValuesToNull,        // UNIQUE violated, low effort
+  kAggregateTuples,        // UNIQUE violated, high quality
+  kKeepAnyValue,           // multiple attribute values, low effort
+  kMergeValues,            // multiple attribute values, high quality
+  kDropDetachedValues,     // value w/o enclosing tuple, low effort
+  kCreateEnclosingTuples,  // value w/o enclosing tuple, high quality
+  kDeleteDanglingValues,   // FK violated, low effort
+  kAddReferencedValues,    // FK violated, high quality
+  // Further structural repairs listed in Table 9.
+  kAddTuples,
+  kDeleteDanglingTuples,
+  kUnlinkAllButOneTuple,
+
+  // Value cleaning (Table 7).
+  kAddValues,         // too few elements, high quality
+  kDropValues,        // different representations (critical), low effort
+  kConvertValues,     // different representations, high quality
+  kGeneralizeValues,  // too fine-grained source values, high quality
+  kRefineValues,      // too coarse-grained source values, high quality
+  kAggregateValues,   // duplicate value consolidation (Table 9)
+};
+
+/// Display name as printed in the paper's tables, e.g. "Convert values".
+std::string_view TaskTypeToString(TaskType type);
+
+/// Common parameter names understood by the default effort model
+/// (Table 9). Planners attach whichever apply.
+namespace task_params {
+inline constexpr char kRepetitions[] = "repetitions";
+inline constexpr char kValues[] = "values";
+inline constexpr char kDistinctValues[] = "dist_vals";
+inline constexpr char kTables[] = "tables";
+inline constexpr char kAttributes[] = "attributes";
+inline constexpr char kPrimaryKeys[] = "pks";
+inline constexpr char kForeignKeys[] = "fks";
+}  // namespace task_params
+
+struct Task {
+  TaskType type = TaskType::kWriteMapping;
+  TaskCategory category = TaskCategory::kOther;
+  ExpectedQuality quality = ExpectedQuality::kHighQuality;
+  /// What the task applies to, e.g. "records.title" or "m1 -> target".
+  std::string subject;
+  /// Named numeric parameters, e.g. {"values": 102}.
+  std::map<std::string, double> parameters;
+
+  /// Returns parameters[name], or `fallback` when absent.
+  double Param(std::string_view name, double fallback = 0.0) const;
+
+  /// "Add missing values (records.title) [values=102]".
+  std::string ToString() const;
+};
+
+}  // namespace efes
+
+#endif  // EFES_CORE_TASK_H_

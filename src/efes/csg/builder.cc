@@ -1,0 +1,127 @@
+#include "efes/csg/builder.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace efes {
+
+namespace {
+
+/// Ids of the forward (table->attribute) relationship per attribute, plus
+/// the equality relationships, so the instance builder can attach links.
+struct GraphLayout {
+  // (relation, attribute index) -> forward relationship id.
+  std::unordered_map<std::string, std::vector<RelationshipId>>
+      attribute_relationships;
+  // One entry per single-column FK: child attr node, parent attr node,
+  // forward equality relationship id.
+  struct EqualityEdge {
+    NodeId child_attribute;
+    NodeId parent_attribute;
+    RelationshipId relationship;
+  };
+  std::vector<EqualityEdge> equalities;
+};
+
+CsgGraph BuildGraphWithLayout(const Database& database,
+                              GraphLayout* layout) {
+  const Schema& schema = database.schema();
+  CsgGraph graph;
+
+  std::unordered_map<std::string, NodeId> table_nodes;
+  // relation -> attribute name -> node id
+  std::unordered_map<std::string, std::unordered_map<std::string, NodeId>>
+      attribute_nodes;
+
+  for (const RelationDef& rel : schema.relations()) {
+    NodeId table = graph.AddTableNode(rel.name());
+    table_nodes[rel.name()] = table;
+    std::vector<RelationshipId>& rel_ids =
+        layout->attribute_relationships[rel.name()];
+    for (const AttributeDef& attr : rel.attributes()) {
+      NodeId attribute =
+          graph.AddAttributeNode(rel.name(), attr.name, attr.type);
+      attribute_nodes[rel.name()][attr.name] = attribute;
+
+      Cardinality forward = schema.IsNotNullable(rel.name(), attr.name)
+                                ? Cardinality::Exactly(1)
+                                : Cardinality::Optional();
+      Cardinality backward = schema.IsUniqueAttribute(rel.name(), attr.name)
+                                 ? Cardinality::Exactly(1)
+                                 : Cardinality::AtLeast(1);
+      rel_ids.push_back(graph.AddRelationshipPair(
+          table, attribute, CsgEdgeKind::kAttribute, forward, backward));
+    }
+  }
+
+  // Foreign keys become equality relationships between attribute nodes.
+  // Composite FKs are represented column-wise (the collateral operator of
+  // the algebra recovers the n-ary semantics).
+  for (const Constraint& c : schema.constraints()) {
+    if (c.kind != ConstraintKind::kForeignKey) continue;
+    for (size_t i = 0; i < c.attributes.size(); ++i) {
+      NodeId child = attribute_nodes[c.relation][c.attributes[i]];
+      NodeId parent =
+          attribute_nodes[c.referenced_relation][c.referenced_attributes[i]];
+      RelationshipId rel_id = graph.AddRelationshipPair(
+          child, parent, CsgEdgeKind::kEquality, Cardinality::Exactly(1),
+          Cardinality::Optional());
+      layout->equalities.push_back(
+          GraphLayout::EqualityEdge{child, parent, rel_id});
+    }
+  }
+
+  return graph;
+}
+
+}  // namespace
+
+CsgGraph BuildCsgGraph(const Database& database) {
+  GraphLayout layout;
+  return BuildGraphWithLayout(database, &layout);
+}
+
+Csg BuildCsg(const Database& database) {
+  GraphLayout layout;
+  CsgGraph graph = BuildGraphWithLayout(database, &layout);
+  CsgInstance instance(graph.nodes().size(), graph.relationships().size());
+
+  for (const Table& table : database.tables()) {
+    auto table_node_result = graph.FindTableNode(table.name());
+    if (!table_node_result.ok()) continue;
+    NodeId table_node = *table_node_result;
+    const std::vector<RelationshipId>& attr_rels =
+        layout.attribute_relationships[table.name()];
+
+    for (size_t r = 0; r < table.row_count(); ++r) {
+      Value tuple_id = Value::Integer(static_cast<int64_t>(r));
+      instance.AddElement(table_node, tuple_id);
+      for (size_t c = 0; c < table.column_count(); ++c) {
+        const Value& cell = table.at(r, c);
+        if (cell.is_null()) continue;
+        const CsgRelationship& rel = graph.relationship(attr_rels[c]);
+        instance.AddElement(rel.to, cell);
+        instance.AddLink(graph, attr_rels[c], tuple_id, cell);
+      }
+    }
+  }
+
+  // Equality links: each child attribute value links to the equal parent
+  // value when it exists (dangling FK values simply lack the link, which
+  // surfaces as a violation of the prescribed κ = 1).
+  for (const GraphLayout::EqualityEdge& eq : layout.equalities) {
+    std::unordered_set<Value, ValueHash> parent_values(
+        instance.ElementsOf(eq.parent_attribute).begin(),
+        instance.ElementsOf(eq.parent_attribute).end());
+    for (const Value& child_value :
+         instance.ElementsOf(eq.child_attribute)) {
+      if (parent_values.count(child_value) > 0) {
+        instance.AddLink(graph, eq.relationship, child_value, child_value);
+      }
+    }
+  }
+
+  return Csg(std::move(graph), std::move(instance));
+}
+
+}  // namespace efes

@@ -1,0 +1,123 @@
+#include "efes/csg/cardinality.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace efes {
+
+Cardinality Cardinality::Between(uint64_t lo, uint64_t hi) {
+  assert(lo <= hi);
+  return Cardinality(lo, hi, false);
+}
+
+Cardinality Cardinality::Empty() { return Cardinality(1, 0, true); }
+
+bool Cardinality::Contains(uint64_t n) const {
+  if (empty_) return false;
+  return n >= min_ && (max_ == kUnbounded || n <= max_);
+}
+
+bool Cardinality::IsSubsetOf(const Cardinality& other) const {
+  if (empty_) return true;
+  if (other.empty_) return false;
+  if (min_ < other.min_) return false;
+  if (other.max_ == kUnbounded) return true;
+  return max_ != kUnbounded && max_ <= other.max_;
+}
+
+bool Cardinality::IsProperSubsetOf(const Cardinality& other) const {
+  return IsSubsetOf(other) && *this != other;
+}
+
+Cardinality Cardinality::Intersect(const Cardinality& other) const {
+  if (empty_ || other.empty_) return Empty();
+  uint64_t lo = std::max(min_, other.min_);
+  uint64_t hi = std::min(max_, other.max_);
+  if (lo > hi) return Empty();
+  return Between(lo, hi);
+}
+
+Cardinality Cardinality::Hull(const Cardinality& other) const {
+  if (empty_) return other;
+  if (other.empty_) return *this;
+  return Between(std::min(min_, other.min_), std::max(max_, other.max_));
+}
+
+uint64_t Cardinality::MulSaturating(uint64_t a, uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a == kUnbounded || b == kUnbounded) return kUnbounded;
+  if (a > kUnbounded / b) return kUnbounded;  // overflow -> treat as *
+  return a * b;
+}
+
+uint64_t Cardinality::AddSaturating(uint64_t a, uint64_t b) {
+  if (a == kUnbounded || b == kUnbounded) return kUnbounded;
+  uint64_t sum = a + b;
+  if (sum < a) return kUnbounded;
+  return sum;
+}
+
+Cardinality Cardinality::Compose(const Cardinality& first,
+                                 const Cardinality& second) {
+  if (first.empty_ || second.empty_) return Empty();
+  // sgn(a1) * a2: if the first hop may have zero links, the composition
+  // may too; otherwise at least a2 links are reachable.
+  uint64_t lo = first.min_ == 0 ? 0 : second.min_;
+  uint64_t hi = MulSaturating(first.max_, second.max_);
+  if (lo > hi) lo = hi;  // degenerate (e.g. b1 = 0)
+  return Between(lo, hi);
+}
+
+Cardinality Cardinality::UnionDisjointDomains(const Cardinality& a,
+                                              const Cardinality& b) {
+  return a.Hull(b);
+}
+
+Cardinality Cardinality::UnionDisjointCodomains(const Cardinality& a,
+                                                const Cardinality& b) {
+  if (a.empty_ || b.empty_) return Empty();
+  return Between(AddSaturating(a.min_, b.min_),
+                 AddSaturating(a.max_, b.max_));
+}
+
+Cardinality Cardinality::UnionOverlapping(const Cardinality& a,
+                                          const Cardinality& b) {
+  if (a.empty_ || b.empty_) return Empty();
+  return Between(std::max(a.min_, b.min_), AddSaturating(a.max_, b.max_));
+}
+
+Cardinality Cardinality::Join(const Cardinality& a, const Cardinality& b) {
+  if (a.empty_ || b.empty_) return Empty();
+  uint64_t m = std::min(a.max_, b.max_);
+  if (m == 0) return Empty();
+  return Between(1, m);
+}
+
+Cardinality Cardinality::JoinInverse(const Cardinality& a,
+                                     const Cardinality& b) {
+  if (a.empty_ || b.empty_) return Empty();
+  return Between(MulSaturating(a.min_, b.min_),
+                 MulSaturating(a.max_, b.max_));
+}
+
+Cardinality Cardinality::Collateral(const Cardinality& a,
+                                    const Cardinality& b) {
+  if (a.empty_ || b.empty_) return Empty();
+  return Between(0, MulSaturating(a.max_, b.max_));
+}
+
+std::string Cardinality::ToString() const {
+  if (empty_) return "empty";
+  std::string lo = std::to_string(min_);
+  if (min_ == max_) return lo;
+  std::string hi = max_ == kUnbounded ? "*" : std::to_string(max_);
+  return lo + ".." + hi;
+}
+
+bool operator==(const Cardinality& a, const Cardinality& b) {
+  if (a.empty_ != b.empty_) return false;
+  if (a.empty_) return true;
+  return a.min_ == b.min_ && a.max_ == b.max_;
+}
+
+}  // namespace efes

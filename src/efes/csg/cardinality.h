@@ -1,0 +1,124 @@
+// The cardinality algebra of cardinality-constrained schema graphs.
+//
+// In the paper, κ maps each relationship to a set of admissible
+// cardinalities (Definition 1). All cardinalities that arise from the
+// relational translation and from the inference operators (Lemmas 1-4)
+// are intervals a..b with b possibly unbounded (written `*`), so we
+// represent κ as an integer interval. The empty set arises from Lemma 3
+// when a join is unsatisfiable and is represented explicitly.
+
+#ifndef EFES_CSG_CARDINALITY_H_
+#define EFES_CSG_CARDINALITY_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+
+namespace efes {
+
+class Cardinality {
+ public:
+  /// Sentinel for `*` (no upper bound).
+  static constexpr uint64_t kUnbounded =
+      std::numeric_limits<uint64_t>::max();
+
+  /// Default: 0..* (no constraint).
+  constexpr Cardinality() : min_(0), max_(kUnbounded), empty_(false) {}
+
+  /// The interval lo..hi. Requires lo <= hi.
+  static Cardinality Between(uint64_t lo, uint64_t hi);
+  /// Exactly n, i.e. n..n.
+  static Cardinality Exactly(uint64_t n) { return Between(n, n); }
+  /// n..*.
+  static Cardinality AtLeast(uint64_t n) { return Between(n, kUnbounded); }
+  /// 0..* — the unconstrained cardinality.
+  static Cardinality Any() { return Cardinality(); }
+  /// 0..1.
+  static Cardinality Optional() { return Between(0, 1); }
+  /// The empty cardinality set ∅ (unsatisfiable).
+  static Cardinality Empty();
+
+  bool is_empty() const { return empty_; }
+  /// Lower bound; meaningless when empty.
+  uint64_t min() const { return min_; }
+  /// Upper bound (kUnbounded for `*`); meaningless when empty.
+  uint64_t max() const { return max_; }
+  bool is_unbounded() const { return !empty_ && max_ == kUnbounded; }
+
+  /// Is `n` an admissible cardinality?
+  bool Contains(uint64_t n) const;
+
+  /// κ₁ ⊆ κ₂. The empty set is a subset of everything.
+  bool IsSubsetOf(const Cardinality& other) const;
+
+  /// κ₁ ⊂ κ₂: strictly more specific. This is the paper's conciseness
+  /// order for selecting among candidate source relationships.
+  bool IsProperSubsetOf(const Cardinality& other) const;
+
+  /// Set intersection (may be empty).
+  Cardinality Intersect(const Cardinality& other) const;
+
+  /// Smallest interval containing both (the hull); used for Lemma 2's
+  /// disjoint-domain case under the interval representation.
+  Cardinality Hull(const Cardinality& other) const;
+
+  // --- The inference lemmas (Section 4.1) ---------------------------------
+
+  /// Lemma 1 — composition ∘:
+  /// κ(ρ₁ ∘ ρ₂) = (sgn a₁ · a₂) .. (b₁ · b₂).
+  static Cardinality Compose(const Cardinality& first,
+                             const Cardinality& second);
+
+  /// Lemma 2, case 1 — union with disjoint domains: each domain element
+  /// has links from exactly one operand, so any admissible cardinality of
+  /// either operand can occur. Interval hull.
+  static Cardinality UnionDisjointDomains(const Cardinality& a,
+                                          const Cardinality& b);
+
+  /// Lemma 2, case 2 — equal domains, disjoint codomains:
+  /// κ₁ + κ₂ = {x + y}: [a₁+a₂, b₁+b₂].
+  static Cardinality UnionDisjointCodomains(const Cardinality& a,
+                                            const Cardinality& b);
+
+  /// Lemma 2, case 3 — equal domains, overlapping codomains:
+  /// κ₁ +̂ κ₂ = {c : max(x,y) ≤ c ≤ x+y}: [max(a₁,a₂), b₁+b₂].
+  static Cardinality UnionOverlapping(const Cardinality& a,
+                                      const Cardinality& b);
+
+  /// Lemma 3 — join ⋈ (forward direction):
+  /// m = min(max₁, max₂); ∅ if m = 0, else 1..m.
+  static Cardinality Join(const Cardinality& a, const Cardinality& b);
+
+  /// Lemma 3 — inverse of the join:
+  /// (min₁·min₂) .. (max₁·max₂).
+  static Cardinality JoinInverse(const Cardinality& a, const Cardinality& b);
+
+  /// Lemma 4 — collateral ∥: 0 .. (max₁ · max₂).
+  static Cardinality Collateral(const Cardinality& a, const Cardinality& b);
+
+  /// Renders "1", "0..1", "1..*", "0..*", "empty", ...
+  std::string ToString() const;
+
+  friend bool operator==(const Cardinality& a, const Cardinality& b);
+  friend bool operator!=(const Cardinality& a, const Cardinality& b) {
+    return !(a == b);
+  }
+
+ private:
+  Cardinality(uint64_t lo, uint64_t hi, bool empty)
+      : min_(lo), max_(hi), empty_(empty) {}
+
+  /// Multiplication with * absorption; 0 · * = 0 (no links means no
+  /// composed links regardless of the second factor).
+  static uint64_t MulSaturating(uint64_t a, uint64_t b);
+  static uint64_t AddSaturating(uint64_t a, uint64_t b);
+
+  uint64_t min_;
+  uint64_t max_;
+  bool empty_;
+};
+
+}  // namespace efes
+
+#endif  // EFES_CSG_CARDINALITY_H_

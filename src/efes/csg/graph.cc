@@ -1,0 +1,235 @@
+#include "efes/csg/graph.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace efes {
+
+std::string CsgNode::QualifiedName() const {
+  if (kind == CsgNodeKind::kTable) return relation;
+  return relation + "." + attribute;
+}
+
+NodeId CsgGraph::AddTableNode(std::string relation) {
+  CsgNode node;
+  node.id = nodes_.size();
+  node.kind = CsgNodeKind::kTable;
+  node.relation = std::move(relation);
+  nodes_.push_back(std::move(node));
+  adjacency_.emplace_back();
+  return nodes_.back().id;
+}
+
+NodeId CsgGraph::AddAttributeNode(std::string relation,
+                                  std::string attribute, DataType type) {
+  CsgNode node;
+  node.id = nodes_.size();
+  node.kind = CsgNodeKind::kAttribute;
+  node.relation = std::move(relation);
+  node.attribute = std::move(attribute);
+  node.type = type;
+  nodes_.push_back(std::move(node));
+  adjacency_.emplace_back();
+  return nodes_.back().id;
+}
+
+RelationshipId CsgGraph::AddRelationshipPair(NodeId from, NodeId to,
+                                             CsgEdgeKind kind,
+                                             const Cardinality& forward,
+                                             const Cardinality& backward) {
+  RelationshipId forward_id = relationships_.size();
+  RelationshipId backward_id = forward_id + 1;
+  relationships_.push_back(
+      CsgRelationship{forward_id, from, to, kind, forward, backward_id});
+  relationships_.push_back(
+      CsgRelationship{backward_id, to, from, kind, backward, forward_id});
+  adjacency_[from].push_back(forward_id);
+  adjacency_[to].push_back(backward_id);
+  return forward_id;
+}
+
+void CsgGraph::SetPrescribed(RelationshipId id,
+                             const Cardinality& cardinality) {
+  relationships_[id].prescribed = cardinality;
+}
+
+Result<NodeId> CsgGraph::FindTableNode(std::string_view relation) const {
+  for (const CsgNode& node : nodes_) {
+    if (node.kind == CsgNodeKind::kTable && node.relation == relation) {
+      return node.id;
+    }
+  }
+  return Status::NotFound("no table node for relation '" +
+                          std::string(relation) + "'");
+}
+
+Result<NodeId> CsgGraph::FindAttributeNode(
+    std::string_view relation, std::string_view attribute) const {
+  for (const CsgNode& node : nodes_) {
+    if (node.kind == CsgNodeKind::kAttribute && node.relation == relation &&
+        node.attribute == attribute) {
+      return node.id;
+    }
+  }
+  return Status::NotFound("no attribute node for '" +
+                          std::string(relation) + "." +
+                          std::string(attribute) + "'");
+}
+
+std::string CsgGraph::DescribeRelationship(RelationshipId id) const {
+  const CsgRelationship& rel = relationships_[id];
+  std::ostringstream oss;
+  oss << node(rel.from).QualifiedName()
+      << (rel.kind == CsgEdgeKind::kEquality ? " ==> " : " -> ")
+      << node(rel.to).QualifiedName() << " [" << rel.prescribed.ToString()
+      << "]";
+  return oss.str();
+}
+
+std::string CsgGraph::ToText() const {
+  std::ostringstream oss;
+  for (const CsgNode& node : nodes_) {
+    oss << (node.kind == CsgNodeKind::kTable ? "[table] " : "(attr)  ")
+        << node.QualifiedName();
+    if (node.kind == CsgNodeKind::kAttribute) {
+      oss << " : " << DataTypeToString(node.type);
+    }
+    oss << "\n";
+    for (RelationshipId rel_id : adjacency_[node.id]) {
+      oss << "    " << DescribeRelationship(rel_id) << "\n";
+    }
+  }
+  return oss.str();
+}
+
+CsgInstance::CsgInstance(size_t node_count, size_t relationship_count)
+    : elements_(node_count),
+      element_order_(node_count),
+      links_(relationship_count) {}
+
+void CsgInstance::AddElement(NodeId node, const Value& element) {
+  auto [it, inserted] = elements_[node].emplace(element, true);
+  if (inserted) element_order_[node].push_back(element);
+}
+
+void CsgInstance::AddLink(const CsgGraph& graph, RelationshipId forward_id,
+                          const Value& from_element,
+                          const Value& to_element) {
+  const CsgRelationship& rel = graph.relationship(forward_id);
+  links_[forward_id][from_element].push_back(to_element);
+  links_[rel.inverse][to_element].push_back(from_element);
+}
+
+size_t CsgInstance::LinkCount(RelationshipId rel) const {
+  size_t count = 0;
+  for (const auto& [element, targets] : links_[rel]) {
+    count += targets.size();
+  }
+  return count;
+}
+
+std::unordered_map<Value, size_t, ValueHash> CsgInstance::OutDegrees(
+    const CsgGraph& graph, RelationshipId rel) const {
+  std::unordered_map<Value, size_t, ValueHash> degrees;
+  NodeId from = graph.relationship(rel).from;
+  const auto& adjacency = links_[rel];
+  for (const Value& element : element_order_[from]) {
+    auto it = adjacency.find(element);
+    degrees[element] = it == adjacency.end() ? 0 : it->second.size();
+  }
+  return degrees;
+}
+
+Cardinality CsgInstance::ActualCardinality(const CsgGraph& graph,
+                                           RelationshipId rel) const {
+  auto degrees = OutDegrees(graph, rel);
+  if (degrees.empty()) return Cardinality::Exactly(0);
+  uint64_t lo = Cardinality::kUnbounded;
+  uint64_t hi = 0;
+  for (const auto& [element, degree] : degrees) {
+    lo = std::min<uint64_t>(lo, degree);
+    hi = std::max<uint64_t>(hi, degree);
+  }
+  return Cardinality::Between(lo, hi);
+}
+
+size_t CsgInstance::CountViolations(const CsgGraph& graph,
+                                    RelationshipId rel,
+                                    const Cardinality& prescribed) const {
+  size_t violations = 0;
+  for (const auto& [element, degree] : OutDegrees(graph, rel)) {
+    if (!prescribed.Contains(degree)) ++violations;
+  }
+  return violations;
+}
+
+std::unordered_map<Value, size_t, ValueHash> CsgInstance::PathOutDegrees(
+    const CsgGraph& graph, const std::vector<RelationshipId>& path) const {
+  std::unordered_map<Value, size_t, ValueHash> degrees;
+  if (path.empty()) return degrees;
+  NodeId start = graph.relationship(path.front()).from;
+  for (const Value& element : element_order_[start]) {
+    // Walk the path breadth-first, deduplicating at every hop: the
+    // composition of relations relates an element to the *set* of
+    // reachable end elements.
+    std::unordered_set<Value, ValueHash> frontier = {element};
+    for (RelationshipId rel : path) {
+      std::unordered_set<Value, ValueHash> next;
+      for (const Value& v : frontier) {
+        auto it = links_[rel].find(v);
+        if (it == links_[rel].end()) continue;
+        next.insert(it->second.begin(), it->second.end());
+      }
+      frontier = std::move(next);
+      if (frontier.empty()) break;
+    }
+    degrees[element] = frontier.size();
+  }
+  return degrees;
+}
+
+std::vector<Value> CsgInstance::ReachableViaPath(
+    const CsgGraph& graph, const std::vector<RelationshipId>& path,
+    const Value& start) const {
+  (void)graph;
+  std::unordered_set<Value, ValueHash> frontier = {start};
+  for (RelationshipId rel : path) {
+    std::unordered_set<Value, ValueHash> next;
+    for (const Value& v : frontier) {
+      auto it = links_[rel].find(v);
+      if (it == links_[rel].end()) continue;
+      next.insert(it->second.begin(), it->second.end());
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+  std::vector<Value> result(frontier.begin(), frontier.end());
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+Cardinality CsgInstance::ActualPathCardinality(
+    const CsgGraph& graph, const std::vector<RelationshipId>& path) const {
+  auto degrees = PathOutDegrees(graph, path);
+  if (degrees.empty()) return Cardinality::Exactly(0);
+  uint64_t lo = Cardinality::kUnbounded;
+  uint64_t hi = 0;
+  for (const auto& [element, degree] : degrees) {
+    lo = std::min<uint64_t>(lo, degree);
+    hi = std::max<uint64_t>(hi, degree);
+  }
+  return Cardinality::Between(lo, hi);
+}
+
+size_t CsgInstance::CountPathViolations(
+    const CsgGraph& graph, const std::vector<RelationshipId>& path,
+    const Cardinality& prescribed) const {
+  size_t violations = 0;
+  for (const auto& [element, degree] : PathOutDegrees(graph, path)) {
+    if (!prescribed.Contains(degree)) ++violations;
+  }
+  return violations;
+}
+
+}  // namespace efes

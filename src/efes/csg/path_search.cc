@@ -1,0 +1,125 @@
+#include "efes/csg/path_search.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace efes {
+
+namespace {
+
+/// Width of the cardinality interval; unbounded counts as infinite.
+uint64_t IntervalWidth(const Cardinality& c) {
+  if (c.is_empty()) return 0;
+  if (c.is_unbounded()) return Cardinality::kUnbounded;
+  return c.max() - c.min();
+}
+
+void EnumerateRecursive(const CsgGraph& graph, NodeId current, NodeId end,
+                        const PathSearchOptions& options,
+                        std::vector<RelationshipId>& path,
+                        std::vector<bool>& visited,
+                        std::vector<PathMatch>& out) {
+  if (out.size() >= options.max_candidates) return;
+  if (current == end && !path.empty()) {
+    Cardinality inferred = Cardinality::Exactly(1);
+    for (RelationshipId rel : path) {
+      inferred = Cardinality::Compose(inferred,
+                                      graph.relationship(rel).prescribed);
+    }
+    out.push_back(PathMatch{path, inferred});
+    return;
+  }
+  if (path.size() >= options.max_length) return;
+  for (RelationshipId rel_id : graph.OutgoingOf(current)) {
+    const CsgRelationship& rel = graph.relationship(rel_id);
+    if (visited[rel.to]) continue;
+    // Do not immediately traverse a relationship back over its inverse;
+    // that is subsumed by the visited check except for start==end loops,
+    // which we exclude anyway.
+    visited[rel.to] = true;
+    path.push_back(rel_id);
+    EnumerateRecursive(graph, rel.to, end, options, path, visited, out);
+    path.pop_back();
+    visited[rel.to] = false;
+  }
+}
+
+}  // namespace
+
+std::vector<PathMatch> EnumeratePaths(const CsgGraph& graph, NodeId start,
+                                      NodeId end,
+                                      const PathSearchOptions& options) {
+  std::vector<PathMatch> out;
+  if (start == end) return out;
+  std::vector<RelationshipId> path;
+  std::vector<bool> visited(graph.nodes().size(), false);
+  visited[start] = true;
+  EnumerateRecursive(graph, start, end, options, path, visited, out);
+  // Shortest-first, then lexicographic: deterministic downstream behavior.
+  std::sort(out.begin(), out.end(), [](const PathMatch& a,
+                                       const PathMatch& b) {
+    if (a.length() != b.length()) return a.length() < b.length();
+    return a.path < b.path;
+  });
+  return out;
+}
+
+bool IsMoreConcise(const PathMatch& a, const PathMatch& b) {
+  if (a.inferred.IsProperSubsetOf(b.inferred)) return true;
+  if (b.inferred.IsProperSubsetOf(a.inferred)) return false;
+  if (a.inferred == b.inferred) return a.length() < b.length();
+  return false;
+}
+
+std::optional<PathMatch> SelectMostConcise(
+    std::vector<PathMatch> candidates) {
+  if (candidates.empty()) return std::nullopt;
+
+  // Keep candidates that no other candidate strictly beats.
+  std::vector<PathMatch> undominated;
+  for (const PathMatch& candidate : candidates) {
+    bool beaten = std::any_of(
+        candidates.begin(), candidates.end(), [&](const PathMatch& other) {
+          return &other != &candidate && IsMoreConcise(other, candidate);
+        });
+    if (!beaten) undominated.push_back(candidate);
+  }
+  if (undominated.empty()) {
+    // A dominance cycle is impossible (IsMoreConcise is a strict partial
+    // order), but stay safe.
+    undominated = std::move(candidates);
+  }
+
+  // Tie-break incomparable survivors: tighter interval, then shorter,
+  // then lexicographic.
+  std::sort(undominated.begin(), undominated.end(),
+            [](const PathMatch& a, const PathMatch& b) {
+              uint64_t wa = IntervalWidth(a.inferred);
+              uint64_t wb = IntervalWidth(b.inferred);
+              if (wa != wb) return wa < wb;
+              if (a.length() != b.length()) return a.length() < b.length();
+              return a.path < b.path;
+            });
+  return undominated.front();
+}
+
+std::optional<PathMatch> FindBestPath(const CsgGraph& graph, NodeId start,
+                                      NodeId end,
+                                      const PathSearchOptions& options) {
+  return SelectMostConcise(EnumeratePaths(graph, start, end, options));
+}
+
+std::string DescribePath(const CsgGraph& graph,
+                         const std::vector<RelationshipId>& path) {
+  if (path.empty()) return "(empty path)";
+  std::ostringstream oss;
+  oss << graph.node(graph.relationship(path.front()).from).QualifiedName();
+  for (RelationshipId rel_id : path) {
+    const CsgRelationship& rel = graph.relationship(rel_id);
+    oss << (rel.kind == CsgEdgeKind::kEquality ? " ==> " : " -> ")
+        << graph.node(rel.to).QualifiedName();
+  }
+  return oss.str();
+}
+
+}  // namespace efes

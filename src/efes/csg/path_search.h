@@ -1,0 +1,72 @@
+// Matching target relationships to source relationships (Section 4.1).
+//
+// "The composition operator particularly allows to treat the matching of
+// target relationships to source relationships as a graph search
+// problem." Given a target relationship whose endpoints have been mapped
+// to source nodes via the correspondences, we enumerate simple paths
+// between those source nodes, infer each path's cardinality by composing
+// along it (Lemma 1), and select the *most concise* candidate: a
+// relationship is more concise when its inferred κ is a proper subset of
+// the other's; ties are broken by path length (Occam's razor) and then
+// deterministically.
+
+#ifndef EFES_CSG_PATH_SEARCH_H_
+#define EFES_CSG_PATH_SEARCH_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "efes/csg/cardinality.h"
+#include "efes/csg/graph.h"
+
+namespace efes {
+
+/// One candidate source relationship (a path of directed relationships)
+/// for a target relationship.
+struct PathMatch {
+  std::vector<RelationshipId> path;
+  /// Lemma-1 composition of the prescribed cardinalities along the path.
+  Cardinality inferred;
+
+  size_t length() const { return path.size(); }
+};
+
+struct PathSearchOptions {
+  /// Maximum number of hops in a candidate path.
+  size_t max_length = 8;
+  /// Cap on enumerated candidates (defensive bound for dense graphs).
+  size_t max_candidates = 256;
+};
+
+/// Enumerates simple paths (no repeated node) from `start` to `end` in
+/// `graph`, shortest first, up to the configured bounds. `start == end`
+/// yields no paths (a target relationship never maps to an empty path).
+std::vector<PathMatch> EnumeratePaths(const CsgGraph& graph, NodeId start,
+                                      NodeId end,
+                                      const PathSearchOptions& options = {});
+
+/// Strict "is more concise" order used for match selection:
+/// a.inferred ⊂ b.inferred, or equal cardinalities and a shorter. Among
+/// incomparable cardinalities neither is more concise.
+bool IsMoreConcise(const PathMatch& a, const PathMatch& b);
+
+/// Selects the best match: prefers candidates not beaten by any other
+/// under IsMoreConcise, then smaller cardinality-interval width, then
+/// shorter, then lexicographic path id order (fully deterministic).
+/// Returns nullopt for an empty candidate set.
+std::optional<PathMatch> SelectMostConcise(std::vector<PathMatch> candidates);
+
+/// Convenience: enumerate + select.
+std::optional<PathMatch> FindBestPath(const CsgGraph& graph, NodeId start,
+                                      NodeId end,
+                                      const PathSearchOptions& options = {});
+
+/// Renders a path as "albums -> albums.artist_list ==> artist_lists.id
+/// -> ...", for reports and debugging.
+std::string DescribePath(const CsgGraph& graph,
+                         const std::vector<RelationshipId>& path);
+
+}  // namespace efes
+
+#endif  // EFES_CSG_PATH_SEARCH_H_

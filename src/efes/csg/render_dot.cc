@@ -1,0 +1,34 @@
+#include "efes/csg/render_dot.h"
+
+#include <sstream>
+
+namespace efes {
+
+std::string RenderCsgDot(const CsgGraph& graph, const std::string& title) {
+  std::ostringstream dot;
+  dot << "graph csg {\n"
+      << "  label=\"" << title << "\";\n"
+      << "  fontname=\"Helvetica\";\n"
+      << "  node [fontname=\"Helvetica\"];\n"
+      << "  edge [fontname=\"Helvetica\", fontsize=10];\n";
+  for (const CsgNode& node : graph.nodes()) {
+    dot << "  n" << node.id << " [label=\"" << node.QualifiedName()
+        << "\", shape="
+        << (node.kind == CsgNodeKind::kTable ? "box" : "ellipse") << "];\n";
+  }
+  // Each conceptual relationship is two directed halves; render the
+  // forward half (lower id of the pair) once with both cardinalities.
+  for (const CsgRelationship& rel : graph.relationships()) {
+    if (rel.id > rel.inverse) continue;
+    const CsgRelationship& backward = graph.relationship(rel.inverse);
+    dot << "  n" << rel.from << " -- n" << rel.to << " [label=\""
+        << rel.prescribed.ToString() << " / "
+        << backward.prescribed.ToString() << "\""
+        << (rel.kind == CsgEdgeKind::kEquality ? ", style=dashed" : "")
+        << "];\n";
+  }
+  dot << "}\n";
+  return dot.str();
+}
+
+}  // namespace efes

@@ -1,0 +1,21 @@
+// Graphviz rendering of cardinality-constrained schema graphs — the
+// graphical form of the paper's Figure 4. Table nodes render as boxes,
+// attribute nodes as ellipses; attribute relationships are solid edges
+// and equality (FK) relationships dashed, each labelled with the
+// prescribed cardinalities of both directions ("κ→ / κ←").
+
+#ifndef EFES_CSG_RENDER_DOT_H_
+#define EFES_CSG_RENDER_DOT_H_
+
+#include <string>
+
+#include "efes/csg/graph.h"
+
+namespace efes {
+
+/// Renders the graph as a DOT document titled `title`.
+std::string RenderCsgDot(const CsgGraph& graph, const std::string& title);
+
+}  // namespace efes
+
+#endif  // EFES_CSG_RENDER_DOT_H_

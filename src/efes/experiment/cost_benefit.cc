@@ -1,0 +1,98 @@
+#include "efes/experiment/cost_benefit.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "efes/common/string_util.h"
+#include "efes/common/text_table.h"
+
+namespace efes {
+
+double CostBenefitCurve::MinutesToReach(double quality) const {
+  for (const CostBenefitPoint& point : points) {
+    if (point.cumulative_quality >= quality) {
+      return point.cumulative_minutes;
+    }
+  }
+  return total_minutes;
+}
+
+std::string CostBenefitCurve::ToText() const {
+  TextTable table;
+  table.SetHeader({"Step", "Task", "Minutes", "Problems", "Cum. minutes",
+                   "Quality"});
+  for (size_t i = 0; i < points.size(); ++i) {
+    const CostBenefitPoint& point = points[i];
+    table.AddRow({std::to_string(i + 1), point.task,
+                  FormatDouble(point.task_minutes, 6),
+                  FormatDouble(point.problems_resolved, 6),
+                  FormatDouble(point.cumulative_minutes, 6),
+                  FormatDouble(point.cumulative_quality, 3)});
+  }
+  return table.ToString();
+}
+
+CostBenefitCurve AnalyzeCostBenefit(const EffortEstimate& estimate) {
+  CostBenefitCurve curve;
+
+  // Split prerequisites (mapping) from cleaning work.
+  std::vector<const TaskEstimate*> mapping;
+  std::vector<const TaskEstimate*> cleaning;
+  for (const TaskEstimate& task : estimate.tasks) {
+    if (task.task.category == TaskCategory::kMapping) {
+      mapping.push_back(&task);
+    } else {
+      cleaning.push_back(&task);
+    }
+  }
+
+  auto problems_of = [](const TaskEstimate& task) {
+    double repetitions = task.task.Param(task_params::kRepetitions, 0.0);
+    return repetitions > 0.0 ? repetitions : 1.0;
+  };
+
+  for (const TaskEstimate* task : cleaning) {
+    curve.total_problems += problems_of(*task);
+  }
+
+  // Cleaning tasks in descending benefit density; free tasks first.
+  std::stable_sort(cleaning.begin(), cleaning.end(),
+                   [&](const TaskEstimate* a, const TaskEstimate* b) {
+                     double density_a =
+                         a->minutes == 0.0
+                             ? std::numeric_limits<double>::infinity()
+                             : problems_of(*a) / a->minutes;
+                     double density_b =
+                         b->minutes == 0.0
+                             ? std::numeric_limits<double>::infinity()
+                             : problems_of(*b) / b->minutes;
+                     return density_a > density_b;
+                   });
+
+  double minutes = 0.0;
+  double resolved = 0.0;
+  auto append = [&](const TaskEstimate& task, double problems) {
+    minutes += task.minutes;
+    resolved += problems;
+    CostBenefitPoint point;
+    point.task = task.task.ToString();
+    point.task_minutes = task.minutes;
+    point.problems_resolved = problems;
+    point.cumulative_minutes = minutes;
+    point.cumulative_quality =
+        curve.total_problems == 0.0 ? 1.0
+                                    : resolved / curve.total_problems;
+    curve.points.push_back(std::move(point));
+  };
+
+  for (const TaskEstimate* task : mapping) {
+    append(*task, 0.0);
+  }
+  for (const TaskEstimate* task : cleaning) {
+    append(*task, problems_of(*task));
+  }
+  curve.total_minutes = minutes;
+  return curve;
+}
+
+}  // namespace efes

@@ -1,0 +1,56 @@
+// Cost-benefit analysis of an effort estimate — the first future-work
+// direction of Section 7: "integrate EFES with approaches that measure
+// the benefit of the integration [...] This integration would allow to
+// plot cost-benefit graphs for the integration: the more effort, the
+// better the quality of the result."
+//
+// The analysis orders the estimated tasks by marginal benefit per minute
+// (mapping tasks are prerequisites and always come first — without an
+// executable mapping there is no integration result at all) and emits
+// the cumulative curve: after m minutes of the planned work, the result
+// has resolved fraction q of the detected problems.
+
+#ifndef EFES_EXPERIMENT_COST_BENEFIT_H_
+#define EFES_EXPERIMENT_COST_BENEFIT_H_
+
+#include <string>
+#include <vector>
+
+#include "efes/core/engine.h"
+
+namespace efes {
+
+struct CostBenefitPoint {
+  /// Task executed at this step.
+  std::string task;
+  double task_minutes = 0.0;
+  /// Problems this task resolves (its repetition count; 1 for tasks
+  /// without one). Mapping tasks carry 0 problem weight — they are the
+  /// entry fee.
+  double problems_resolved = 0.0;
+  /// Running totals after this step.
+  double cumulative_minutes = 0.0;
+  double cumulative_quality = 0.0;  // fraction of problems resolved, [0,1]
+};
+
+struct CostBenefitCurve {
+  std::vector<CostBenefitPoint> points;
+  double total_minutes = 0.0;
+  double total_problems = 0.0;
+
+  /// Minutes needed to reach at least `quality` (in [0,1]); returns
+  /// total_minutes when the quality is never reached.
+  double MinutesToReach(double quality) const;
+
+  /// Renders the curve as a table.
+  std::string ToText() const;
+};
+
+/// Builds the curve from an estimate. Mapping tasks execute first (in
+/// estimate order), then cleaning tasks by descending problems-per-
+/// minute; zero-cost tasks come before all paid cleaning.
+CostBenefitCurve AnalyzeCostBenefit(const EffortEstimate& estimate);
+
+}  // namespace efes
+
+#endif  // EFES_EXPERIMENT_COST_BENEFIT_H_

@@ -1,0 +1,19 @@
+#include "efes/experiment/default_pipeline.h"
+
+#include <memory>
+
+#include "efes/mapping/mapping_module.h"
+#include "efes/structure/structure_module.h"
+#include "efes/values/value_module.h"
+
+namespace efes {
+
+EfesEngine MakeDefaultEngine(EffortModel model) {
+  EfesEngine engine(std::move(model));
+  engine.AddModule(std::make_unique<MappingModule>());
+  engine.AddModule(std::make_unique<StructureModule>());
+  engine.AddModule(std::make_unique<ValueModule>());
+  return engine;
+}
+
+}  // namespace efes

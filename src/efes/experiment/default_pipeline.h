@@ -1,0 +1,19 @@
+// Convenience assembly of the full EFES pipeline: the engine loaded with
+// the three estimation modules of the paper (mapping, structure, values)
+// and the Table 9 effort model.
+
+#ifndef EFES_EXPERIMENT_DEFAULT_PIPELINE_H_
+#define EFES_EXPERIMENT_DEFAULT_PIPELINE_H_
+
+#include "efes/core/effort_model.h"
+#include "efes/core/engine.h"
+
+namespace efes {
+
+/// Builds an engine with MappingModule, StructureModule, and ValueModule
+/// registered (in that order) on top of `model`.
+EfesEngine MakeDefaultEngine(EffortModel model = EffortModel::PaperDefault());
+
+}  // namespace efes
+
+#endif  // EFES_EXPERIMENT_DEFAULT_PIPELINE_H_

@@ -1,0 +1,205 @@
+#include "efes/experiment/json_export.h"
+
+#include "efes/common/json_writer.h"
+#include "efes/mapping/mapping_module.h"
+#include "efes/structure/structure_module.h"
+#include "efes/values/value_module.h"
+
+namespace efes {
+
+namespace {
+
+void WriteModuleDetail(JsonWriter& json, const ComplexityReport& report) {
+  if (const auto* mapping =
+          dynamic_cast<const MappingComplexityReport*>(&report)) {
+    json.Key("connections").BeginArray();
+    for (const MappingConnection& connection : mapping->connections()) {
+      json.BeginObject()
+          .Key("source_database")
+          .String(connection.source_database)
+          .Key("target_table")
+          .String(connection.target_table)
+          .Key("source_tables")
+          .BeginArray();
+      for (const std::string& table : connection.source_tables) {
+        json.String(table);
+      }
+      json.EndArray()
+          .Key("attributes")
+          .Number(connection.attribute_count)
+          .Key("needs_key_generation")
+          .Bool(connection.needs_key_generation)
+          .Key("foreign_keys")
+          .Number(connection.foreign_key_count)
+          .EndObject();
+    }
+    json.EndArray();
+  } else if (const auto* structure =
+                 dynamic_cast<const StructureComplexityReport*>(&report)) {
+    json.Key("conflicts").BeginArray();
+    for (const SourceStructureAssessment& source : structure->sources()) {
+      for (const StructureConflict& conflict : source.conflicts) {
+        json.BeginObject()
+            .Key("source_database")
+            .String(conflict.source_database)
+            .Key("constraint")
+            .String(conflict.target_constraint)
+            .Key("kind")
+            .String(StructuralConflictKindToString(conflict.kind))
+            .Key("excess")
+            .Bool(conflict.excess)
+            .Key("prescribed")
+            .String(conflict.prescribed.ToString())
+            .Key("inferred")
+            .String(conflict.inferred.ToString())
+            .Key("source_path")
+            .String(conflict.source_path)
+            .Key("violations")
+            .Number(conflict.violation_count)
+            .EndObject();
+      }
+    }
+    json.EndArray();
+  } else if (const auto* values =
+                 dynamic_cast<const ValueComplexityReport*>(&report)) {
+    json.Key("heterogeneities").BeginArray();
+    for (const ValueHeterogeneity& heterogeneity :
+         values->heterogeneities()) {
+      json.BeginObject()
+          .Key("type")
+          .String(ValueHeterogeneityTypeToString(heterogeneity.type))
+          .Key("source_attribute")
+          .String(heterogeneity.source_attribute)
+          .Key("target_attribute")
+          .String(heterogeneity.target_attribute)
+          .Key("fit")
+          .Number(heterogeneity.overall_fit)
+          .Key("source_values")
+          .Number(heterogeneity.source_values)
+          .Key("distinct_values")
+          .Number(heterogeneity.source_distinct_values)
+          .Key("affected_values")
+          .Number(heterogeneity.affected_values)
+          .Key("systematic")
+          .Bool(heterogeneity.systematic)
+          .Key("format_rules")
+          .Number(heterogeneity.source_pattern_count)
+          .EndObject();
+    }
+    json.EndArray();
+  }
+}
+
+}  // namespace
+
+std::string EstimationResultToJson(const EstimationResult& result) {
+  JsonWriter json;
+  json.BeginObject();
+
+  json.Key("modules").BeginArray();
+  for (const ModuleRun& run : result.module_runs) {
+    json.BeginObject()
+        .Key("name")
+        .String(run.module)
+        .Key("problem_count")
+        .Number(run.report->ProblemCount());
+    WriteModuleDetail(json, *run.report);
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.Key("tasks").BeginArray();
+  for (const TaskEstimate& task : result.estimate.tasks) {
+    json.BeginObject()
+        .Key("type")
+        .String(TaskTypeToString(task.task.type))
+        .Key("category")
+        .String(TaskCategoryToString(task.task.category))
+        .Key("quality")
+        .String(ExpectedQualityToString(task.task.quality))
+        .Key("subject")
+        .String(task.task.subject)
+        .Key("parameters")
+        .BeginObject();
+    for (const auto& [name, value] : task.task.parameters) {
+      json.Key(name).Number(value);
+    }
+    json.EndObject().Key("minutes").Number(task.minutes).EndObject();
+  }
+  json.EndArray();
+
+  json.Key("totals")
+      .BeginObject()
+      .Key("minutes")
+      .Number(result.estimate.TotalMinutes())
+      .Key("mapping")
+      .Number(result.estimate.CategoryMinutes(TaskCategory::kMapping))
+      .Key("cleaning_structure")
+      .Number(
+          result.estimate.CategoryMinutes(TaskCategory::kCleaningStructure))
+      .Key("cleaning_values")
+      .Number(result.estimate.CategoryMinutes(TaskCategory::kCleaningValues))
+      .Key("other")
+      .Number(result.estimate.CategoryMinutes(TaskCategory::kOther))
+      .EndObject();
+
+  json.EndObject();
+  return json.ToString();
+}
+
+std::string StudyResultToJson(const StudyResult& study) {
+  JsonWriter json;
+  json.BeginObject()
+      .Key("domain")
+      .String(study.domain)
+      .Key("outcomes")
+      .BeginArray();
+  for (const ScenarioOutcome& outcome : study.outcomes) {
+    json.BeginObject()
+        .Key("scenario")
+        .String(outcome.scenario)
+        .Key("quality")
+        .String(ExpectedQualityToString(outcome.quality))
+        .Key("efes")
+        .BeginObject()
+        .Key("total")
+        .Number(outcome.efes_total)
+        .Key("mapping")
+        .Number(outcome.efes_mapping)
+        .Key("structure")
+        .Number(outcome.efes_structure)
+        .Key("values")
+        .Number(outcome.efes_values)
+        .EndObject()
+        .Key("measured")
+        .BeginObject()
+        .Key("total")
+        .Number(outcome.measured_total)
+        .Key("mapping")
+        .Number(outcome.measured_mapping)
+        .Key("structure")
+        .Number(outcome.measured_structure)
+        .Key("values")
+        .Number(outcome.measured_values)
+        .EndObject()
+        .Key("counting")
+        .BeginObject()
+        .Key("total")
+        .Number(outcome.counting_total)
+        .Key("mapping")
+        .Number(outcome.counting_mapping)
+        .Key("cleaning")
+        .Number(outcome.counting_cleaning)
+        .EndObject()
+        .EndObject();
+  }
+  json.EndArray()
+      .Key("efes_rmse")
+      .Number(study.efes_rmse)
+      .Key("counting_rmse")
+      .Number(study.counting_rmse)
+      .EndObject();
+  return json.ToString();
+}
+
+}  // namespace efes

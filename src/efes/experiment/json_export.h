@@ -1,0 +1,33 @@
+// Machine-readable (JSON) exports of estimation results and study
+// outcomes, for downstream tooling: source-selection pipelines consuming
+// problem counts, dashboards plotting Figure 6/7-style series, and
+// project trackers ingesting the task list.
+
+#ifndef EFES_EXPERIMENT_JSON_EXPORT_H_
+#define EFES_EXPERIMENT_JSON_EXPORT_H_
+
+#include <string>
+
+#include "efes/core/engine.h"
+#include "efes/experiment/study.h"
+
+namespace efes {
+
+/// Serializes a full estimation result:
+/// {
+///   "modules": [{"name": ..., "problem_count": ..., "report_text": ...,
+///                per-module detail arrays}],
+///   "tasks": [{"type", "category", "quality", "subject", "parameters",
+///              "minutes"}],
+///   "totals": {"minutes", "mapping", "cleaning_structure",
+///              "cleaning_values", "other"}
+/// }
+std::string EstimationResultToJson(const EstimationResult& result);
+
+/// Serializes a study (the Figure 6/7 data):
+/// {"domain", "outcomes": [...], "efes_rmse", "counting_rmse"}.
+std::string StudyResultToJson(const StudyResult& study);
+
+}  // namespace efes
+
+#endif  // EFES_EXPERIMENT_JSON_EXPORT_H_

@@ -1,0 +1,41 @@
+#include "efes/experiment/metrics.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace efes {
+
+double RelativeRmse(const std::vector<double>& measured,
+                    const std::vector<double>& estimated) {
+  assert(measured.size() == estimated.size());
+  double sum = 0.0;
+  size_t used = 0;
+  for (size_t i = 0; i < measured.size(); ++i) {
+    if (measured[i] == 0.0) continue;
+    double relative = (measured[i] - estimated[i]) / measured[i];
+    sum += relative * relative;
+    ++used;
+  }
+  if (used == 0) return 0.0;
+  return std::sqrt(sum / static_cast<double>(used));
+}
+
+double FitCalibrationScale(const std::vector<double>& measured,
+                           const std::vector<double>& raw_estimates) {
+  assert(measured.size() == raw_estimates.size());
+  // Minimize sum_i (1 - s * r_i / m_i)^2 over s:
+  //   d/ds = -2 sum (r_i/m_i) (1 - s r_i/m_i) = 0
+  //   => s = sum(r_i/m_i) / sum((r_i/m_i)^2).
+  double numerator = 0.0;
+  double denominator = 0.0;
+  for (size_t i = 0; i < measured.size(); ++i) {
+    if (measured[i] == 0.0) continue;
+    double ratio = raw_estimates[i] / measured[i];
+    numerator += ratio;
+    denominator += ratio * ratio;
+  }
+  if (denominator == 0.0) return 1.0;
+  return numerator / denominator;
+}
+
+}  // namespace efes

@@ -1,0 +1,28 @@
+// Accuracy metrics and calibration for the experimental study
+// (Section 6.2).
+
+#ifndef EFES_EXPERIMENT_METRICS_H_
+#define EFES_EXPERIMENT_METRICS_H_
+
+#include <vector>
+
+namespace efes {
+
+/// The paper's error measure:
+///   rmse = sqrt( sum_s ((measured(s) - estimated(s)) / measured(s))^2
+///                / #scenarios ).
+/// Scenarios with measured == 0 are skipped (no relative error defined).
+/// Vectors must have equal length.
+double RelativeRmse(const std::vector<double>& measured,
+                    const std::vector<double>& estimated);
+
+/// Fits the multiplicative calibration factor `s` minimizing the relative
+/// squared error sum_i ((measured_i - s * raw_i) / measured_i)^2 — the
+/// cross-validation training step. Returns 1.0 when the fit is degenerate
+/// (no usable pairs or all raw estimates 0).
+double FitCalibrationScale(const std::vector<double>& measured,
+                           const std::vector<double>& raw_estimates);
+
+}  // namespace efes
+
+#endif  // EFES_EXPERIMENT_METRICS_H_

@@ -1,0 +1,55 @@
+#include "efes/experiment/progress.h"
+
+#include <sstream>
+
+namespace efes {
+
+double ProgressReport::Fraction() const {
+  if (total_minutes == 0.0) return 1.0;
+  return completed_minutes / total_minutes;
+}
+
+std::string ProgressReport::ToString() const {
+  std::ostringstream oss;
+  oss.precision(0);
+  oss << std::fixed << completed_tasks << "/" << total_tasks
+      << " tasks done, " << completed_minutes << " of " << total_minutes
+      << " min spent, " << remaining_minutes << " min ("
+      << (1.0 - Fraction()) * 100.0 << "%) remaining";
+  return oss.str();
+}
+
+ProgressReport TrackProgress(
+    const EffortEstimate& estimate,
+    const std::set<size_t>& completed_task_indices) {
+  ProgressReport report;
+  report.total_tasks = estimate.tasks.size();
+  for (size_t i = 0; i < estimate.tasks.size(); ++i) {
+    const TaskEstimate& task = estimate.tasks[i];
+    report.total_minutes += task.minutes;
+    bool completed = completed_task_indices.count(i) > 0;
+    if (completed) {
+      ++report.completed_tasks;
+      report.completed_minutes += task.minutes;
+      continue;
+    }
+    report.remaining_minutes += task.minutes;
+    switch (task.task.category) {
+      case TaskCategory::kMapping:
+        report.remaining_mapping += task.minutes;
+        break;
+      case TaskCategory::kCleaningStructure:
+        report.remaining_structure += task.minutes;
+        break;
+      case TaskCategory::kCleaningValues:
+        report.remaining_values += task.minutes;
+        break;
+      case TaskCategory::kOther:
+        report.remaining_other += task.minutes;
+        break;
+    }
+  }
+  return report;
+}
+
+}  // namespace efes

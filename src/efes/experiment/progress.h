@@ -1,0 +1,43 @@
+// Progress monitoring (Section 1: the estimate helps with "finally
+// monitoring the progress of the project"): given an effort estimate and
+// the set of tasks already completed, reports remaining effort and
+// percentage done, per category and overall.
+
+#ifndef EFES_EXPERIMENT_PROGRESS_H_
+#define EFES_EXPERIMENT_PROGRESS_H_
+
+#include <set>
+#include <string>
+
+#include "efes/core/engine.h"
+
+namespace efes {
+
+struct ProgressReport {
+  double total_minutes = 0.0;
+  double completed_minutes = 0.0;
+  double remaining_minutes = 0.0;
+  size_t total_tasks = 0;
+  size_t completed_tasks = 0;
+
+  /// Fraction of effort done, in [0, 1] (1 when the plan is empty).
+  double Fraction() const;
+
+  /// Per-category remaining minutes.
+  double remaining_mapping = 0.0;
+  double remaining_structure = 0.0;
+  double remaining_values = 0.0;
+  double remaining_other = 0.0;
+
+  /// "7/10 tasks done, 312 of 480 min spent, 168 min (35%) remaining".
+  std::string ToString() const;
+};
+
+/// Computes progress. `completed_task_indices` index into
+/// `estimate.tasks`; out-of-range indices are ignored.
+ProgressReport TrackProgress(const EffortEstimate& estimate,
+                             const std::set<size_t>& completed_task_indices);
+
+}  // namespace efes
+
+#endif  // EFES_EXPERIMENT_PROGRESS_H_

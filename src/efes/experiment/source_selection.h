@@ -1,0 +1,46 @@
+// Source selection (Sections 1 and 3.3): "given a set of integration
+// candidates, find the source with the best 'fit'". Ranks candidate
+// scenarios (same target, different candidate source) by estimated
+// integration effort, exposing the complexity breakdown that explains
+// each ranking.
+
+#ifndef EFES_EXPERIMENT_SOURCE_SELECTION_H_
+#define EFES_EXPERIMENT_SOURCE_SELECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "efes/common/result.h"
+#include "efes/core/engine.h"
+
+namespace efes {
+
+struct SourceRanking {
+  std::string scenario;
+  /// Problems found by the complexity assessment (phase 1), per module.
+  size_t mapping_connections = 0;
+  size_t structural_conflicts = 0;
+  size_t value_heterogeneities = 0;
+  /// Phase 2 estimate at the requested quality.
+  double estimated_minutes = 0.0;
+
+  size_t TotalProblems() const {
+    return mapping_connections + structural_conflicts +
+           value_heterogeneities;
+  }
+};
+
+/// Runs the engine over every candidate scenario and returns rankings
+/// sorted by ascending estimated effort (cheapest-to-integrate first;
+/// ties by fewer problems, then name).
+Result<std::vector<SourceRanking>> RankSources(
+    const EfesEngine& engine,
+    const std::vector<IntegrationScenario>& candidates,
+    ExpectedQuality quality, const ExecutionSettings& settings);
+
+/// Renders the ranking as a table.
+std::string RenderRanking(const std::vector<SourceRanking>& rankings);
+
+}  // namespace efes
+
+#endif  // EFES_EXPERIMENT_SOURCE_SELECTION_H_

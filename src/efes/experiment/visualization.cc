@@ -1,0 +1,142 @@
+#include "efes/experiment/visualization.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "efes/mapping/mapping_module.h"
+#include "efes/structure/structure_module.h"
+#include "efes/values/value_module.h"
+
+namespace efes {
+
+namespace {
+
+/// The schema element a structural conflict points at: the attribute end
+/// of its target relationship (the child attribute for equality edges).
+std::string ConflictElement(const CsgGraph& graph,
+                            const StructureConflict& conflict) {
+  const CsgRelationship& rel =
+      graph.relationship(conflict.target_relationship);
+  const CsgNode& from = graph.node(rel.from);
+  const CsgNode& to = graph.node(rel.to);
+  if (to.kind == CsgNodeKind::kAttribute) return to.QualifiedName();
+  return from.QualifiedName();
+}
+
+/// Linear ramp from light yellow to red by problem share.
+std::string HeatColor(size_t problems, size_t max_problems) {
+  if (problems == 0 || max_problems == 0) return "white";
+  double share = static_cast<double>(problems) /
+                 static_cast<double>(max_problems);
+  // Hue from 60 (yellow) down to 0 (red), HSV string form Graphviz takes.
+  double hue = (1.0 - share) * 60.0 / 360.0;
+  std::ostringstream oss;
+  oss.precision(3);
+  oss << std::fixed << hue << " 0.6 1.0";
+  return oss.str();
+}
+
+std::string EscapeLabel(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '"' || c == '\\' || c == '{' || c == '}' || c == '|' ||
+        c == '<' || c == '>') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+ProblemCounts CollectProblemCounts(const EstimationResult& result) {
+  ProblemCounts problems;
+  for (const ModuleRun& run : result.module_runs) {
+    if (const auto* structure =
+            dynamic_cast<const StructureComplexityReport*>(
+                run.report.get())) {
+      for (const SourceStructureAssessment& source : structure->sources()) {
+        for (const StructureConflict& conflict : source.conflicts) {
+          problems[ConflictElement(structure->target_graph(), conflict)] +=
+              conflict.violation_count;
+        }
+      }
+    } else if (const auto* values =
+                   dynamic_cast<const ValueComplexityReport*>(
+                       run.report.get())) {
+      for (const ValueHeterogeneity& heterogeneity :
+           values->heterogeneities()) {
+        size_t weight = std::max<size_t>(
+            heterogeneity.affected_values,
+            heterogeneity.systematic ? 1 : heterogeneity.source_distinct_values);
+        problems[heterogeneity.target_attribute] += std::max<size_t>(
+            weight, 1);
+      }
+    } else if (const auto* mapping =
+                   dynamic_cast<const MappingComplexityReport*>(
+                       run.report.get())) {
+      for (const MappingConnection& connection : mapping->connections()) {
+        // A connection is work but not a defect; count it once so the
+        // relation is visibly "touched".
+        problems[connection.target_table] += 1;
+      }
+    }
+  }
+  return problems;
+}
+
+std::string RenderProblemHeatmapDot(const IntegrationScenario& scenario,
+                                    const ProblemCounts& problems) {
+  size_t max_problems = 0;
+  for (const auto& [element, count] : problems) {
+    max_problems = std::max(max_problems, count);
+  }
+
+  std::ostringstream dot;
+  dot << "digraph efes_problems {\n"
+      << "  rankdir=LR;\n"
+      << "  node [shape=plaintext, fontname=\"Helvetica\"];\n"
+      << "  label=\"Integration problems in target '"
+      << scenario.target.name() << "' (scenario " << scenario.name
+      << ")\";\n";
+
+  const Schema& schema = scenario.target.schema();
+  for (const RelationDef& relation : schema.relations()) {
+    auto relation_problems = problems.find(relation.name());
+    dot << "  \"" << relation.name()
+        << "\" [label=<<TABLE BORDER=\"0\" CELLBORDER=\"1\" "
+           "CELLSPACING=\"0\">\n";
+    dot << "    <TR><TD BGCOLOR=\"lightgray\"><B>"
+        << EscapeLabel(relation.name()) << "</B>"
+        << (relation_problems != problems.end()
+                ? " (" + std::to_string(relation_problems->second) + ")"
+                : "")
+        << "</TD></TR>\n";
+    for (const AttributeDef& attribute : relation.attributes()) {
+      std::string key = relation.name() + "." + attribute.name;
+      auto attribute_problems = problems.find(key);
+      size_t count = attribute_problems == problems.end()
+                         ? 0
+                         : attribute_problems->second;
+      dot << "    <TR><TD PORT=\"" << attribute.name << "\" BGCOLOR=\""
+          << HeatColor(count, max_problems) << "\">"
+          << EscapeLabel(attribute.name);
+      if (count > 0) dot << " (" << count << ")";
+      dot << "</TD></TR>\n";
+    }
+    dot << "  </TABLE>>];\n";
+  }
+
+  for (const Constraint& constraint : schema.constraints()) {
+    if (constraint.kind != ConstraintKind::kForeignKey) continue;
+    dot << "  \"" << constraint.relation << "\":\""
+        << constraint.attributes[0] << "\" -> \""
+        << constraint.referenced_relation << "\":\""
+        << constraint.referenced_attributes[0] << "\" [style=dashed];\n";
+  }
+  dot << "}\n";
+  return dot.str();
+}
+
+}  // namespace efes

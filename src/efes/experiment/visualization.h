@@ -1,0 +1,39 @@
+// Data-visualization support (Sections 1 and 3.3): "support for data
+// visualization: highlight parts of the schemas that are hard to
+// integrate". Renders the target schema as a Graphviz DOT document in
+// which each relation/attribute is shaded by the number of problems the
+// complexity assessment attributes to it — a problem heatmap over the
+// schema.
+
+#ifndef EFES_EXPERIMENT_VISUALIZATION_H_
+#define EFES_EXPERIMENT_VISUALIZATION_H_
+
+#include <map>
+#include <string>
+
+#include "efes/core/engine.h"
+#include "efes/core/integration_scenario.h"
+
+namespace efes {
+
+/// Problem counts per target schema element, keyed by "relation" or
+/// "relation.attribute".
+using ProblemCounts = std::map<std::string, size_t>;
+
+/// Extracts per-element problem counts from an estimation result:
+/// structural conflicts attach to their constrained attribute, value
+/// heterogeneities to the target attribute, and mapping connections to
+/// the target relation.
+ProblemCounts CollectProblemCounts(const EstimationResult& result);
+
+/// Renders the target schema as DOT. Relations become record-shaped
+/// nodes listing their attributes; elements with problems get a fill
+/// color ramping from light yellow (1 problem) to red (the maximum), and
+/// their problem count is printed next to the name. Foreign keys become
+/// edges.
+std::string RenderProblemHeatmapDot(const IntegrationScenario& scenario,
+                                    const ProblemCounts& problems);
+
+}  // namespace efes
+
+#endif  // EFES_EXPERIMENT_VISUALIZATION_H_

@@ -1,0 +1,73 @@
+#include "efes/matching/match_accuracy.h"
+
+#include <set>
+#include <sstream>
+
+namespace efes {
+
+namespace {
+
+std::string Key(const Correspondence& corr) {
+  return corr.source_relation + "." + corr.source_attribute + ">" +
+         corr.target_relation + "." + corr.target_attribute;
+}
+
+}  // namespace
+
+double MatchQuality::Precision() const {
+  if (proposed_count == 0) return 1.0;
+  return static_cast<double>(correct_count) /
+         static_cast<double>(proposed_count);
+}
+
+double MatchQuality::Recall() const {
+  if (intended_count == 0) return 1.0;
+  return static_cast<double>(correct_count) /
+         static_cast<double>(intended_count);
+}
+
+double MatchQuality::F1() const {
+  double p = Precision();
+  double r = Recall();
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double MatchQuality::Accuracy() const {
+  if (intended_count == 0) return proposed_count == 0 ? 1.0 : 0.0;
+  size_t deletions = proposed_count - correct_count;
+  size_t additions = intended_count - correct_count;
+  return 1.0 - static_cast<double>(deletions + additions) /
+                   static_cast<double>(intended_count);
+}
+
+std::string MatchQuality::ToString() const {
+  std::ostringstream oss;
+  oss.precision(3);
+  oss << "precision " << Precision() << ", recall " << Recall() << ", f1 "
+      << F1() << ", accuracy " << Accuracy() << " ("
+      << (intended_count - correct_count) << " to add, "
+      << (proposed_count - correct_count) << " to delete)";
+  return oss.str();
+}
+
+MatchQuality EvaluateMatch(const CorrespondenceSet& proposed,
+                           const CorrespondenceSet& intended) {
+  std::set<std::string> intended_keys;
+  for (const Correspondence& corr : intended.all()) {
+    intended_keys.insert(Key(corr));
+  }
+  std::set<std::string> proposed_keys;
+  for (const Correspondence& corr : proposed.all()) {
+    proposed_keys.insert(Key(corr));
+  }
+  MatchQuality quality;
+  quality.intended_count = intended_keys.size();
+  quality.proposed_count = proposed_keys.size();
+  for (const std::string& key : proposed_keys) {
+    if (intended_keys.count(key) > 0) ++quality.correct_count;
+  }
+  return quality;
+}
+
+}  // namespace efes

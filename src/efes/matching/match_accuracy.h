@@ -1,0 +1,44 @@
+// Match quality measures, after Melnik et al.'s similarity-flooding
+// evaluation, which the paper names as the starting point for handling
+// matcher uncertainty (Section 7): "a novel measure to estimate how much
+// effort it costs the user to modify the proposed match result into the
+// intended result in terms of additions and deletions of matching
+// attribute pairs".
+
+#ifndef EFES_MATCHING_MATCH_ACCURACY_H_
+#define EFES_MATCHING_MATCH_ACCURACY_H_
+
+#include <string>
+
+#include "efes/relational/correspondence.h"
+
+namespace efes {
+
+struct MatchQuality {
+  size_t intended_count = 0;
+  size_t proposed_count = 0;
+  /// Proposed correspondences that are in the intended set.
+  size_t correct_count = 0;
+
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+
+  /// Melnik et al.'s accuracy: 1 - (deletions + additions) / |intended|,
+  /// where deletions = wrong proposals to remove and additions = intended
+  /// correspondences the proposal missed. Can be negative when fixing the
+  /// proposal costs more than matching from scratch.
+  double Accuracy() const;
+
+  /// "precision 0.83, recall 0.71, accuracy 0.57 (5 to add, 2 to delete)".
+  std::string ToString() const;
+};
+
+/// Compares correspondence sets element-wise (source/target relation and
+/// attribute; confidences are ignored).
+MatchQuality EvaluateMatch(const CorrespondenceSet& proposed,
+                           const CorrespondenceSet& intended);
+
+}  // namespace efes
+
+#endif  // EFES_MATCHING_MATCH_ACCURACY_H_

@@ -1,0 +1,203 @@
+#include "efes/matching/schema_matcher.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "efes/common/string_util.h"
+#include "efes/profiling/statistics.h"
+
+namespace efes {
+
+namespace {
+
+/// Instance evidence in [0, 1]: castability of source values to the
+/// target type blended with the statistics fit of Section 5.1. Returns
+/// -1 when either side lacks data.
+double InstanceScore(const Table& source_table, size_t source_column,
+                     const Table& target_table, size_t target_column,
+                     DataType target_type) {
+  if (source_table.row_count() == 0 || target_table.row_count() == 0) {
+    return -1.0;
+  }
+  AttributeStatistics source_stats =
+      ComputeStatistics(source_table.column(source_column), target_type);
+  AttributeStatistics target_stats =
+      ComputeStatistics(target_table.column(target_column), target_type);
+  double castable = source_stats.fill_status.CastableFraction();
+  double fit = OverallFit(source_stats, target_stats);
+  return 0.5 * castable + 0.5 * fit;
+}
+
+}  // namespace
+
+double SchemaMatcher::ScoreAttributePair(
+    const Database& source, const std::string& source_relation,
+    const AttributeDef& source_attribute, const Database& target,
+    const std::string& target_relation,
+    const AttributeDef& target_attribute) const {
+  double name = NameSimilarity(source_attribute.name, target_attribute.name);
+  double token = TokenJaccard(source_attribute.name, target_attribute.name);
+
+  double instance = -1.0;
+  if (options_.use_instances) {
+    auto source_table = source.table(source_relation);
+    auto target_table = target.table(target_relation);
+    if (source_table.ok() && target_table.ok()) {
+      auto source_index =
+          (*source_table)->def().AttributeIndex(source_attribute.name);
+      auto target_index =
+          (*target_table)->def().AttributeIndex(target_attribute.name);
+      if (source_index.has_value() && target_index.has_value()) {
+        instance =
+            InstanceScore(**source_table, *source_index, **target_table,
+                          *target_index, target_attribute.type);
+      }
+    }
+  }
+
+  double name_weight = options_.name_weight;
+  double token_weight = options_.token_weight;
+  double instance_weight = options_.instance_weight;
+  if (instance < 0.0) {
+    // No instance evidence: redistribute its weight onto the name signals.
+    double scale = name_weight + token_weight;
+    if (scale > 0.0) {
+      name_weight += instance_weight * (name_weight / scale);
+      token_weight += instance_weight * (token_weight / scale);
+    }
+    instance_weight = 0.0;
+    instance = 0.0;
+  }
+  double total = name_weight + token_weight + instance_weight;
+  if (total <= 0.0) return 0.0;
+  return (name * name_weight + token * token_weight +
+          instance * instance_weight) /
+         total;
+}
+
+std::vector<MatchCandidate> SchemaMatcher::ScoreRelations(
+    const Database& source, const Database& target) const {
+  std::vector<MatchCandidate> candidates;
+  for (const RelationDef& source_rel : source.schema().relations()) {
+    for (const RelationDef& target_rel : target.schema().relations()) {
+      // Relation score: name similarity blended with the mean of each
+      // target attribute's best source-attribute score.
+      double name = std::max(NameSimilarity(source_rel.name(),
+                                            target_rel.name()),
+                             TokenJaccard(source_rel.name(),
+                                          target_rel.name()));
+      double attribute_sum = 0.0;
+      size_t attribute_count = 0;
+      for (const AttributeDef& target_attr : target_rel.attributes()) {
+        double best = 0.0;
+        for (const AttributeDef& source_attr : source_rel.attributes()) {
+          best = std::max(
+              best, ScoreAttributePair(source, source_rel.name(),
+                                       source_attr, target, target_rel.name(),
+                                       target_attr));
+        }
+        attribute_sum += best;
+        ++attribute_count;
+      }
+      double attribute_mean =
+          attribute_count == 0 ? 0.0 : attribute_sum / attribute_count;
+      MatchCandidate candidate;
+      candidate.source_relation = source_rel.name();
+      candidate.target_relation = target_rel.name();
+      // Attribute-level evidence dominates: two relations about the
+      // same entities often carry dissimilar names (albums vs records)
+      // but similar attribute sets.
+      candidate.score = 0.3 * name + 0.7 * attribute_mean;
+      candidates.push_back(std::move(candidate));
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const MatchCandidate& a, const MatchCandidate& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.source_relation != b.source_relation) {
+                return a.source_relation < b.source_relation;
+              }
+              return a.target_relation < b.target_relation;
+            });
+  return candidates;
+}
+
+CorrespondenceSet SchemaMatcher::Match(const Database& source,
+                                       const Database& target) const {
+  CorrespondenceSet correspondences;
+
+  // Greedy 1:1 relation matching by descending score.
+  std::vector<MatchCandidate> relation_candidates =
+      ScoreRelations(source, target);
+  std::set<std::string> used_source;
+  std::set<std::string> used_target;
+  std::vector<std::pair<std::string, std::string>> relation_pairs;
+  for (const MatchCandidate& candidate : relation_candidates) {
+    if (candidate.score < options_.min_relation_confidence) break;
+    if (used_source.count(candidate.source_relation) > 0 ||
+        used_target.count(candidate.target_relation) > 0) {
+      continue;
+    }
+    used_source.insert(candidate.source_relation);
+    used_target.insert(candidate.target_relation);
+    Correspondence corr;
+    corr.source_relation = candidate.source_relation;
+    corr.target_relation = candidate.target_relation;
+    corr.confidence = candidate.score;
+    correspondences.Add(std::move(corr));
+    relation_pairs.emplace_back(candidate.source_relation,
+                                candidate.target_relation);
+  }
+
+  // Greedy 1:1 attribute matching within each matched relation pair.
+  for (const auto& [source_relation, target_relation] : relation_pairs) {
+    const RelationDef* source_rel = *source.schema().relation(source_relation);
+    const RelationDef* target_rel = *target.schema().relation(target_relation);
+    std::vector<MatchCandidate> attribute_candidates;
+    for (const AttributeDef& source_attr : source_rel->attributes()) {
+      for (const AttributeDef& target_attr : target_rel->attributes()) {
+        double score =
+            ScoreAttributePair(source, source_relation, source_attr, target,
+                               target_relation, target_attr);
+        if (score < options_.min_attribute_confidence) continue;
+        MatchCandidate candidate;
+        candidate.source_relation = source_relation;
+        candidate.source_attribute = source_attr.name;
+        candidate.target_relation = target_relation;
+        candidate.target_attribute = target_attr.name;
+        candidate.score = score;
+        attribute_candidates.push_back(std::move(candidate));
+      }
+    }
+    std::sort(attribute_candidates.begin(), attribute_candidates.end(),
+              [](const MatchCandidate& a, const MatchCandidate& b) {
+                if (a.score != b.score) return a.score > b.score;
+                if (a.source_attribute != b.source_attribute) {
+                  return a.source_attribute < b.source_attribute;
+                }
+                return a.target_attribute < b.target_attribute;
+              });
+    std::set<std::string> used_source_attrs;
+    std::set<std::string> used_target_attrs;
+    for (const MatchCandidate& candidate : attribute_candidates) {
+      if (used_source_attrs.count(candidate.source_attribute) > 0 ||
+          used_target_attrs.count(candidate.target_attribute) > 0) {
+        continue;
+      }
+      used_source_attrs.insert(candidate.source_attribute);
+      used_target_attrs.insert(candidate.target_attribute);
+      Correspondence corr;
+      corr.source_relation = candidate.source_relation;
+      corr.source_attribute = candidate.source_attribute;
+      corr.target_relation = candidate.target_relation;
+      corr.target_attribute = candidate.target_attribute;
+      corr.confidence = candidate.score;
+      correspondences.Add(std::move(corr));
+    }
+  }
+
+  return correspondences;
+}
+
+}  // namespace efes

@@ -1,0 +1,192 @@
+#include "efes/profiling/constraint_discovery.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <sstream>
+#include <unordered_set>
+
+namespace efes {
+
+namespace {
+
+bool IsDeclared(const Schema& schema, const Constraint& candidate) {
+  for (const Constraint& declared : schema.constraints()) {
+    if (declared.kind == candidate.kind &&
+        declared.relation == candidate.relation &&
+        declared.attributes == candidate.attributes &&
+        declared.referenced_relation == candidate.referenced_relation &&
+        declared.referenced_attributes == candidate.referenced_attributes) {
+      return true;
+    }
+    // A declared PK subsumes discovered NOT NULL / UNIQUE over the same
+    // attribute set.
+    if (declared.kind == ConstraintKind::kPrimaryKey &&
+        declared.relation == candidate.relation) {
+      if (candidate.kind == ConstraintKind::kUnique &&
+          declared.attributes == candidate.attributes) {
+        return true;
+      }
+      if (candidate.kind == ConstraintKind::kNotNull &&
+          candidate.attributes.size() == 1 &&
+          std::find(declared.attributes.begin(), declared.attributes.end(),
+                    candidate.attributes[0]) != declared.attributes.end()) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// Set of distinct non-null values of a column, for inclusion testing.
+std::unordered_set<Value, ValueHash> DistinctSet(const Table& table,
+                                                 size_t column) {
+  std::unordered_set<Value, ValueHash> values;
+  for (const Value& v : table.column(column)) {
+    if (!v.is_null()) values.insert(v);
+  }
+  return values;
+}
+
+}  // namespace
+
+std::string DiscoveredConstraint::ToString() const {
+  std::ostringstream oss;
+  oss << constraint.ToString() << " (support " << support << ")";
+  return oss.str();
+}
+
+std::vector<DiscoveredConstraint> DiscoverConstraints(
+    const Database& database, const DiscoveryOptions& options) {
+  std::vector<DiscoveredConstraint> discovered;
+  const Schema& schema = database.schema();
+
+  auto propose = [&](Constraint constraint, size_t support) {
+    if (options.skip_declared && IsDeclared(schema, constraint)) return;
+    discovered.push_back(DiscoveredConstraint{std::move(constraint), support});
+  };
+
+  // --- NOT NULL and single-column UNIQUE ----------------------------------
+  for (const Table& table : database.tables()) {
+    if (table.row_count() < options.min_row_count) continue;
+    for (size_t c = 0; c < table.column_count(); ++c) {
+      const std::string& attribute = table.def().attributes()[c].name;
+      size_t nulls = table.NullCount(c);
+      if (nulls == 0) {
+        propose(Constraint::NotNull(table.name(), attribute),
+                table.row_count());
+      }
+      size_t distinct = table.DistinctCount(c);
+      if (nulls == 0 && distinct == table.row_count()) {
+        propose(Constraint::Unique(table.name(), {attribute}),
+                table.row_count());
+      }
+    }
+  }
+
+  // --- Unary functional dependencies A -> B --------------------------------
+  if (options.discover_functional_dependencies) {
+    for (const Table& table : database.tables()) {
+      if (table.row_count() < options.min_row_count) continue;
+      for (size_t lhs = 0; lhs < table.column_count(); ++lhs) {
+        size_t lhs_distinct = table.DistinctCount(lhs);
+        if (lhs_distinct < options.min_distinct_for_fd) continue;
+        // A unique LHS determines everything trivially; skip.
+        if (table.NullCount(lhs) == 0 && lhs_distinct == table.row_count()) {
+          continue;
+        }
+        for (size_t rhs = 0; rhs < table.column_count(); ++rhs) {
+          if (lhs == rhs) continue;
+          // Check A -> B exactly: every A-group has one distinct B.
+          std::unordered_map<Value, Value, ValueHash> dependent_of;
+          bool holds = true;
+          for (size_t r = 0; r < table.row_count(); ++r) {
+            const Value& determinant = table.at(r, lhs);
+            if (determinant.is_null()) continue;
+            const Value& dependent = table.at(r, rhs);
+            auto [it, inserted] =
+                dependent_of.emplace(determinant, dependent);
+            if (!inserted && !(it->second == dependent)) {
+              holds = false;
+              break;
+            }
+          }
+          if (holds) {
+            propose(Constraint::FunctionalDependency(
+                        table.name(), {table.def().attributes()[lhs].name},
+                        {table.def().attributes()[rhs].name}),
+                    table.row_count());
+          }
+        }
+      }
+    }
+  }
+
+  // --- Unary inclusion dependencies (FK candidates) -----------------------
+  for (const Table& child : database.tables()) {
+    if (child.row_count() < options.min_row_count) continue;
+    for (size_t cc = 0; cc < child.column_count(); ++cc) {
+      size_t child_distinct = child.DistinctCount(cc);
+      if (child_distinct < options.min_distinct_for_ind) continue;
+      std::unordered_set<Value, ValueHash> child_values =
+          DistinctSet(child, cc);
+
+      for (const Table& parent : database.tables()) {
+        if (parent.row_count() < options.min_row_count) continue;
+        for (size_t pc = 0; pc < parent.column_count(); ++pc) {
+          if (&parent == &child && pc == cc) continue;
+          if (parent.def().attributes()[pc].type !=
+              child.def().attributes()[cc].type) {
+            continue;
+          }
+          if (options.require_unique_referenced) {
+            bool unique = parent.NullCount(pc) == 0 &&
+                          parent.DistinctCount(pc) == parent.row_count();
+            if (!unique) continue;
+          }
+          std::unordered_set<Value, ValueHash> parent_values =
+              DistinctSet(parent, pc);
+          if (parent_values.size() < child_values.size()) continue;
+          bool included = std::all_of(
+              child_values.begin(), child_values.end(),
+              [&](const Value& v) { return parent_values.count(v) > 0; });
+          if (included) {
+            propose(Constraint::ForeignKey(
+                        child.name(),
+                        {child.def().attributes()[cc].name},
+                        parent.name(),
+                        {parent.def().attributes()[pc].name}),
+                    child.row_count());
+          }
+        }
+      }
+    }
+  }
+
+  return discovered;
+}
+
+Schema SchemaWithDiscoveredConstraints(const Database& database,
+                                       const DiscoveryOptions& options) {
+  Schema schema = database.schema();
+  for (DiscoveredConstraint& d : DiscoverConstraints(database, options)) {
+    schema.AddConstraint(std::move(d.constraint));
+  }
+  return schema;
+}
+
+Result<Database> DatabaseWithDiscoveredConstraints(
+    const Database& database, const DiscoveryOptions& options) {
+  EFES_ASSIGN_OR_RETURN(
+      Database completed,
+      Database::Create(SchemaWithDiscoveredConstraints(database, options)));
+  for (const Table& table : database.tables()) {
+    EFES_ASSIGN_OR_RETURN(Table * destination,
+                          completed.mutable_table(table.name()));
+    for (size_t r = 0; r < table.row_count(); ++r) {
+      EFES_RETURN_IF_ERROR(destination->AppendRow(table.Row(r)));
+    }
+  }
+  return completed;
+}
+
+}  // namespace efes

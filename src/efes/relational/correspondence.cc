@@ -1,0 +1,135 @@
+#include "efes/relational/correspondence.h"
+
+#include <algorithm>
+
+namespace efes {
+
+std::string Correspondence::ToString() const {
+  std::string out = source_relation;
+  if (!source_attribute.empty()) {
+    out += '.';
+    out += source_attribute;
+  }
+  out += " -> ";
+  out += target_relation;
+  if (!target_attribute.empty()) {
+    out += '.';
+    out += target_attribute;
+  }
+  return out;
+}
+
+void CorrespondenceSet::Add(Correspondence correspondence) {
+  correspondences_.push_back(std::move(correspondence));
+}
+
+void CorrespondenceSet::AddRelation(std::string source_relation,
+                                    std::string target_relation) {
+  Correspondence c;
+  c.source_relation = std::move(source_relation);
+  c.target_relation = std::move(target_relation);
+  Add(std::move(c));
+}
+
+void CorrespondenceSet::AddAttribute(std::string source_relation,
+                                     std::string source_attribute,
+                                     std::string target_relation,
+                                     std::string target_attribute) {
+  Correspondence c;
+  c.source_relation = std::move(source_relation);
+  c.source_attribute = std::move(source_attribute);
+  c.target_relation = std::move(target_relation);
+  c.target_attribute = std::move(target_attribute);
+  Add(std::move(c));
+}
+
+std::vector<Correspondence> CorrespondenceSet::AttributesInto(
+    std::string_view target_relation) const {
+  std::vector<Correspondence> result;
+  for (const Correspondence& c : correspondences_) {
+    if (c.is_attribute_level() && c.target_relation == target_relation) {
+      result.push_back(c);
+    }
+  }
+  return result;
+}
+
+std::vector<Correspondence> CorrespondenceSet::AttributesInto(
+    std::string_view target_relation,
+    std::string_view target_attribute) const {
+  std::vector<Correspondence> result;
+  for (const Correspondence& c : correspondences_) {
+    if (c.is_attribute_level() && c.target_relation == target_relation &&
+        c.target_attribute == target_attribute) {
+      result.push_back(c);
+    }
+  }
+  return result;
+}
+
+std::vector<std::string> CorrespondenceSet::SourceRelationsFor(
+    std::string_view target_relation) const {
+  std::vector<std::string> result;
+  for (const Correspondence& c : correspondences_) {
+    if (c.target_relation != target_relation) continue;
+    if (std::find(result.begin(), result.end(), c.source_relation) ==
+        result.end()) {
+      result.push_back(c.source_relation);
+    }
+  }
+  return result;
+}
+
+std::vector<std::string> CorrespondenceSet::TargetRelations() const {
+  std::vector<std::string> result;
+  for (const Correspondence& c : correspondences_) {
+    if (std::find(result.begin(), result.end(), c.target_relation) ==
+        result.end()) {
+      result.push_back(c.target_relation);
+    }
+  }
+  return result;
+}
+
+Result<Correspondence> CorrespondenceSet::RelationCorrespondenceFor(
+    std::string_view target_relation) const {
+  for (const Correspondence& c : correspondences_) {
+    if (c.is_relation_level() && c.target_relation == target_relation) {
+      return c;
+    }
+  }
+  return Status::NotFound("no relation-level correspondence into '" +
+                          std::string(target_relation) + "'");
+}
+
+Status CorrespondenceSet::Validate(const Schema& source,
+                                   const Schema& target) const {
+  for (const Correspondence& c : correspondences_) {
+    EFES_ASSIGN_OR_RETURN(const RelationDef* source_rel,
+                          source.relation(c.source_relation));
+    EFES_ASSIGN_OR_RETURN(const RelationDef* target_rel,
+                          target.relation(c.target_relation));
+    if (c.source_attribute.empty() != c.target_attribute.empty()) {
+      return Status::InvalidArgument(
+          "correspondence mixes relation and attribute granularity: " +
+          c.ToString());
+    }
+    if (c.is_attribute_level()) {
+      if (!source_rel->AttributeIndex(c.source_attribute).has_value()) {
+        return Status::InvalidArgument("unknown source attribute in " +
+                                       c.ToString());
+      }
+      if (!target_rel->AttributeIndex(c.target_attribute).has_value()) {
+        return Status::InvalidArgument("unknown target attribute in " +
+                                       c.ToString());
+      }
+    }
+    if (c.confidence < 0.0 || c.confidence > 1.0) {
+      return Status::InvalidArgument("confidence out of [0,1] in " +
+                                     c.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace efes

@@ -1,0 +1,98 @@
+// Correspondences between source and target schema elements.
+//
+// "Each correspondence connects a source schema element with the target
+// schema element, into which its contents should be integrated"
+// (Section 3.1). Correspondences exist at two granularities: relation to
+// relation (the source relation's instances shall become instances of the
+// target relation) and attribute to attribute (the source attribute's
+// values feed the target attribute). They are *not* an executable
+// mapping — just enough information to reason about complexity.
+
+#ifndef EFES_RELATIONAL_CORRESPONDENCE_H_
+#define EFES_RELATIONAL_CORRESPONDENCE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "efes/common/result.h"
+#include "efes/relational/schema.h"
+
+namespace efes {
+
+struct Correspondence {
+  std::string source_relation;
+  /// Empty for relation-level correspondences.
+  std::string source_attribute;
+  std::string target_relation;
+  /// Empty for relation-level correspondences.
+  std::string target_attribute;
+  /// Matcher confidence in [0, 1]; manually created ones default to 1.
+  double confidence = 1.0;
+
+  bool is_relation_level() const {
+    return source_attribute.empty() && target_attribute.empty();
+  }
+  bool is_attribute_level() const { return !is_relation_level(); }
+
+  /// E.g. "albums.name -> records.title" or "albums -> records".
+  std::string ToString() const;
+
+  friend bool operator==(const Correspondence& a,
+                         const Correspondence& b) = default;
+};
+
+/// The set of correspondences of one (source database, target database)
+/// pair, with the lookup patterns the detectors need.
+class CorrespondenceSet {
+ public:
+  CorrespondenceSet() = default;
+
+  void Add(Correspondence correspondence);
+
+  /// Relation-level shorthand.
+  void AddRelation(std::string source_relation, std::string target_relation);
+
+  /// Attribute-level shorthand.
+  void AddAttribute(std::string source_relation, std::string source_attribute,
+                    std::string target_relation,
+                    std::string target_attribute);
+
+  const std::vector<Correspondence>& all() const { return correspondences_; }
+  bool empty() const { return correspondences_.empty(); }
+  size_t size() const { return correspondences_.size(); }
+
+  /// All attribute-level correspondences into `target_relation`.
+  std::vector<Correspondence> AttributesInto(
+      std::string_view target_relation) const;
+
+  /// All attribute-level correspondences into the specific target
+  /// attribute.
+  std::vector<Correspondence> AttributesInto(
+      std::string_view target_relation,
+      std::string_view target_attribute) const;
+
+  /// Source relations that contribute (via any correspondence) to
+  /// `target_relation`, without duplicates, in first-seen order.
+  std::vector<std::string> SourceRelationsFor(
+      std::string_view target_relation) const;
+
+  /// Target relations receiving any data, without duplicates.
+  std::vector<std::string> TargetRelations() const;
+
+  /// The relation-level correspondence for `target_relation` if present.
+  Result<Correspondence> RelationCorrespondenceFor(
+      std::string_view target_relation) const;
+
+  /// Checks that every referenced relation/attribute exists in the given
+  /// schemas and that types are not obviously nonsensical (no check on
+  /// castability; that is the value module's job).
+  Status Validate(const Schema& source, const Schema& target) const;
+
+ private:
+  std::vector<Correspondence> correspondences_;
+};
+
+}  // namespace efes
+
+#endif  // EFES_RELATIONAL_CORRESPONDENCE_H_

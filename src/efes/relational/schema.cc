@@ -1,0 +1,266 @@
+#include "efes/relational/schema.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace efes {
+
+std::optional<size_t> RelationDef::AttributeIndex(
+    std::string_view name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Result<AttributeDef> RelationDef::Attribute(std::string_view name) const {
+  std::optional<size_t> index = AttributeIndex(name);
+  if (!index.has_value()) {
+    return Status::NotFound("no attribute '" + std::string(name) +
+                            "' in relation '" + name_ + "'");
+  }
+  return attributes_[*index];
+}
+
+std::string_view ConstraintKindToString(ConstraintKind kind) {
+  switch (kind) {
+    case ConstraintKind::kPrimaryKey:
+      return "PRIMARY KEY";
+    case ConstraintKind::kUnique:
+      return "UNIQUE";
+    case ConstraintKind::kNotNull:
+      return "NOT NULL";
+    case ConstraintKind::kForeignKey:
+      return "FOREIGN KEY";
+    case ConstraintKind::kFunctionalDependency:
+      return "FUNCTIONAL DEPENDENCY";
+  }
+  return "UNKNOWN";
+}
+
+Constraint Constraint::PrimaryKey(std::string relation,
+                                  std::vector<std::string> attributes) {
+  Constraint c;
+  c.kind = ConstraintKind::kPrimaryKey;
+  c.relation = std::move(relation);
+  c.attributes = std::move(attributes);
+  return c;
+}
+
+Constraint Constraint::Unique(std::string relation,
+                              std::vector<std::string> attributes) {
+  Constraint c;
+  c.kind = ConstraintKind::kUnique;
+  c.relation = std::move(relation);
+  c.attributes = std::move(attributes);
+  return c;
+}
+
+Constraint Constraint::NotNull(std::string relation, std::string attribute) {
+  Constraint c;
+  c.kind = ConstraintKind::kNotNull;
+  c.relation = std::move(relation);
+  c.attributes = {std::move(attribute)};
+  return c;
+}
+
+Constraint Constraint::ForeignKey(
+    std::string relation, std::vector<std::string> attributes,
+    std::string referenced_relation,
+    std::vector<std::string> referenced_attributes) {
+  Constraint c;
+  c.kind = ConstraintKind::kForeignKey;
+  c.relation = std::move(relation);
+  c.attributes = std::move(attributes);
+  c.referenced_relation = std::move(referenced_relation);
+  c.referenced_attributes = std::move(referenced_attributes);
+  return c;
+}
+
+Constraint Constraint::FunctionalDependency(
+    std::string relation, std::vector<std::string> determinant,
+    std::vector<std::string> dependent) {
+  Constraint c;
+  c.kind = ConstraintKind::kFunctionalDependency;
+  c.relation = std::move(relation);
+  c.attributes = std::move(determinant);
+  c.referenced_attributes = std::move(dependent);
+  return c;
+}
+
+std::string Constraint::ToString() const {
+  std::ostringstream oss;
+  oss << ConstraintKindToString(kind) << " " << relation << "(";
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    if (i > 0) oss << ", ";
+    oss << attributes[i];
+  }
+  oss << ")";
+  if (kind == ConstraintKind::kForeignKey) {
+    oss << " REFERENCES " << referenced_relation << "(";
+    for (size_t i = 0; i < referenced_attributes.size(); ++i) {
+      if (i > 0) oss << ", ";
+      oss << referenced_attributes[i];
+    }
+    oss << ")";
+  } else if (kind == ConstraintKind::kFunctionalDependency) {
+    oss << " DETERMINES (";
+    for (size_t i = 0; i < referenced_attributes.size(); ++i) {
+      if (i > 0) oss << ", ";
+      oss << referenced_attributes[i];
+    }
+    oss << ")";
+  }
+  return oss.str();
+}
+
+Status Schema::AddRelation(RelationDef relation) {
+  if (HasRelation(relation.name())) {
+    return Status::AlreadyExists("relation '" + relation.name() +
+                                 "' already exists in schema '" + name_ +
+                                 "'");
+  }
+  relations_.push_back(std::move(relation));
+  return Status::OK();
+}
+
+void Schema::AddConstraint(Constraint constraint) {
+  constraints_.push_back(std::move(constraint));
+}
+
+Result<const RelationDef*> Schema::relation(std::string_view name) const {
+  for (const RelationDef& rel : relations_) {
+    if (rel.name() == name) return &rel;
+  }
+  return Status::NotFound("no relation '" + std::string(name) +
+                          "' in schema '" + name_ + "'");
+}
+
+bool Schema::HasRelation(std::string_view name) const {
+  return std::any_of(
+      relations_.begin(), relations_.end(),
+      [&](const RelationDef& rel) { return rel.name() == name; });
+}
+
+std::vector<Constraint> Schema::ConstraintsFor(
+    std::string_view relation_name) const {
+  std::vector<Constraint> result;
+  for (const Constraint& c : constraints_) {
+    if (c.relation == relation_name) result.push_back(c);
+  }
+  return result;
+}
+
+bool Schema::IsNotNullable(std::string_view relation,
+                           std::string_view attribute) const {
+  for (const Constraint& c : constraints_) {
+    if (c.relation != relation) continue;
+    if (c.kind == ConstraintKind::kNotNull && c.attributes.size() == 1 &&
+        c.attributes[0] == attribute) {
+      return true;
+    }
+    if (c.kind == ConstraintKind::kPrimaryKey &&
+        std::find(c.attributes.begin(), c.attributes.end(), attribute) !=
+            c.attributes.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Schema::IsUniqueAttribute(std::string_view relation,
+                               std::string_view attribute) const {
+  for (const Constraint& c : constraints_) {
+    if (c.relation != relation) continue;
+    if ((c.kind == ConstraintKind::kUnique ||
+         c.kind == ConstraintKind::kPrimaryKey) &&
+        c.attributes.size() == 1 && c.attributes[0] == attribute) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> Schema::PrimaryKeyOf(
+    std::string_view relation) const {
+  for (const Constraint& c : constraints_) {
+    if (c.relation == relation && c.kind == ConstraintKind::kPrimaryKey) {
+      return c.attributes;
+    }
+  }
+  return {};
+}
+
+size_t Schema::TotalAttributeCount() const {
+  size_t total = 0;
+  for (const RelationDef& rel : relations_) {
+    total += rel.attribute_count();
+  }
+  return total;
+}
+
+Status Schema::Validate() const {
+  for (const Constraint& c : constraints_) {
+    EFES_ASSIGN_OR_RETURN(const RelationDef* rel, relation(c.relation));
+    if (c.attributes.empty()) {
+      return Status::InvalidArgument("constraint without attributes on '" +
+                                     c.relation + "'");
+    }
+    for (const std::string& attr : c.attributes) {
+      if (!rel->AttributeIndex(attr).has_value()) {
+        return Status::InvalidArgument("constraint references missing "
+                                       "attribute '" +
+                                       attr + "' of '" + c.relation + "'");
+      }
+    }
+    if (c.kind == ConstraintKind::kNotNull && c.attributes.size() != 1) {
+      return Status::InvalidArgument("NOT NULL must cover one attribute");
+    }
+    if (c.kind == ConstraintKind::kFunctionalDependency) {
+      if (c.referenced_attributes.empty()) {
+        return Status::InvalidArgument(
+            "functional dependency without dependent attributes on '" +
+            c.relation + "'");
+      }
+      for (const std::string& attr : c.referenced_attributes) {
+        if (!rel->AttributeIndex(attr).has_value()) {
+          return Status::InvalidArgument(
+              "functional dependency references missing attribute '" +
+              attr + "' of '" + c.relation + "'");
+        }
+      }
+    }
+    if (c.kind == ConstraintKind::kForeignKey) {
+      EFES_ASSIGN_OR_RETURN(const RelationDef* parent,
+                            relation(c.referenced_relation));
+      if (c.referenced_attributes.size() != c.attributes.size()) {
+        return Status::InvalidArgument("FK arity mismatch on '" +
+                                       c.relation + "'");
+      }
+      for (const std::string& attr : c.referenced_attributes) {
+        if (!parent->AttributeIndex(attr).has_value()) {
+          return Status::InvalidArgument(
+              "FK references missing attribute '" + attr + "' of '" +
+              c.referenced_relation + "'");
+        }
+      }
+    }
+  }
+  // At most one primary key per relation.
+  for (const RelationDef& rel : relations_) {
+    int pk_count = 0;
+    for (const Constraint& c : constraints_) {
+      if (c.relation == rel.name() &&
+          c.kind == ConstraintKind::kPrimaryKey) {
+        ++pk_count;
+      }
+    }
+    if (pk_count > 1) {
+      return Status::InvalidArgument("multiple primary keys on '" +
+                                     rel.name() + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace efes

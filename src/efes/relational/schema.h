@@ -1,0 +1,155 @@
+// Relational schemas: relations, attributes, and constraints.
+//
+// A data integration scenario (Section 3.1 of the paper) consists of
+// source databases and a target database, each of which is "a relational
+// schema, an instance of this schema, and a set of constraints". This
+// header models the schema-plus-constraints part; instances live in
+// table.h / database.h.
+
+#ifndef EFES_RELATIONAL_SCHEMA_H_
+#define EFES_RELATIONAL_SCHEMA_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "efes/common/result.h"
+#include "efes/relational/value.h"
+
+namespace efes {
+
+/// One attribute (column) of a relation.
+struct AttributeDef {
+  std::string name;
+  DataType type = DataType::kText;
+};
+
+/// One relation (table) definition.
+class RelationDef {
+ public:
+  RelationDef() = default;
+  RelationDef(std::string name, std::vector<AttributeDef> attributes)
+      : name_(std::move(name)), attributes_(std::move(attributes)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+  size_t attribute_count() const { return attributes_.size(); }
+
+  /// Index of the attribute named `name`, or nullopt.
+  std::optional<size_t> AttributeIndex(std::string_view name) const;
+
+  /// The attribute named `name`; fails with kNotFound when absent.
+  Result<AttributeDef> Attribute(std::string_view name) const;
+
+ private:
+  std::string name_;
+  std::vector<AttributeDef> attributes_;
+};
+
+/// Kinds of declarative constraints supported by the substrate. These are
+/// exactly the kinds CSGs can express through prescribed cardinalities
+/// (Section 4.1): unique, not-null, primary key (unique + not-null), and
+/// foreign key.
+enum class ConstraintKind {
+  kPrimaryKey,
+  kUnique,
+  kNotNull,
+  kForeignKey,
+  /// Functional dependency X -> Y within one relation: `attributes` is
+  /// the determinant X, `referenced_attributes` the dependent Y
+  /// (`referenced_relation` stays empty). The paper notes that CSGs
+  /// express these through complex relationships (Section 4.1).
+  kFunctionalDependency,
+};
+
+std::string_view ConstraintKindToString(ConstraintKind kind);
+
+/// A schema constraint. `attributes` lists the constrained attributes of
+/// `relation` (one for kNotNull; one or more for keys). For kForeignKey,
+/// `referenced_relation`/`referenced_attributes` name the parent side,
+/// positionally aligned with `attributes`.
+struct Constraint {
+  ConstraintKind kind = ConstraintKind::kNotNull;
+  std::string relation;
+  std::vector<std::string> attributes;
+  std::string referenced_relation;
+  std::vector<std::string> referenced_attributes;
+
+  static Constraint PrimaryKey(std::string relation,
+                               std::vector<std::string> attributes);
+  static Constraint Unique(std::string relation,
+                           std::vector<std::string> attributes);
+  static Constraint NotNull(std::string relation, std::string attribute);
+  static Constraint ForeignKey(std::string relation,
+                               std::vector<std::string> attributes,
+                               std::string referenced_relation,
+                               std::vector<std::string> referenced_attributes);
+  static Constraint FunctionalDependency(
+      std::string relation, std::vector<std::string> determinant,
+      std::vector<std::string> dependent);
+
+  /// E.g. "PRIMARY KEY records(id)" or
+  /// "FOREIGN KEY tracks(record) REFERENCES records(id)".
+  std::string ToString() const;
+
+  friend bool operator==(const Constraint& a, const Constraint& b) = default;
+};
+
+/// A named relational schema: relations plus constraints.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Adds a relation; fails with kAlreadyExists on duplicate names.
+  Status AddRelation(RelationDef relation);
+
+  /// Adds a constraint; `Validate()` checks referential integrity of the
+  /// constraint definitions themselves.
+  void AddConstraint(Constraint constraint);
+
+  const std::vector<RelationDef>& relations() const { return relations_; }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+
+  /// Looks up a relation by name.
+  Result<const RelationDef*> relation(std::string_view name) const;
+  bool HasRelation(std::string_view name) const;
+
+  /// All constraints whose `relation` is `relation_name`.
+  std::vector<Constraint> ConstraintsFor(std::string_view relation_name) const;
+
+  /// True if (relation, attribute) is covered by a NOT NULL constraint or
+  /// by membership in the primary key.
+  bool IsNotNullable(std::string_view relation,
+                     std::string_view attribute) const;
+
+  /// True if {attribute} alone is declared unique (single-column UNIQUE or
+  /// single-column primary key).
+  bool IsUniqueAttribute(std::string_view relation,
+                         std::string_view attribute) const;
+
+  /// Primary key attributes of `relation`, empty if none declared.
+  std::vector<std::string> PrimaryKeyOf(std::string_view relation) const;
+
+  /// Total number of attributes across all relations; the counting
+  /// baseline's main input.
+  size_t TotalAttributeCount() const;
+
+  /// Checks internal consistency: constraints reference existing relations
+  /// and attributes, FK sides have equal arity, at most one PK per
+  /// relation.
+  Status Validate() const;
+
+ private:
+  std::string name_;
+  std::vector<RelationDef> relations_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace efes
+
+#endif  // EFES_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,307 @@
+#include "efes/relational/schema_text.h"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "efes/common/string_util.h"
+
+namespace efes {
+
+namespace {
+
+/// Token stream over the DDL text: identifiers/keywords, punctuation.
+class Tokenizer {
+ public:
+  explicit Tokenizer(std::string_view text) : text_(text) { Advance(); }
+
+  /// Current token, uppercased for keyword comparison; empty at EOF.
+  const std::string& upper() const { return upper_; }
+  /// Current token verbatim (identifiers keep their case).
+  const std::string& raw() const { return raw_; }
+  bool AtEnd() const { return raw_.empty(); }
+
+  void Advance() {
+    SkipSpaceAndComments();
+    raw_.clear();
+    upper_.clear();
+    if (position_ >= text_.size()) return;
+    char c = text_[position_];
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      while (position_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[position_])) ||
+              text_[position_] == '_')) {
+        raw_.push_back(text_[position_++]);
+      }
+    } else {
+      raw_.push_back(text_[position_++]);
+    }
+    upper_ = raw_;
+    for (char& ch : upper_) {
+      ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+    }
+  }
+
+  /// Consumes the token if it equals `keyword` (case-insensitive).
+  bool Accept(std::string_view keyword) {
+    if (upper_ != keyword) return false;
+    Advance();
+    return true;
+  }
+
+  Status Expect(std::string_view keyword) {
+    if (!Accept(keyword)) {
+      return Status::ParseError("expected '" + std::string(keyword) +
+                                "' but found '" + raw_ + "'");
+    }
+    return Status::OK();
+  }
+
+  /// Consumes and returns an identifier token.
+  Result<std::string> Identifier() {
+    if (raw_.empty() ||
+        (!std::isalpha(static_cast<unsigned char>(raw_[0])) &&
+         raw_[0] != '_')) {
+      return Status::ParseError("expected identifier, found '" + raw_ +
+                                "'");
+    }
+    std::string name = raw_;
+    Advance();
+    return name;
+  }
+
+ private:
+  void SkipSpaceAndComments() {
+    while (position_ < text_.size()) {
+      char c = text_[position_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++position_;
+      } else if (c == '-' && position_ + 1 < text_.size() &&
+                 text_[position_ + 1] == '-') {
+        while (position_ < text_.size() && text_[position_] != '\n') {
+          ++position_;
+        }
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view text_;
+  size_t position_ = 0;
+  std::string raw_;
+  std::string upper_;
+};
+
+Result<DataType> ParseType(Tokenizer& tokens) {
+  std::string type = tokens.upper();
+  tokens.Advance();
+  // Swallow an optional length like VARCHAR(255).
+  if (tokens.raw() == "(") {
+    tokens.Advance();
+    while (!tokens.AtEnd() && tokens.raw() != ")") tokens.Advance();
+    EFES_RETURN_IF_ERROR(tokens.Expect(")"));
+  }
+  if (type == "INTEGER" || type == "INT" || type == "BIGINT" ||
+      type == "SMALLINT") {
+    return DataType::kInteger;
+  }
+  if (type == "REAL" || type == "FLOAT" || type == "DOUBLE" ||
+      type == "NUMERIC" || type == "DECIMAL") {
+    return DataType::kReal;
+  }
+  if (type == "TEXT" || type == "STRING" || type == "VARCHAR" ||
+      type == "CHAR") {
+    return DataType::kText;
+  }
+  if (type == "BOOLEAN" || type == "BOOL") {
+    return DataType::kBoolean;
+  }
+  return Status::ParseError("unknown type '" + type + "'");
+}
+
+Result<std::vector<std::string>> ParseColumnList(Tokenizer& tokens) {
+  EFES_RETURN_IF_ERROR(tokens.Expect("("));
+  std::vector<std::string> columns;
+  while (true) {
+    EFES_ASSIGN_OR_RETURN(std::string column, tokens.Identifier());
+    columns.push_back(std::move(column));
+    if (tokens.Accept(",")) continue;
+    EFES_RETURN_IF_ERROR(tokens.Expect(")"));
+    return columns;
+  }
+}
+
+/// REFERENCES <table> ( <column> [, ...] )
+struct ReferenceClause {
+  std::string table;
+  std::vector<std::string> columns;
+};
+
+Result<ReferenceClause> ParseReferences(Tokenizer& tokens) {
+  ReferenceClause clause;
+  EFES_ASSIGN_OR_RETURN(clause.table, tokens.Identifier());
+  EFES_ASSIGN_OR_RETURN(clause.columns, ParseColumnList(tokens));
+  return clause;
+}
+
+Status ParseCreateTable(Tokenizer& tokens, Schema* schema) {
+  EFES_RETURN_IF_ERROR(tokens.Expect("TABLE"));
+  EFES_ASSIGN_OR_RETURN(std::string table_name, tokens.Identifier());
+  EFES_RETURN_IF_ERROR(tokens.Expect("("));
+
+  std::vector<AttributeDef> attributes;
+  std::vector<Constraint> constraints;
+
+  while (true) {
+    if (tokens.Accept("PRIMARY")) {
+      EFES_RETURN_IF_ERROR(tokens.Expect("KEY"));
+      EFES_ASSIGN_OR_RETURN(std::vector<std::string> columns,
+                            ParseColumnList(tokens));
+      constraints.push_back(Constraint::PrimaryKey(table_name, columns));
+    } else if (tokens.Accept("UNIQUE")) {
+      EFES_ASSIGN_OR_RETURN(std::vector<std::string> columns,
+                            ParseColumnList(tokens));
+      constraints.push_back(Constraint::Unique(table_name, columns));
+    } else if (tokens.Accept("FUNCTIONAL")) {
+      EFES_RETURN_IF_ERROR(tokens.Expect("DEPENDENCY"));
+      EFES_ASSIGN_OR_RETURN(std::vector<std::string> determinant,
+                            ParseColumnList(tokens));
+      EFES_RETURN_IF_ERROR(tokens.Expect("DETERMINES"));
+      EFES_ASSIGN_OR_RETURN(std::vector<std::string> dependent,
+                            ParseColumnList(tokens));
+      constraints.push_back(Constraint::FunctionalDependency(
+          table_name, determinant, dependent));
+    } else if (tokens.Accept("FOREIGN")) {
+      EFES_RETURN_IF_ERROR(tokens.Expect("KEY"));
+      EFES_ASSIGN_OR_RETURN(std::vector<std::string> columns,
+                            ParseColumnList(tokens));
+      EFES_RETURN_IF_ERROR(tokens.Expect("REFERENCES"));
+      EFES_ASSIGN_OR_RETURN(ReferenceClause reference,
+                            ParseReferences(tokens));
+      constraints.push_back(Constraint::ForeignKey(
+          table_name, columns, reference.table, reference.columns));
+    } else {
+      // Column definition.
+      EFES_ASSIGN_OR_RETURN(std::string column, tokens.Identifier());
+      EFES_ASSIGN_OR_RETURN(DataType type, ParseType(tokens));
+      attributes.push_back(AttributeDef{column, type});
+
+      // Column-level constraint suffixes, any order.
+      while (true) {
+        if (tokens.Accept("PRIMARY")) {
+          EFES_RETURN_IF_ERROR(tokens.Expect("KEY"));
+          constraints.push_back(
+              Constraint::PrimaryKey(table_name, {column}));
+        } else if (tokens.Accept("NOT")) {
+          EFES_RETURN_IF_ERROR(tokens.Expect("NULL"));
+          constraints.push_back(Constraint::NotNull(table_name, column));
+        } else if (tokens.Accept("UNIQUE")) {
+          constraints.push_back(Constraint::Unique(table_name, {column}));
+        } else if (tokens.Accept("REFERENCES")) {
+          EFES_ASSIGN_OR_RETURN(ReferenceClause reference,
+                                ParseReferences(tokens));
+          constraints.push_back(Constraint::ForeignKey(
+              table_name, {column}, reference.table, reference.columns));
+        } else {
+          break;
+        }
+      }
+    }
+    if (tokens.Accept(",")) continue;
+    EFES_RETURN_IF_ERROR(tokens.Expect(")"));
+    break;
+  }
+  EFES_RETURN_IF_ERROR(tokens.Expect(";"));
+
+  EFES_RETURN_IF_ERROR(
+      schema->AddRelation(RelationDef(table_name, std::move(attributes))));
+  for (Constraint& constraint : constraints) {
+    schema->AddConstraint(std::move(constraint));
+  }
+  return Status::OK();
+}
+
+std::string_view TypeKeyword(DataType type) {
+  switch (type) {
+    case DataType::kInteger:
+      return "INTEGER";
+    case DataType::kReal:
+      return "REAL";
+    case DataType::kText:
+      return "TEXT";
+    case DataType::kBoolean:
+      return "BOOLEAN";
+    case DataType::kNull:
+      return "TEXT";
+  }
+  return "TEXT";
+}
+
+}  // namespace
+
+Result<Schema> ParseSchemaText(std::string_view ddl,
+                               std::string schema_name) {
+  Schema schema(std::move(schema_name));
+  Tokenizer tokens(ddl);
+  while (!tokens.AtEnd()) {
+    if (tokens.Accept("CREATE")) {
+      EFES_RETURN_IF_ERROR(ParseCreateTable(tokens, &schema));
+    } else if (tokens.Accept(";")) {
+      // stray semicolon
+    } else {
+      return Status::ParseError("expected CREATE TABLE, found '" +
+                                tokens.raw() + "'");
+    }
+  }
+  EFES_RETURN_IF_ERROR(schema.Validate());
+  return schema;
+}
+
+std::string WriteSchemaText(const Schema& schema) {
+  std::ostringstream out;
+  out << "-- schema " << schema.name() << "\n";
+  for (const RelationDef& relation : schema.relations()) {
+    out << "CREATE TABLE " << relation.name() << " (\n";
+    bool first = true;
+    for (const AttributeDef& attribute : relation.attributes()) {
+      if (!first) out << ",\n";
+      first = false;
+      out << "  " << attribute.name << " " << TypeKeyword(attribute.type);
+      // Single-column NOT NULL inline (PKs and the rest go below).
+      for (const Constraint& c : schema.ConstraintsFor(relation.name())) {
+        if (c.kind == ConstraintKind::kNotNull &&
+            c.attributes[0] == attribute.name) {
+          out << " NOT NULL";
+        }
+      }
+    }
+    // Table-level constraints (everything except NOT NULL).
+    for (const Constraint& c : schema.ConstraintsFor(relation.name())) {
+      switch (c.kind) {
+        case ConstraintKind::kNotNull:
+          break;
+        case ConstraintKind::kPrimaryKey:
+          out << ",\n  PRIMARY KEY (" << Join(c.attributes, ", ") << ")";
+          break;
+        case ConstraintKind::kUnique:
+          out << ",\n  UNIQUE (" << Join(c.attributes, ", ") << ")";
+          break;
+        case ConstraintKind::kForeignKey:
+          out << ",\n  FOREIGN KEY (" << Join(c.attributes, ", ")
+              << ") REFERENCES " << c.referenced_relation << " ("
+              << Join(c.referenced_attributes, ", ") << ")";
+          break;
+        case ConstraintKind::kFunctionalDependency:
+          out << ",\n  FUNCTIONAL DEPENDENCY (" << Join(c.attributes, ", ")
+              << ") DETERMINES (" << Join(c.referenced_attributes, ", ")
+              << ")";
+          break;
+      }
+    }
+    out << "\n);\n";
+  }
+  return out.str();
+}
+
+}  // namespace efes

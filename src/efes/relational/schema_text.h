@@ -1,0 +1,47 @@
+// Textual schema definitions: a small SQL-DDL subset so scenarios can be
+// stored on disk and exchanged (the original prototype read its scenarios
+// from PostgreSQL databases; this is the file-based substitute).
+//
+// Supported statements:
+//
+//   CREATE TABLE records (
+//     id INTEGER PRIMARY KEY,
+//     title TEXT NOT NULL,
+//     artist TEXT NOT NULL,
+//     genre TEXT
+//   );
+//   CREATE TABLE artist_credits (
+//     artist_list INTEGER REFERENCES artist_lists(id),
+//     position INTEGER,
+//     artist TEXT NOT NULL,
+//     PRIMARY KEY (artist_list, position),
+//     UNIQUE (artist),
+//     FOREIGN KEY (artist_list) REFERENCES artist_lists(id)
+//   );
+//
+// Types: INTEGER/INT/BIGINT, REAL/FLOAT/DOUBLE, TEXT/STRING/VARCHAR,
+// BOOLEAN/BOOL. Keywords are case-insensitive; `--` starts a comment.
+
+#ifndef EFES_RELATIONAL_SCHEMA_TEXT_H_
+#define EFES_RELATIONAL_SCHEMA_TEXT_H_
+
+#include <string>
+#include <string_view>
+
+#include "efes/common/result.h"
+#include "efes/relational/schema.h"
+
+namespace efes {
+
+/// Parses DDL text into a schema named `schema_name`. The result passes
+/// `Schema::Validate()`.
+Result<Schema> ParseSchemaText(std::string_view ddl,
+                               std::string schema_name);
+
+/// Renders a schema as DDL that ParseSchemaText accepts (round-trip
+/// stable up to formatting).
+std::string WriteSchemaText(const Schema& schema);
+
+}  // namespace efes
+
+#endif  // EFES_RELATIONAL_SCHEMA_TEXT_H_

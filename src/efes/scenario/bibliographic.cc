@@ -1,0 +1,507 @@
+#include "efes/scenario/bibliographic.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "efes/common/random.h"
+
+namespace efes {
+
+namespace {
+
+/// One bibliographic entity of the shared domain pool. Every schema
+/// materializes the same entities under its own conventions.
+struct PubEntity {
+  std::string title;
+  std::vector<std::string> authors;
+  int year = 1990;
+  int venue_index = -1;  // -1 = missing venue
+  int page_start = 1;
+  int page_end = 10;
+  int kind = 0;  // 0 journal, 1 conference, 2 techreport
+  bool sloppy_year = false;
+};
+
+struct VenueEntity {
+  std::string name;
+  std::string acronym;
+};
+
+struct BiblioPool {
+  std::vector<PubEntity> publications;
+  std::vector<VenueEntity> venues;
+  std::vector<std::string> author_pool;
+};
+
+std::string PersonName(Random& rng) {
+  auto cap = [](std::string word) {
+    word[0] = static_cast<char>(word[0] - 'a' + 'A');
+    return word;
+  };
+  return cap(rng.Word(3, 7)) + " " + cap(rng.Word(4, 9));
+}
+
+std::string TitleWords(Random& rng) {
+  size_t words = 4 + rng.UniformUint64(6);
+  std::string title;
+  for (size_t i = 0; i < words; ++i) {
+    if (i > 0) title += ' ';
+    std::string word = rng.Word(2, 9);
+    if (i == 0) word[0] = static_cast<char>(word[0] - 'a' + 'A');
+    title += word;
+  }
+  return title;
+}
+
+BiblioPool MakePool(const BiblioOptions& options) {
+  // The vocabulary (venues, author names) is a fact of the domain and is
+  // shared by every database instance — two real bibliographic databases
+  // mention the same conferences and people. Only the selection of
+  // publications varies with the instance seed.
+  Random vocab_rng(0xB1B7'10D0ULL + options.venue_count);
+  Random rng(options.seed);
+  BiblioPool pool;
+
+  for (size_t v = 0; v < options.venue_count; ++v) {
+    VenueEntity venue;
+    venue.name = "Conference on " + TitleWords(vocab_rng).substr(0, 24);
+    venue.acronym = "";
+    for (char c : venue.name) {
+      if (c >= 'A' && c <= 'Z') venue.acronym += c;
+    }
+    venue.acronym += std::to_string(v);
+    pool.venues.push_back(std::move(venue));
+  }
+
+  size_t author_count = std::max<size_t>(options.publication_count / 3, 10);
+  std::set<std::string> seen_authors;
+  while (pool.author_pool.size() < author_count) {
+    std::string name = PersonName(vocab_rng);
+    if (seen_authors.insert(name).second) pool.author_pool.push_back(name);
+  }
+
+  for (size_t p = 0; p < options.publication_count; ++p) {
+    PubEntity pub;
+    pub.title = TitleWords(rng);
+    size_t author_count_here = 1 + rng.Zipf(4, 1.2);
+    std::set<size_t> chosen;
+    while (chosen.size() < author_count_here) {
+      chosen.insert(
+          static_cast<size_t>(rng.UniformUint64(pool.author_pool.size())));
+    }
+    for (size_t index : chosen) {
+      pub.authors.push_back(pool.author_pool[index]);
+    }
+    pub.year = static_cast<int>(rng.UniformInt(1970, 2014));
+    pub.venue_index = rng.Bernoulli(options.missing_venue_rate)
+                          ? -1
+                          : static_cast<int>(
+                                rng.UniformUint64(options.venue_count));
+    pub.page_start = static_cast<int>(rng.UniformInt(1, 400));
+    pub.page_end = pub.page_start + static_cast<int>(rng.UniformInt(4, 30));
+    pub.kind = static_cast<int>(rng.Zipf(3, 0.8));
+    pub.sloppy_year = rng.Bernoulli(options.sloppy_year_rate);
+    pool.publications.push_back(std::move(pub));
+  }
+  return pool;
+}
+
+const char* const kMonths[] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                               "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+std::string JoinAuthors(const std::vector<std::string>& authors,
+                        const std::string& separator) {
+  std::string out;
+  for (size_t i = 0; i < authors.size(); ++i) {
+    if (i > 0) out += separator;
+    out += authors[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view BiblioSchemaIdToString(BiblioSchemaId id) {
+  switch (id) {
+    case BiblioSchemaId::kS1:
+      return "s1";
+    case BiblioSchemaId::kS2:
+      return "s2";
+    case BiblioSchemaId::kS3:
+      return "s3";
+    case BiblioSchemaId::kS4:
+      return "s4";
+  }
+  return "s?";
+}
+
+Schema MakeBiblioSchema(BiblioSchemaId id) {
+  switch (id) {
+    case BiblioSchemaId::kS1: {
+      // Flat and value-sloppy: everything in one relation, years and page
+      // ranges as free-form strings, author lists inline.
+      Schema schema("biblio_s1");
+      (void)schema.AddRelation(RelationDef(
+          "pubs", {{"pid", DataType::kInteger},
+                   {"title", DataType::kText},
+                   {"authors", DataType::kText},
+                   {"year", DataType::kText},
+                   {"venue", DataType::kText},
+                   {"pages", DataType::kText},
+                   {"kind", DataType::kText}}));
+      schema.AddConstraint(Constraint::PrimaryKey("pubs", {"pid"}));
+      schema.AddConstraint(Constraint::NotNull("pubs", "title"));
+      schema.AddConstraint(Constraint::NotNull("pubs", "authors"));
+      schema.AddConstraint(Constraint::NotNull("pubs", "year"));
+      schema.AddConstraint(Constraint::NotNull("pubs", "kind"));
+      return schema;
+    }
+    case BiblioSchemaId::kS2: {
+      // Fully normalized with typed columns.
+      Schema schema("biblio_s2");
+      (void)schema.AddRelation(RelationDef(
+          "publications", {{"id", DataType::kInteger},
+                           {"title", DataType::kText},
+                           {"year", DataType::kInteger},
+                           {"venue", DataType::kInteger},
+                           {"pages_start", DataType::kInteger},
+                           {"pages_end", DataType::kInteger},
+                           {"kind", DataType::kText}}));
+      (void)schema.AddRelation(RelationDef(
+          "venues", {{"id", DataType::kInteger},
+                     {"name", DataType::kText},
+                     {"acronym", DataType::kText}}));
+      (void)schema.AddRelation(RelationDef(
+          "persons", {{"id", DataType::kInteger},
+                      {"name", DataType::kText}}));
+      (void)schema.AddRelation(RelationDef(
+          "authorships", {{"pub", DataType::kInteger},
+                          {"position", DataType::kInteger},
+                          {"person", DataType::kInteger}}));
+      schema.AddConstraint(Constraint::PrimaryKey("publications", {"id"}));
+      schema.AddConstraint(Constraint::NotNull("publications", "title"));
+      schema.AddConstraint(Constraint::NotNull("publications", "year"));
+      schema.AddConstraint(Constraint::ForeignKey("publications", {"venue"},
+                                                  "venues", {"id"}));
+      schema.AddConstraint(Constraint::PrimaryKey("venues", {"id"}));
+      schema.AddConstraint(Constraint::NotNull("venues", "name"));
+      schema.AddConstraint(Constraint::Unique("venues", {"name"}));
+      schema.AddConstraint(Constraint::PrimaryKey("persons", {"id"}));
+      schema.AddConstraint(Constraint::NotNull("persons", "name"));
+      schema.AddConstraint(
+          Constraint::PrimaryKey("authorships", {"pub", "position"}));
+      schema.AddConstraint(Constraint::ForeignKey("authorships", {"pub"},
+                                                  "publications", {"id"}));
+      schema.AddConstraint(Constraint::ForeignKey("authorships", {"person"},
+                                                  "persons", {"id"}));
+      schema.AddConstraint(Constraint::NotNull("authorships", "person"));
+      return schema;
+    }
+    case BiblioSchemaId::kS3: {
+      // BibTeX-flavoured: text keys, "Mar 1998" dates, " and "-separated
+      // author lists, but typed page numbers.
+      Schema schema("biblio_s3");
+      (void)schema.AddRelation(RelationDef(
+          "entries", {{"bibkey", DataType::kText},
+                      {"title", DataType::kText},
+                      {"author_list", DataType::kText},
+                      {"published", DataType::kText},
+                      {"booktitle", DataType::kText},
+                      {"start_page", DataType::kInteger},
+                      {"end_page", DataType::kInteger}}));
+      schema.AddConstraint(Constraint::PrimaryKey("entries", {"bibkey"}));
+      schema.AddConstraint(Constraint::NotNull("entries", "title"));
+      schema.AddConstraint(Constraint::NotNull("entries", "author_list"));
+      schema.AddConstraint(Constraint::NotNull("entries", "published"));
+      return schema;
+    }
+    case BiblioSchemaId::kS4: {
+      // Normalized like s2, under different names and with a category.
+      Schema schema("biblio_s4");
+      (void)schema.AddRelation(RelationDef(
+          "papers", {{"paper_id", DataType::kInteger},
+                     {"title", DataType::kText},
+                     {"pub_year", DataType::kInteger},
+                     {"venue_id", DataType::kInteger},
+                     {"first_page", DataType::kInteger},
+                     {"last_page", DataType::kInteger},
+                     {"category", DataType::kText}}));
+      (void)schema.AddRelation(RelationDef(
+          "venue", {{"venue_id", DataType::kInteger},
+                    {"title", DataType::kText}}));
+      (void)schema.AddRelation(RelationDef(
+          "writers", {{"writer_id", DataType::kInteger},
+                      {"full_name", DataType::kText}}));
+      (void)schema.AddRelation(RelationDef(
+          "paper_writers", {{"paper_id", DataType::kInteger},
+                            {"pos", DataType::kInteger},
+                            {"writer_id", DataType::kInteger}}));
+      schema.AddConstraint(Constraint::PrimaryKey("papers", {"paper_id"}));
+      schema.AddConstraint(Constraint::NotNull("papers", "title"));
+      schema.AddConstraint(Constraint::NotNull("papers", "pub_year"));
+      schema.AddConstraint(Constraint::ForeignKey("papers", {"venue_id"},
+                                                  "venue", {"venue_id"}));
+      schema.AddConstraint(Constraint::PrimaryKey("venue", {"venue_id"}));
+      schema.AddConstraint(Constraint::NotNull("venue", "title"));
+      schema.AddConstraint(Constraint::Unique("venue", {"title"}));
+      schema.AddConstraint(Constraint::PrimaryKey("writers", {"writer_id"}));
+      schema.AddConstraint(Constraint::NotNull("writers", "full_name"));
+      schema.AddConstraint(
+          Constraint::PrimaryKey("paper_writers", {"paper_id", "pos"}));
+      schema.AddConstraint(Constraint::ForeignKey(
+          "paper_writers", {"paper_id"}, "papers", {"paper_id"}));
+      schema.AddConstraint(Constraint::ForeignKey(
+          "paper_writers", {"writer_id"}, "writers", {"writer_id"}));
+      schema.AddConstraint(Constraint::NotNull("paper_writers", "writer_id"));
+      return schema;
+    }
+  }
+  return Schema("biblio_unknown");
+}
+
+Result<Database> MakeBiblioDatabase(BiblioSchemaId id,
+                                    const BiblioOptions& options) {
+  BiblioPool pool = MakePool(options);
+  EFES_ASSIGN_OR_RETURN(Database db, Database::Create(MakeBiblioSchema(id)));
+
+  switch (id) {
+    case BiblioSchemaId::kS1: {
+      EFES_ASSIGN_OR_RETURN(Table * pubs, db.mutable_table("pubs"));
+      static const char* const kKinds[] = {"J", "C", "TR"};
+      // Hand-entered data: author separators vary from record to record,
+      // which makes the author-list conversion *irregular* (per-value
+      // work) rather than a single script.
+      static const char* const kSeparators[] = {"; ", " and ", " & "};
+      for (size_t i = 0; i < pool.publications.size(); ++i) {
+        const PubEntity& pub = pool.publications[i];
+        std::string year =
+            pub.sloppy_year ? "'" + std::to_string(pub.year % 100)
+                            : std::to_string(pub.year);
+        EFES_RETURN_IF_ERROR(pubs->AppendRow(
+            {Value::Integer(static_cast<int64_t>(i + 1)),
+             Value::Text(pub.title),
+             Value::Text(JoinAuthors(pub.authors, kSeparators[i % 3])),
+             Value::Text(year),
+             pub.venue_index < 0
+                 ? Value::Null()
+                 : Value::Text(pool.venues[pub.venue_index].name),
+             Value::Text(std::to_string(pub.page_start) + "--" +
+                         std::to_string(pub.page_end)),
+             Value::Text(kKinds[pub.kind])}));
+      }
+      break;
+    }
+    case BiblioSchemaId::kS2: {
+      static const char* const kKinds[] = {"journal", "conference",
+                                           "techreport"};
+      EFES_ASSIGN_OR_RETURN(Table * venues, db.mutable_table("venues"));
+      for (size_t v = 0; v < pool.venues.size(); ++v) {
+        EFES_RETURN_IF_ERROR(venues->AppendRow(
+            {Value::Integer(static_cast<int64_t>(v + 1)),
+             Value::Text(pool.venues[v].name),
+             Value::Text(pool.venues[v].acronym)}));
+      }
+      EFES_ASSIGN_OR_RETURN(Table * persons, db.mutable_table("persons"));
+      std::map<std::string, int64_t> person_ids;
+      for (size_t a = 0; a < pool.author_pool.size(); ++a) {
+        person_ids[pool.author_pool[a]] = static_cast<int64_t>(a + 1);
+        EFES_RETURN_IF_ERROR(persons->AppendRow(
+            {Value::Integer(static_cast<int64_t>(a + 1)),
+             Value::Text(pool.author_pool[a])}));
+      }
+      EFES_ASSIGN_OR_RETURN(Table * publications,
+                            db.mutable_table("publications"));
+      EFES_ASSIGN_OR_RETURN(Table * authorships,
+                            db.mutable_table("authorships"));
+      for (size_t i = 0; i < pool.publications.size(); ++i) {
+        const PubEntity& pub = pool.publications[i];
+        EFES_RETURN_IF_ERROR(publications->AppendRow(
+            {Value::Integer(static_cast<int64_t>(i + 1)),
+             Value::Text(pub.title), Value::Integer(pub.year),
+             pub.venue_index < 0
+                 ? Value::Null()
+                 : Value::Integer(static_cast<int64_t>(pub.venue_index + 1)),
+             Value::Integer(pub.page_start), Value::Integer(pub.page_end),
+             Value::Text(kKinds[pub.kind])}));
+        for (size_t position = 0; position < pub.authors.size();
+             ++position) {
+          EFES_RETURN_IF_ERROR(authorships->AppendRow(
+              {Value::Integer(static_cast<int64_t>(i + 1)),
+               Value::Integer(static_cast<int64_t>(position + 1)),
+               Value::Integer(person_ids[pub.authors[position]])}));
+        }
+      }
+      break;
+    }
+    case BiblioSchemaId::kS3: {
+      EFES_ASSIGN_OR_RETURN(Table * entries, db.mutable_table("entries"));
+      for (size_t i = 0; i < pool.publications.size(); ++i) {
+        const PubEntity& pub = pool.publications[i];
+        // "Mueller98a"-style citation keys, made unique by index.
+        std::string last_name = pub.authors[0].substr(
+            pub.authors[0].find(' ') + 1);
+        std::string bibkey = last_name + std::to_string(pub.year % 100) +
+                             "x" + std::to_string(i);
+        std::string published = std::string(kMonths[i % 12]) + " " +
+                                std::to_string(pub.year);
+        EFES_RETURN_IF_ERROR(entries->AppendRow(
+            {Value::Text(bibkey), Value::Text(pub.title),
+             Value::Text(JoinAuthors(pub.authors, " and ")),
+             Value::Text(published),
+             pub.venue_index < 0
+                 ? Value::Null()
+                 : Value::Text(pool.venues[pub.venue_index].name),
+             Value::Integer(pub.page_start),
+             // End pages were frequently left out by the s3 curators —
+             // real missing data (as opposed to misrepresented data).
+             (i * 2654435761u) % 100 <
+                     static_cast<unsigned>(options.missing_end_page_rate *
+                                           100.0)
+                 ? Value::Null()
+                 : Value::Integer(pub.page_end)}));
+      }
+      break;
+    }
+    case BiblioSchemaId::kS4: {
+      static const char* const kCategories[] = {"journal", "conference",
+                                                "report"};
+      EFES_ASSIGN_OR_RETURN(Table * venue, db.mutable_table("venue"));
+      for (size_t v = 0; v < pool.venues.size(); ++v) {
+        EFES_RETURN_IF_ERROR(venue->AppendRow(
+            {Value::Integer(static_cast<int64_t>(v + 1)),
+             Value::Text(pool.venues[v].name)}));
+      }
+      EFES_ASSIGN_OR_RETURN(Table * writers, db.mutable_table("writers"));
+      std::map<std::string, int64_t> writer_ids;
+      for (size_t a = 0; a < pool.author_pool.size(); ++a) {
+        writer_ids[pool.author_pool[a]] = static_cast<int64_t>(a + 1);
+        EFES_RETURN_IF_ERROR(writers->AppendRow(
+            {Value::Integer(static_cast<int64_t>(a + 1)),
+             Value::Text(pool.author_pool[a])}));
+      }
+      EFES_ASSIGN_OR_RETURN(Table * papers, db.mutable_table("papers"));
+      EFES_ASSIGN_OR_RETURN(Table * paper_writers,
+                            db.mutable_table("paper_writers"));
+      for (size_t i = 0; i < pool.publications.size(); ++i) {
+        const PubEntity& pub = pool.publications[i];
+        EFES_RETURN_IF_ERROR(papers->AppendRow(
+            {Value::Integer(static_cast<int64_t>(i + 1)),
+             Value::Text(pub.title), Value::Integer(pub.year),
+             pub.venue_index < 0
+                 ? Value::Null()
+                 : Value::Integer(static_cast<int64_t>(pub.venue_index + 1)),
+             Value::Integer(pub.page_start), Value::Integer(pub.page_end),
+             Value::Text(kCategories[pub.kind])}));
+        for (size_t position = 0; position < pub.authors.size();
+             ++position) {
+          EFES_RETURN_IF_ERROR(paper_writers->AppendRow(
+              {Value::Integer(static_cast<int64_t>(i + 1)),
+               Value::Integer(static_cast<int64_t>(position + 1)),
+               Value::Integer(writer_ids[pub.authors[position]])}));
+        }
+      }
+      break;
+    }
+  }
+  return db;
+}
+
+Result<IntegrationScenario> MakeBiblioScenario(BiblioSchemaId source,
+                                               BiblioSchemaId target,
+                                               const BiblioOptions& options) {
+  EFES_ASSIGN_OR_RETURN(Database source_db,
+                        MakeBiblioDatabase(source, options));
+  // The target is populated with (differently seeded) pre-existing data so
+  // the value-fit detector has target characteristics to compare against.
+  BiblioOptions target_options = options;
+  target_options.seed = options.seed * 977 + 13;
+  EFES_ASSIGN_OR_RETURN(Database target_db,
+                        MakeBiblioDatabase(target, target_options));
+
+  CorrespondenceSet c;
+  auto pair_id = std::make_pair(source, target);
+  if (pair_id == std::make_pair(BiblioSchemaId::kS1, BiblioSchemaId::kS2)) {
+    c.AddRelation("pubs", "publications");
+    c.AddRelation("pubs", "venues");
+    c.AddRelation("pubs", "persons");
+    c.AddRelation("pubs", "authorships");
+    c.AddAttribute("pubs", "title", "publications", "title");
+    c.AddAttribute("pubs", "year", "publications", "year");
+    c.AddAttribute("pubs", "pages", "publications", "pages_start");
+    c.AddAttribute("pubs", "kind", "publications", "kind");
+    c.AddAttribute("pubs", "venue", "venues", "name");
+    c.AddAttribute("pubs", "authors", "persons", "name");
+  } else if (pair_id ==
+             std::make_pair(BiblioSchemaId::kS1, BiblioSchemaId::kS3)) {
+    c.AddRelation("pubs", "entries");
+    c.AddAttribute("pubs", "title", "entries", "title");
+    c.AddAttribute("pubs", "authors", "entries", "author_list");
+    c.AddAttribute("pubs", "year", "entries", "published");
+    c.AddAttribute("pubs", "venue", "entries", "booktitle");
+    c.AddAttribute("pubs", "pages", "entries", "start_page");
+  } else if (pair_id ==
+             std::make_pair(BiblioSchemaId::kS3, BiblioSchemaId::kS4)) {
+    c.AddRelation("entries", "papers");
+    c.AddRelation("entries", "venue");
+    c.AddRelation("entries", "writers");
+    c.AddRelation("entries", "paper_writers");
+    c.AddAttribute("entries", "title", "papers", "title");
+    c.AddAttribute("entries", "published", "papers", "pub_year");
+    c.AddAttribute("entries", "start_page", "papers", "first_page");
+    c.AddAttribute("entries", "end_page", "papers", "last_page");
+    c.AddAttribute("entries", "booktitle", "venue", "title");
+    c.AddAttribute("entries", "author_list", "writers", "full_name");
+  } else if (pair_id ==
+             std::make_pair(BiblioSchemaId::kS4, BiblioSchemaId::kS4)) {
+    c.AddRelation("papers", "papers");
+    c.AddRelation("venue", "venue");
+    c.AddRelation("writers", "writers");
+    c.AddRelation("paper_writers", "paper_writers");
+    c.AddAttribute("papers", "title", "papers", "title");
+    c.AddAttribute("papers", "pub_year", "papers", "pub_year");
+    c.AddAttribute("papers", "venue_id", "papers", "venue_id");
+    c.AddAttribute("papers", "first_page", "papers", "first_page");
+    c.AddAttribute("papers", "last_page", "papers", "last_page");
+    c.AddAttribute("papers", "category", "papers", "category");
+    c.AddAttribute("venue", "venue_id", "venue", "venue_id");
+    c.AddAttribute("venue", "title", "venue", "title");
+    c.AddAttribute("writers", "writer_id", "writers", "writer_id");
+    c.AddAttribute("writers", "full_name", "writers", "full_name");
+    c.AddAttribute("paper_writers", "paper_id", "paper_writers", "paper_id");
+    c.AddAttribute("paper_writers", "pos", "paper_writers", "pos");
+    c.AddAttribute("paper_writers", "writer_id", "paper_writers",
+                   "writer_id");
+  } else {
+    return Status::InvalidArgument(
+        "no curated correspondences for bibliographic pair " +
+        std::string(BiblioSchemaIdToString(source)) + "-" +
+        std::string(BiblioSchemaIdToString(target)));
+  }
+
+  std::string name = std::string(BiblioSchemaIdToString(source)) + "-" +
+                     std::string(BiblioSchemaIdToString(target));
+  IntegrationScenario scenario(name, std::move(target_db));
+  scenario.AddSource(std::move(source_db), std::move(c));
+  EFES_RETURN_IF_ERROR(scenario.Validate());
+  return scenario;
+}
+
+Result<std::vector<IntegrationScenario>> MakeAllBiblioScenarios(
+    const BiblioOptions& options) {
+  std::vector<IntegrationScenario> scenarios;
+  const std::pair<BiblioSchemaId, BiblioSchemaId> kPairs[] = {
+      {BiblioSchemaId::kS1, BiblioSchemaId::kS2},
+      {BiblioSchemaId::kS1, BiblioSchemaId::kS3},
+      {BiblioSchemaId::kS3, BiblioSchemaId::kS4},
+      {BiblioSchemaId::kS4, BiblioSchemaId::kS4},
+  };
+  for (const auto& [source, target] : kPairs) {
+    EFES_ASSIGN_OR_RETURN(IntegrationScenario scenario,
+                          MakeBiblioScenario(source, target, options));
+    scenarios.push_back(std::move(scenario));
+  }
+  return scenarios;
+}
+
+}  // namespace efes

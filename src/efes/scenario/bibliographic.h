@@ -1,0 +1,69 @@
+// The bibliographic case study (Section 6.1, "Amalgam"-style).
+//
+// Four synthetic bibliographic schemas with the same shape as the Amalgam
+// benchmark: between a handful and a few dozen relations with 3-16
+// attributes, describing the same publication entities under very
+// different conventions. The domain is engineered to be *value-heavy*:
+// years as "'98" strings vs. integers, author lists inline vs.
+// normalized, page ranges as "12--34" strings vs. integer pairs — the
+// property that makes EFES shine in Figure 6 ("the baseline has no
+// concept of heterogeneity between values in the datasets, but it is one
+// of the main complexity drivers in these integration scenarios").
+//
+// Scenarios (matching Figure 6): s1-s2, s1-s3, s3-s4, and the identity
+// scenario s4-s4.
+
+#ifndef EFES_SCENARIO_BIBLIOGRAPHIC_H_
+#define EFES_SCENARIO_BIBLIOGRAPHIC_H_
+
+#include <string>
+#include <vector>
+
+#include "efes/common/result.h"
+#include "efes/core/integration_scenario.h"
+
+namespace efes {
+
+struct BiblioOptions {
+  uint64_t seed = 7;
+  /// Publications per database instance.
+  size_t publication_count = 800;
+  /// Distinct venues in the domain.
+  size_t venue_count = 30;
+  /// Fraction of publications with a missing venue (drives NOT NULL
+  /// structure conflicts).
+  double missing_venue_rate = 0.08;
+  /// Fraction of sloppy "'98"-style year strings in schema s1 (drives
+  /// critical value representations).
+  double sloppy_year_rate = 0.2;
+  /// Fraction of missing end pages in schema s3 (drives "too few source
+  /// elements" heterogeneities, repaired by Add values).
+  double missing_end_page_rate = 0.4;
+};
+
+/// Identifiers of the four schemas.
+enum class BiblioSchemaId { kS1, kS2, kS3, kS4 };
+
+std::string_view BiblioSchemaIdToString(BiblioSchemaId id);
+
+/// Builds the schema definition (no data).
+Schema MakeBiblioSchema(BiblioSchemaId id);
+
+/// Builds a populated database for one schema.
+Result<Database> MakeBiblioDatabase(BiblioSchemaId id,
+                                    const BiblioOptions& options);
+
+/// Builds one of the four case-study scenarios. Valid (source, target)
+/// pairs: (kS1,kS2), (kS1,kS3), (kS3,kS4), (kS4,kS4); other pairs fail
+/// with kInvalidArgument (no curated correspondences exist for them).
+Result<IntegrationScenario> MakeBiblioScenario(BiblioSchemaId source,
+                                               BiblioSchemaId target,
+                                               const BiblioOptions& options);
+
+/// All four scenarios of Figure 6, in the paper's order.
+Result<std::vector<IntegrationScenario>> MakeAllBiblioScenarios(
+    const BiblioOptions& options = {});
+
+}  // namespace efes
+
+#endif  // EFES_SCENARIO_BIBLIOGRAPHIC_H_

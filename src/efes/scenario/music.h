@@ -1,0 +1,67 @@
+// The discographic case study (Section 6.1).
+//
+// Three synthetic music schemas shaped like the originals: a flat
+// FreeDB-style dump (f), a heavily normalized MusicBrainz-style database
+// (m, 12 relations), and a medium Discogs-style one (d). The domain is
+// engineered to be *mapping-heavy* and comparatively clean at the value
+// level — "in this domain, there are fewer problems at the data level and
+// the effort is dominated by the mapping, which strongly depends on the
+// schema" (Section 6.2, Figure 7).
+//
+// Scenarios (matching Figure 7): f1-m2, m1-d2, m1-f2, and the identity
+// scenario d1-d2.
+
+#ifndef EFES_SCENARIO_MUSIC_H_
+#define EFES_SCENARIO_MUSIC_H_
+
+#include <string>
+#include <vector>
+
+#include "efes/common/result.h"
+#include "efes/core/integration_scenario.h"
+
+namespace efes {
+
+struct MusicOptions {
+  uint64_t seed = 11;
+  /// Discs / releases per database instance.
+  size_t disc_count = 400;
+  /// Tracks per disc (uniform in [min, max]).
+  size_t min_tracks = 6;
+  size_t max_tracks = 14;
+  /// Releases credited to two artists (drives the small structural
+  /// cleaning share of the music scenarios).
+  double multi_artist_rate = 0.12;
+
+  /// Adds a battery of MusicBrainz-style lookup relations (instrument,
+  /// area, language, ...) to the normalized schema, pushing it towards
+  /// the original's dozens of relations. They carry data but no
+  /// correspondences, so the *true* integration effort barely changes —
+  /// only the attribute count the baseline estimator sees does (the
+  /// ablation of bench/ablation_schema_width).
+  bool extended_lookups = false;
+};
+
+enum class MusicSchemaId { kFreedb, kMusicbrainz, kDiscogs };
+
+std::string_view MusicSchemaIdToString(MusicSchemaId id);
+
+Schema MakeMusicSchema(MusicSchemaId id, const MusicOptions& options = {});
+
+Result<Database> MakeMusicDatabase(MusicSchemaId id,
+                                   const MusicOptions& options);
+
+/// Valid pairs: (kFreedb,kMusicbrainz), (kMusicbrainz,kDiscogs),
+/// (kMusicbrainz,kFreedb), (kDiscogs,kDiscogs).
+Result<IntegrationScenario> MakeMusicScenario(MusicSchemaId source,
+                                              MusicSchemaId target,
+                                              const MusicOptions& options);
+
+/// All four scenarios of Figure 7, in the paper's order:
+/// f1-m2, m1-d2, m1-f2, d1-d2.
+Result<std::vector<IntegrationScenario>> MakeAllMusicScenarios(
+    const MusicOptions& options = {});
+
+}  // namespace efes
+
+#endif  // EFES_SCENARIO_MUSIC_H_

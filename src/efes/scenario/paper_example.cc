@@ -1,0 +1,226 @@
+#include "efes/scenario/paper_example.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "efes/common/random.h"
+
+namespace efes {
+
+namespace {
+
+/// A title-cased artist or song name like "Zuko Rilam".
+std::string Name(Random& rng, size_t words) {
+  std::string out;
+  for (size_t i = 0; i < words; ++i) {
+    if (i > 0) out += ' ';
+    std::string word = rng.Word(3, 8);
+    word[0] = static_cast<char>(word[0] - 'a' + 'A');
+    out += word;
+  }
+  return out;
+}
+
+/// Formats milliseconds as the target's "m:ss" duration string.
+std::string FormatDuration(int64_t milliseconds) {
+  int64_t total_seconds = milliseconds / 1000;
+  int64_t minutes = total_seconds / 60;
+  int64_t seconds = total_seconds % 60;
+  std::string out = std::to_string(minutes) + ":";
+  if (seconds < 10) out += '0';
+  out += std::to_string(seconds);
+  return out;
+}
+
+}  // namespace
+
+Schema MakePaperTargetSchema() {
+  Schema schema("music_target");
+  (void)schema.AddRelation(RelationDef(
+      "records", {{"id", DataType::kInteger},
+                  {"title", DataType::kText},
+                  {"artist", DataType::kText},
+                  {"genre", DataType::kText}}));
+  (void)schema.AddRelation(RelationDef(
+      "tracks", {{"record", DataType::kInteger},
+                 {"title", DataType::kText},
+                 {"duration", DataType::kText}}));
+  schema.AddConstraint(Constraint::PrimaryKey("records", {"id"}));
+  schema.AddConstraint(Constraint::NotNull("records", "title"));
+  schema.AddConstraint(Constraint::NotNull("records", "artist"));
+  schema.AddConstraint(
+      Constraint::ForeignKey("tracks", {"record"}, "records", {"id"}));
+  schema.AddConstraint(Constraint::NotNull("tracks", "record"));
+  schema.AddConstraint(Constraint::NotNull("tracks", "title"));
+  return schema;
+}
+
+Schema MakePaperSourceSchema() {
+  Schema schema("music_source");
+  (void)schema.AddRelation(RelationDef(
+      "albums", {{"id", DataType::kInteger},
+                 {"name", DataType::kText},
+                 {"artist_list", DataType::kInteger}}));
+  (void)schema.AddRelation(RelationDef(
+      "songs", {{"album", DataType::kInteger},
+                {"name", DataType::kText},
+                {"artist_list", DataType::kInteger},
+                {"length", DataType::kInteger}}));
+  (void)schema.AddRelation(
+      RelationDef("artist_lists", {{"id", DataType::kInteger}}));
+  (void)schema.AddRelation(RelationDef(
+      "artist_credits", {{"artist_list", DataType::kInteger},
+                         {"position", DataType::kInteger},
+                         {"artist", DataType::kText}}));
+  schema.AddConstraint(Constraint::PrimaryKey("albums", {"id"}));
+  schema.AddConstraint(Constraint::NotNull("albums", "name"));
+  schema.AddConstraint(Constraint::NotNull("albums", "artist_list"));
+  schema.AddConstraint(Constraint::ForeignKey(
+      "albums", {"artist_list"}, "artist_lists", {"id"}));
+  schema.AddConstraint(
+      Constraint::ForeignKey("songs", {"album"}, "albums", {"id"}));
+  schema.AddConstraint(Constraint::NotNull("songs", "name"));
+  schema.AddConstraint(Constraint::ForeignKey(
+      "songs", {"artist_list"}, "artist_lists", {"id"}));
+  schema.AddConstraint(Constraint::PrimaryKey("artist_lists", {"id"}));
+  schema.AddConstraint(Constraint::PrimaryKey(
+      "artist_credits", {"artist_list", "position"}));
+  schema.AddConstraint(Constraint::ForeignKey(
+      "artist_credits", {"artist_list"}, "artist_lists", {"id"}));
+  schema.AddConstraint(Constraint::NotNull("artist_credits", "artist"));
+  return schema;
+}
+
+Result<IntegrationScenario> MakePaperExample(
+    const PaperExampleOptions& options) {
+  Random rng(options.seed);
+
+  // --- Target with pre-existing, well-formed data -------------------------
+  EFES_ASSIGN_OR_RETURN(Database target,
+                        Database::Create(MakePaperTargetSchema()));
+  {
+    EFES_ASSIGN_OR_RETURN(Table * records, target.mutable_table("records"));
+    static const char* const kGenres[] = {"Rock", "Pop", "Jazz", "Folk",
+                                          "Electronic"};
+    for (size_t i = 0; i < options.target_records; ++i) {
+      EFES_RETURN_IF_ERROR(records->AppendRow(
+          {Value::Integer(static_cast<int64_t>(i + 1)),
+           Value::Text(Name(rng, 2 + rng.UniformUint64(2))),
+           Value::Text(Name(rng, 2)),
+           rng.Bernoulli(0.8)
+               ? Value::Text(kGenres[rng.UniformUint64(5)])
+               : Value::Null()}));
+    }
+    EFES_ASSIGN_OR_RETURN(Table * tracks, target.mutable_table("tracks"));
+    for (size_t i = 0; i < options.target_tracks; ++i) {
+      int64_t record_id =
+          1 + static_cast<int64_t>(rng.UniformUint64(options.target_records));
+      int64_t length_ms = rng.UniformInt(90'000, 480'000);
+      EFES_RETURN_IF_ERROR(tracks->AppendRow(
+          {Value::Integer(record_id),
+           Value::Text(Name(rng, 1 + rng.UniformUint64(4))),
+           Value::Text(FormatDuration(length_ms))}));
+    }
+  }
+
+  // --- Source --------------------------------------------------------------
+  EFES_ASSIGN_OR_RETURN(Database source,
+                        Database::Create(MakePaperSourceSchema()));
+
+  // Artist name pools: "normal" artists appear on albums; "orphan" artists
+  // only in credits of artist lists that no album references.
+  size_t normal_artist_count = 600;
+  std::vector<std::string> normal_artists;
+  std::set<std::string> used_names;
+  while (normal_artists.size() < normal_artist_count) {
+    std::string name = Name(rng, 2);
+    if (used_names.insert(name).second) normal_artists.push_back(name);
+  }
+  std::vector<std::string> orphan_artists;
+  while (orphan_artists.size() < options.orphan_artists) {
+    std::string name = Name(rng, 2);
+    if (used_names.insert(name).second) orphan_artists.push_back(name);
+  }
+
+  EFES_ASSIGN_OR_RETURN(Table * artist_lists,
+                        source.mutable_table("artist_lists"));
+  EFES_ASSIGN_OR_RETURN(Table * artist_credits,
+                        source.mutable_table("artist_credits"));
+  EFES_ASSIGN_OR_RETURN(Table * albums, source.mutable_table("albums"));
+  EFES_ASSIGN_OR_RETURN(Table * songs, source.mutable_table("songs"));
+
+  int64_t next_list_id = 1;
+
+  // One artist list per album. The first `multi_artist_albums` albums are
+  // credited with 2-3 distinct artists; all others with exactly one. Every
+  // normal artist is used at least once (round-robin base assignment).
+  for (size_t a = 0; a < options.album_count; ++a) {
+    int64_t list_id = next_list_id++;
+    EFES_RETURN_IF_ERROR(artist_lists->AppendRow({Value::Integer(list_id)}));
+
+    size_t credit_count =
+        a < options.multi_artist_albums ? 2 + rng.UniformUint64(2) : 1;
+    std::set<size_t> chosen;
+    chosen.insert(a % normal_artists.size());
+    while (chosen.size() < credit_count) {
+      chosen.insert(static_cast<size_t>(
+          rng.UniformUint64(normal_artists.size())));
+    }
+    int64_t position = 1;
+    for (size_t artist_index : chosen) {
+      EFES_RETURN_IF_ERROR(artist_credits->AppendRow(
+          {Value::Integer(list_id), Value::Integer(position++),
+           Value::Text(normal_artists[artist_index])}));
+    }
+
+    EFES_RETURN_IF_ERROR(albums->AppendRow(
+        {Value::Integer(static_cast<int64_t>(a + 1)),
+         Value::Text(Name(rng, 2 + rng.UniformUint64(2))),
+         Value::Integer(list_id)}));
+  }
+
+  // Orphan artist lists: credits exist, but no album references the list,
+  // so these artists never reach a record.
+  for (const std::string& orphan : orphan_artists) {
+    int64_t list_id = next_list_id++;
+    EFES_RETURN_IF_ERROR(artist_lists->AppendRow({Value::Integer(list_id)}));
+    EFES_RETURN_IF_ERROR(artist_credits->AppendRow(
+        {Value::Integer(list_id), Value::Integer(1), Value::Text(orphan)}));
+  }
+
+  // Songs: every song belongs to an album (the schema allows NULL, the
+  // data does not use it — the detector must report zero violations for
+  // the statically possible NOT NULL conflict on tracks.record).
+  for (size_t s = 0; s < options.song_count; ++s) {
+    int64_t album_id =
+        1 + static_cast<int64_t>(rng.UniformUint64(options.album_count));
+    int64_t length_ms = rng.UniformInt(90'000, 480'000);
+    EFES_RETURN_IF_ERROR(songs->AppendRow(
+        {Value::Integer(album_id),
+         Value::Text(Name(rng, 1 + rng.UniformUint64(4))),
+         rng.Bernoulli(0.3)
+             ? Value::Integer(1 + static_cast<int64_t>(rng.UniformUint64(
+                                      options.album_count)))
+             : Value::Null(),
+         Value::Integer(length_ms)}));
+  }
+
+  // --- Correspondences (Figure 2a, solid arrows) ---------------------------
+  CorrespondenceSet correspondences;
+  correspondences.AddRelation("albums", "records");
+  correspondences.AddAttribute("albums", "name", "records", "title");
+  correspondences.AddAttribute("artist_credits", "artist", "records",
+                               "artist");
+  correspondences.AddRelation("songs", "tracks");
+  correspondences.AddAttribute("songs", "name", "tracks", "title");
+  correspondences.AddAttribute("songs", "length", "tracks", "duration");
+  correspondences.AddAttribute("songs", "album", "tracks", "record");
+
+  IntegrationScenario scenario("paper-example", std::move(target));
+  scenario.AddSource(std::move(source), std::move(correspondences));
+  EFES_RETURN_IF_ERROR(scenario.Validate());
+  return scenario;
+}
+
+}  // namespace efes

@@ -1,0 +1,190 @@
+#include "efes/scenario/scenario_io.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "efes/common/string_util.h"
+#include "efes/relational/schema_text.h"
+
+namespace efes {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+Status WriteTextFile(const fs::path& path, const std::string& content) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    return Status::InvalidArgument("cannot open for writing: " +
+                                   path.string());
+  }
+  file << content;
+  if (!file.good()) {
+    return Status::Internal("short write to " + path.string());
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadTextFile(const fs::path& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::NotFound("cannot open: " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+Status SaveDatabase(const Database& database, const fs::path& directory) {
+  std::error_code ec;
+  fs::create_directories(directory / "data", ec);
+  if (ec) {
+    return Status::InvalidArgument("cannot create " + directory.string() +
+                                   ": " + ec.message());
+  }
+  EFES_RETURN_IF_ERROR(WriteTextFile(directory / "schema.sql",
+                                     WriteSchemaText(database.schema())));
+  for (const Table& table : database.tables()) {
+    if (table.row_count() == 0) continue;
+    EFES_ASSIGN_OR_RETURN(CsvDocument doc,
+                          database.ExportCsv(table.name()));
+    EFES_RETURN_IF_ERROR(WriteCsvFile(
+        doc, (directory / "data" / (table.name() + ".csv")).string()));
+  }
+  return Status::OK();
+}
+
+Result<Database> LoadDatabase(const fs::path& directory,
+                              const std::string& name) {
+  EFES_ASSIGN_OR_RETURN(std::string ddl,
+                        ReadTextFile(directory / "schema.sql"));
+  EFES_ASSIGN_OR_RETURN(Schema schema, ParseSchemaText(ddl, name));
+  EFES_ASSIGN_OR_RETURN(Database database,
+                        Database::Create(std::move(schema)));
+  fs::path data_dir = directory / "data";
+  if (fs::exists(data_dir)) {
+    for (const RelationDef& relation : database.schema().relations()) {
+      fs::path csv_path = data_dir / (relation.name() + ".csv");
+      if (!fs::exists(csv_path)) continue;
+      EFES_ASSIGN_OR_RETURN(CsvDocument doc,
+                            ReadCsvFile(csv_path.string()));
+      EFES_RETURN_IF_ERROR(database.LoadCsv(relation.name(), doc));
+    }
+  }
+  return database;
+}
+
+}  // namespace
+
+Result<Correspondence> ParseCorrespondenceLine(std::string_view line) {
+  size_t arrow = line.find("->");
+  if (arrow == std::string_view::npos) {
+    return Status::ParseError("correspondence line lacks '->': " +
+                              std::string(line));
+  }
+  std::string_view left = Trim(line.substr(0, arrow));
+  std::string_view right = Trim(line.substr(arrow + 2));
+  if (left.empty() || right.empty()) {
+    return Status::ParseError("empty correspondence side: " +
+                              std::string(line));
+  }
+  auto split_element = [](std::string_view element)
+      -> std::pair<std::string, std::string> {
+    size_t dot = element.find('.');
+    if (dot == std::string_view::npos) {
+      return {std::string(element), ""};
+    }
+    return {std::string(element.substr(0, dot)),
+            std::string(element.substr(dot + 1))};
+  };
+  auto [source_relation, source_attribute] = split_element(left);
+  auto [target_relation, target_attribute] = split_element(right);
+  if (source_attribute.empty() != target_attribute.empty()) {
+    return Status::ParseError(
+        "correspondence mixes relation and attribute granularity: " +
+        std::string(line));
+  }
+  Correspondence corr;
+  corr.source_relation = std::move(source_relation);
+  corr.source_attribute = std::move(source_attribute);
+  corr.target_relation = std::move(target_relation);
+  corr.target_attribute = std::move(target_attribute);
+  return corr;
+}
+
+Result<CorrespondenceSet> ParseCorrespondences(std::string_view text) {
+  CorrespondenceSet set;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    std::string_view line = Trim(raw_line);
+    size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = Trim(line.substr(0, hash));
+    if (line.empty()) continue;
+    EFES_ASSIGN_OR_RETURN(Correspondence corr,
+                          ParseCorrespondenceLine(line));
+    set.Add(std::move(corr));
+  }
+  return set;
+}
+
+std::string WriteCorrespondences(const CorrespondenceSet& correspondences) {
+  std::string out;
+  for (const Correspondence& corr : correspondences.all()) {
+    out += corr.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+Status SaveScenario(const IntegrationScenario& scenario,
+                    const std::string& directory) {
+  fs::path root(directory);
+  EFES_RETURN_IF_ERROR(SaveDatabase(scenario.target, root / "target"));
+  for (const SourceBinding& source : scenario.sources) {
+    fs::path source_dir = root / "sources" / source.database.name();
+    EFES_RETURN_IF_ERROR(SaveDatabase(source.database, source_dir));
+    EFES_RETURN_IF_ERROR(
+        WriteTextFile(source_dir / "correspondences.txt",
+                      WriteCorrespondences(source.correspondences)));
+  }
+  return Status::OK();
+}
+
+Result<IntegrationScenario> LoadScenario(const std::string& directory) {
+  fs::path root(directory);
+  if (!fs::exists(root / "target" / "schema.sql")) {
+    return Status::NotFound("no target/schema.sql under " + directory);
+  }
+  EFES_ASSIGN_OR_RETURN(Database target,
+                        LoadDatabase(root / "target", "target"));
+  IntegrationScenario scenario(root.filename().string(),
+                               std::move(target));
+
+  fs::path sources_dir = root / "sources";
+  std::vector<fs::path> source_dirs;
+  if (fs::exists(sources_dir)) {
+    for (const fs::directory_entry& entry :
+         fs::directory_iterator(sources_dir)) {
+      if (entry.is_directory()) source_dirs.push_back(entry.path());
+    }
+  }
+  std::sort(source_dirs.begin(), source_dirs.end());
+  for (const fs::path& source_dir : source_dirs) {
+    EFES_ASSIGN_OR_RETURN(
+        Database database,
+        LoadDatabase(source_dir, source_dir.filename().string()));
+    CorrespondenceSet correspondences;
+    fs::path corr_path = source_dir / "correspondences.txt";
+    if (fs::exists(corr_path)) {
+      EFES_ASSIGN_OR_RETURN(std::string text,
+                            ReadTextFile(corr_path));
+      EFES_ASSIGN_OR_RETURN(correspondences, ParseCorrespondences(text));
+    }
+    scenario.AddSource(std::move(database), std::move(correspondences));
+  }
+  EFES_RETURN_IF_ERROR(scenario.Validate());
+  return scenario;
+}
+
+}  // namespace efes

@@ -1,0 +1,50 @@
+// Loading and saving integration scenarios as a directory tree — the
+// file-based substitute for the original prototype's PostgreSQL input.
+//
+// Layout:
+//
+//   <dir>/
+//     target/
+//       schema.sql            -- DDL (see relational/schema_text.h)
+//       data/<table>.csv      -- optional instance, one CSV per table
+//     sources/<name>/
+//       schema.sql
+//       data/<table>.csv
+//       correspondences.txt   -- one correspondence per line:
+//                                "albums -> records" (relation level)
+//                                "albums.name -> records.title" (attribute)
+//
+// Everything is plain text; a scenario exported with SaveScenario loads
+// back identically (schemas, constraints, data, correspondences).
+
+#ifndef EFES_SCENARIO_SCENARIO_IO_H_
+#define EFES_SCENARIO_SCENARIO_IO_H_
+
+#include <string>
+
+#include "efes/common/result.h"
+#include "efes/core/integration_scenario.h"
+
+namespace efes {
+
+/// Parses one correspondence line ("a.b -> c.d" or "a -> c").
+Result<Correspondence> ParseCorrespondenceLine(std::string_view line);
+
+/// Parses a whole correspondences document (one per line; '#' comments).
+Result<CorrespondenceSet> ParseCorrespondences(std::string_view text);
+
+/// Renders a correspondence set in the line format.
+std::string WriteCorrespondences(const CorrespondenceSet& correspondences);
+
+/// Writes the scenario into `directory` (created if missing, existing
+/// files overwritten).
+Status SaveScenario(const IntegrationScenario& scenario,
+                    const std::string& directory);
+
+/// Loads a scenario from `directory`. The scenario name is the directory
+/// base name; sources load in lexicographic order.
+Result<IntegrationScenario> LoadScenario(const std::string& directory);
+
+}  // namespace efes
+
+#endif  // EFES_SCENARIO_SCENARIO_IO_H_

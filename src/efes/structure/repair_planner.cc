@@ -1,0 +1,291 @@
+#include "efes/structure/repair_planner.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace efes {
+
+namespace {
+
+/// Per-relationship state of the virtual CSG instance: the prescribed
+/// cardinality from the target schema and the actual cardinality of the
+/// (conceptually) integrated source data, plus how many elements are
+/// defective on each side.
+struct VirtualState {
+  Cardinality prescribed;
+  Cardinality actual;
+  size_t too_few = 0;
+  size_t too_many = 0;
+};
+
+std::string Subject(const CsgGraph& graph, const CsgRelationship& rel) {
+  // Repairs are attributed to the attribute end of the relationship
+  // ("Add missing values (title)"); equality relationships to the child
+  // attribute.
+  const CsgNode& from = graph.node(rel.from);
+  const CsgNode& to = graph.node(rel.to);
+  if (to.kind == CsgNodeKind::kAttribute) return to.QualifiedName();
+  return from.QualifiedName();
+}
+
+}  // namespace
+
+TaskType DefaultRepairTask(StructuralConflictKind kind,
+                           ExpectedQuality quality) {
+  bool high = quality == ExpectedQuality::kHighQuality;
+  switch (kind) {
+    case StructuralConflictKind::kNotNullViolated:
+      return high ? TaskType::kAddMissingValues : TaskType::kRejectTuples;
+    case StructuralConflictKind::kUniqueViolated:
+      return high ? TaskType::kAggregateTuples : TaskType::kSetValuesToNull;
+    case StructuralConflictKind::kMultipleAttributeValues:
+      return high ? TaskType::kMergeValues : TaskType::kKeepAnyValue;
+    case StructuralConflictKind::kValueWithoutTuple:
+      // Table 4 names the high-quality repair "Create enclosing tuple";
+      // the planned task is Table 5/9's "Add tuples" (one INSERT..SELECT
+      // statement), which is the same operation.
+      return high ? TaskType::kAddTuples : TaskType::kDropDetachedValues;
+    case StructuralConflictKind::kForeignKeyViolated:
+      return high ? TaskType::kAddReferencedValues
+                  : TaskType::kDeleteDanglingValues;
+  }
+  return TaskType::kRejectTuples;
+}
+
+Result<std::vector<Task>> PlanStructureRepairs(
+    const CsgGraph& target_graph,
+    const std::vector<StructureConflict>& conflicts, ExpectedQuality quality,
+    const RepairPlannerOptions& options, std::vector<std::string>* trace) {
+  const auto& relationships = target_graph.relationships();
+
+  // --- Initialize the virtual CSG instance -------------------------------
+  std::vector<VirtualState> states(relationships.size());
+  for (size_t i = 0; i < relationships.size(); ++i) {
+    states[i].prescribed = relationships[i].prescribed;
+    states[i].actual = relationships[i].prescribed;  // assume fit...
+  }
+  for (const StructureConflict& conflict : conflicts) {
+    VirtualState& state = states[conflict.target_relationship];
+    // A conflict may carry a constraint tighter than the anchoring
+    // relationship's own κ — e.g. a composite-key conflict prescribes 1
+    // on an attribute whose unary κ is 1..*. Honor the tighter bound.
+    if (conflict.prescribed.IsProperSubsetOf(state.prescribed)) {
+      state.prescribed = conflict.prescribed;
+    }
+    if (conflict.excess) {
+      uint64_t observed_max =
+          conflict.inferred.is_empty() ? Cardinality::kUnbounded
+                                       : conflict.inferred.max();
+      uint64_t prescribed_max = state.prescribed.is_unbounded()
+                                    ? Cardinality::kUnbounded
+                                    : state.prescribed.max() + 1;
+      uint64_t new_max = std::max<uint64_t>(observed_max, prescribed_max);
+      state.actual = Cardinality::Between(
+          state.actual.is_empty() ? 0 : state.actual.min(), new_max);
+      state.too_many += conflict.violation_count;
+    } else {
+      state.actual = Cardinality::Between(
+          0, state.actual.is_empty() ? 0 : state.actual.max());
+      state.too_few += conflict.violation_count;
+    }
+  }
+
+  auto emit_trace = [&](const std::string& line) {
+    if (trace != nullptr) trace->push_back(line);
+  };
+
+  // --- Task bookkeeping ---------------------------------------------------
+  std::vector<Task> tasks;
+  // (relationship, side) -> number of times this defect was repaired.
+  std::map<std::pair<RelationshipId, bool>, size_t> refix_count;
+
+  auto choose_task = [&](StructuralConflictKind kind) {
+    auto it = options.task_overrides.find({kind, quality});
+    if (it != options.task_overrides.end()) return it->second;
+    return DefaultRepairTask(kind, quality);
+  };
+
+  // Tasks and their (type, relationship) keys are kept in two parallel
+  // vectors; merging a recurring task moves it to the back so that a fix
+  // always follows its newest cause in the emitted order.
+  std::vector<std::pair<TaskType, RelationshipId>> task_keys;
+  auto upsert_task = [&](TaskType type, RelationshipId rel_id,
+                         size_t count) {
+    double repetitions = static_cast<double>(count);
+    for (size_t i = 0; i < task_keys.size(); ++i) {
+      if (task_keys[i] == std::make_pair(type, rel_id)) {
+        Task task = std::move(tasks[i]);
+        task.parameters[task_params::kRepetitions] += repetitions;
+        task.parameters[task_params::kValues] += repetitions;
+        task.parameters[task_params::kDistinctValues] += repetitions;
+        tasks.erase(tasks.begin() + static_cast<ptrdiff_t>(i));
+        task_keys.erase(task_keys.begin() + static_cast<ptrdiff_t>(i));
+        tasks.push_back(std::move(task));
+        task_keys.emplace_back(type, rel_id);
+        return;
+      }
+    }
+    Task task;
+    task.type = type;
+    task.category = TaskCategory::kCleaningStructure;
+    task.quality = quality;
+    task.subject = Subject(target_graph, relationships[rel_id]);
+    task.parameters[task_params::kRepetitions] = repetitions;
+    task.parameters[task_params::kValues] = repetitions;
+    task.parameters[task_params::kDistinctValues] = repetitions;
+    tasks.push_back(std::move(task));
+    task_keys.emplace_back(type, rel_id);
+  };
+
+  // --- Side-effect rules ---------------------------------------------------
+  // Marks `count` elements of relationship `rel_id` as lacking links.
+  auto break_too_few = [&](RelationshipId rel_id, size_t count) {
+    VirtualState& state = states[rel_id];
+    if (state.prescribed.min() == 0) return;  // optional, nothing breaks
+    state.actual =
+        Cardinality::Between(0, std::max<uint64_t>(state.actual.max(), 1));
+    state.too_few += count;
+    emit_trace("  side effect: actual k(" +
+               target_graph.DescribeRelationship(rel_id) +
+               ") drops to " + states[rel_id].actual.ToString());
+  };
+  auto break_too_many = [&](RelationshipId rel_id, size_t count) {
+    VirtualState& state = states[rel_id];
+    if (state.prescribed.is_unbounded()) return;
+    state.actual = Cardinality::Between(
+        state.actual.min(),
+        std::max<uint64_t>(state.actual.max(), state.prescribed.max() + 1));
+    state.too_many += count;
+    emit_trace("  side effect: actual k(" +
+               target_graph.DescribeRelationship(rel_id) +
+               ") grows to " + states[rel_id].actual.ToString());
+  };
+
+  auto apply_side_effects = [&](TaskType type, RelationshipId rel_id,
+                                size_t count) {
+    const CsgRelationship& rel = relationships[rel_id];
+    switch (type) {
+      case TaskType::kAddTuples: {
+        // Creating tuples for detached values: the new tuples have no
+        // values for the table's other mandatory attributes (Figure 5).
+        // Surrogate-key attributes (unique + not-null, i.e. κ = 1 in both
+        // directions) are exempt — their values are generated alongside
+        // the tuples, as the mapping module already plans.
+        NodeId table_node = rel.to;  // rel is attribute -> table
+        for (RelationshipId out : target_graph.OutgoingOf(table_node)) {
+          const CsgRelationship& sibling = target_graph.relationship(out);
+          if (sibling.kind != CsgEdgeKind::kAttribute) continue;
+          if (out == rel.inverse) continue;  // the repaired attribute
+          const CsgRelationship& sibling_inverse =
+              target_graph.relationship(sibling.inverse);
+          if (sibling.prescribed == Cardinality::Exactly(1) &&
+              sibling_inverse.prescribed == Cardinality::Exactly(1)) {
+            continue;  // surrogate key
+          }
+          break_too_few(out, count);
+        }
+        break;
+      }
+      case TaskType::kAggregateTuples: {
+        // Merging duplicate tuples leaves several values per attribute on
+        // the surviving tuple. Surrogate keys are exempt: the merge keeps
+        // one key and rewires references, which the dedup script covers.
+        NodeId table_node = rel.to;  // rel is attribute -> table
+        for (RelationshipId out : target_graph.OutgoingOf(table_node)) {
+          const CsgRelationship& sibling = target_graph.relationship(out);
+          if (sibling.kind != CsgEdgeKind::kAttribute) continue;
+          if (out == rel.inverse) continue;
+          const CsgRelationship& sibling_inverse =
+              target_graph.relationship(sibling.inverse);
+          if (sibling.prescribed == Cardinality::Exactly(1) &&
+              sibling_inverse.prescribed == Cardinality::Exactly(1)) {
+            continue;  // surrogate key
+          }
+          break_too_many(out, count);
+        }
+        break;
+      }
+      case TaskType::kRejectTuples: {
+        // Removing tuples may detach values of the table's attributes.
+        NodeId table_node = rel.from;  // rel is table -> attribute
+        for (RelationshipId out : target_graph.OutgoingOf(table_node)) {
+          const CsgRelationship& sibling = target_graph.relationship(out);
+          if (sibling.kind != CsgEdgeKind::kAttribute) continue;
+          break_too_few(sibling.inverse, count);
+        }
+        break;
+      }
+      case TaskType::kSetValuesToNull: {
+        // Nulled values leave their tuples without a value for this
+        // attribute.
+        break_too_few(rel.inverse, count);  // rel is attribute -> table
+        break;
+      }
+      default:
+        break;  // all other repairs are local
+    }
+  };
+
+  // --- Simulation loop ------------------------------------------------------
+  size_t iteration_cap = 4 * std::max<size_t>(relationships.size(), 1) + 16;
+  for (size_t iteration = 0;; ++iteration) {
+    if (iteration >= iteration_cap) {
+      return Status::Unsatisfiable(
+          "structure repair did not converge (cleaning loop)");
+    }
+
+    // Find the first defective relationship (deterministic order).
+    bool found = false;
+    RelationshipId rel_id = 0;
+    bool excess = false;
+    for (size_t i = 0; i < states.size(); ++i) {
+      const VirtualState& state = states[i];
+      if (state.actual.IsSubsetOf(state.prescribed)) continue;
+      rel_id = i;
+      // Repair missing links before excess links on the same relationship.
+      excess = state.actual.min() >= state.prescribed.min();
+      found = true;
+      break;
+    }
+    if (!found) break;  // virtual instance is valid — done
+
+    VirtualState& state = states[rel_id];
+    auto refix_key = std::make_pair(rel_id, excess);
+    if (++refix_count[refix_key] > options.max_refix_count) {
+      return Status::Unsatisfiable(
+          "contradicting repair tasks form a cleaning loop on " +
+          target_graph.DescribeRelationship(rel_id));
+    }
+
+    StructuralConflictKind kind = ClassifyConflict(
+        target_graph, relationships[rel_id], excess);
+    TaskType type = choose_task(kind);
+    size_t count = excess ? state.too_many : state.too_few;
+    if (count == 0) count = 1;  // defensive: a defect implies >= 1 element
+
+    emit_trace("actual k(" + target_graph.DescribeRelationship(rel_id) +
+               ") is " + state.actual.ToString() + " (not within " +
+               state.prescribed.ToString() + "): applying '" +
+               std::string(TaskTypeToString(type)) + "' x" +
+               std::to_string(count));
+
+    // Fix the defect on the virtual instance.
+    if (excess) {
+      state.actual =
+          Cardinality::Between(state.actual.min(), state.prescribed.max());
+      state.too_many = 0;
+    } else {
+      state.actual = Cardinality::Between(
+          state.prescribed.min(),
+          std::max<uint64_t>(state.actual.max(), state.prescribed.min()));
+      state.too_few = 0;
+    }
+
+    upsert_task(type, rel_id, count);
+    apply_side_effects(type, rel_id, count);
+  }
+
+  return tasks;
+}
+
+}  // namespace efes

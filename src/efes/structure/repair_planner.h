@@ -1,0 +1,54 @@
+// The structure repair planner (Section 4.2).
+//
+// Proposes cleaning tasks for the detected structural conflicts, and —
+// because "data cleaning operations usually have side effects that can
+// cause new violations" — simulates each applied task on a *virtual CSG
+// instance*: the target CSG annotated with actual cardinalities that
+// describe the state of the conceptually integrated source data
+// (Figure 5). The planner loops pick-task → simulate-effects until the
+// virtual instance satisfies all prescribed cardinalities, orders tasks
+// so causes precede fixes, and detects "infinite cleaning loops" caused
+// by contradicting repair choices.
+
+#ifndef EFES_STRUCTURE_REPAIR_PLANNER_H_
+#define EFES_STRUCTURE_REPAIR_PLANNER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "efes/core/task.h"
+#include "efes/structure/conflict_detector.h"
+
+namespace efes {
+
+struct RepairPlannerOptions {
+  /// Overrides the default Table 4 task choice for a conflict kind and
+  /// quality. Key: (kind, quality). Used for configurability and to
+  /// exercise cycle detection with contradicting strategies.
+  std::map<std::pair<StructuralConflictKind, ExpectedQuality>, TaskType>
+      task_overrides;
+
+  /// How often the same defect may recur (through side effects) before
+  /// the planner declares a cleaning loop.
+  size_t max_refix_count = 3;
+};
+
+/// Returns the default Table 4 cleaning task for a conflict kind and
+/// expected quality.
+TaskType DefaultRepairTask(StructuralConflictKind kind,
+                           ExpectedQuality quality);
+
+/// Plans the ordered repair-task list for the conflicts of one source.
+/// `trace`, when non-null, receives one line per simulation step — the
+/// textual analogue of Figure 5. Fails with kUnsatisfiable on cleaning
+/// loops.
+Result<std::vector<Task>> PlanStructureRepairs(
+    const CsgGraph& target_graph,
+    const std::vector<StructureConflict>& conflicts, ExpectedQuality quality,
+    const RepairPlannerOptions& options = {},
+    std::vector<std::string>* trace = nullptr);
+
+}  // namespace efes
+
+#endif  // EFES_STRUCTURE_REPAIR_PLANNER_H_

@@ -1,0 +1,77 @@
+// Tests for the attribute-counting baseline (Harden [14], Table 1).
+
+#include "efes/baseline/counting_estimator.h"
+
+#include <gtest/gtest.h>
+
+namespace efes {
+namespace {
+
+TEST(HardenWeightsTest, Table1SumsToEightPointZeroFiveHours) {
+  double hours = 0.0;
+  for (const HardenTaskWeight& weight : HardenTaskWeights()) {
+    hours += weight.hours_per_attribute;
+  }
+  EXPECT_NEAR(hours, 8.05, 1e-9);
+  EXPECT_NEAR(HardenMinutesPerAttribute(), 483.0, 1e-9);
+  EXPECT_EQ(HardenTaskWeights().size(), 13u);
+}
+
+TEST(HardenWeightsTest, Table1RowValues) {
+  const auto& weights = HardenTaskWeights();
+  EXPECT_EQ(weights[0].task, "Requirements and Mapping");
+  EXPECT_DOUBLE_EQ(weights[0].hours_per_attribute, 2.0);
+  EXPECT_EQ(weights[12].task, "Data Steward Support");
+  EXPECT_DOUBLE_EQ(weights[12].hours_per_attribute, 0.5);
+}
+
+TEST(CountingEstimatorTest, DefaultsToHardenRate) {
+  CountingEstimator estimator;
+  EXPECT_NEAR(estimator.minutes_per_attribute(), 483.0, 1e-9);
+  auto estimate = estimator.EstimateFromAttributeCount(10);
+  EXPECT_NEAR(estimate.total_minutes, 4830.0, 1e-9);
+  EXPECT_EQ(estimate.source_attributes, 10u);
+}
+
+TEST(CountingEstimatorTest, SplitsMappingAndCleaning) {
+  CountingEstimator estimator(100.0);
+  auto estimate = estimator.EstimateFromAttributeCount(1);
+  EXPECT_NEAR(estimate.total_minutes, 100.0, 1e-9);
+  EXPECT_NEAR(estimate.mapping_minutes + estimate.cleaning_minutes, 100.0,
+              1e-9);
+  // Mapping share of Table 1: (2.0 + 0.1 + 0.5 + 1.0) / 8.05.
+  EXPECT_NEAR(estimate.mapping_minutes, 100.0 * 3.6 / 8.05, 1e-9);
+}
+
+TEST(CountingEstimatorTest, CalibratableRate) {
+  CountingEstimator estimator;
+  estimator.set_minutes_per_attribute(5.0);
+  EXPECT_NEAR(estimator.EstimateFromAttributeCount(8).total_minutes, 40.0,
+              1e-9);
+}
+
+TEST(CountingEstimatorTest, UsesScenarioSourceAttributes) {
+  Schema target_schema("t");
+  (void)target_schema.AddRelation(RelationDef("t", {{"a", DataType::kText}}));
+  Schema source_schema("s");
+  (void)source_schema.AddRelation(RelationDef(
+      "s1", {{"a", DataType::kText}, {"b", DataType::kText}}));
+  (void)source_schema.AddRelation(RelationDef("s2", {{"c", DataType::kText}}));
+  IntegrationScenario scenario(
+      "x", std::move(*Database::Create(std::move(target_schema))));
+  scenario.AddSource(std::move(*Database::Create(std::move(source_schema))),
+                     CorrespondenceSet());
+  CountingEstimator estimator(10.0);
+  auto estimate = estimator.EstimateEffort(scenario);
+  EXPECT_EQ(estimate.source_attributes, 3u);
+  EXPECT_NEAR(estimate.total_minutes, 30.0, 1e-9);
+}
+
+TEST(CountingEstimatorTest, ZeroAttributesZeroEffort) {
+  CountingEstimator estimator;
+  auto estimate = estimator.EstimateFromAttributeCount(0);
+  EXPECT_DOUBLE_EQ(estimate.total_minutes, 0.0);
+}
+
+}  // namespace
+}  // namespace efes

@@ -1,0 +1,250 @@
+// Tests for the CSG cardinality algebra, including exhaustive checks of
+// the inference lemmas against brute-force enumeration over small
+// concrete relation instances.
+
+#include "efes/csg/cardinality.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <vector>
+
+namespace efes {
+namespace {
+
+TEST(CardinalityTest, FactoriesAndAccessors) {
+  EXPECT_EQ(Cardinality::Exactly(1).ToString(), "1");
+  EXPECT_EQ(Cardinality::Optional().ToString(), "0..1");
+  EXPECT_EQ(Cardinality::AtLeast(1).ToString(), "1..*");
+  EXPECT_EQ(Cardinality::Any().ToString(), "0..*");
+  EXPECT_EQ(Cardinality::Between(2, 5).ToString(), "2..5");
+  EXPECT_EQ(Cardinality::Empty().ToString(), "empty");
+  EXPECT_TRUE(Cardinality::Empty().is_empty());
+  EXPECT_TRUE(Cardinality::Any().is_unbounded());
+  EXPECT_FALSE(Cardinality::Exactly(3).is_unbounded());
+}
+
+TEST(CardinalityTest, Contains) {
+  Cardinality c = Cardinality::Between(1, 3);
+  EXPECT_FALSE(c.Contains(0));
+  EXPECT_TRUE(c.Contains(1));
+  EXPECT_TRUE(c.Contains(3));
+  EXPECT_FALSE(c.Contains(4));
+  EXPECT_TRUE(Cardinality::Any().Contains(1000000));
+  EXPECT_FALSE(Cardinality::Empty().Contains(0));
+}
+
+TEST(CardinalityTest, SubsetRelation) {
+  EXPECT_TRUE(Cardinality::Exactly(1).IsSubsetOf(Cardinality::Optional()));
+  EXPECT_TRUE(Cardinality::Exactly(1).IsSubsetOf(Cardinality::AtLeast(1)));
+  EXPECT_TRUE(Cardinality::Optional().IsSubsetOf(Cardinality::Any()));
+  EXPECT_FALSE(Cardinality::Any().IsSubsetOf(Cardinality::Optional()));
+  EXPECT_FALSE(
+      Cardinality::AtLeast(1).IsSubsetOf(Cardinality::Between(1, 10)));
+  EXPECT_TRUE(Cardinality::Empty().IsSubsetOf(Cardinality::Exactly(0)));
+  EXPECT_FALSE(Cardinality::Exactly(0).IsSubsetOf(Cardinality::Empty()));
+  EXPECT_TRUE(Cardinality::Any().IsSubsetOf(Cardinality::Any()));
+}
+
+TEST(CardinalityTest, ProperSubsetIsStrict) {
+  EXPECT_TRUE(
+      Cardinality::Exactly(1).IsProperSubsetOf(Cardinality::Optional()));
+  EXPECT_FALSE(
+      Cardinality::Optional().IsProperSubsetOf(Cardinality::Optional()));
+}
+
+TEST(CardinalityTest, Intersect) {
+  EXPECT_EQ(Cardinality::Between(1, 5).Intersect(Cardinality::Between(3, 9)),
+            Cardinality::Between(3, 5));
+  EXPECT_TRUE(Cardinality::Exactly(1)
+                  .Intersect(Cardinality::Exactly(2))
+                  .is_empty());
+  EXPECT_EQ(Cardinality::Any().Intersect(Cardinality::Exactly(7)),
+            Cardinality::Exactly(7));
+}
+
+TEST(CardinalityTest, Hull) {
+  EXPECT_EQ(Cardinality::Exactly(1).Hull(Cardinality::Exactly(4)),
+            Cardinality::Between(1, 4));
+  EXPECT_EQ(Cardinality::Empty().Hull(Cardinality::Exactly(2)),
+            Cardinality::Exactly(2));
+}
+
+// --- Lemma 1: composition -------------------------------------------------
+
+TEST(Lemma1Test, PaperExamples) {
+  // 1 ∘ 1 = 1.
+  EXPECT_EQ(Cardinality::Compose(Cardinality::Exactly(1),
+                                 Cardinality::Exactly(1)),
+            Cardinality::Exactly(1));
+  // 1 ∘ 0..1 = 0..1.
+  EXPECT_EQ(Cardinality::Compose(Cardinality::Exactly(1),
+                                 Cardinality::Optional()),
+            Cardinality::Optional());
+  // 0..1 ∘ 1..* = 0..* (sgn 0 · 1 = 0).
+  EXPECT_EQ(Cardinality::Compose(Cardinality::Optional(),
+                                 Cardinality::AtLeast(1)),
+            Cardinality::Any());
+  // 1..* ∘ 1..* = 1..*.
+  EXPECT_EQ(Cardinality::Compose(Cardinality::AtLeast(1),
+                                 Cardinality::AtLeast(1)),
+            Cardinality::AtLeast(1));
+  // 2..3 ∘ 2..3 = 2..9.
+  EXPECT_EQ(Cardinality::Compose(Cardinality::Between(2, 3),
+                                 Cardinality::Between(2, 3)),
+            Cardinality::Between(2, 9));
+}
+
+TEST(Lemma1Test, EmptyAbsorbs) {
+  EXPECT_TRUE(Cardinality::Compose(Cardinality::Empty(),
+                                   Cardinality::Exactly(1))
+                  .is_empty());
+  EXPECT_TRUE(Cardinality::Compose(Cardinality::Exactly(1),
+                                   Cardinality::Empty())
+                  .is_empty());
+}
+
+TEST(Lemma1Test, ZeroUpperBound) {
+  // 0 ∘ anything = 0.
+  EXPECT_EQ(Cardinality::Compose(Cardinality::Exactly(0),
+                                 Cardinality::AtLeast(5)),
+            Cardinality::Exactly(0));
+}
+
+// --- Lemma 2: unions --------------------------------------------------------
+
+TEST(Lemma2Test, DisjointDomainsIsHull) {
+  EXPECT_EQ(Cardinality::UnionDisjointDomains(Cardinality::Exactly(1),
+                                              Cardinality::Between(3, 4)),
+            Cardinality::Between(1, 4));
+}
+
+TEST(Lemma2Test, DisjointCodomainsAddBounds) {
+  EXPECT_EQ(Cardinality::UnionDisjointCodomains(Cardinality::Between(1, 2),
+                                                Cardinality::Between(3, 4)),
+            Cardinality::Between(4, 6));
+  EXPECT_EQ(Cardinality::UnionDisjointCodomains(Cardinality::Exactly(1),
+                                                Cardinality::Any()),
+            Cardinality::AtLeast(1));
+}
+
+TEST(Lemma2Test, OverlappingCodomains) {
+  // max(a1,a2) .. b1+b2.
+  EXPECT_EQ(Cardinality::UnionOverlapping(Cardinality::Between(1, 2),
+                                          Cardinality::Between(3, 4)),
+            Cardinality::Between(3, 6));
+}
+
+// --- Lemma 3: join -----------------------------------------------------------
+
+TEST(Lemma3Test, JoinBounds) {
+  EXPECT_EQ(Cardinality::Join(Cardinality::Between(1, 3),
+                              Cardinality::Between(2, 5)),
+            Cardinality::Between(1, 3));
+  EXPECT_EQ(Cardinality::Join(Cardinality::Any(), Cardinality::Any()),
+            Cardinality::AtLeast(1));
+}
+
+TEST(Lemma3Test, JoinEmptyWhenMaxZero) {
+  EXPECT_TRUE(Cardinality::Join(Cardinality::Exactly(0),
+                                Cardinality::AtLeast(1))
+                  .is_empty());
+}
+
+TEST(Lemma3Test, JoinInverseMultipliesBounds) {
+  EXPECT_EQ(Cardinality::JoinInverse(Cardinality::Between(1, 3),
+                                     Cardinality::Between(2, 5)),
+            Cardinality::Between(2, 15));
+  EXPECT_EQ(Cardinality::JoinInverse(Cardinality::Exactly(0),
+                                     Cardinality::Any()),
+            Cardinality::Exactly(0));
+}
+
+// --- Lemma 4: collateral -------------------------------------------------------
+
+TEST(Lemma4Test, CollateralBounds) {
+  EXPECT_EQ(Cardinality::Collateral(Cardinality::Between(1, 3),
+                                    Cardinality::Between(2, 5)),
+            Cardinality::Between(0, 15));
+  EXPECT_EQ(Cardinality::Collateral(Cardinality::Any(),
+                                    Cardinality::Exactly(1)),
+            Cardinality::Any());
+}
+
+// --- Brute-force verification of Lemma 1 -------------------------------------
+//
+// We enumerate all small bipartite link structures A->B->C whose per-
+// element out-degrees satisfy κ1 and κ2 and check that the composed
+// relation's out-degrees always satisfy Compose(κ1, κ2). This validates
+// the *soundness* of the interval inference.
+
+struct SmallWorld {
+  // links1[a] = set of b's; links2[b] = set of c's.
+  std::vector<std::set<int>> links1;
+  std::vector<std::set<int>> links2;
+};
+
+/// All subsets of {0..n-1} with size within [lo, hi].
+std::vector<std::set<int>> SubsetsWithin(int n, uint64_t lo, uint64_t hi) {
+  std::vector<std::set<int>> result;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    std::set<int> subset;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1 << i)) subset.insert(i);
+    }
+    if (subset.size() >= lo && subset.size() <= hi) {
+      result.push_back(std::move(subset));
+    }
+  }
+  return result;
+}
+
+class ComposeSoundnessTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ComposeSoundnessTest, ComposedDegreesWithinInferredBounds) {
+  auto [k1_index, k2_index] = GetParam();
+  const Cardinality kChoices[] = {
+      Cardinality::Exactly(0),   Cardinality::Exactly(1),
+      Cardinality::Optional(),   Cardinality::Between(1, 2),
+      Cardinality::Between(0, 2)};
+  Cardinality k1 = kChoices[k1_index];
+  Cardinality k2 = kChoices[k2_index];
+  Cardinality composed = Cardinality::Compose(k1, k2);
+
+  constexpr int kB = 2;
+  constexpr int kC = 2;
+  // One element in A; every element of B gets links to C satisfying κ2.
+  uint64_t k2_hi = std::min<uint64_t>(k2.max(), kC);
+  for (const std::set<int>& a_links : SubsetsWithin(kB, k1.min(),
+                                                    std::min<uint64_t>(
+                                                        k1.max(), kB))) {
+    std::vector<std::vector<std::set<int>>> b_options(kB);
+    for (int b = 0; b < kB; ++b) {
+      b_options[b] = SubsetsWithin(kC, k2.min(), k2_hi);
+      ASSERT_FALSE(b_options[b].empty());
+    }
+    // Enumerate the cross product of B-side choices.
+    size_t combos = b_options[0].size() * b_options[1].size();
+    for (size_t combo = 0; combo < combos; ++combo) {
+      const std::set<int>& b0 = b_options[0][combo % b_options[0].size()];
+      const std::set<int>& b1 = b_options[1][combo / b_options[0].size()];
+      std::set<int> reachable;
+      if (a_links.count(0)) reachable.insert(b0.begin(), b0.end());
+      if (a_links.count(1)) reachable.insert(b1.begin(), b1.end());
+      EXPECT_TRUE(composed.Contains(reachable.size()))
+          << "k1=" << k1.ToString() << " k2=" << k2.ToString()
+          << " composed=" << composed.ToString()
+          << " observed=" << reachable.size();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, ComposeSoundnessTest,
+    ::testing::Combine(::testing::Range(0, 5), ::testing::Range(0, 5)));
+
+}  // namespace
+}  // namespace efes

@@ -1,0 +1,123 @@
+// Tests for correspondences between schemas.
+
+#include "efes/relational/correspondence.h"
+
+#include <gtest/gtest.h>
+
+namespace efes {
+namespace {
+
+Schema MakeSource() {
+  Schema schema("source");
+  (void)schema.AddRelation(RelationDef(
+      "albums", {{"id", DataType::kInteger}, {"name", DataType::kText}}));
+  (void)schema.AddRelation(RelationDef(
+      "songs", {{"album", DataType::kInteger}, {"name", DataType::kText}}));
+  return schema;
+}
+
+Schema MakeTarget() {
+  Schema schema("target");
+  (void)schema.AddRelation(RelationDef(
+      "records", {{"id", DataType::kInteger}, {"title", DataType::kText}}));
+  (void)schema.AddRelation(RelationDef(
+      "tracks", {{"record", DataType::kInteger}, {"title", DataType::kText}}));
+  return schema;
+}
+
+CorrespondenceSet MakeSet() {
+  CorrespondenceSet set;
+  set.AddRelation("albums", "records");
+  set.AddAttribute("albums", "name", "records", "title");
+  set.AddRelation("songs", "tracks");
+  set.AddAttribute("songs", "name", "tracks", "title");
+  set.AddAttribute("songs", "album", "tracks", "record");
+  return set;
+}
+
+TEST(CorrespondenceTest, Granularity) {
+  CorrespondenceSet set = MakeSet();
+  EXPECT_TRUE(set.all()[0].is_relation_level());
+  EXPECT_TRUE(set.all()[1].is_attribute_level());
+  EXPECT_EQ(set.size(), 5u);
+  EXPECT_FALSE(set.empty());
+}
+
+TEST(CorrespondenceTest, ToStringFormats) {
+  CorrespondenceSet set = MakeSet();
+  EXPECT_EQ(set.all()[0].ToString(), "albums -> records");
+  EXPECT_EQ(set.all()[1].ToString(), "albums.name -> records.title");
+}
+
+TEST(CorrespondenceTest, AttributesInto) {
+  CorrespondenceSet set = MakeSet();
+  EXPECT_EQ(set.AttributesInto("tracks").size(), 2u);
+  EXPECT_EQ(set.AttributesInto("records").size(), 1u);
+  EXPECT_EQ(set.AttributesInto("tracks", "title").size(), 1u);
+  EXPECT_TRUE(set.AttributesInto("tracks", "ghost").empty());
+}
+
+TEST(CorrespondenceTest, SourceRelationsForDeduplicates) {
+  CorrespondenceSet set = MakeSet();
+  EXPECT_EQ(set.SourceRelationsFor("tracks"),
+            (std::vector<std::string>{"songs"}));
+  EXPECT_EQ(set.SourceRelationsFor("records"),
+            (std::vector<std::string>{"albums"}));
+}
+
+TEST(CorrespondenceTest, TargetRelations) {
+  CorrespondenceSet set = MakeSet();
+  EXPECT_EQ(set.TargetRelations(),
+            (std::vector<std::string>{"records", "tracks"}));
+}
+
+TEST(CorrespondenceTest, RelationCorrespondenceFor) {
+  CorrespondenceSet set = MakeSet();
+  auto corr = set.RelationCorrespondenceFor("records");
+  ASSERT_TRUE(corr.ok());
+  EXPECT_EQ(corr->source_relation, "albums");
+  EXPECT_FALSE(set.RelationCorrespondenceFor("ghost").ok());
+}
+
+TEST(CorrespondenceTest, ValidateAcceptsWellFormed) {
+  EXPECT_TRUE(MakeSet().Validate(MakeSource(), MakeTarget()).ok());
+}
+
+TEST(CorrespondenceTest, ValidateRejectsUnknownSourceRelation) {
+  CorrespondenceSet set;
+  set.AddRelation("ghost", "records");
+  EXPECT_FALSE(set.Validate(MakeSource(), MakeTarget()).ok());
+}
+
+TEST(CorrespondenceTest, ValidateRejectsUnknownAttribute) {
+  CorrespondenceSet set;
+  set.AddAttribute("albums", "ghost", "records", "title");
+  EXPECT_FALSE(set.Validate(MakeSource(), MakeTarget()).ok());
+  CorrespondenceSet set2;
+  set2.AddAttribute("albums", "name", "records", "ghost");
+  EXPECT_FALSE(set2.Validate(MakeSource(), MakeTarget()).ok());
+}
+
+TEST(CorrespondenceTest, ValidateRejectsMixedGranularity) {
+  CorrespondenceSet set;
+  Correspondence corr;
+  corr.source_relation = "albums";
+  corr.source_attribute = "name";
+  corr.target_relation = "records";
+  // target_attribute left empty -> mixed granularity.
+  set.Add(std::move(corr));
+  EXPECT_FALSE(set.Validate(MakeSource(), MakeTarget()).ok());
+}
+
+TEST(CorrespondenceTest, ValidateRejectsBadConfidence) {
+  CorrespondenceSet set;
+  Correspondence corr;
+  corr.source_relation = "albums";
+  corr.target_relation = "records";
+  corr.confidence = 1.5;
+  set.Add(std::move(corr));
+  EXPECT_FALSE(set.Validate(MakeSource(), MakeTarget()).ok());
+}
+
+}  // namespace
+}  // namespace efes

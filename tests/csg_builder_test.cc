@@ -1,0 +1,184 @@
+// Tests for the relational-to-CSG conversion.
+
+#include "efes/csg/builder.h"
+
+#include <gtest/gtest.h>
+
+namespace efes {
+namespace {
+
+/// Figure 2's target schema (records / tracks) with a little data.
+Database MakeTargetDatabase() {
+  Schema schema("target");
+  (void)schema.AddRelation(RelationDef(
+      "records", {{"id", DataType::kInteger},
+                  {"title", DataType::kText},
+                  {"artist", DataType::kText}}));
+  (void)schema.AddRelation(RelationDef(
+      "tracks", {{"record", DataType::kInteger},
+                 {"title", DataType::kText},
+                 {"duration", DataType::kText}}));
+  schema.AddConstraint(Constraint::PrimaryKey("records", {"id"}));
+  schema.AddConstraint(Constraint::NotNull("records", "title"));
+  schema.AddConstraint(
+      Constraint::ForeignKey("tracks", {"record"}, "records", {"id"}));
+  schema.AddConstraint(Constraint::NotNull("tracks", "record"));
+  auto db = Database::Create(std::move(schema));
+  EXPECT_TRUE(db.ok());
+  Table* records = *db->mutable_table("records");
+  EXPECT_TRUE(records
+                  ->AppendRow({Value::Integer(1), Value::Text("Album A"),
+                               Value::Text("Artist X")})
+                  .ok());
+  Table* tracks = *db->mutable_table("tracks");
+  EXPECT_TRUE(tracks
+                  ->AppendRow({Value::Integer(1),
+                               Value::Text("Sweet Home Alabama"),
+                               Value::Text("4:43")})
+                  .ok());
+  EXPECT_TRUE(tracks
+                  ->AppendRow({Value::Integer(1), Value::Text("I Need You"),
+                               Value::Null()})
+                  .ok());
+  return std::move(*db);
+}
+
+TEST(CsgBuilderTest, CreatesNodePerRelationAndAttribute) {
+  Database db = MakeTargetDatabase();
+  CsgGraph graph = BuildCsgGraph(db);
+  // 2 table nodes + 6 attribute nodes.
+  EXPECT_EQ(graph.nodes().size(), 8u);
+  EXPECT_TRUE(graph.FindTableNode("records").ok());
+  EXPECT_TRUE(graph.FindAttributeNode("tracks", "duration").ok());
+}
+
+TEST(CsgBuilderTest, NotNullTightensForwardCardinality) {
+  Database db = MakeTargetDatabase();
+  CsgGraph graph = BuildCsgGraph(db);
+  // tracks.record is NOT NULL: κ(tracks -> record) = 1.
+  NodeId tracks = *graph.FindTableNode("tracks");
+  NodeId record = *graph.FindAttributeNode("tracks", "record");
+  NodeId duration = *graph.FindAttributeNode("tracks", "duration");
+  for (RelationshipId id : graph.OutgoingOf(tracks)) {
+    const CsgRelationship& rel = graph.relationship(id);
+    if (rel.to == record) {
+      EXPECT_EQ(rel.prescribed, Cardinality::Exactly(1));
+    }
+    if (rel.to == duration) {
+      // duration is nullable: 0..1.
+      EXPECT_EQ(rel.prescribed, Cardinality::Optional());
+    }
+  }
+}
+
+TEST(CsgBuilderTest, UniqueTightensBackwardCardinality) {
+  Database db = MakeTargetDatabase();
+  CsgGraph graph = BuildCsgGraph(db);
+  NodeId id_node = *graph.FindAttributeNode("records", "id");
+  NodeId title_node = *graph.FindAttributeNode("records", "title");
+  NodeId records = *graph.FindTableNode("records");
+  for (RelationshipId rel_id : graph.OutgoingOf(id_node)) {
+    const CsgRelationship& rel = graph.relationship(rel_id);
+    if (rel.to == records) {
+      // records.id is the PK: each value in exactly one tuple.
+      EXPECT_EQ(rel.prescribed, Cardinality::Exactly(1));
+    }
+  }
+  for (RelationshipId rel_id : graph.OutgoingOf(title_node)) {
+    const CsgRelationship& rel = graph.relationship(rel_id);
+    if (rel.to == records) {
+      // titles are not unique: 1..*.
+      EXPECT_EQ(rel.prescribed, Cardinality::AtLeast(1));
+    }
+  }
+}
+
+TEST(CsgBuilderTest, ForeignKeyBecomesEqualityRelationship) {
+  Database db = MakeTargetDatabase();
+  CsgGraph graph = BuildCsgGraph(db);
+  NodeId record_attr = *graph.FindAttributeNode("tracks", "record");
+  NodeId id_attr = *graph.FindAttributeNode("records", "id");
+  bool found = false;
+  for (RelationshipId rel_id : graph.OutgoingOf(record_attr)) {
+    const CsgRelationship& rel = graph.relationship(rel_id);
+    if (rel.kind == CsgEdgeKind::kEquality && rel.to == id_attr) {
+      found = true;
+      EXPECT_EQ(rel.prescribed, Cardinality::Exactly(1));
+      EXPECT_EQ(graph.relationship(rel.inverse).prescribed,
+                Cardinality::Optional());
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CsgBuilderTest, InstanceHoldsTuplesAndDistinctValues) {
+  Database db = MakeTargetDatabase();
+  Csg csg = BuildCsg(db);
+  NodeId tracks = *csg.graph.FindTableNode("tracks");
+  NodeId record_attr = *csg.graph.FindAttributeNode("tracks", "record");
+  EXPECT_EQ(csg.instance.ElementCount(tracks), 2u);
+  // Both tracks share record value 1 -> one distinct element.
+  EXPECT_EQ(csg.instance.ElementCount(record_attr), 1u);
+}
+
+TEST(CsgBuilderTest, NullCellsProduceNoLink) {
+  Database db = MakeTargetDatabase();
+  Csg csg = BuildCsg(db);
+  NodeId tracks = *csg.graph.FindTableNode("tracks");
+  NodeId duration = *csg.graph.FindAttributeNode("tracks", "duration");
+  RelationshipId tracks_to_duration = 0;
+  for (RelationshipId rel_id : csg.graph.OutgoingOf(tracks)) {
+    if (csg.graph.relationship(rel_id).to == duration) {
+      tracks_to_duration = rel_id;
+    }
+  }
+  // Second track has NULL duration -> only one link.
+  EXPECT_EQ(csg.instance.LinkCount(tracks_to_duration), 1u);
+  EXPECT_EQ(csg.instance.CountViolations(csg.graph, tracks_to_duration,
+                                         Cardinality::Optional()),
+            0u);
+}
+
+TEST(CsgBuilderTest, EqualityLinksConnectMatchingValues) {
+  Database db = MakeTargetDatabase();
+  Csg csg = BuildCsg(db);
+  NodeId record_attr = *csg.graph.FindAttributeNode("tracks", "record");
+  RelationshipId equality = 0;
+  bool found = false;
+  for (RelationshipId rel_id : csg.graph.OutgoingOf(record_attr)) {
+    if (csg.graph.relationship(rel_id).kind == CsgEdgeKind::kEquality) {
+      equality = rel_id;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+  // Value 1 exists on both sides -> one equality link, no violations of
+  // κ = 1.
+  EXPECT_EQ(csg.instance.LinkCount(equality), 1u);
+  EXPECT_EQ(csg.instance.CountViolations(csg.graph, equality,
+                                         Cardinality::Exactly(1)),
+            0u);
+}
+
+TEST(CsgBuilderTest, DanglingForeignKeySurfacesAsMissingEqualityLink) {
+  Database db = MakeTargetDatabase();
+  Table* tracks = *db.mutable_table("tracks");
+  ASSERT_TRUE(tracks
+                  ->AppendRow({Value::Integer(99), Value::Text("dangling"),
+                               Value::Null()})
+                  .ok());
+  Csg csg = BuildCsg(db);
+  NodeId record_attr = *csg.graph.FindAttributeNode("tracks", "record");
+  for (RelationshipId rel_id : csg.graph.OutgoingOf(record_attr)) {
+    const CsgRelationship& rel = csg.graph.relationship(rel_id);
+    if (rel.kind == CsgEdgeKind::kEquality) {
+      // Value 99 has no equal records.id element -> one violation.
+      EXPECT_EQ(csg.instance.CountViolations(csg.graph, rel_id,
+                                             Cardinality::Exactly(1)),
+                1u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace efes

@@ -1,0 +1,113 @@
+// Tests for the CSV reader/writer.
+
+#include "efes/common/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace efes {
+namespace {
+
+TEST(CsvTest, ParsesSimpleDocument) {
+  auto doc = ParseCsv("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->header, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(doc->rows.size(), 2u);
+  EXPECT_EQ(doc->rows[0], (std::vector<std::string>{"1", "2", "3"}));
+  EXPECT_EQ(doc->rows[1], (std::vector<std::string>{"4", "5", "6"}));
+}
+
+TEST(CsvTest, HandlesMissingTrailingNewline) {
+  auto doc = ParseCsv("a,b\n1,2");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 1u);
+  EXPECT_EQ(doc->rows[0][1], "2");
+}
+
+TEST(CsvTest, HandlesCrLf) {
+  auto doc = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 1u);
+  EXPECT_EQ(doc->rows[0][0], "1");
+}
+
+TEST(CsvTest, ParsesQuotedFields) {
+  auto doc = ParseCsv("a,b\n\"hello, world\",\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows[0][0], "hello, world");
+  EXPECT_EQ(doc->rows[0][1], "say \"hi\"");
+}
+
+TEST(CsvTest, ParsesEmbeddedNewlineInQuotes) {
+  auto doc = ParseCsv("a\n\"line1\nline2\"\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows[0][0], "line1\nline2");
+}
+
+TEST(CsvTest, EmptyCellsPreserved) {
+  auto doc = ParseCsv("a,b,c\n,,\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows[0], (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(CsvTest, RejectsArityMismatch) {
+  auto doc = ParseCsv("a,b\n1,2,3\n");
+  EXPECT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  auto doc = ParseCsv("a\n\"oops\n");
+  EXPECT_FALSE(doc.ok());
+}
+
+TEST(CsvTest, RejectsEmptyInput) {
+  EXPECT_FALSE(ParseCsv("").ok());
+}
+
+TEST(CsvTest, CustomDelimiter) {
+  auto doc = ParseCsv("a;b\n1;2\n", ';');
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows[0][1], "2");
+}
+
+TEST(CsvTest, WriteQuotesOnlyWhenNeeded) {
+  CsvDocument doc;
+  doc.header = {"plain", "with,comma", "with\"quote"};
+  doc.rows = {{"v", "a,b", "x\"y"}};
+  std::string text = WriteCsv(doc);
+  EXPECT_EQ(text,
+            "plain,\"with,comma\",\"with\"\"quote\"\n"
+            "v,\"a,b\",\"x\"\"y\"\n");
+}
+
+TEST(CsvTest, RoundTripPreservesContent) {
+  CsvDocument doc;
+  doc.header = {"title", "notes"};
+  doc.rows = {{"Sweet Home Alabama", "4:43"},
+              {"contains, comma", "multi\nline"},
+              {"", "\"quoted\""}};
+  auto parsed = ParseCsv(WriteCsv(doc));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->header, doc.header);
+  EXPECT_EQ(parsed->rows, doc.rows);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  CsvDocument doc;
+  doc.header = {"a", "b"};
+  doc.rows = {{"1", "2"}, {"3", ""}};
+  std::string path = testing::TempDir() + "/efes_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(doc, path).ok());
+  auto read = ReadCsvFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->rows, doc.rows);
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  auto result = ReadCsvFile("/nonexistent/path/data.csv");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace efes

@@ -1,0 +1,157 @@
+// Tests for the EFES engine: module orchestration, aggregation, and the
+// extensibility contract (a custom module plugs in unchanged).
+
+#include "efes/core/engine.h"
+
+#include <gtest/gtest.h>
+
+namespace efes {
+namespace {
+
+IntegrationScenario MakeTrivialScenario() {
+  Schema target_schema("target");
+  (void)target_schema.AddRelation(
+      RelationDef("t", {{"a", DataType::kText}}));
+  Schema source_schema("source");
+  (void)source_schema.AddRelation(
+      RelationDef("s", {{"a", DataType::kText}}));
+  auto target = Database::Create(std::move(target_schema));
+  auto source = Database::Create(std::move(source_schema));
+  CorrespondenceSet correspondences;
+  correspondences.AddRelation("s", "t");
+  IntegrationScenario scenario("trivial", std::move(*target));
+  scenario.AddSource(std::move(*source), std::move(correspondences));
+  return scenario;
+}
+
+/// A stub module reporting one fixed problem and planning one task per
+/// report, used to test the engine contract.
+class FakeReport : public ComplexityReport {
+ public:
+  explicit FakeReport(size_t problems) : problems_(problems) {}
+  std::string module_name() const override { return "fake"; }
+  std::string ToText() const override { return "fake report\n"; }
+  size_t ProblemCount() const override { return problems_; }
+
+ private:
+  size_t problems_;
+};
+
+class FakeModule : public EstimationModule {
+ public:
+  explicit FakeModule(size_t problems = 1) : problems_(problems) {}
+
+  std::string name() const override { return "fake"; }
+
+  Result<std::unique_ptr<ComplexityReport>> AssessComplexity(
+      const IntegrationScenario&) const override {
+    return std::unique_ptr<ComplexityReport>(
+        std::make_unique<FakeReport>(problems_));
+  }
+
+  Result<std::vector<Task>> PlanTasks(
+      const ComplexityReport& report, ExpectedQuality quality,
+      const ExecutionSettings&) const override {
+    std::vector<Task> tasks;
+    for (size_t i = 0; i < report.ProblemCount(); ++i) {
+      Task task;
+      task.type = TaskType::kRejectTuples;  // 5 minutes in Table 9
+      task.category = TaskCategory::kCleaningStructure;
+      task.quality = quality;
+      tasks.push_back(std::move(task));
+    }
+    return tasks;
+  }
+
+ private:
+  size_t problems_;
+};
+
+TEST(EngineTest, RunsModulesAndPricesTasks) {
+  EfesEngine engine;
+  engine.AddModule(std::make_unique<FakeModule>(3));
+  EXPECT_EQ(engine.module_count(), 1u);
+  IntegrationScenario scenario = MakeTrivialScenario();
+  auto result = engine.Run(scenario, ExpectedQuality::kLowEffort, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->estimate.tasks.size(), 3u);
+  EXPECT_DOUBLE_EQ(result->estimate.TotalMinutes(), 15.0);
+  EXPECT_DOUBLE_EQ(
+      result->estimate.CategoryMinutes(TaskCategory::kCleaningStructure),
+      15.0);
+  EXPECT_DOUBLE_EQ(result->estimate.CategoryMinutes(TaskCategory::kMapping),
+                   0.0);
+  ASSERT_EQ(result->module_runs.size(), 1u);
+  EXPECT_EQ(result->module_runs[0].module, "fake");
+  EXPECT_EQ(result->module_runs[0].report->ProblemCount(), 3u);
+}
+
+TEST(EngineTest, MultipleModulesAggregate) {
+  EfesEngine engine;
+  engine.AddModule(std::make_unique<FakeModule>(1));
+  engine.AddModule(std::make_unique<FakeModule>(2));
+  IntegrationScenario scenario = MakeTrivialScenario();
+  auto result = engine.Run(scenario, ExpectedQuality::kHighQuality, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->estimate.tasks.size(), 3u);
+  EXPECT_EQ(result->module_runs.size(), 2u);
+}
+
+TEST(EngineTest, RunValidatesScenario) {
+  EfesEngine engine;
+  engine.AddModule(std::make_unique<FakeModule>());
+  // A scenario with a broken correspondence must be rejected.
+  Schema target_schema("t");
+  (void)target_schema.AddRelation(RelationDef("t", {}));
+  Schema source_schema("s");
+  (void)source_schema.AddRelation(RelationDef("s", {}));
+  auto target = Database::Create(std::move(target_schema));
+  auto source = Database::Create(std::move(source_schema));
+  CorrespondenceSet broken;
+  broken.AddRelation("ghost", "t");
+  IntegrationScenario scenario("broken", std::move(*target));
+  scenario.AddSource(std::move(*source), std::move(broken));
+  auto result = engine.Run(scenario, ExpectedQuality::kLowEffort, {});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(EngineTest, AssessComplexityRunsPhaseOneOnly) {
+  EfesEngine engine;
+  engine.AddModule(std::make_unique<FakeModule>(4));
+  IntegrationScenario scenario = MakeTrivialScenario();
+  auto reports = engine.AssessComplexity(scenario);
+  ASSERT_TRUE(reports.ok());
+  ASSERT_EQ(reports->size(), 1u);
+  EXPECT_EQ((*reports)[0]->ProblemCount(), 4u);
+}
+
+TEST(EngineTest, CustomEffortModelIsUsed) {
+  EffortModel model;  // empty: everything is free
+  EfesEngine engine(std::move(model));
+  engine.AddModule(std::make_unique<FakeModule>(2));
+  IntegrationScenario scenario = MakeTrivialScenario();
+  auto result = engine.Run(scenario, ExpectedQuality::kLowEffort, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->estimate.TotalMinutes(), 0.0);
+}
+
+TEST(EngineTest, EstimateToTextContainsBreakdown) {
+  EfesEngine engine;
+  engine.AddModule(std::make_unique<FakeModule>(1));
+  IntegrationScenario scenario = MakeTrivialScenario();
+  auto result = engine.Run(scenario, ExpectedQuality::kLowEffort, {});
+  ASSERT_TRUE(result.ok());
+  std::string text = result->ToText();
+  EXPECT_NE(text.find("fake report"), std::string::npos);
+  EXPECT_NE(text.find("Total"), std::string::npos);
+  EXPECT_NE(text.find("Cleaning (Structure)"), std::string::npos);
+}
+
+TEST(EffortEstimateTest, EmptyEstimate) {
+  EffortEstimate estimate;
+  EXPECT_DOUBLE_EQ(estimate.TotalMinutes(), 0.0);
+  EXPECT_NE(estimate.ToText().find("Total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace efes

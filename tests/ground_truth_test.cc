@@ -1,0 +1,129 @@
+// Tests for the ground-truth practitioner simulator.
+
+#include "efes/scenario/ground_truth.h"
+
+#include <gtest/gtest.h>
+
+#include "efes/scenario/paper_example.h"
+
+namespace efes {
+namespace {
+
+class GroundTruthTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto scenario = MakePaperExample();
+    ASSERT_TRUE(scenario.ok());
+    scenario_ = new IntegrationScenario(std::move(*scenario));
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+  static IntegrationScenario* scenario_;
+};
+
+IntegrationScenario* GroundTruthTest::scenario_ = nullptr;
+
+TEST_F(GroundTruthTest, DeterministicPerSeedAndQuality) {
+  auto a = SimulateMeasuredEffort(*scenario_,
+                                  ExpectedQuality::kHighQuality, 42);
+  auto b = SimulateMeasuredEffort(*scenario_,
+                                  ExpectedQuality::kHighQuality, 42);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->total(), b->total());
+  EXPECT_DOUBLE_EQ(a->mapping_minutes, b->mapping_minutes);
+}
+
+TEST_F(GroundTruthTest, DifferentSeedsVary) {
+  auto a = SimulateMeasuredEffort(*scenario_,
+                                  ExpectedQuality::kHighQuality, 1);
+  auto b = SimulateMeasuredEffort(*scenario_,
+                                  ExpectedQuality::kHighQuality, 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->total(), b->total());
+  // ...but only by the human-variance noise, not wildly.
+  EXPECT_NEAR(a->total() / b->total(), 1.0, 0.5);
+}
+
+TEST_F(GroundTruthTest, HighQualityCostsMoreThanLowEffort) {
+  auto low = SimulateMeasuredEffort(*scenario_,
+                                    ExpectedQuality::kLowEffort, 42);
+  auto high = SimulateMeasuredEffort(*scenario_,
+                                     ExpectedQuality::kHighQuality, 42);
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(high.ok());
+  EXPECT_GT(high->total(), low->total());
+}
+
+TEST_F(GroundTruthTest, BreakdownSumsToTotal) {
+  auto measured = SimulateMeasuredEffort(
+      *scenario_, ExpectedQuality::kHighQuality, 42);
+  ASSERT_TRUE(measured.ok());
+  EXPECT_DOUBLE_EQ(measured->total(),
+                   measured->mapping_minutes +
+                       measured->structure_minutes +
+                       measured->value_minutes);
+  EXPECT_GT(measured->mapping_minutes, 0.0);
+  EXPECT_GT(measured->structure_minutes, 0.0);
+  EXPECT_GT(measured->value_minutes, 0.0);
+}
+
+TEST_F(GroundTruthTest, MoreViolationsCostMore) {
+  PaperExampleOptions small;
+  small.album_count = 400;
+  small.multi_artist_albums = 20;
+  small.orphan_artists = 5;
+  small.song_count = 500;
+  PaperExampleOptions big = small;
+  big.multi_artist_albums = 200;
+  big.orphan_artists = 100;
+  auto small_scenario = MakePaperExample(small);
+  auto big_scenario = MakePaperExample(big);
+  ASSERT_TRUE(small_scenario.ok());
+  ASSERT_TRUE(big_scenario.ok());
+  auto small_measured = SimulateMeasuredEffort(
+      *small_scenario, ExpectedQuality::kHighQuality, 42);
+  auto big_measured = SimulateMeasuredEffort(
+      *big_scenario, ExpectedQuality::kHighQuality, 42);
+  ASSERT_TRUE(small_measured.ok());
+  ASSERT_TRUE(big_measured.ok());
+  EXPECT_GT(big_measured->structure_minutes,
+            small_measured->structure_minutes);
+}
+
+TEST_F(GroundTruthTest, CustomModelScalesCosts) {
+  GroundTruthModel cheap;
+  cheap.missing_value_each = 0.1;
+  cheap.merge_script = 1.0;
+  cheap.convert_script = 1.0;
+  cheap.noise_sigma = 0.0;
+  GroundTruthModel expensive = cheap;
+  expensive.missing_value_each = 10.0;
+  expensive.merge_script = 100.0;
+  auto a = SimulateMeasuredEffort(*scenario_,
+                                  ExpectedQuality::kHighQuality, 42, cheap);
+  auto b = SimulateMeasuredEffort(
+      *scenario_, ExpectedQuality::kHighQuality, 42, expensive);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(b->structure_minutes, a->structure_minutes);
+}
+
+TEST_F(GroundTruthTest, ZeroNoiseIsExactlyReproducible) {
+  GroundTruthModel model;
+  model.noise_sigma = 0.0;
+  auto a = SimulateMeasuredEffort(*scenario_, ExpectedQuality::kLowEffort,
+                                  1, model);
+  auto b = SimulateMeasuredEffort(*scenario_, ExpectedQuality::kLowEffort,
+                                  999, model);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Without noise the seed must not matter.
+  EXPECT_DOUBLE_EQ(a->total(), b->total());
+}
+
+}  // namespace
+}  // namespace efes

@@ -1,0 +1,128 @@
+// Tests for the deterministic PRNG.
+
+#include "efes/common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace efes {
+namespace {
+
+TEST(RandomTest, DeterministicPerSeed) {
+  Random a(123);
+  Random b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1);
+  Random b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RandomTest, UniformUint64StaysInBounds) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformUint64(17), 17u);
+  }
+}
+
+TEST(RandomTest, UniformIntCoversRangeInclusive) {
+  Random rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RandomTest, UniformDoubleInUnitInterval) {
+  Random rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RandomTest, GaussianMomentsRoughlyStandard) {
+  Random rng(13);
+  double sum = 0.0;
+  double sum_squares = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sum_squares += g * g;
+  }
+  double mean = sum / kN;
+  double variance = sum_squares / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(variance, 1.0, 0.05);
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random rng(17);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RandomTest, BernoulliFrequency) {
+  Random rng(19);
+  int hits = 0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.03);
+}
+
+TEST(RandomTest, ZipfPrefersLowRanks) {
+  Random rng(23);
+  int rank0 = 0;
+  int rank9 = 0;
+  for (int i = 0; i < 5000; ++i) {
+    size_t rank = rng.Zipf(10, 1.0);
+    EXPECT_LT(rank, 10u);
+    if (rank == 0) ++rank0;
+    if (rank == 9) ++rank9;
+  }
+  EXPECT_GT(rank0, rank9 * 3);
+}
+
+TEST(RandomTest, ShuffleIsPermutation) {
+  Random rng(29);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(shuffled);
+  std::multiset<int> a(items.begin(), items.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RandomTest, WordRespectsLengthBounds) {
+  Random rng(31);
+  for (int i = 0; i < 200; ++i) {
+    std::string word = rng.Word(3, 8);
+    EXPECT_GE(word.size(), 3u);
+    EXPECT_LE(word.size(), 8u);
+    for (char c : word) {
+      EXPECT_GE(c, 'a');
+      EXPECT_LE(c, 'z');
+    }
+  }
+}
+
+}  // namespace
+}  // namespace efes

@@ -1,0 +1,276 @@
+// Tests for the structure repair planner: Table 4 task selection, the
+// virtual-CSG side-effect simulation of Figure 5, task ordering, count
+// propagation, and cleaning-loop detection.
+
+#include "efes/structure/repair_planner.h"
+
+#include <gtest/gtest.h>
+
+namespace efes {
+namespace {
+
+/// The records-side of the paper's target: records(id PK, title NN,
+/// artist NN, genre).
+struct RecordsGraph {
+  CsgGraph graph;
+  NodeId records, id, title, artist, genre;
+  RelationshipId to_id, to_title, to_artist, to_genre;
+
+  RecordsGraph() {
+    records = graph.AddTableNode("records");
+    id = graph.AddAttributeNode("records", "id", DataType::kInteger);
+    title = graph.AddAttributeNode("records", "title", DataType::kText);
+    artist = graph.AddAttributeNode("records", "artist", DataType::kText);
+    genre = graph.AddAttributeNode("records", "genre", DataType::kText);
+    // id: PK -> exactly 1 both ways.
+    to_id = graph.AddRelationshipPair(records, id, CsgEdgeKind::kAttribute,
+                                      Cardinality::Exactly(1),
+                                      Cardinality::Exactly(1));
+    to_title = graph.AddRelationshipPair(
+        records, title, CsgEdgeKind::kAttribute, Cardinality::Exactly(1),
+        Cardinality::AtLeast(1));
+    to_artist = graph.AddRelationshipPair(
+        records, artist, CsgEdgeKind::kAttribute, Cardinality::Exactly(1),
+        Cardinality::AtLeast(1));
+    to_genre = graph.AddRelationshipPair(
+        records, genre, CsgEdgeKind::kAttribute, Cardinality::Optional(),
+        Cardinality::AtLeast(1));
+  }
+
+  StructureConflict Conflict(RelationshipId rel, bool excess, size_t count,
+                             const Cardinality& inferred) const {
+    StructureConflict conflict;
+    conflict.target_relationship = rel;
+    conflict.kind =
+        ClassifyConflict(graph, graph.relationship(rel), excess);
+    conflict.excess = excess;
+    conflict.prescribed = graph.relationship(rel).prescribed;
+    conflict.inferred = inferred;
+    conflict.violation_count = count;
+    return conflict;
+  }
+};
+
+const Task* FindTask(const std::vector<Task>& tasks, TaskType type) {
+  for (const Task& task : tasks) {
+    if (task.type == type) return &task;
+  }
+  return nullptr;
+}
+
+TEST(DefaultRepairTaskTest, Table4Matrix) {
+  using K = StructuralConflictKind;
+  using Q = ExpectedQuality;
+  EXPECT_EQ(DefaultRepairTask(K::kNotNullViolated, Q::kLowEffort),
+            TaskType::kRejectTuples);
+  EXPECT_EQ(DefaultRepairTask(K::kNotNullViolated, Q::kHighQuality),
+            TaskType::kAddMissingValues);
+  EXPECT_EQ(DefaultRepairTask(K::kUniqueViolated, Q::kLowEffort),
+            TaskType::kSetValuesToNull);
+  EXPECT_EQ(DefaultRepairTask(K::kUniqueViolated, Q::kHighQuality),
+            TaskType::kAggregateTuples);
+  EXPECT_EQ(DefaultRepairTask(K::kMultipleAttributeValues, Q::kLowEffort),
+            TaskType::kKeepAnyValue);
+  EXPECT_EQ(DefaultRepairTask(K::kMultipleAttributeValues, Q::kHighQuality),
+            TaskType::kMergeValues);
+  EXPECT_EQ(DefaultRepairTask(K::kValueWithoutTuple, Q::kLowEffort),
+            TaskType::kDropDetachedValues);
+  EXPECT_EQ(DefaultRepairTask(K::kValueWithoutTuple, Q::kHighQuality),
+            TaskType::kAddTuples);
+  EXPECT_EQ(DefaultRepairTask(K::kForeignKeyViolated, Q::kLowEffort),
+            TaskType::kDeleteDanglingValues);
+  EXPECT_EQ(DefaultRepairTask(K::kForeignKeyViolated, Q::kHighQuality),
+            TaskType::kAddReferencedValues);
+}
+
+TEST(RepairPlannerTest, NoConflictsNoTasks) {
+  RecordsGraph setup;
+  auto tasks = PlanStructureRepairs(setup.graph, {},
+                                    ExpectedQuality::kHighQuality);
+  ASSERT_TRUE(tasks.ok());
+  EXPECT_TRUE(tasks->empty());
+}
+
+TEST(RepairPlannerTest, Figure5AddTuplesTriggersAddMissingValues) {
+  RecordsGraph setup;
+  // 102 artists without records (value w/o enclosing tuple on
+  // artist -> records).
+  RelationshipId artist_to_records =
+      setup.graph.relationship(setup.to_artist).inverse;
+  std::vector<StructureConflict> conflicts = {setup.Conflict(
+      artist_to_records, /*excess=*/false, 102, Cardinality::Any())};
+
+  std::vector<std::string> trace;
+  auto tasks = PlanStructureRepairs(setup.graph, conflicts,
+                                    ExpectedQuality::kHighQuality, {},
+                                    &trace);
+  ASSERT_TRUE(tasks.ok());
+
+  const Task* add_tuples = FindTask(*tasks, TaskType::kAddTuples);
+  ASSERT_NE(add_tuples, nullptr);
+  EXPECT_DOUBLE_EQ(add_tuples->Param(task_params::kRepetitions), 102.0);
+
+  // Side effect: the created records lack titles (Figure 5b/5c).
+  const Task* add_missing = FindTask(*tasks, TaskType::kAddMissingValues);
+  ASSERT_NE(add_missing, nullptr);
+  EXPECT_EQ(add_missing->subject, "records.title");
+  EXPECT_DOUBLE_EQ(add_missing->Param(task_params::kValues), 102.0);
+
+  // Surrogate key and nullable genre are exempt.
+  for (const Task& task : *tasks) {
+    EXPECT_NE(task.subject, "records.id");
+    EXPECT_NE(task.subject, "records.genre");
+  }
+
+  // The cause precedes the fix.
+  size_t add_tuples_pos = 0;
+  size_t add_missing_pos = 0;
+  for (size_t i = 0; i < tasks->size(); ++i) {
+    if ((*tasks)[i].type == TaskType::kAddTuples) add_tuples_pos = i;
+    if ((*tasks)[i].type == TaskType::kAddMissingValues) {
+      add_missing_pos = i;
+    }
+  }
+  EXPECT_LT(add_tuples_pos, add_missing_pos);
+
+  // The trace narrates the simulation (Figure 5 analogue).
+  EXPECT_FALSE(trace.empty());
+  bool mentions_side_effect = false;
+  for (const std::string& line : trace) {
+    if (line.find("side effect") != std::string::npos) {
+      mentions_side_effect = true;
+    }
+  }
+  EXPECT_TRUE(mentions_side_effect);
+}
+
+TEST(RepairPlannerTest, Table5FullHighQualityPlan) {
+  RecordsGraph setup;
+  RelationshipId artist_to_records =
+      setup.graph.relationship(setup.to_artist).inverse;
+  std::vector<StructureConflict> conflicts = {
+      setup.Conflict(setup.to_artist, /*excess=*/true, 503,
+                     Cardinality::Any()),
+      setup.Conflict(artist_to_records, /*excess=*/false, 102,
+                     Cardinality::Any())};
+  auto tasks = PlanStructureRepairs(setup.graph, conflicts,
+                                    ExpectedQuality::kHighQuality);
+  ASSERT_TRUE(tasks.ok());
+  // Table 5: Add tuples (102), Add missing values (title, 102),
+  // Merge values (503).
+  ASSERT_EQ(tasks->size(), 3u);
+  const Task* merge = FindTask(*tasks, TaskType::kMergeValues);
+  ASSERT_NE(merge, nullptr);
+  EXPECT_DOUBLE_EQ(merge->Param(task_params::kRepetitions), 503.0);
+  EXPECT_NE(FindTask(*tasks, TaskType::kAddTuples), nullptr);
+  EXPECT_NE(FindTask(*tasks, TaskType::kAddMissingValues), nullptr);
+}
+
+TEST(RepairPlannerTest, LowQualityDropsDetachedValues) {
+  RecordsGraph setup;
+  RelationshipId artist_to_records =
+      setup.graph.relationship(setup.to_artist).inverse;
+  std::vector<StructureConflict> conflicts = {setup.Conflict(
+      artist_to_records, /*excess=*/false, 102, Cardinality::Any())};
+  auto tasks = PlanStructureRepairs(setup.graph, conflicts,
+                                    ExpectedQuality::kLowEffort);
+  ASSERT_TRUE(tasks.ok());
+  // Drop detached values has no side effects -> single task.
+  ASSERT_EQ(tasks->size(), 1u);
+  EXPECT_EQ((*tasks)[0].type, TaskType::kDropDetachedValues);
+}
+
+TEST(RepairPlannerTest, RejectTuplesOrphansSiblingValues) {
+  RecordsGraph setup;
+  std::vector<StructureConflict> conflicts = {setup.Conflict(
+      setup.to_title, /*excess=*/false, 10, Cardinality::Any())};
+  auto tasks = PlanStructureRepairs(setup.graph, conflicts,
+                                    ExpectedQuality::kLowEffort);
+  ASSERT_TRUE(tasks.ok());
+  EXPECT_NE(FindTask(*tasks, TaskType::kRejectTuples), nullptr);
+  // Rejecting tuples detaches values of the table's attributes, which the
+  // low-effort plan then drops (0-minute scripts).
+  EXPECT_NE(FindTask(*tasks, TaskType::kDropDetachedValues), nullptr);
+}
+
+TEST(RepairPlannerTest, AggregateTuplesCausesMergeValuesOnSiblings) {
+  RecordsGraph setup;
+  // Unique violated on title -> records (excess on attribute -> table).
+  RelationshipId title_to_records =
+      setup.graph.relationship(setup.to_title).inverse;
+  setup.graph.SetPrescribed(title_to_records, Cardinality::Exactly(1));
+  std::vector<StructureConflict> conflicts = {setup.Conflict(
+      title_to_records, /*excess=*/true, 30, Cardinality::AtLeast(1))};
+  auto tasks = PlanStructureRepairs(setup.graph, conflicts,
+                                    ExpectedQuality::kHighQuality);
+  ASSERT_TRUE(tasks.ok());
+  EXPECT_NE(FindTask(*tasks, TaskType::kAggregateTuples), nullptr);
+  // Merged tuples have several artist values to reconcile.
+  const Task* merge = FindTask(*tasks, TaskType::kMergeValues);
+  ASSERT_NE(merge, nullptr);
+  EXPECT_EQ(merge->subject, "records.artist");
+}
+
+TEST(RepairPlannerTest, TaskOverridesRespected) {
+  RecordsGraph setup;
+  RelationshipId artist_to_records =
+      setup.graph.relationship(setup.to_artist).inverse;
+  std::vector<StructureConflict> conflicts = {setup.Conflict(
+      artist_to_records, /*excess=*/false, 10, Cardinality::Any())};
+  RepairPlannerOptions options;
+  options.task_overrides[{StructuralConflictKind::kValueWithoutTuple,
+                          ExpectedQuality::kHighQuality}] =
+      TaskType::kDropDetachedValues;
+  auto tasks = PlanStructureRepairs(setup.graph, conflicts,
+                                    ExpectedQuality::kHighQuality, options);
+  ASSERT_TRUE(tasks.ok());
+  ASSERT_EQ(tasks->size(), 1u);
+  EXPECT_EQ((*tasks)[0].type, TaskType::kDropDetachedValues);
+}
+
+TEST(RepairPlannerTest, ContradictingStrategyDetectedAsCleaningLoop) {
+  RecordsGraph setup;
+  // Contradiction: repair missing titles by *rejecting* tuples, but
+  // repair detached values by *creating* tuples. Creating tuples breaks
+  // titles again; rejecting detaches values again — an infinite loop.
+  RepairPlannerOptions options;
+  options.task_overrides[{StructuralConflictKind::kValueWithoutTuple,
+                          ExpectedQuality::kLowEffort}] =
+      TaskType::kAddTuples;
+  // NotNull low-effort default is already kRejectTuples.
+  std::vector<StructureConflict> conflicts = {setup.Conflict(
+      setup.to_title, /*excess=*/false, 10, Cardinality::Any())};
+  auto tasks = PlanStructureRepairs(setup.graph, conflicts,
+                                    ExpectedQuality::kLowEffort, options);
+  ASSERT_FALSE(tasks.ok());
+  EXPECT_EQ(tasks.status().code(), StatusCode::kUnsatisfiable);
+}
+
+TEST(RepairPlannerTest, RecurringFixMergesCounts) {
+  RecordsGraph setup;
+  // Initial missing titles (20) plus detached artists (5) whose repair
+  // re-breaks titles: Add missing values must end with 25 repetitions and
+  // be ordered after Add tuples.
+  RelationshipId artist_to_records =
+      setup.graph.relationship(setup.to_artist).inverse;
+  std::vector<StructureConflict> conflicts = {
+      setup.Conflict(setup.to_title, /*excess=*/false, 20,
+                     Cardinality::Any()),
+      setup.Conflict(artist_to_records, /*excess=*/false, 5,
+                     Cardinality::Any())};
+  auto tasks = PlanStructureRepairs(setup.graph, conflicts,
+                                    ExpectedQuality::kHighQuality);
+  ASSERT_TRUE(tasks.ok());
+  const Task* add_missing = FindTask(*tasks, TaskType::kAddMissingValues);
+  ASSERT_NE(add_missing, nullptr);
+  EXPECT_DOUBLE_EQ(add_missing->Param(task_params::kValues), 25.0);
+  // Only one Add missing values task in the list (merged, not repeated).
+  size_t count = 0;
+  for (const Task& task : *tasks) {
+    if (task.type == TaskType::kAddMissingValues) ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+}  // namespace
+}  // namespace efes

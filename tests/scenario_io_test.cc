@@ -1,0 +1,154 @@
+// Tests for scenario directory persistence.
+
+#include "efes/scenario/scenario_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "efes/experiment/default_pipeline.h"
+#include "efes/scenario/paper_example.h"
+
+namespace efes {
+namespace {
+
+TEST(CorrespondenceLineTest, ParsesBothGranularities) {
+  auto relation = ParseCorrespondenceLine("albums -> records");
+  ASSERT_TRUE(relation.ok());
+  EXPECT_TRUE(relation->is_relation_level());
+  EXPECT_EQ(relation->source_relation, "albums");
+  EXPECT_EQ(relation->target_relation, "records");
+
+  auto attribute = ParseCorrespondenceLine("albums.name -> records.title");
+  ASSERT_TRUE(attribute.ok());
+  EXPECT_TRUE(attribute->is_attribute_level());
+  EXPECT_EQ(attribute->source_attribute, "name");
+  EXPECT_EQ(attribute->target_attribute, "title");
+}
+
+TEST(CorrespondenceLineTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseCorrespondenceLine("no arrow here").ok());
+  EXPECT_FALSE(ParseCorrespondenceLine(" -> records").ok());
+  EXPECT_FALSE(ParseCorrespondenceLine("albums -> ").ok());
+  EXPECT_FALSE(ParseCorrespondenceLine("albums.name -> records").ok());
+}
+
+TEST(CorrespondencesDocTest, RoundTrip) {
+  CorrespondenceSet set;
+  set.AddRelation("albums", "records");
+  set.AddAttribute("albums", "name", "records", "title");
+  set.AddAttribute("songs", "length", "tracks", "duration");
+  auto reparsed = ParseCorrespondences(WriteCorrespondences(set));
+  ASSERT_TRUE(reparsed.ok());
+  ASSERT_EQ(reparsed->size(), 3u);
+  EXPECT_EQ(reparsed->all()[0].ToString(), "albums -> records");
+  EXPECT_EQ(reparsed->all()[2].ToString(),
+            "songs.length -> tracks.duration");
+}
+
+TEST(CorrespondencesDocTest, CommentsAndBlanksIgnored) {
+  auto set = ParseCorrespondences(R"(
+# curated by hand
+albums -> records
+
+albums.name -> records.title   # the title feed
+)");
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->size(), 2u);
+}
+
+class ScenarioIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    directory_ = testing::TempDir() + "/efes_scenario_io_test";
+    std::filesystem::remove_all(directory_);
+  }
+  void TearDown() override { std::filesystem::remove_all(directory_); }
+
+  std::string directory_;
+};
+
+TEST_F(ScenarioIoTest, SaveLoadRoundTripPreservesEverything) {
+  PaperExampleOptions options;
+  options.album_count = 120;
+  options.multi_artist_albums = 30;
+  options.orphan_artists = 10;
+  options.song_count = 150;
+  auto original = MakePaperExample(options);
+  ASSERT_TRUE(original.ok());
+
+  ASSERT_TRUE(SaveScenario(*original, directory_).ok());
+  auto loaded = LoadScenario(directory_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  // Schemas.
+  EXPECT_EQ(loaded->target.schema().relations().size(),
+            original->target.schema().relations().size());
+  EXPECT_EQ(loaded->target.schema().constraints().size(),
+            original->target.schema().constraints().size());
+  ASSERT_EQ(loaded->sources.size(), 1u);
+  EXPECT_EQ(loaded->sources[0].correspondences.size(),
+            original->sources[0].correspondences.size());
+
+  // Data, cell by cell for one table.
+  const Table* original_albums = *original->sources[0].database.table(
+      "albums");
+  const Table* loaded_albums = *loaded->sources[0].database.table("albums");
+  ASSERT_EQ(loaded_albums->row_count(), original_albums->row_count());
+  for (size_t r = 0; r < original_albums->row_count(); ++r) {
+    for (size_t c = 0; c < original_albums->column_count(); ++c) {
+      EXPECT_EQ(loaded_albums->at(r, c), original_albums->at(r, c));
+    }
+  }
+}
+
+TEST_F(ScenarioIoTest, LoadedScenarioEstimatesIdentically) {
+  PaperExampleOptions options;
+  options.album_count = 150;
+  options.multi_artist_albums = 40;
+  options.orphan_artists = 12;
+  options.song_count = 200;
+  auto original = MakePaperExample(options);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(SaveScenario(*original, directory_).ok());
+  auto loaded = LoadScenario(directory_);
+  ASSERT_TRUE(loaded.ok());
+
+  EfesEngine engine = MakeDefaultEngine();
+  auto original_estimate =
+      engine.Run(*original, ExpectedQuality::kHighQuality, {});
+  auto loaded_estimate =
+      engine.Run(*loaded, ExpectedQuality::kHighQuality, {});
+  ASSERT_TRUE(original_estimate.ok());
+  ASSERT_TRUE(loaded_estimate.ok());
+  EXPECT_DOUBLE_EQ(loaded_estimate->estimate.TotalMinutes(),
+                   original_estimate->estimate.TotalMinutes());
+}
+
+TEST_F(ScenarioIoTest, LoadMissingDirectoryFails) {
+  auto loaded = LoadScenario(directory_ + "/does_not_exist");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ScenarioIoTest, EmptyTablesNeedNoCsvFiles) {
+  // A scenario whose source tables are empty saves without data files and
+  // loads back.
+  Schema target_schema("t");
+  (void)target_schema.AddRelation(
+      RelationDef("t", {{"a", DataType::kText}}));
+  Schema source_schema("s");
+  (void)source_schema.AddRelation(
+      RelationDef("s", {{"a", DataType::kText}}));
+  IntegrationScenario scenario(
+      "empty", std::move(*Database::Create(std::move(target_schema))));
+  scenario.AddSource(std::move(*Database::Create(std::move(source_schema))),
+                     CorrespondenceSet());
+  ASSERT_TRUE(SaveScenario(scenario, directory_).ok());
+  auto loaded = LoadScenario(directory_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->sources[0].database.TotalRowCount(), 0u);
+}
+
+}  // namespace
+}  // namespace efes

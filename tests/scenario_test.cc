@@ -1,0 +1,238 @@
+// Tests for the synthetic case-study generators: shape, validity,
+// determinism, and the engineered heterogeneities.
+
+#include <gtest/gtest.h>
+
+#include "efes/scenario/bibliographic.h"
+#include "efes/scenario/music.h"
+#include "efes/scenario/paper_example.h"
+
+namespace efes {
+namespace {
+
+// --- Paper example (Figure 2) ------------------------------------------------
+
+TEST(PaperExampleTest, SchemasMatchFigure2) {
+  Schema target = MakePaperTargetSchema();
+  EXPECT_TRUE(target.Validate().ok());
+  EXPECT_TRUE(target.HasRelation("records"));
+  EXPECT_TRUE(target.HasRelation("tracks"));
+  EXPECT_TRUE(target.IsNotNullable("records", "artist"));
+  EXPECT_TRUE(target.IsNotNullable("tracks", "record"));
+  EXPECT_EQ(target.PrimaryKeyOf("records"),
+            (std::vector<std::string>{"id"}));
+
+  Schema source = MakePaperSourceSchema();
+  EXPECT_TRUE(source.Validate().ok());
+  EXPECT_TRUE(source.HasRelation("albums"));
+  EXPECT_TRUE(source.HasRelation("artist_lists"));
+  EXPECT_TRUE(source.HasRelation("artist_credits"));
+  // songs.album is an FK but *nullable* (Figure 2a shows FK only).
+  EXPECT_FALSE(source.IsNotNullable("songs", "album"));
+}
+
+TEST(PaperExampleTest, ScenarioValidatesAndHasConfiguredSizes) {
+  PaperExampleOptions options;
+  options.album_count = 300;
+  options.multi_artist_albums = 50;
+  options.orphan_artists = 20;
+  options.song_count = 400;
+  auto scenario = MakePaperExample(options);
+  ASSERT_TRUE(scenario.ok());
+  EXPECT_TRUE(scenario->Validate().ok());
+  ASSERT_EQ(scenario->sources.size(), 1u);
+  const Database& source = scenario->sources[0].database;
+  EXPECT_EQ((*source.table("albums"))->row_count(), 300u);
+  EXPECT_EQ((*source.table("songs"))->row_count(), 400u);
+}
+
+TEST(PaperExampleTest, SourceInstanceIsValidWrtItsOwnSchema) {
+  // The paper's standing assumption: every instance is valid wrt. its
+  // schema; problems only arise upon integration.
+  auto scenario = MakePaperExample();
+  ASSERT_TRUE(scenario.ok());
+  EXPECT_TRUE(scenario->sources[0].database.SatisfiesConstraints());
+  EXPECT_TRUE(scenario->target.SatisfiesConstraints());
+}
+
+TEST(PaperExampleTest, Deterministic) {
+  auto a = MakePaperExample();
+  auto b = MakePaperExample();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const Table* albums_a = *a->sources[0].database.table("albums");
+  const Table* albums_b = *b->sources[0].database.table("albums");
+  ASSERT_EQ(albums_a->row_count(), albums_b->row_count());
+  for (size_t r = 0; r < albums_a->row_count(); ++r) {
+    EXPECT_EQ(albums_a->at(r, 1), albums_b->at(r, 1));
+  }
+}
+
+// --- Bibliographic domain ---------------------------------------------------
+
+TEST(BiblioTest, SchemasValidate) {
+  for (BiblioSchemaId id : {BiblioSchemaId::kS1, BiblioSchemaId::kS2,
+                            BiblioSchemaId::kS3, BiblioSchemaId::kS4}) {
+    Schema schema = MakeBiblioSchema(id);
+    EXPECT_TRUE(schema.Validate().ok())
+        << BiblioSchemaIdToString(id);
+  }
+}
+
+TEST(BiblioTest, ShapesDiffer) {
+  // s1 and s3 are flat; s2 and s4 normalized.
+  EXPECT_EQ(MakeBiblioSchema(BiblioSchemaId::kS1).relations().size(), 1u);
+  EXPECT_EQ(MakeBiblioSchema(BiblioSchemaId::kS2).relations().size(), 4u);
+  EXPECT_EQ(MakeBiblioSchema(BiblioSchemaId::kS3).relations().size(), 1u);
+  EXPECT_EQ(MakeBiblioSchema(BiblioSchemaId::kS4).relations().size(), 4u);
+}
+
+TEST(BiblioTest, DatabasesAreValidInstances) {
+  BiblioOptions options;
+  options.publication_count = 120;
+  for (BiblioSchemaId id : {BiblioSchemaId::kS1, BiblioSchemaId::kS2,
+                            BiblioSchemaId::kS3, BiblioSchemaId::kS4}) {
+    auto db = MakeBiblioDatabase(id, options);
+    ASSERT_TRUE(db.ok());
+    EXPECT_TRUE(db->SatisfiesConstraints())
+        << BiblioSchemaIdToString(id);
+    EXPECT_GT(db->TotalRowCount(), 0u);
+  }
+}
+
+TEST(BiblioTest, S1HasSloppyYearsAndMixedSeparators) {
+  BiblioOptions options;
+  options.publication_count = 200;
+  auto db = MakeBiblioDatabase(BiblioSchemaId::kS1, options);
+  ASSERT_TRUE(db.ok());
+  const Table* pubs = *db->table("pubs");
+  size_t sloppy = 0;
+  size_t with_and = 0;
+  size_t with_semicolon = 0;
+  auto year_column = *pubs->ColumnByName("year");
+  auto authors_column = *pubs->ColumnByName("authors");
+  for (size_t r = 0; r < pubs->row_count(); ++r) {
+    if ((*year_column)[r].AsText()[0] == '\'') ++sloppy;
+    const std::string& authors = (*authors_column)[r].AsText();
+    if (authors.find(" and ") != std::string::npos) ++with_and;
+    if (authors.find("; ") != std::string::npos) ++with_semicolon;
+  }
+  EXPECT_GT(sloppy, 10u);
+  EXPECT_GT(with_and, 0u);
+  EXPECT_GT(with_semicolon, 0u);
+}
+
+TEST(BiblioTest, S3HasMissingEndPages) {
+  BiblioOptions options;
+  options.publication_count = 200;
+  auto db = MakeBiblioDatabase(BiblioSchemaId::kS3, options);
+  ASSERT_TRUE(db.ok());
+  const Table* entries = *db->table("entries");
+  size_t end_page_index = *entries->def().AttributeIndex("end_page");
+  EXPECT_GT(entries->NullCount(end_page_index), 40u);
+}
+
+TEST(BiblioTest, AllFourScenariosBuildAndValidate) {
+  BiblioOptions options;
+  options.publication_count = 100;
+  auto scenarios = MakeAllBiblioScenarios(options);
+  ASSERT_TRUE(scenarios.ok());
+  ASSERT_EQ(scenarios->size(), 4u);
+  EXPECT_EQ((*scenarios)[0].name, "s1-s2");
+  EXPECT_EQ((*scenarios)[3].name, "s4-s4");
+  for (const IntegrationScenario& scenario : *scenarios) {
+    EXPECT_TRUE(scenario.Validate().ok()) << scenario.name;
+  }
+}
+
+TEST(BiblioTest, UncuratedPairRejected) {
+  BiblioOptions options;
+  options.publication_count = 50;
+  auto scenario =
+      MakeBiblioScenario(BiblioSchemaId::kS2, BiblioSchemaId::kS1, options);
+  EXPECT_FALSE(scenario.ok());
+  EXPECT_EQ(scenario.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- Music domain -------------------------------------------------------------
+
+TEST(MusicTest, SchemasValidateAndShapesDiffer) {
+  EXPECT_TRUE(MakeMusicSchema(MusicSchemaId::kFreedb).Validate().ok());
+  EXPECT_TRUE(MakeMusicSchema(MusicSchemaId::kMusicbrainz).Validate().ok());
+  EXPECT_TRUE(MakeMusicSchema(MusicSchemaId::kDiscogs).Validate().ok());
+  EXPECT_EQ(MakeMusicSchema(MusicSchemaId::kFreedb).relations().size(), 2u);
+  EXPECT_EQ(MakeMusicSchema(MusicSchemaId::kMusicbrainz).relations().size(),
+            12u);
+  EXPECT_EQ(MakeMusicSchema(MusicSchemaId::kDiscogs).relations().size(), 4u);
+}
+
+TEST(MusicTest, DatabasesAreValidInstances) {
+  MusicOptions options;
+  options.disc_count = 60;
+  for (MusicSchemaId id : {MusicSchemaId::kFreedb,
+                           MusicSchemaId::kMusicbrainz,
+                           MusicSchemaId::kDiscogs}) {
+    auto db = MakeMusicDatabase(id, options);
+    ASSERT_TRUE(db.ok());
+    EXPECT_TRUE(db->SatisfiesConstraints()) << MusicSchemaIdToString(id);
+  }
+}
+
+TEST(MusicTest, AllFourScenariosBuildAndValidate) {
+  MusicOptions options;
+  options.disc_count = 50;
+  auto scenarios = MakeAllMusicScenarios(options);
+  ASSERT_TRUE(scenarios.ok());
+  ASSERT_EQ(scenarios->size(), 4u);
+  EXPECT_EQ((*scenarios)[0].name, "f1-m2");
+  EXPECT_EQ((*scenarios)[1].name, "m1-d2");
+  EXPECT_EQ((*scenarios)[2].name, "m1-f2");
+  EXPECT_EQ((*scenarios)[3].name, "d1-d2");
+  for (const IntegrationScenario& scenario : *scenarios) {
+    EXPECT_TRUE(scenario.Validate().ok()) << scenario.name;
+  }
+}
+
+TEST(MusicTest, SharedVocabularyAcrossInstances) {
+  // The artist vocabulary is a domain fact: two differently seeded
+  // instances must share it (this keeps identity scenarios clean).
+  MusicOptions a;
+  a.disc_count = 40;
+  a.seed = 1;
+  MusicOptions b = a;
+  b.seed = 2;
+  auto db_a = MakeMusicDatabase(MusicSchemaId::kMusicbrainz, a);
+  auto db_b = MakeMusicDatabase(MusicSchemaId::kMusicbrainz, b);
+  ASSERT_TRUE(db_a.ok());
+  ASSERT_TRUE(db_b.ok());
+  const Table* artists_a = *db_a->table("artist");
+  const Table* artists_b = *db_b->table("artist");
+  ASSERT_EQ(artists_a->row_count(), artists_b->row_count());
+  EXPECT_EQ(artists_a->at(0, 1), artists_b->at(0, 1));
+  // But the disc titles differ.
+  const Table* releases_a = *db_a->table("release");
+  const Table* releases_b = *db_b->table("release");
+  EXPECT_NE(releases_a->at(0, 2), releases_b->at(0, 2));
+}
+
+TEST(MusicTest, DurationFormatsDifferAcrossSchemas) {
+  MusicOptions options;
+  options.disc_count = 20;
+  auto m = MakeMusicDatabase(MusicSchemaId::kMusicbrainz, options);
+  auto d = MakeMusicDatabase(MusicSchemaId::kDiscogs, options);
+  ASSERT_TRUE(m.ok());
+  ASSERT_TRUE(d.ok());
+  // m stores milliseconds as integers...
+  const Table* track = *m->table("track");
+  EXPECT_EQ(track->def().attributes()[4].name, "length");
+  EXPECT_EQ(track->at(0, 4).type(), DataType::kInteger);
+  EXPECT_GT(track->at(0, 4).AsInteger(), 10000);
+  // ...d stores "m:ss" strings.
+  const Table* release_tracks = *d->table("release_tracks");
+  const Value& duration = release_tracks->at(0, 3);
+  EXPECT_EQ(duration.type(), DataType::kText);
+  EXPECT_NE(duration.AsText().find(':'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace efes

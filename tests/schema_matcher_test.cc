@@ -1,0 +1,184 @@
+// Tests for the schema matcher that bootstraps correspondences.
+
+#include "efes/matching/schema_matcher.h"
+
+#include <gtest/gtest.h>
+
+namespace efes {
+namespace {
+
+Database MakeSource() {
+  Schema schema("source");
+  (void)schema.AddRelation(RelationDef(
+      "albums", {{"album_id", DataType::kInteger},
+                 {"album_title", DataType::kText},
+                 {"artist_name", DataType::kText}}));
+  (void)schema.AddRelation(RelationDef(
+      "reviews", {{"review_id", DataType::kInteger},
+                  {"score", DataType::kInteger}}));
+  auto db = Database::Create(std::move(schema));
+  EXPECT_TRUE(db.ok());
+  Table* albums = *db->mutable_table("albums");
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(albums
+                    ->AppendRow({Value::Integer(i),
+                                 Value::Text("Title " + std::to_string(i)),
+                                 Value::Text("Artist " + std::to_string(i))})
+                    .ok());
+  }
+  return std::move(*db);
+}
+
+Database MakeTarget() {
+  Schema schema("target");
+  (void)schema.AddRelation(RelationDef(
+      "records", {{"record_id", DataType::kInteger},
+                  {"title", DataType::kText},
+                  {"artist", DataType::kText}}));
+  auto db = Database::Create(std::move(schema));
+  EXPECT_TRUE(db.ok());
+  Table* records = *db->mutable_table("records");
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(records
+                    ->AppendRow({Value::Integer(i),
+                                 Value::Text("Title " + std::to_string(i)),
+                                 Value::Text("Artist " + std::to_string(i))})
+                    .ok());
+  }
+  return std::move(*db);
+}
+
+TEST(SchemaMatcherTest, IdenticalNamesScoreHigh) {
+  SchemaMatcher matcher;
+  Database source = MakeSource();
+  Database target = MakeTarget();
+  double score = matcher.ScoreAttributePair(
+      source, "albums", {"artist_name", DataType::kText}, target, "records",
+      {"artist", DataType::kText});
+  EXPECT_GT(score, 0.6);
+}
+
+TEST(SchemaMatcherTest, UnrelatedNamesScoreLow) {
+  SchemaMatcher matcher;
+  Database source = MakeSource();
+  Database target = MakeTarget();
+  double score = matcher.ScoreAttributePair(
+      source, "reviews", {"score", DataType::kInteger}, target, "records",
+      {"title", DataType::kText});
+  EXPECT_LT(score, 0.5);
+}
+
+TEST(SchemaMatcherTest, MatchFindsRelationAndAttributes) {
+  SchemaMatcher matcher;
+  Database source = MakeSource();
+  Database target = MakeTarget();
+  CorrespondenceSet correspondences = matcher.Match(source, target);
+
+  auto relation = correspondences.RelationCorrespondenceFor("records");
+  ASSERT_TRUE(relation.ok());
+  EXPECT_EQ(relation->source_relation, "albums");
+
+  std::vector<Correspondence> attrs =
+      correspondences.AttributesInto("records");
+  bool title_matched = false;
+  bool artist_matched = false;
+  for (const Correspondence& corr : attrs) {
+    if (corr.source_attribute == "album_title" &&
+        corr.target_attribute == "title") {
+      title_matched = true;
+    }
+    if (corr.source_attribute == "artist_name" &&
+        corr.target_attribute == "artist") {
+      artist_matched = true;
+    }
+  }
+  EXPECT_TRUE(title_matched);
+  EXPECT_TRUE(artist_matched);
+}
+
+TEST(SchemaMatcherTest, MatchIsOneToOne) {
+  SchemaMatcher matcher;
+  Database source = MakeSource();
+  Database target = MakeTarget();
+  CorrespondenceSet correspondences = matcher.Match(source, target);
+  std::set<std::string> used_targets;
+  for (const Correspondence& corr : correspondences.all()) {
+    if (!corr.is_attribute_level()) continue;
+    std::string key = corr.target_relation + "." + corr.target_attribute;
+    EXPECT_TRUE(used_targets.insert(key).second)
+        << "target attribute matched twice: " << key;
+  }
+}
+
+TEST(SchemaMatcherTest, ProducedCorrespondencesValidate) {
+  SchemaMatcher matcher;
+  Database source = MakeSource();
+  Database target = MakeTarget();
+  CorrespondenceSet correspondences = matcher.Match(source, target);
+  EXPECT_TRUE(
+      correspondences.Validate(source.schema(), target.schema()).ok());
+  for (const Correspondence& corr : correspondences.all()) {
+    EXPECT_GE(corr.confidence, 0.0);
+    EXPECT_LE(corr.confidence, 1.0);
+  }
+}
+
+TEST(SchemaMatcherTest, ScoreRelationsSortedDescending) {
+  SchemaMatcher matcher;
+  Database source = MakeSource();
+  Database target = MakeTarget();
+  std::vector<MatchCandidate> candidates =
+      matcher.ScoreRelations(source, target);
+  ASSERT_EQ(candidates.size(), 2u);  // {albums, reviews} x {records}
+  EXPECT_GE(candidates[0].score, candidates[1].score);
+  EXPECT_EQ(candidates[0].source_relation, "albums");
+}
+
+TEST(SchemaMatcherTest, InstanceEvidenceBreaksNameTies) {
+  // Two source attributes with equally dissimilar names; only one has
+  // data matching the target's value distribution.
+  Schema source_schema("s");
+  (void)source_schema.AddRelation(RelationDef(
+      "t", {{"colx", DataType::kText}, {"coly", DataType::kText}}));
+  auto source = Database::Create(std::move(source_schema));
+  Table* table = *source->mutable_table("t");
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(table
+                    ->AppendRow({Value::Text("4:4" + std::to_string(i % 10)),
+                                 Value::Text("plain words here")})
+                    .ok());
+  }
+  Schema target_schema("g");
+  (void)target_schema.AddRelation(
+      RelationDef("u", {{"dur", DataType::kText}}));
+  auto target = Database::Create(std::move(target_schema));
+  Table* target_table = *target->mutable_table("u");
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(
+        target_table->AppendRow({Value::Text("3:1" + std::to_string(i % 10))})
+            .ok());
+  }
+  SchemaMatcher matcher;
+  double fitting = matcher.ScoreAttributePair(
+      *source, "t", {"colx", DataType::kText}, *target, "u",
+      {"dur", DataType::kText});
+  double misfitting = matcher.ScoreAttributePair(
+      *source, "t", {"coly", DataType::kText}, *target, "u",
+      {"dur", DataType::kText});
+  EXPECT_GT(fitting, misfitting);
+}
+
+TEST(SchemaMatcherTest, ThresholdsFilterWeakMatches) {
+  MatcherOptions options;
+  options.min_relation_confidence = 0.99;
+  options.min_attribute_confidence = 0.99;
+  SchemaMatcher matcher(options);
+  Database source = MakeSource();
+  Database target = MakeTarget();
+  CorrespondenceSet correspondences = matcher.Match(source, target);
+  // With an impossible threshold nothing should match.
+  EXPECT_TRUE(correspondences.empty());
+}
+
+}  // namespace
+}  // namespace efes

@@ -1,0 +1,159 @@
+// Tests for relational schemas and constraints.
+
+#include "efes/relational/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace efes {
+namespace {
+
+Schema MakeMusicTarget() {
+  Schema schema("target");
+  (void)schema.AddRelation(RelationDef(
+      "records", {{"id", DataType::kInteger},
+                  {"title", DataType::kText},
+                  {"artist", DataType::kText}}));
+  (void)schema.AddRelation(RelationDef(
+      "tracks", {{"record", DataType::kInteger},
+                 {"title", DataType::kText}}));
+  schema.AddConstraint(Constraint::PrimaryKey("records", {"id"}));
+  schema.AddConstraint(Constraint::NotNull("records", "title"));
+  schema.AddConstraint(
+      Constraint::ForeignKey("tracks", {"record"}, "records", {"id"}));
+  return schema;
+}
+
+TEST(RelationDefTest, AttributeLookup) {
+  RelationDef rel("r", {{"a", DataType::kText}, {"b", DataType::kInteger}});
+  EXPECT_EQ(rel.AttributeIndex("a"), 0u);
+  EXPECT_EQ(rel.AttributeIndex("b"), 1u);
+  EXPECT_FALSE(rel.AttributeIndex("c").has_value());
+  auto attr = rel.Attribute("b");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->type, DataType::kInteger);
+  EXPECT_FALSE(rel.Attribute("zzz").ok());
+}
+
+TEST(SchemaTest, AddAndFindRelations) {
+  Schema schema = MakeMusicTarget();
+  EXPECT_TRUE(schema.HasRelation("records"));
+  EXPECT_FALSE(schema.HasRelation("albums"));
+  auto rel = schema.relation("tracks");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ((*rel)->attribute_count(), 2u);
+  EXPECT_FALSE(schema.relation("nope").ok());
+}
+
+TEST(SchemaTest, DuplicateRelationRejected) {
+  Schema schema("s");
+  ASSERT_TRUE(schema.AddRelation(RelationDef("r", {})).ok());
+  Status status = schema.AddRelation(RelationDef("r", {}));
+  EXPECT_EQ(status.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, ConstraintToString) {
+  EXPECT_EQ(Constraint::PrimaryKey("records", {"id"}).ToString(),
+            "PRIMARY KEY records(id)");
+  EXPECT_EQ(Constraint::NotNull("records", "title").ToString(),
+            "NOT NULL records(title)");
+  EXPECT_EQ(Constraint::ForeignKey("tracks", {"record"}, "records", {"id"})
+                .ToString(),
+            "FOREIGN KEY tracks(record) REFERENCES records(id)");
+  EXPECT_EQ(Constraint::Unique("r", {"a", "b"}).ToString(),
+            "UNIQUE r(a, b)");
+}
+
+TEST(SchemaTest, IsNotNullableFromDeclAndPk) {
+  Schema schema = MakeMusicTarget();
+  EXPECT_TRUE(schema.IsNotNullable("records", "title"));
+  EXPECT_TRUE(schema.IsNotNullable("records", "id"));  // via PK
+  EXPECT_FALSE(schema.IsNotNullable("records", "artist"));
+  EXPECT_FALSE(schema.IsNotNullable("tracks", "record"));
+}
+
+TEST(SchemaTest, IsUniqueAttribute) {
+  Schema schema = MakeMusicTarget();
+  EXPECT_TRUE(schema.IsUniqueAttribute("records", "id"));
+  EXPECT_FALSE(schema.IsUniqueAttribute("records", "title"));
+
+  schema.AddConstraint(Constraint::Unique("records", {"title"}));
+  EXPECT_TRUE(schema.IsUniqueAttribute("records", "title"));
+}
+
+TEST(SchemaTest, CompositeKeyIsNotSingleAttributeUnique) {
+  Schema schema("s");
+  (void)schema.AddRelation(RelationDef(
+      "r", {{"a", DataType::kInteger}, {"b", DataType::kInteger}}));
+  schema.AddConstraint(Constraint::PrimaryKey("r", {"a", "b"}));
+  EXPECT_FALSE(schema.IsUniqueAttribute("r", "a"));
+  EXPECT_TRUE(schema.IsNotNullable("r", "a"));
+}
+
+TEST(SchemaTest, PrimaryKeyOf) {
+  Schema schema = MakeMusicTarget();
+  EXPECT_EQ(schema.PrimaryKeyOf("records"),
+            (std::vector<std::string>{"id"}));
+  EXPECT_TRUE(schema.PrimaryKeyOf("tracks").empty());
+}
+
+TEST(SchemaTest, TotalAttributeCount) {
+  EXPECT_EQ(MakeMusicTarget().TotalAttributeCount(), 5u);
+}
+
+TEST(SchemaTest, ValidateAcceptsWellFormed) {
+  EXPECT_TRUE(MakeMusicTarget().Validate().ok());
+}
+
+TEST(SchemaTest, ValidateRejectsUnknownRelation) {
+  Schema schema("s");
+  schema.AddConstraint(Constraint::NotNull("ghost", "x"));
+  EXPECT_FALSE(schema.Validate().ok());
+}
+
+TEST(SchemaTest, ValidateRejectsUnknownAttribute) {
+  Schema schema("s");
+  (void)schema.AddRelation(RelationDef("r", {{"a", DataType::kText}}));
+  schema.AddConstraint(Constraint::NotNull("r", "ghost"));
+  EXPECT_FALSE(schema.Validate().ok());
+}
+
+TEST(SchemaTest, ValidateRejectsFkArityMismatch) {
+  Schema schema("s");
+  (void)schema.AddRelation(RelationDef(
+      "child", {{"x", DataType::kInteger}, {"y", DataType::kInteger}}));
+  (void)schema.AddRelation(
+      RelationDef("parent", {{"p", DataType::kInteger}}));
+  schema.AddConstraint(
+      Constraint::ForeignKey("child", {"x", "y"}, "parent", {"p"}));
+  EXPECT_FALSE(schema.Validate().ok());
+}
+
+TEST(SchemaTest, ValidateRejectsTwoPrimaryKeys) {
+  Schema schema("s");
+  (void)schema.AddRelation(RelationDef(
+      "r", {{"a", DataType::kInteger}, {"b", DataType::kInteger}}));
+  schema.AddConstraint(Constraint::PrimaryKey("r", {"a"}));
+  schema.AddConstraint(Constraint::PrimaryKey("r", {"b"}));
+  EXPECT_FALSE(schema.Validate().ok());
+}
+
+TEST(SchemaTest, ValidateRejectsFkToMissingParentAttribute) {
+  Schema schema("s");
+  (void)schema.AddRelation(
+      RelationDef("child", {{"x", DataType::kInteger}}));
+  (void)schema.AddRelation(
+      RelationDef("parent", {{"p", DataType::kInteger}}));
+  schema.AddConstraint(
+      Constraint::ForeignKey("child", {"x"}, "parent", {"ghost"}));
+  EXPECT_FALSE(schema.Validate().ok());
+}
+
+TEST(SchemaTest, ConstraintsFor) {
+  Schema schema = MakeMusicTarget();
+  EXPECT_EQ(schema.ConstraintsFor("records").size(), 2u);
+  EXPECT_EQ(schema.ConstraintsFor("tracks").size(), 1u);
+  EXPECT_TRUE(schema.ConstraintsFor("ghost").empty());
+}
+
+}  // namespace
+}  // namespace efes

@@ -1,0 +1,134 @@
+// Tests for the DDL-subset schema parser/writer.
+
+#include "efes/relational/schema_text.h"
+
+#include <gtest/gtest.h>
+
+namespace efes {
+namespace {
+
+constexpr char kRecordsDdl[] = R"(
+-- the Figure 2 target
+CREATE TABLE records (
+  id INTEGER PRIMARY KEY,
+  title TEXT NOT NULL,
+  artist TEXT NOT NULL,
+  genre TEXT
+);
+CREATE TABLE tracks (
+  record INTEGER NOT NULL REFERENCES records(id),
+  title TEXT NOT NULL,
+  duration TEXT
+);
+)";
+
+TEST(SchemaTextTest, ParsesRelationsAndTypes) {
+  auto schema = ParseSchemaText(kRecordsDdl, "target");
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_EQ(schema->relations().size(), 2u);
+  auto records = schema->relation("records");
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ((*records)->attribute_count(), 4u);
+  EXPECT_EQ((*(*records)->Attribute("id")).type, DataType::kInteger);
+  EXPECT_EQ((*(*records)->Attribute("title")).type, DataType::kText);
+}
+
+TEST(SchemaTextTest, ParsesColumnConstraints) {
+  auto schema = ParseSchemaText(kRecordsDdl, "target");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->PrimaryKeyOf("records"),
+            (std::vector<std::string>{"id"}));
+  EXPECT_TRUE(schema->IsNotNullable("records", "title"));
+  EXPECT_FALSE(schema->IsNotNullable("records", "genre"));
+  EXPECT_TRUE(schema->IsNotNullable("tracks", "record"));
+  bool fk_found = false;
+  for (const Constraint& c : schema->constraints()) {
+    if (c.kind == ConstraintKind::kForeignKey) {
+      fk_found = true;
+      EXPECT_EQ(c.relation, "tracks");
+      EXPECT_EQ(c.referenced_relation, "records");
+    }
+  }
+  EXPECT_TRUE(fk_found);
+}
+
+TEST(SchemaTextTest, ParsesTableLevelConstraints) {
+  auto schema = ParseSchemaText(R"(
+CREATE TABLE artist_credits (
+  artist_list INTEGER,
+  position INTEGER,
+  artist TEXT NOT NULL,
+  PRIMARY KEY (artist_list, position),
+  UNIQUE (artist),
+  FOREIGN KEY (artist_list) REFERENCES artist_lists(id)
+);
+CREATE TABLE artist_lists ( id INTEGER PRIMARY KEY );
+)",
+                                "source");
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_EQ(schema->PrimaryKeyOf("artist_credits"),
+            (std::vector<std::string>{"artist_list", "position"}));
+  EXPECT_TRUE(schema->IsUniqueAttribute("artist_credits", "artist"));
+}
+
+TEST(SchemaTextTest, TypeAliases) {
+  auto schema = ParseSchemaText(R"(
+CREATE TABLE t (
+  a INT, b BIGINT, c FLOAT, d DOUBLE, e VARCHAR(255), f STRING,
+  g BOOL, h NUMERIC
+);
+)",
+                                "s");
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  auto t = *schema->relation("t");
+  EXPECT_EQ(t->Attribute("a")->type, DataType::kInteger);
+  EXPECT_EQ(t->Attribute("b")->type, DataType::kInteger);
+  EXPECT_EQ(t->Attribute("c")->type, DataType::kReal);
+  EXPECT_EQ(t->Attribute("d")->type, DataType::kReal);
+  EXPECT_EQ(t->Attribute("e")->type, DataType::kText);
+  EXPECT_EQ(t->Attribute("f")->type, DataType::kText);
+  EXPECT_EQ(t->Attribute("g")->type, DataType::kBoolean);
+  EXPECT_EQ(t->Attribute("h")->type, DataType::kReal);
+}
+
+TEST(SchemaTextTest, CaseInsensitiveKeywords) {
+  auto schema = ParseSchemaText(
+      "create table T ( x integer not null, primary key (x) );", "s");
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_TRUE(schema->IsNotNullable("T", "x"));
+}
+
+TEST(SchemaTextTest, ParseErrors) {
+  EXPECT_FALSE(ParseSchemaText("CREATE INDEX foo;", "s").ok());
+  EXPECT_FALSE(ParseSchemaText("CREATE TABLE t ( x WIBBLE );", "s").ok());
+  EXPECT_FALSE(ParseSchemaText("CREATE TABLE t ( x INT", "s").ok());
+  EXPECT_FALSE(ParseSchemaText("CREATE TABLE t ( x INT )", "s").ok());
+  EXPECT_FALSE(ParseSchemaText("DROP TABLE t;", "s").ok());
+  // Validation errors propagate (FK to a missing table).
+  EXPECT_FALSE(
+      ParseSchemaText("CREATE TABLE t ( x INT REFERENCES ghost(id) );", "s")
+          .ok());
+}
+
+TEST(SchemaTextTest, RoundTrip) {
+  auto original = ParseSchemaText(kRecordsDdl, "target");
+  ASSERT_TRUE(original.ok());
+  std::string rendered = WriteSchemaText(*original);
+  auto reparsed = ParseSchemaText(rendered, "target");
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n"
+                             << rendered;
+  EXPECT_EQ(reparsed->relations().size(), original->relations().size());
+  EXPECT_EQ(reparsed->constraints().size(), original->constraints().size());
+  EXPECT_EQ(reparsed->PrimaryKeyOf("records"),
+            original->PrimaryKeyOf("records"));
+  EXPECT_TRUE(reparsed->IsNotNullable("tracks", "record"));
+}
+
+TEST(SchemaTextTest, EmptyInputIsEmptySchema) {
+  auto schema = ParseSchemaText("  -- nothing here\n", "empty");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_TRUE(schema->relations().empty());
+}
+
+}  // namespace
+}  // namespace efes

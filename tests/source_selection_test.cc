@@ -1,0 +1,85 @@
+// Tests for the source-selection ranking API.
+
+#include "efes/experiment/source_selection.h"
+
+#include <gtest/gtest.h>
+
+#include "efes/experiment/default_pipeline.h"
+#include "efes/scenario/paper_example.h"
+
+namespace efes {
+namespace {
+
+IntegrationScenario Candidate(const std::string& name, size_t multi_artist,
+                              size_t orphans) {
+  PaperExampleOptions options;
+  options.album_count = 300;
+  options.song_count = 400;
+  options.multi_artist_albums = multi_artist;
+  options.orphan_artists = orphans;
+  auto scenario = MakePaperExample(options);
+  scenario->name = name;
+  return std::move(*scenario);
+}
+
+TEST(SourceSelectionTest, RanksCheapestFirst) {
+  std::vector<IntegrationScenario> candidates;
+  candidates.push_back(Candidate("messy", 150, 60));
+  candidates.push_back(Candidate("clean", 0, 0));
+  candidates.push_back(Candidate("medium", 50, 20));
+
+  EfesEngine engine = MakeDefaultEngine();
+  auto rankings = RankSources(engine, candidates,
+                              ExpectedQuality::kHighQuality, {});
+  ASSERT_TRUE(rankings.ok());
+  ASSERT_EQ(rankings->size(), 3u);
+  EXPECT_EQ((*rankings)[0].scenario, "clean");
+  EXPECT_EQ((*rankings)[1].scenario, "medium");
+  EXPECT_EQ((*rankings)[2].scenario, "messy");
+  EXPECT_LT((*rankings)[0].estimated_minutes,
+            (*rankings)[2].estimated_minutes);
+  // The clean candidate has no structural conflicts to report.
+  EXPECT_EQ((*rankings)[0].structural_conflicts, 0u);
+  EXPECT_GT((*rankings)[2].structural_conflicts, 0u);
+}
+
+TEST(SourceSelectionTest, BreakdownFieldsPopulated) {
+  std::vector<IntegrationScenario> candidates;
+  candidates.push_back(Candidate("one", 50, 20));
+  EfesEngine engine = MakeDefaultEngine();
+  auto rankings = RankSources(engine, candidates,
+                              ExpectedQuality::kHighQuality, {});
+  ASSERT_TRUE(rankings.ok());
+  const SourceRanking& ranking = (*rankings)[0];
+  EXPECT_EQ(ranking.mapping_connections, 2u);
+  EXPECT_EQ(ranking.value_heterogeneities, 1u);
+  EXPECT_EQ(ranking.TotalProblems(), ranking.mapping_connections +
+                                         ranking.structural_conflicts +
+                                         ranking.value_heterogeneities);
+}
+
+TEST(SourceSelectionTest, EmptyCandidateList) {
+  EfesEngine engine = MakeDefaultEngine();
+  auto rankings =
+      RankSources(engine, {}, ExpectedQuality::kLowEffort, {});
+  ASSERT_TRUE(rankings.ok());
+  EXPECT_TRUE(rankings->empty());
+  EXPECT_NE(RenderRanking(*rankings).find("Rank"), std::string::npos);
+}
+
+TEST(SourceSelectionTest, RenderContainsAllCandidates) {
+  std::vector<IntegrationScenario> candidates;
+  candidates.push_back(Candidate("alpha", 10, 5));
+  candidates.push_back(Candidate("beta", 80, 40));
+  EfesEngine engine = MakeDefaultEngine();
+  auto rankings = RankSources(engine, candidates,
+                              ExpectedQuality::kHighQuality, {});
+  ASSERT_TRUE(rankings.ok());
+  std::string text = RenderRanking(*rankings);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("beta"), std::string::npos);
+  EXPECT_NE(text.find("Estimated effort"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace efes

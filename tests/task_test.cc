@@ -1,0 +1,78 @@
+// Tests for Task and its enums.
+
+#include "efes/core/task.h"
+
+#include <gtest/gtest.h>
+
+namespace efes {
+namespace {
+
+TEST(TaskTest, QualityNames) {
+  EXPECT_EQ(ExpectedQualityToString(ExpectedQuality::kLowEffort),
+            "low effort");
+  EXPECT_EQ(ExpectedQualityToString(ExpectedQuality::kHighQuality),
+            "high quality");
+}
+
+TEST(TaskTest, CategoryNames) {
+  EXPECT_EQ(TaskCategoryToString(TaskCategory::kMapping), "Mapping");
+  EXPECT_EQ(TaskCategoryToString(TaskCategory::kCleaningStructure),
+            "Cleaning (Structure)");
+  EXPECT_EQ(TaskCategoryToString(TaskCategory::kCleaningValues),
+            "Cleaning (Values)");
+}
+
+TEST(TaskTest, TypeNamesMatchPaperTables) {
+  // Table 4 names.
+  EXPECT_EQ(TaskTypeToString(TaskType::kRejectTuples), "Reject tuples");
+  EXPECT_EQ(TaskTypeToString(TaskType::kAddMissingValues),
+            "Add missing values");
+  EXPECT_EQ(TaskTypeToString(TaskType::kSetValuesToNull),
+            "Set values to null");
+  EXPECT_EQ(TaskTypeToString(TaskType::kAggregateTuples),
+            "Aggregate tuples");
+  EXPECT_EQ(TaskTypeToString(TaskType::kKeepAnyValue), "Keep any value");
+  EXPECT_EQ(TaskTypeToString(TaskType::kMergeValues), "Merge values");
+  // Table 7 names.
+  EXPECT_EQ(TaskTypeToString(TaskType::kAddValues), "Add values");
+  EXPECT_EQ(TaskTypeToString(TaskType::kDropValues), "Drop values");
+  EXPECT_EQ(TaskTypeToString(TaskType::kConvertValues), "Convert values");
+  EXPECT_EQ(TaskTypeToString(TaskType::kGeneralizeValues),
+            "Generalize values");
+  EXPECT_EQ(TaskTypeToString(TaskType::kRefineValues), "Refine values");
+  // Table 9 names.
+  EXPECT_EQ(TaskTypeToString(TaskType::kWriteMapping), "Write mapping");
+  EXPECT_EQ(TaskTypeToString(TaskType::kAddTuples), "Add tuples");
+  EXPECT_EQ(TaskTypeToString(TaskType::kCreateEnclosingTuples),
+            "Create enclosing tuples");
+  EXPECT_EQ(TaskTypeToString(TaskType::kDropDetachedValues),
+            "Delete detached values");
+  EXPECT_EQ(TaskTypeToString(TaskType::kUnlinkAllButOneTuple),
+            "Unlink all but one tuple");
+}
+
+TEST(TaskTest, ParamLookupWithFallback) {
+  Task task;
+  task.parameters["values"] = 102.0;
+  EXPECT_DOUBLE_EQ(task.Param("values"), 102.0);
+  EXPECT_DOUBLE_EQ(task.Param("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(task.Param("missing", 7.0), 7.0);
+}
+
+TEST(TaskTest, ToStringIncludesSubjectAndParameters) {
+  Task task;
+  task.type = TaskType::kAddMissingValues;
+  task.subject = "records.title";
+  task.parameters["values"] = 102.0;
+  EXPECT_EQ(task.ToString(),
+            "Add missing values (records.title) [values=102]");
+}
+
+TEST(TaskTest, ToStringWithoutSubjectOrParams) {
+  Task task;
+  task.type = TaskType::kDropValues;
+  EXPECT_EQ(task.ToString(), "Drop values");
+}
+
+}  // namespace
+}  // namespace efes

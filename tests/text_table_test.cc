@@ -1,0 +1,71 @@
+// Tests for the plain-text table renderer.
+
+#include "efes/common/text_table.h"
+
+#include <gtest/gtest.h>
+
+namespace efes {
+namespace {
+
+TEST(TextTableTest, EmptyTableRendersEmpty) {
+  TextTable table;
+  EXPECT_EQ(table.ToString(), "");
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table;
+  table.SetHeader({"Target table", "Attrs"});
+  table.AddRow({"records", "2"});
+  table.AddRow({"tracks", "2"});
+  EXPECT_EQ(table.ToString(),
+            "Target table | Attrs\n"
+            "-------------+------\n"
+            "records      | 2\n"
+            "tracks       | 2\n");
+}
+
+TEST(TextTableTest, WideCellGrowsColumn) {
+  TextTable table;
+  table.SetHeader({"a", "b"});
+  table.AddRow({"very wide cell", "x"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("very wide cell | x"), std::string::npos);
+}
+
+TEST(TextTableTest, SeparatorRows) {
+  TextTable table;
+  table.SetHeader({"x"});
+  table.AddRow({"1"});
+  table.AddSeparator();
+  table.AddRow({"2"});
+  std::string out = table.ToString();
+  // Header separator plus explicit one.
+  size_t first = out.find("-\n");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(out.find("-\n", first + 1), std::string::npos);
+}
+
+TEST(TextTableTest, ShortRowsPadWithEmptyCells) {
+  TextTable table;
+  table.SetHeader({"a", "b", "c"});
+  table.AddRow({"only"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+TEST(TextTableTest, NoHeaderStillRenders) {
+  TextTable table;
+  table.AddRow({"a", "b"});
+  EXPECT_EQ(table.ToString(), "a | b\n");
+}
+
+TEST(TextTableTest, RowCount) {
+  TextTable table;
+  EXPECT_EQ(table.row_count(), 0u);
+  table.AddRow({"x"});
+  table.AddSeparator();
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace efes

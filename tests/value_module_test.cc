@@ -1,0 +1,294 @@
+// Tests for the value-heterogeneity module: the Algorithm 1 decision
+// rules and the Table 7 task planning.
+
+#include "efes/values/value_module.h"
+
+#include <gtest/gtest.h>
+
+#include "efes/scenario/paper_example.h"
+
+namespace efes {
+namespace {
+
+std::vector<Value> Texts(const std::vector<std::string>& texts) {
+  std::vector<Value> values;
+  for (const std::string& text : texts) values.push_back(Value::Text(text));
+  return values;
+}
+
+AttributeStatistics StatsOf(const std::vector<Value>& column,
+                            DataType target) {
+  return ComputeStatistics(column, target);
+}
+
+bool Has(const std::vector<ValueHeterogeneityType>& detected,
+         ValueHeterogeneityType type) {
+  for (ValueHeterogeneityType t : detected) {
+    if (t == type) return true;
+  }
+  return false;
+}
+
+TEST(Algorithm1Test, Rule1TooFewSourceElements) {
+  std::vector<Value> sparse;
+  std::vector<Value> dense;
+  for (int i = 0; i < 100; ++i) {
+    sparse.push_back(i < 40 ? Value::Text("v" + std::to_string(i))
+                            : Value::Null());
+    dense.push_back(Value::Text("w" + std::to_string(i)));
+  }
+  ValueFitOptions options;
+  auto detected = DetectValueHeterogeneities(
+      StatsOf(sparse, DataType::kText), StatsOf(dense, DataType::kText),
+      /*has_target_data=*/true, options);
+  EXPECT_TRUE(
+      Has(detected, ValueHeterogeneityType::kTooFewSourceElements));
+}
+
+TEST(Algorithm1Test, Rule1UsesNullsNotUncastables) {
+  // Fully present but uncastable values are a representation problem,
+  // never "too few elements".
+  std::vector<Value> source;
+  std::vector<Value> target;
+  for (int i = 0; i < 100; ++i) {
+    source.push_back(Value::Text("12--34"));
+    target.push_back(Value::Integer(i));
+  }
+  ValueFitOptions options;
+  auto detected = DetectValueHeterogeneities(
+      StatsOf(source, DataType::kInteger),
+      StatsOf(target, DataType::kInteger),
+      /*has_target_data=*/true, options);
+  EXPECT_FALSE(
+      Has(detected, ValueHeterogeneityType::kTooFewSourceElements));
+  EXPECT_TRUE(Has(
+      detected, ValueHeterogeneityType::kDifferentRepresentationsCritical));
+}
+
+TEST(Algorithm1Test, Rule2CriticalRepresentations) {
+  std::vector<Value> source = Texts({"'98", "1998", "'99", "2001"});
+  std::vector<Value> target = {Value::Integer(1998), Value::Integer(2001)};
+  ValueFitOptions options;
+  auto detected = DetectValueHeterogeneities(
+      StatsOf(source, DataType::kInteger),
+      StatsOf(target, DataType::kInteger),
+      /*has_target_data=*/true, options);
+  EXPECT_TRUE(Has(
+      detected, ValueHeterogeneityType::kDifferentRepresentationsCritical));
+  // Once critical fired, no duplicate uncritical finding.
+  EXPECT_FALSE(
+      Has(detected, ValueHeterogeneityType::kDifferentRepresentations));
+}
+
+TEST(Algorithm1Test, GranularityRules) {
+  // Source: small discrete domain; target: free text -> too coarse.
+  std::vector<Value> restricted;
+  std::vector<Value> freeform;
+  for (int i = 0; i < 120; ++i) {
+    restricted.push_back(Value::Text(i % 3 == 0 ? "Rock"
+                                     : i % 3 == 1 ? "Pop"
+                                                  : "Jazz"));
+    freeform.push_back(Value::Text("detailed genre nr " +
+                                   std::to_string(i) + " with notes"));
+  }
+  ValueFitOptions options;
+  auto coarse = DetectValueHeterogeneities(
+      StatsOf(restricted, DataType::kText), StatsOf(freeform, DataType::kText),
+      /*has_target_data=*/true, options);
+  EXPECT_TRUE(Has(
+      coarse, ValueHeterogeneityType::kTooCoarseGrainedSourceValues));
+
+  auto fine = DetectValueHeterogeneities(
+      StatsOf(freeform, DataType::kText), StatsOf(restricted, DataType::kText),
+      /*has_target_data=*/true, options);
+  EXPECT_TRUE(
+      Has(fine, ValueHeterogeneityType::kTooFineGrainedSourceValues));
+}
+
+TEST(Algorithm1Test, DomainSpecificDifferencesBelowThreshold) {
+  // ms integers (as text) vs m:ss strings: both unrestricted, fit << 0.9.
+  std::vector<Value> source;
+  std::vector<Value> target;
+  for (int i = 0; i < 200; ++i) {
+    source.push_back(Value::Integer(100000 + i * 997));
+    target.push_back(Value::Text(std::to_string(2 + i % 6) + ":" +
+                                 std::to_string(10 + i % 49)));
+  }
+  ValueFitOptions options;
+  double fit = 1.0;
+  auto detected = DetectValueHeterogeneities(
+      StatsOf(source, DataType::kText), StatsOf(target, DataType::kText),
+      /*has_target_data=*/true, options, &fit);
+  EXPECT_TRUE(
+      Has(detected, ValueHeterogeneityType::kDifferentRepresentations));
+  EXPECT_LT(fit, options.fit_threshold);
+}
+
+TEST(Algorithm1Test, MatchingPairYieldsNothing) {
+  std::vector<Value> a;
+  std::vector<Value> b;
+  for (int i = 0; i < 200; ++i) {
+    a.push_back(Value::Text("word" + std::to_string(i * 7 % 300)));
+    b.push_back(Value::Text("word" + std::to_string(i * 11 % 300)));
+  }
+  ValueFitOptions options;
+  auto detected = DetectValueHeterogeneities(
+      StatsOf(a, DataType::kText), StatsOf(b, DataType::kText),
+      /*has_target_data=*/true, options);
+  EXPECT_TRUE(detected.empty());
+}
+
+TEST(Algorithm1Test, NoTargetDataSkipsComparativeRules) {
+  std::vector<Value> source = Texts({"a", "b", "c"});
+  ValueFitOptions options;
+  auto detected = DetectValueHeterogeneities(
+      StatsOf(source, DataType::kText), StatsOf({}, DataType::kText),
+      /*has_target_data=*/false, options);
+  EXPECT_TRUE(detected.empty());
+}
+
+TEST(IsDomainRestrictedTest, ByDistinctCountAndConstancy) {
+  ValueFitOptions options;
+  std::vector<Value> few = Texts({"a", "b", "a", "b", "a"});
+  EXPECT_TRUE(IsDomainRestricted(StatsOf(few, DataType::kText), options));
+  std::vector<Value> many;
+  for (int i = 0; i < 200; ++i) {
+    many.push_back(Value::Text("v" + std::to_string(i)));
+  }
+  EXPECT_FALSE(IsDomainRestricted(StatsOf(many, DataType::kText), options));
+  EXPECT_FALSE(IsDomainRestricted(StatsOf({}, DataType::kText), options));
+}
+
+// --- Module-level tests on the paper example -------------------------------
+
+class PaperExampleValueTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto scenario = MakePaperExample();
+    ASSERT_TRUE(scenario.ok());
+    scenario_ = std::make_unique<IntegrationScenario>(std::move(*scenario));
+    auto report = module_.AssessComplexity(*scenario_);
+    ASSERT_TRUE(report.ok());
+    report_ = std::move(*report);
+  }
+
+  ValueModule module_;
+  std::unique_ptr<IntegrationScenario> scenario_;
+  std::unique_ptr<ComplexityReport> report_;
+};
+
+TEST_F(PaperExampleValueTest, Table6LengthDurationHeterogeneity) {
+  const auto& report = static_cast<const ValueComplexityReport&>(*report_);
+  ASSERT_EQ(report.heterogeneities().size(), 1u);
+  const ValueHeterogeneity& h = report.heterogeneities()[0];
+  EXPECT_EQ(h.type, ValueHeterogeneityType::kDifferentRepresentations);
+  EXPECT_EQ(h.source_attribute, "songs.length");
+  EXPECT_EQ(h.target_attribute, "tracks.duration");
+  EXPECT_GT(h.source_values, 0u);
+  EXPECT_GT(h.source_distinct_values, 0u);
+  EXPECT_LT(h.overall_fit, 0.9);
+  // ms integers all share one text pattern -> systematic conversion.
+  EXPECT_TRUE(h.systematic);
+  EXPECT_EQ(h.source_pattern_count, 1u);
+}
+
+TEST_F(PaperExampleValueTest, FkRemapAttributesAreSkipped) {
+  const auto& report = static_cast<const ValueComplexityReport&>(*report_);
+  for (const ValueHeterogeneity& h : report.heterogeneities()) {
+    EXPECT_NE(h.target_attribute, "tracks.record");
+  }
+}
+
+TEST_F(PaperExampleValueTest, Table8HighQualityConvertTask) {
+  auto tasks =
+      module_.PlanTasks(*report_, ExpectedQuality::kHighQuality, {});
+  ASSERT_TRUE(tasks.ok());
+  ASSERT_EQ(tasks->size(), 1u);
+  EXPECT_EQ((*tasks)[0].type, TaskType::kConvertValues);
+  EXPECT_EQ((*tasks)[0].category, TaskCategory::kCleaningValues);
+  // Systematic: the Table 9 function sees the format count, not the
+  // distinct-value count -> 30 minutes branch.
+  EXPECT_DOUBLE_EQ((*tasks)[0].Param(task_params::kDistinctValues), 1.0);
+}
+
+TEST_F(PaperExampleValueTest, LowEffortIgnoresUncriticalHeterogeneity) {
+  auto tasks = module_.PlanTasks(*report_, ExpectedQuality::kLowEffort, {});
+  ASSERT_TRUE(tasks.ok());
+  // Table 7: uncritical representations need no low-effort action.
+  EXPECT_TRUE(tasks->empty());
+}
+
+TEST_F(PaperExampleValueTest, ReportRendersTable6) {
+  std::string text = report_->ToText();
+  EXPECT_NE(text.find("Value heterogeneity"), std::string::npos);
+  EXPECT_NE(text.find("songs.length -> tracks.duration"),
+            std::string::npos);
+  EXPECT_NE(text.find("distinct source values"), std::string::npos);
+}
+
+TEST(ValueHeterogeneityNamesTest, MatchAlgorithm1) {
+  EXPECT_EQ(ValueHeterogeneityTypeToString(
+                ValueHeterogeneityType::kTooFewSourceElements),
+            "Too few source elements");
+  EXPECT_EQ(ValueHeterogeneityTypeToString(
+                ValueHeterogeneityType::kDifferentRepresentationsCritical),
+            "Different value representations (critical)");
+  EXPECT_EQ(ValueHeterogeneityTypeToString(
+                ValueHeterogeneityType::kTooCoarseGrainedSourceValues),
+            "Too coarse-grained source values");
+}
+
+TEST(ValueModulePlannerTest, Table7TaskMatrix) {
+  auto plan_one = [](ValueHeterogeneityType type, ExpectedQuality quality,
+                     bool systematic = true) {
+    ValueHeterogeneity h;
+    h.type = type;
+    h.source_values = 500;
+    h.source_distinct_values = 400;
+    h.source_pattern_count = systematic ? 2 : 20;
+    h.systematic = systematic;
+    h.affected_values = 100;
+    ValueComplexityReport report({h});
+    ValueModule module;
+    auto tasks = module.PlanTasks(report, quality, {});
+    EXPECT_TRUE(tasks.ok());
+    return *tasks;
+  };
+
+  using T = ValueHeterogeneityType;
+  using Q = ExpectedQuality;
+
+  // Too few elements: high -> Add values, low -> nothing.
+  auto tasks = plan_one(T::kTooFewSourceElements, Q::kHighQuality);
+  ASSERT_EQ(tasks.size(), 1u);
+  EXPECT_EQ(tasks[0].type, TaskType::kAddValues);
+  EXPECT_DOUBLE_EQ(tasks[0].Param(task_params::kValues), 100.0);
+  EXPECT_TRUE(plan_one(T::kTooFewSourceElements, Q::kLowEffort).empty());
+
+  // Critical representations: low -> Drop values, high -> Convert values.
+  tasks = plan_one(T::kDifferentRepresentationsCritical, Q::kLowEffort);
+  ASSERT_EQ(tasks.size(), 1u);
+  EXPECT_EQ(tasks[0].type, TaskType::kDropValues);
+  tasks = plan_one(T::kDifferentRepresentationsCritical, Q::kHighQuality);
+  ASSERT_EQ(tasks.size(), 1u);
+  EXPECT_EQ(tasks[0].type, TaskType::kConvertValues);
+
+  // Irregular conversion keeps the per-distinct parameter.
+  tasks = plan_one(T::kDifferentRepresentations, Q::kHighQuality,
+                   /*systematic=*/false);
+  ASSERT_EQ(tasks.size(), 1u);
+  EXPECT_DOUBLE_EQ(tasks[0].Param(task_params::kDistinctValues), 400.0);
+
+  // Granularity rules.
+  tasks = plan_one(T::kTooFineGrainedSourceValues, Q::kHighQuality);
+  ASSERT_EQ(tasks.size(), 1u);
+  EXPECT_EQ(tasks[0].type, TaskType::kGeneralizeValues);
+  tasks = plan_one(T::kTooCoarseGrainedSourceValues, Q::kHighQuality);
+  ASSERT_EQ(tasks.size(), 1u);
+  EXPECT_EQ(tasks[0].type, TaskType::kRefineValues);
+  EXPECT_TRUE(
+      plan_one(T::kTooFineGrainedSourceValues, Q::kLowEffort).empty());
+}
+
+}  // namespace
+}  // namespace efes

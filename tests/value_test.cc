@@ -1,0 +1,124 @@
+// Tests for the dynamically typed Value.
+
+#include "efes/relational/value.h"
+
+#include <gtest/gtest.h>
+
+namespace efes {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Boolean(true).type(), DataType::kBoolean);
+  EXPECT_EQ(Value::Integer(7).type(), DataType::kInteger);
+  EXPECT_EQ(Value::Real(1.5).type(), DataType::kReal);
+  EXPECT_EQ(Value::Text("x").type(), DataType::kText);
+  EXPECT_TRUE(Value::Boolean(true).AsBoolean());
+  EXPECT_EQ(Value::Integer(7).AsInteger(), 7);
+  EXPECT_DOUBLE_EQ(Value::Real(1.5).AsReal(), 1.5);
+  EXPECT_EQ(Value::Text("x").AsText(), "x");
+}
+
+TEST(ValueTest, NumericValueBridgesIntAndReal) {
+  EXPECT_DOUBLE_EQ(Value::Integer(3).NumericValue(), 3.0);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).NumericValue(), 2.5);
+}
+
+TEST(ValueTest, NullCastsToAnything) {
+  for (DataType type : {DataType::kBoolean, DataType::kInteger,
+                        DataType::kReal, DataType::kText}) {
+    EXPECT_TRUE(Value::Null().CanCastTo(type));
+    auto cast = Value::Null().CastTo(type);
+    ASSERT_TRUE(cast.ok());
+    EXPECT_TRUE(cast->is_null());
+  }
+}
+
+TEST(ValueTest, IntegerCasts) {
+  EXPECT_TRUE(Value::Integer(5).CanCastTo(DataType::kReal));
+  EXPECT_TRUE(Value::Integer(5).CanCastTo(DataType::kText));
+  EXPECT_FALSE(Value::Integer(5).CanCastTo(DataType::kBoolean));
+  EXPECT_EQ(Value::Integer(5).CastTo(DataType::kText)->AsText(), "5");
+  EXPECT_DOUBLE_EQ(Value::Integer(5).CastTo(DataType::kReal)->AsReal(), 5.0);
+}
+
+TEST(ValueTest, RealToIntegerOnlyWhenIntegral) {
+  EXPECT_TRUE(Value::Real(4.0).CanCastTo(DataType::kInteger));
+  EXPECT_FALSE(Value::Real(4.5).CanCastTo(DataType::kInteger));
+  EXPECT_EQ(Value::Real(4.0).CastTo(DataType::kInteger)->AsInteger(), 4);
+}
+
+TEST(ValueTest, TextToNumericParsesCompletely) {
+  EXPECT_TRUE(Value::Text("42").CanCastTo(DataType::kInteger));
+  EXPECT_FALSE(Value::Text("4:43").CanCastTo(DataType::kInteger));
+  EXPECT_FALSE(Value::Text("'98").CanCastTo(DataType::kInteger));
+  EXPECT_TRUE(Value::Text("1.25").CanCastTo(DataType::kReal));
+  EXPECT_FALSE(Value::Text("12--34").CanCastTo(DataType::kReal));
+  EXPECT_EQ(Value::Text("42").CastTo(DataType::kInteger)->AsInteger(), 42);
+}
+
+TEST(ValueTest, TextToBoolean) {
+  EXPECT_TRUE(Value::Text("true").CanCastTo(DataType::kBoolean));
+  EXPECT_TRUE(Value::Text("FALSE").CanCastTo(DataType::kBoolean));
+  EXPECT_TRUE(Value::Text("1").CanCastTo(DataType::kBoolean));
+  EXPECT_FALSE(Value::Text("yes").CanCastTo(DataType::kBoolean));
+  EXPECT_TRUE(Value::Text("true").CastTo(DataType::kBoolean)->AsBoolean());
+  EXPECT_FALSE(
+      Value::Text("false").CastTo(DataType::kBoolean)->AsBoolean());
+}
+
+TEST(ValueTest, BooleanCasts) {
+  EXPECT_EQ(Value::Boolean(true).CastTo(DataType::kText)->AsText(), "true");
+  EXPECT_EQ(Value::Boolean(false).CastTo(DataType::kInteger)->AsInteger(),
+            0);
+}
+
+TEST(ValueTest, FailedCastReturnsTypeMismatch) {
+  auto result = Value::Text("oops").CastTo(DataType::kInteger);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTypeMismatch);
+}
+
+TEST(ValueTest, IdentityCastIsNoOp) {
+  auto result = Value::Text("same").CastTo(DataType::kText);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->AsText(), "same");
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Integer(-3).ToString(), "-3");
+  EXPECT_EQ(Value::Boolean(true).ToString(), "true");
+  EXPECT_EQ(Value::Text("as is").ToString(), "as is");
+}
+
+TEST(ValueTest, EqualityAcrossNumericTypes) {
+  EXPECT_EQ(Value::Integer(3), Value::Real(3.0));
+  EXPECT_NE(Value::Integer(3), Value::Real(3.5));
+  EXPECT_NE(Value::Integer(3), Value::Text("3"));
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_NE(Value::Null(), Value::Integer(0));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Integer(3).Hash(), Value::Real(3.0).Hash());
+  EXPECT_EQ(Value::Text("x").Hash(), Value::Text("x").Hash());
+}
+
+TEST(ValueTest, OrderingNullFirstTextLast) {
+  EXPECT_LT(Value::Null(), Value::Boolean(false));
+  EXPECT_LT(Value::Boolean(true), Value::Integer(0));
+  EXPECT_LT(Value::Integer(5), Value::Text(""));
+  EXPECT_LT(Value::Integer(2), Value::Integer(3));
+  EXPECT_LT(Value::Text("a"), Value::Text("b"));
+  EXPECT_FALSE(Value::Null() < Value::Null());
+}
+
+TEST(ValueTest, DataTypeNames) {
+  EXPECT_EQ(DataTypeToString(DataType::kInteger), "integer");
+  EXPECT_EQ(DataTypeToString(DataType::kText), "text");
+  EXPECT_EQ(DataTypeToString(DataType::kNull), "null");
+}
+
+}  // namespace
+}  // namespace efes

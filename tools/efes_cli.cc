@@ -1,0 +1,306 @@
+// The EFES command-line interface — the file-based counterpart of the
+// original prototype's CLI (Section 6.1).
+//
+//   efes export-example <dir>      write the Figure 2 scenario to disk
+//   efes assess <dir> [--discover] phase 1: complexity reports only
+//                                  (--discover profiles the sources first)
+//   efes estimate <dir> [options]  phase 1 + 2: full effort estimate
+//       --quality=high|low         expected result quality (default high)
+//       --config=<file>            effort configuration (effort_config.h)
+//       --format=text|json         output format
+//   efes execute <dir> <out>       actually perform the integration and
+//                                  persist the integrated target
+//   efes plan <dir>                cost-benefit execution order
+//   efes match <dir>               propose correspondences with the matcher
+//   efes visualize <dir> [out.dot] Graphviz problem heatmap
+//   efes study                     run the Figure 6/7 cross-validated study
+//
+// Scenario directories follow the layout of scenario/scenario_io.h.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "efes/core/effort_config.h"
+#include "efes/execute/integration_executor.h"
+#include "efes/experiment/cost_benefit.h"
+#include "efes/experiment/default_pipeline.h"
+#include "efes/experiment/json_export.h"
+#include "efes/experiment/study.h"
+#include "efes/experiment/visualization.h"
+#include "efes/matching/schema_matcher.h"
+#include "efes/profiling/constraint_discovery.h"
+#include "efes/scenario/paper_example.h"
+#include "efes/scenario/scenario_io.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  efes export-example <dir>\n"
+      "  efes assess <dir> [--discover]\n"
+      "  efes estimate <dir> [--quality=high|low] [--config=<file>]\n"
+      "                     [--format=text|json]\n"
+      "  efes match <dir>\n"
+      "  efes execute <dir> <out-dir> [--quality=high|low]\n"
+      "  efes plan <dir> [--quality=high|low]\n"
+      "  efes visualize <dir> [<out.dot>]\n"
+      "  efes study\n");
+  return 2;
+}
+
+int Fail(const efes::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int RunExportExample(const std::string& directory) {
+  auto scenario = efes::MakePaperExample();
+  if (!scenario.ok()) return Fail(scenario.status());
+  efes::Status status = efes::SaveScenario(*scenario, directory);
+  if (!status.ok()) return Fail(status);
+  std::printf("wrote the Figure 2 example scenario to %s\n",
+              directory.c_str());
+  return 0;
+}
+
+// Completeness (Section 3.1): profile each source and declare the mined
+// constraints on its schema before assessing.
+efes::Status DiscoverSourceConstraints(efes::IntegrationScenario* scenario) {
+  for (efes::SourceBinding& source : scenario->sources) {
+    EFES_ASSIGN_OR_RETURN(
+        efes::Database completed,
+        efes::DatabaseWithDiscoveredConstraints(source.database));
+    std::printf("# %s: %zu constraints after profiling (was %zu)\n",
+                source.database.name().c_str(),
+                completed.schema().constraints().size(),
+                source.database.schema().constraints().size());
+    source.database = std::move(completed);
+  }
+  return efes::Status::OK();
+}
+
+int RunAssess(const std::string& directory,
+              const std::vector<std::string>& options) {
+  bool discover = false;
+  for (const std::string& option : options) {
+    if (option == "--discover") {
+      discover = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", option.c_str());
+      return Usage();
+    }
+  }
+  auto scenario = efes::LoadScenario(directory);
+  if (!scenario.ok()) return Fail(scenario.status());
+  if (discover) {
+    efes::Status status = DiscoverSourceConstraints(&*scenario);
+    if (!status.ok()) return Fail(status);
+  }
+  efes::EfesEngine engine = efes::MakeDefaultEngine();
+  auto reports = engine.AssessComplexity(*scenario);
+  if (!reports.ok()) return Fail(reports.status());
+  for (const auto& report : *reports) {
+    std::printf("=== %s ===\n%s\n", report->module_name().c_str(),
+                report->ToText().c_str());
+  }
+  return 0;
+}
+
+int RunEstimate(const std::string& directory,
+                const std::vector<std::string>& options) {
+  efes::ExpectedQuality quality = efes::ExpectedQuality::kHighQuality;
+  efes::EstimationConfig config;
+  bool json = false;
+  for (const std::string& option : options) {
+    if (option == "--format=json") {
+      json = true;
+    } else if (option == "--format=text") {
+      json = false;
+    } else if (option == "--quality=high") {
+      quality = efes::ExpectedQuality::kHighQuality;
+    } else if (option == "--quality=low") {
+      quality = efes::ExpectedQuality::kLowEffort;
+    } else if (option.rfind("--config=", 0) == 0) {
+      auto loaded = efes::LoadEffortConfig(option.substr(9));
+      if (!loaded.ok()) return Fail(loaded.status());
+      config = std::move(*loaded);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", option.c_str());
+      return Usage();
+    }
+  }
+  auto scenario = efes::LoadScenario(directory);
+  if (!scenario.ok()) return Fail(scenario.status());
+  efes::EfesEngine engine =
+      efes::MakeDefaultEngine(std::move(config.model));
+  auto result = engine.Run(*scenario, quality, config.settings);
+  if (!result.ok()) return Fail(result.status());
+  if (json) {
+    std::printf("%s\n", efes::EstimationResultToJson(*result).c_str());
+  } else {
+    std::printf("%s", result->ToText().c_str());
+  }
+  return 0;
+}
+
+int RunMatch(const std::string& directory) {
+  auto scenario = efes::LoadScenario(directory);
+  if (!scenario.ok()) return Fail(scenario.status());
+  efes::SchemaMatcher matcher;
+  for (const efes::SourceBinding& source : scenario->sources) {
+    std::printf("# %s -> target\n", source.database.name().c_str());
+    efes::CorrespondenceSet discovered =
+        matcher.Match(source.database, scenario->target);
+    std::printf("%s",
+                efes::WriteCorrespondences(discovered).c_str());
+  }
+  return 0;
+}
+
+int RunExecute(const std::string& directory,
+               const std::string& output_directory,
+               const std::vector<std::string>& options) {
+  efes::IntegrationExecutor::Options executor_options;
+  for (const std::string& option : options) {
+    if (option == "--quality=high") {
+      executor_options.quality = efes::ExpectedQuality::kHighQuality;
+    } else if (option == "--quality=low") {
+      executor_options.quality = efes::ExpectedQuality::kLowEffort;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", option.c_str());
+      return Usage();
+    }
+  }
+  auto scenario = efes::LoadScenario(directory);
+  if (!scenario.ok()) return Fail(scenario.status());
+  efes::IntegrationExecutor executor(executor_options);
+  efes::ExecutionReport report;
+  auto integrated = executor.Execute(*scenario, &report);
+  if (!integrated.ok()) return Fail(integrated.status());
+  // Persist the integrated instance as a target-only scenario directory.
+  efes::IntegrationScenario result("integrated", std::move(*integrated));
+  efes::Status status = efes::SaveScenario(result, output_directory);
+  if (!status.ok()) return Fail(status);
+  std::printf("%s\nintegrated database written to %s\n",
+              report.ToString().c_str(), output_directory.c_str());
+  return 0;
+}
+
+int RunPlan(const std::string& directory,
+            const std::vector<std::string>& options) {
+  efes::ExpectedQuality quality = efes::ExpectedQuality::kHighQuality;
+  for (const std::string& option : options) {
+    if (option == "--quality=high") {
+      quality = efes::ExpectedQuality::kHighQuality;
+    } else if (option == "--quality=low") {
+      quality = efes::ExpectedQuality::kLowEffort;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", option.c_str());
+      return Usage();
+    }
+  }
+  auto scenario = efes::LoadScenario(directory);
+  if (!scenario.ok()) return Fail(scenario.status());
+  efes::EfesEngine engine = efes::MakeDefaultEngine();
+  auto result = engine.Run(*scenario, quality, {});
+  if (!result.ok()) return Fail(result.status());
+  efes::CostBenefitCurve curve =
+      efes::AnalyzeCostBenefit(result->estimate);
+  std::printf("%s", curve.ToText().c_str());
+  std::printf(
+      "\n50%% quality after %.0f min, 90%% after %.0f min, done after "
+      "%.0f min.\n",
+      curve.MinutesToReach(0.5), curve.MinutesToReach(0.9),
+      curve.total_minutes);
+  return 0;
+}
+
+int RunVisualize(const std::string& directory,
+                 const std::string& output_path) {
+  auto scenario = efes::LoadScenario(directory);
+  if (!scenario.ok()) return Fail(scenario.status());
+  efes::EfesEngine engine = efes::MakeDefaultEngine();
+  auto result = engine.Run(*scenario, efes::ExpectedQuality::kHighQuality,
+                           {});
+  if (!result.ok()) return Fail(result.status());
+  std::string dot = efes::RenderProblemHeatmapDot(
+      *scenario, efes::CollectProblemCounts(*result));
+  if (output_path.empty() || output_path == "-") {
+    std::printf("%s", dot.c_str());
+    return 0;
+  }
+  std::ofstream out(output_path);
+  if (!out) {
+    return Fail(efes::Status::InvalidArgument("cannot write " +
+                                              output_path));
+  }
+  out << dot;
+  std::printf("problem heatmap written to %s (render with: dot -Tsvg %s)\n",
+              output_path.c_str(), output_path.c_str());
+  return 0;
+}
+
+int RunStudy() {
+  auto studies = efes::RunCrossValidatedStudies();
+  if (!studies.ok()) return Fail(studies.status());
+  std::printf("%s\n%s\noverall rmse: Efes %.3f vs Counting %.3f\n",
+              studies->bibliographic.ToText().c_str(),
+              studies->music.ToText().c_str(), studies->overall_efes_rmse,
+              studies->overall_counting_rmse);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  std::vector<std::string> rest(argv + 2, argv + argc);
+
+  if (command == "study") {
+    return RunStudy();
+  }
+  if (command == "export-example") {
+    if (rest.size() != 1) return Usage();
+    return RunExportExample(rest[0]);
+  }
+  if (command == "assess") {
+    if (rest.empty()) return Usage();
+    std::string directory = rest[0];
+    rest.erase(rest.begin());
+    return RunAssess(directory, rest);
+  }
+  if (command == "match") {
+    if (rest.size() != 1) return Usage();
+    return RunMatch(rest[0]);
+  }
+  if (command == "execute") {
+    if (rest.size() < 2) return Usage();
+    std::string directory = rest[0];
+    std::string output = rest[1];
+    rest.erase(rest.begin(), rest.begin() + 2);
+    return RunExecute(directory, output, rest);
+  }
+  if (command == "plan") {
+    if (rest.empty()) return Usage();
+    std::string directory = rest[0];
+    rest.erase(rest.begin());
+    return RunPlan(directory, rest);
+  }
+  if (command == "visualize") {
+    if (rest.empty() || rest.size() > 2) return Usage();
+    return RunVisualize(rest[0], rest.size() == 2 ? rest[1] : "");
+  }
+  if (command == "estimate") {
+    if (rest.empty()) return Usage();
+    std::string directory = rest[0];
+    rest.erase(rest.begin());
+    return RunEstimate(directory, rest);
+  }
+  return Usage();
+}
