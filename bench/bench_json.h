@@ -1,0 +1,49 @@
+// Shared main()-harness for the perf_* benches: runs the registered
+// google-benchmark suites as before, then runs one representative
+// workload against a zeroed telemetry registry and prints a single
+// machine-readable line
+//
+//   {"bench": <name>, "wall_ms": ..., "counters": {...}}
+//
+// on stdout, so `build/bench/perf_x | tail -1 > BENCH_x.json` yields a
+// consumable metrics record.
+
+#ifndef EFES_BENCH_BENCH_JSON_H_
+#define EFES_BENCH_BENCH_JSON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <functional>
+#include <string_view>
+
+#include "efes/telemetry/clock.h"
+#include "efes/telemetry/metrics.h"
+#include "efes/telemetry/report.h"
+
+namespace efes {
+namespace bench {
+
+inline int BenchMain(int argc, char** argv, std::string_view name,
+                     const std::function<void()>& workload) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+
+  MetricsRegistry::Global().Reset();
+  const Clock& clock = *Clock::Default();
+  const int64_t start_nanos = clock.NowNanos();
+  workload();
+  const double wall_ms =
+      static_cast<double>(clock.NowNanos() - start_nanos) / 1e6;
+  std::printf("%s\n", BenchJsonLine(name, wall_ms,
+                                    MetricsRegistry::Global().Snapshot())
+                          .c_str());
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace efes
+
+#endif  // EFES_BENCH_BENCH_JSON_H_

@@ -3,6 +3,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
 #include "efes/common/random.h"
 #include "efes/csg/builder.h"
 #include "efes/csg/path_search.h"
@@ -76,7 +77,26 @@ void BM_PathViolationCounting(benchmark::State& state) {
 }
 BENCHMARK(BM_PathViolationCounting)->Arg(500)->Arg(2000)->Arg(8000);
 
+/// CSG build + path search; the CSG layer is not counter-instrumented,
+/// so the workload records its own size gauges.
+void JsonLineWorkload() {
+  Database db = ScaledSource(2000);
+  Csg csg = BuildCsg(db);
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  metrics.GetGauge("csg.build.nodes")
+      .Set(static_cast<double>(csg.graph.nodes().size()));
+  NodeId start = *csg.graph.FindTableNode("albums");
+  NodeId end = *csg.graph.FindAttributeNode("artist_credits", "artist");
+  auto best = FindBestPath(csg.graph, start, end);
+  size_t violations = csg.instance.CountPathViolations(
+      csg.graph, best->path, Cardinality::Exactly(1));
+  metrics.GetCounter("csg.path.violations").Increment(violations);
+}
+
 }  // namespace
 }  // namespace efes
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return efes::bench::BenchMain(argc, argv, "perf_csg",
+                                efes::JsonLineWorkload);
+}

@@ -2,6 +2,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
 #include "efes/common/random.h"
 #include "efes/profiling/statistics.h"
 
@@ -72,7 +73,22 @@ void BM_GeneralizeToPattern(benchmark::State& state) {
 }
 BENCHMARK(BM_GeneralizeToPattern);
 
+/// Representative workload for the telemetry JSON line: profile one text
+/// and one numeric column and compare two samples.
+void JsonLineWorkload() {
+  AttributeStatistics text_a =
+      ComputeStatistics(RandomTextColumn(20000), DataType::kText);
+  AttributeStatistics text_b =
+      ComputeStatistics(RandomTextColumn(20000), DataType::kText);
+  benchmark::DoNotOptimize(OverallFit(text_a, text_b));
+  benchmark::DoNotOptimize(
+      ComputeStatistics(RandomNumericColumn(20000), DataType::kInteger));
+}
+
 }  // namespace
 }  // namespace efes
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return efes::bench::BenchMain(argc, argv, "perf_profiling",
+                                efes::JsonLineWorkload);
+}

@@ -4,6 +4,9 @@
 
 #include "efes/common/string_util.h"
 #include "efes/common/text_table.h"
+#include "efes/telemetry/log.h"
+#include "efes/telemetry/metrics.h"
+#include "efes/telemetry/trace.h"
 
 namespace efes {
 
@@ -58,16 +61,46 @@ void EfesEngine::AddModule(std::unique_ptr<EstimationModule> module) {
   modules_.push_back(std::move(module));
 }
 
+namespace {
+
+/// Runs phase 1 of one module under a `<module>.assess` span, feeding the
+/// shared assessment-latency histogram.
+Result<std::unique_ptr<ComplexityReport>> AssessModule(
+    const EstimationModule& module, const IntegrationScenario& scenario) {
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  static Histogram& assess_ms = metrics.GetHistogram("engine.assess.ms");
+  metrics.GetCounter("engine.assess.calls").Increment();
+  TraceSpan span(module.name() + ".assess", nullptr, &assess_ms);
+  return module.AssessComplexity(scenario);
+}
+
+}  // namespace
+
 Result<EstimationResult> EfesEngine::Run(
     const IntegrationScenario& scenario, ExpectedQuality quality,
     const ExecutionSettings& settings) const {
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  static Histogram& run_ms = metrics.GetHistogram("engine.run.ms");
+  TraceSpan run_span("engine.run", nullptr, &run_ms);
+  metrics.GetCounter("engine.run.count").Increment();
+  EFES_LOG(LogLevel::kInfo,
+           "engine: estimating scenario '" + scenario.name + "' with " +
+               std::to_string(modules_.size()) + " modules");
   EFES_RETURN_IF_ERROR(scenario.Validate());
   EstimationResult result;
   for (const auto& module : modules_) {
     EFES_ASSIGN_OR_RETURN(std::unique_ptr<ComplexityReport> report,
-                          module->AssessComplexity(scenario));
-    EFES_ASSIGN_OR_RETURN(std::vector<Task> tasks,
-                          module->PlanTasks(*report, quality, settings));
+                          AssessModule(*module, scenario));
+    std::vector<Task> tasks;
+    {
+      static Histogram& plan_ms = metrics.GetHistogram("engine.plan.ms");
+      TraceSpan plan_span(module->name() + ".plan", nullptr, &plan_ms);
+      EFES_ASSIGN_OR_RETURN(tasks,
+                            module->PlanTasks(*report, quality, settings));
+    }
+    metrics.GetCounter("engine.plan.tasks").Increment(tasks.size());
+    metrics.GetCounter(module->name() + ".plan.tasks")
+        .Increment(tasks.size());
     ModuleRun run;
     run.module = module->name();
     run.report = std::move(report);
@@ -79,16 +112,25 @@ Result<EstimationResult> EfesEngine::Run(
                                  run.tasks.begin(), run.tasks.end());
     result.module_runs.push_back(std::move(run));
   }
+  EFES_LOG(LogLevel::kInfo,
+           "engine: planned " +
+               std::to_string(result.estimate.tasks.size()) + " tasks, " +
+               FormatDouble(result.estimate.TotalMinutes(), 4) +
+               " min total");
   return result;
 }
 
 Result<std::vector<std::unique_ptr<ComplexityReport>>>
 EfesEngine::AssessComplexity(const IntegrationScenario& scenario) const {
+  static Histogram& run_ms =
+      MetricsRegistry::Global().GetHistogram("engine.run.ms");
+  TraceSpan run_span("engine.assess", nullptr, &run_ms);
+  MetricsRegistry::Global().GetCounter("engine.assess.runs").Increment();
   EFES_RETURN_IF_ERROR(scenario.Validate());
   std::vector<std::unique_ptr<ComplexityReport>> reports;
   for (const auto& module : modules_) {
     EFES_ASSIGN_OR_RETURN(std::unique_ptr<ComplexityReport> report,
-                          module->AssessComplexity(scenario));
+                          AssessModule(*module, scenario));
     reports.push_back(std::move(report));
   }
   return reports;

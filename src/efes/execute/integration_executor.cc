@@ -11,6 +11,9 @@
 #include "efes/common/string_util.h"
 #include "efes/csg/builder.h"
 #include "efes/csg/path_search.h"
+#include "efes/telemetry/log.h"
+#include "efes/telemetry/metrics.h"
+#include "efes/telemetry/trace.h"
 
 namespace efes {
 
@@ -141,6 +144,10 @@ std::optional<std::string> ProjectionKey(const Table& table, size_t row,
 
 Result<Database> IntegrationExecutor::Execute(
     const IntegrationScenario& scenario, ExecutionReport* report) const {
+  static Histogram& execute_ms =
+      MetricsRegistry::Global().GetHistogram("execute.run.ms");
+  TraceSpan span("execute.run", nullptr, &execute_ms);
+  MetricsRegistry::Global().GetCounter("execute.run.count").Increment();
   EFES_RETURN_IF_ERROR(scenario.Validate());
   ExecutionReport local_report;
   ExecutionReport& counters = report != nullptr ? *report : local_report;
@@ -650,6 +657,18 @@ Result<Database> IntegrationExecutor::Execute(
     }
   }
 
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  metrics.GetCounter("execute.run.tuples_integrated")
+      .Increment(counters.tuples_integrated);
+  metrics.GetCounter("execute.run.tuples_rejected")
+      .Increment(counters.tuples_rejected);
+  metrics.GetCounter("execute.run.values_merged")
+      .Increment(counters.values_merged);
+  metrics.GetCounter("execute.run.values_converted")
+      .Increment(counters.values_converted);
+  metrics.GetCounter("execute.run.dangling_repaired")
+      .Increment(counters.dangling_repaired);
+  EFES_LOG(LogLevel::kInfo, "execute: " + counters.ToString());
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include "efes/common/json_writer.h"
 #include "efes/mapping/mapping_module.h"
 #include "efes/structure/structure_module.h"
+#include "efes/telemetry/report.h"
 #include "efes/values/value_module.h"
 
 namespace efes {
@@ -90,9 +91,8 @@ void WriteModuleDetail(JsonWriter& json, const ComplexityReport& report) {
   }
 }
 
-}  // namespace
-
-std::string EstimationResultToJson(const EstimationResult& result) {
+std::string EstimationResultToJsonImpl(const EstimationResult& result,
+                                       const MetricsSnapshot* telemetry) {
   JsonWriter json;
   json.BeginObject();
 
@@ -143,8 +143,24 @@ std::string EstimationResultToJson(const EstimationResult& result) {
       .Number(result.estimate.CategoryMinutes(TaskCategory::kOther))
       .EndObject();
 
+  if (telemetry != nullptr) {
+    json.Key("telemetry");
+    WriteMetricsJson(*telemetry, json);
+  }
+
   json.EndObject();
   return json.ToString();
+}
+
+}  // namespace
+
+std::string EstimationResultToJson(const EstimationResult& result) {
+  return EstimationResultToJsonImpl(result, nullptr);
+}
+
+std::string EstimationResultToJson(const EstimationResult& result,
+                                   const MetricsSnapshot& telemetry) {
+  return EstimationResultToJsonImpl(result, &telemetry);
 }
 
 std::string StudyResultToJson(const StudyResult& study) {

@@ -10,6 +10,7 @@
 
 #include "efes/core/engine.h"
 #include "efes/experiment/study.h"
+#include "efes/telemetry/metrics.h"
 
 namespace efes {
 
@@ -23,6 +24,12 @@ namespace efes {
 ///              "cleaning_values", "other"}
 /// }
 std::string EstimationResultToJson(const EstimationResult& result);
+
+/// Same, plus a "telemetry" section carrying the metrics snapshot
+/// ({"counters", "gauges", "histograms"}, see telemetry/report.h) so the
+/// exported estimate records what the run cost to compute.
+std::string EstimationResultToJson(const EstimationResult& result,
+                                   const MetricsSnapshot& telemetry);
 
 /// Serializes a study (the Figure 6/7 data):
 /// {"domain", "outcomes": [...], "efes_rmse", "counting_rmse"}.

@@ -11,6 +11,8 @@
 #include "efes/scenario/bibliographic.h"
 #include "efes/scenario/ground_truth.h"
 #include "efes/scenario/music.h"
+#include "efes/telemetry/metrics.h"
+#include "efes/telemetry/trace.h"
 
 namespace efes {
 
@@ -114,8 +116,19 @@ Result<StudyResult> RunStudy(
   std::vector<double> efes_totals;
   std::vector<double> counting_totals;
 
+  static Histogram& scenario_ms =
+      MetricsRegistry::Global().GetHistogram("study.scenario.ms");
+  TraceSpan study_span("study." + domain);
   for (const IntegrationScenario& scenario : scenarios) {
     for (ExpectedQuality quality : kQualities) {
+      TraceSpan scenario_span(
+          "study." + domain + "." + scenario.name + "." +
+              std::string(quality == ExpectedQuality::kLowEffort ? "low"
+                                                                 : "high"),
+          nullptr, &scenario_ms);
+      MetricsRegistry::Global()
+          .GetCounter("study.scenario.count")
+          .Increment();
       ScenarioOutcome outcome;
       outcome.scenario = scenario.name;
       outcome.quality = quality;

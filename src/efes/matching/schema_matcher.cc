@@ -6,6 +6,7 @@
 
 #include "efes/common/string_util.h"
 #include "efes/profiling/statistics.h"
+#include "efes/telemetry/metrics.h"
 
 namespace efes {
 
@@ -36,6 +37,12 @@ double SchemaMatcher::ScoreAttributePair(
     const AttributeDef& source_attribute, const Database& target,
     const std::string& target_relation,
     const AttributeDef& target_attribute) const {
+  static Counter& pairs_scored =
+      MetricsRegistry::Global().GetCounter("matching.score.pairs");
+  static Counter& instance_pairs =
+      MetricsRegistry::Global().GetCounter("matching.score.instance_pairs");
+  pairs_scored.Increment();
+
   double name = NameSimilarity(source_attribute.name, target_attribute.name);
   double token = TokenJaccard(source_attribute.name, target_attribute.name);
 
@@ -49,6 +56,7 @@ double SchemaMatcher::ScoreAttributePair(
       auto target_index =
           (*target_table)->def().AttributeIndex(target_attribute.name);
       if (source_index.has_value() && target_index.has_value()) {
+        instance_pairs.Increment();
         instance =
             InstanceScore(**source_table, *source_index, **target_table,
                           *target_index, target_attribute.type);

@@ -5,6 +5,9 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "efes/telemetry/metrics.h"
+#include "efes/telemetry/trace.h"
+
 namespace efes {
 
 namespace {
@@ -57,11 +60,24 @@ std::string DiscoveredConstraint::ToString() const {
 
 std::vector<DiscoveredConstraint> DiscoverConstraints(
     const Database& database, const DiscoveryOptions& options) {
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  static Histogram& discover_ms =
+      metrics.GetHistogram("profiling.discovery.ms");
+  static Counter& candidates =
+      metrics.GetCounter("profiling.discovery.candidates");
+  static Counter& validated =
+      metrics.GetCounter("profiling.discovery.validated");
+  static Counter& ind_checks =
+      metrics.GetCounter("profiling.discovery.ind_checks");
+  TraceSpan span("profiling.discover", nullptr, &discover_ms);
+
   std::vector<DiscoveredConstraint> discovered;
   const Schema& schema = database.schema();
 
   auto propose = [&](Constraint constraint, size_t support) {
+    candidates.Increment();
     if (options.skip_declared && IsDeclared(schema, constraint)) return;
+    validated.Increment();
     discovered.push_back(DiscoveredConstraint{std::move(constraint), support});
   };
 
@@ -146,6 +162,7 @@ std::vector<DiscoveredConstraint> DiscoverConstraints(
           std::unordered_set<Value, ValueHash> parent_values =
               DistinctSet(parent, pc);
           if (parent_values.size() < child_values.size()) continue;
+          ind_checks.Increment();
           bool included = std::all_of(
               child_values.begin(), child_values.end(),
               [&](const Value& v) { return parent_values.count(v) > 0; });

@@ -7,6 +7,8 @@
 #include <unordered_map>
 
 #include "efes/common/string_util.h"
+#include "efes/telemetry/clock.h"
+#include "efes/telemetry/metrics.h"
 
 namespace efes {
 
@@ -142,6 +144,16 @@ std::string GeneralizeToPattern(std::string_view text) {
 
 AttributeStatistics ComputeStatistics(const std::vector<Value>& column,
                                       DataType target_type) {
+  static Counter& columns_profiled =
+      MetricsRegistry::Global().GetCounter("profiling.statistics.columns");
+  static Counter& cells_scanned =
+      MetricsRegistry::Global().GetCounter("profiling.statistics.cells");
+  static Histogram& compute_ms =
+      MetricsRegistry::Global().GetHistogram("profiling.statistics.ms");
+  columns_profiled.Increment();
+  cells_scanned.Increment(column.size());
+  const int64_t start_nanos = Clock::Default()->NowNanos();
+
   AttributeStatistics stats;
   stats.evaluated_against = target_type;
 
@@ -288,6 +300,8 @@ AttributeStatistics ComputeStatistics(const std::vector<Value>& column,
     }
   }
 
+  compute_ms.Observe(
+      static_cast<double>(Clock::Default()->NowNanos() - start_nanos) / 1e6);
   return stats;
 }
 

@@ -1,0 +1,18 @@
+#include "efes/telemetry/clock.h"
+
+#include <chrono>
+
+namespace efes {
+
+int64_t MonotonicClock::NowNanos() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+const Clock* Clock::Default() {
+  static const MonotonicClock* clock = new MonotonicClock();
+  return clock;
+}
+
+}  // namespace efes

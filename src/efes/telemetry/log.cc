@@ -1,0 +1,73 @@
+#include "efes/telemetry/log.h"
+
+#include <cstdio>
+
+namespace efes {
+
+std::string_view LogLevelToString(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+bool ParseLogLevel(std::string_view text, LogLevel* level) {
+  if (text == "debug") {
+    *level = LogLevel::kDebug;
+  } else if (text == "info") {
+    *level = LogLevel::kInfo;
+  } else if (text == "warn") {
+    *level = LogLevel::kWarn;
+  } else if (text == "error") {
+    *level = LogLevel::kError;
+  } else if (text == "off") {
+    *level = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void StderrSink::Write(LogLevel level, std::string_view message) {
+  std::fprintf(stderr, "[%.*s] %.*s\n",
+               static_cast<int>(LogLevelToString(level).size()),
+               LogLevelToString(level).data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+void CaptureSink::Write(LogLevel level, std::string_view message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.push_back({level, std::string(message)});
+}
+
+std::vector<CaptureSink::Entry> CaptureSink::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_;
+}
+
+void Logger::set_sink(LogSink* sink) {
+  std::lock_guard<std::mutex> lock(sink_mutex_);
+  sink_ = sink;
+}
+
+void Logger::Log(LogLevel level, std::string_view message) {
+  if (!ShouldLog(level)) return;
+  std::lock_guard<std::mutex> lock(sink_mutex_);
+  if (sink_ != nullptr) sink_->Write(level, message);
+}
+
+Logger& Logger::Global() {
+  static Logger* logger = new Logger();
+  return *logger;
+}
+
+}  // namespace efes

@@ -1,0 +1,100 @@
+// Leveled logging with pluggable sinks. Disabled logging (the default:
+// level kOff into a NullSink) costs exactly one branch at the call site —
+// the EFES_LOG macro only evaluates its message expression after
+// ShouldLog() passes. Library code logs to the Global() logger; output
+// goes to stderr when enabled, so stdout stays byte-identical.
+
+#ifndef EFES_TELEMETRY_LOG_H_
+#define EFES_TELEMETRY_LOG_H_
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace efes {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+std::string_view LogLevelToString(LogLevel level);
+
+/// Parses "debug"/"info"/"warn"/"error"/"off"; returns false on others.
+bool ParseLogLevel(std::string_view text, LogLevel* level);
+
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void Write(LogLevel level, std::string_view message) = 0;
+};
+
+/// Discards everything.
+class NullSink : public LogSink {
+ public:
+  void Write(LogLevel, std::string_view) override {}
+};
+
+/// Writes "[level] message\n" lines to stderr.
+class StderrSink : public LogSink {
+ public:
+  void Write(LogLevel level, std::string_view message) override;
+};
+
+/// Buffers lines in memory; for tests.
+class CaptureSink : public LogSink {
+ public:
+  struct Entry {
+    LogLevel level;
+    std::string message;
+  };
+
+  void Write(LogLevel level, std::string_view message) override;
+  std::vector<Entry> entries() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+};
+
+class Logger {
+ public:
+  Logger() = default;
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  /// The single branch a disabled call site pays.
+  bool ShouldLog(LogLevel level) const {
+    return level >= level_.load(std::memory_order_relaxed);
+  }
+
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+
+  /// The sink must outlive the logger; nullptr restores the NullSink.
+  void set_sink(LogSink* sink);
+
+  void Log(LogLevel level, std::string_view message);
+
+  static Logger& Global();
+
+ private:
+  std::atomic<LogLevel> level_{LogLevel::kOff};
+  std::mutex sink_mutex_;
+  LogSink* sink_ = nullptr;  // nullptr = the shared NullSink
+};
+
+/// Logs `message_expr` (any expression convertible to std::string_view)
+/// to the global logger; the expression is not evaluated when the level
+/// is disabled.
+#define EFES_LOG(level, message_expr)                        \
+  do {                                                       \
+    if (::efes::Logger::Global().ShouldLog(level)) {         \
+      ::efes::Logger::Global().Log(level, (message_expr));   \
+    }                                                        \
+  } while (false)
+
+}  // namespace efes
+
+#endif  // EFES_TELEMETRY_LOG_H_

@@ -1,0 +1,81 @@
+#include "efes/telemetry/report.h"
+
+#include "efes/common/json_writer.h"
+#include "efes/common/string_util.h"
+#include "efes/common/text_table.h"
+
+namespace efes {
+
+std::string RenderMetricsReport(const MetricsSnapshot& snapshot) {
+  if (snapshot.empty()) return "";
+  TextTable table;
+  table.SetHeader({"Metric", "Type", "Value", "Detail"});
+  for (const auto& counter : snapshot.counters) {
+    table.AddRow({counter.name, "counter", std::to_string(counter.value)});
+  }
+  for (const auto& gauge : snapshot.gauges) {
+    table.AddRow({gauge.name, "gauge", FormatDouble(gauge.value, 6)});
+  }
+  for (const auto& histogram : snapshot.histograms) {
+    table.AddRow({histogram.name, "histogram",
+                  std::to_string(histogram.count),
+                  "mean " + FormatDouble(histogram.Mean(), 4) + " ms, total " +
+                      FormatDouble(histogram.sum, 4) + " ms"});
+  }
+  return table.ToString();
+}
+
+void WriteMetricsJson(const MetricsSnapshot& snapshot, JsonWriter& json) {
+  json.BeginObject();
+  json.Key("counters").BeginObject();
+  for (const auto& counter : snapshot.counters) {
+    json.Key(counter.name).Number(static_cast<int64_t>(counter.value));
+  }
+  json.EndObject();
+  json.Key("gauges").BeginObject();
+  for (const auto& gauge : snapshot.gauges) {
+    json.Key(gauge.name).Number(gauge.value);
+  }
+  json.EndObject();
+  json.Key("histograms").BeginObject();
+  for (const auto& histogram : snapshot.histograms) {
+    json.Key(histogram.name)
+        .BeginObject()
+        .Key("count")
+        .Number(static_cast<int64_t>(histogram.count))
+        .Key("sum")
+        .Number(histogram.sum)
+        .Key("mean")
+        .Number(histogram.Mean())
+        .EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+}
+
+std::string BenchJsonLine(std::string_view bench_name, double wall_ms,
+                          const MetricsSnapshot& snapshot) {
+  JsonWriter json;
+  json.BeginObject()
+      .Key("bench")
+      .String(bench_name)
+      .Key("wall_ms")
+      .Number(wall_ms)
+      .Key("counters")
+      .BeginObject();
+  for (const auto& counter : snapshot.counters) {
+    json.Key(counter.name).Number(static_cast<int64_t>(counter.value));
+  }
+  for (const auto& gauge : snapshot.gauges) {
+    json.Key(gauge.name).Number(gauge.value);
+  }
+  for (const auto& histogram : snapshot.histograms) {
+    json.Key(histogram.name + ".count")
+        .Number(static_cast<int64_t>(histogram.count));
+    json.Key(histogram.name + ".sum_ms").Number(histogram.sum);
+  }
+  json.EndObject().EndObject();
+  return json.ToString();
+}
+
+}  // namespace efes

@@ -1,0 +1,37 @@
+// Human- and machine-readable renderings of a MetricsSnapshot: the
+// `--metrics` text table, the `telemetry` JSON section of exported
+// estimates, and the one-line JSON records the perf benches emit for the
+// BENCH_*.json trajectories.
+
+#ifndef EFES_TELEMETRY_REPORT_H_
+#define EFES_TELEMETRY_REPORT_H_
+
+#include <string>
+#include <string_view>
+
+#include "efes/telemetry/metrics.h"
+
+namespace efes {
+
+class JsonWriter;
+
+/// Renders the snapshot as a text table (one row per metric; histograms
+/// show count, mean, and total). Returns "" for an empty snapshot.
+std::string RenderMetricsReport(const MetricsSnapshot& snapshot);
+
+/// Writes the snapshot as one JSON object value:
+/// {"counters": {name: int, ...}, "gauges": {name: num, ...},
+///  "histograms": {name: {"count", "sum", "mean"}, ...}}.
+/// The caller has positioned `json` where a value is expected.
+void WriteMetricsJson(const MetricsSnapshot& snapshot, JsonWriter& json);
+
+/// One self-contained JSON line for benchmark harnesses:
+/// {"bench": name, "wall_ms": ..., "counters": {...}} where counters
+/// holds every counter plus gauges and histogram count/sum entries,
+/// flattened by name.
+std::string BenchJsonLine(std::string_view bench_name, double wall_ms,
+                          const MetricsSnapshot& snapshot);
+
+}  // namespace efes
+
+#endif  // EFES_TELEMETRY_REPORT_H_

@@ -1,0 +1,117 @@
+#include "efes/telemetry/trace.h"
+
+#include <utility>
+
+#include "efes/common/json_writer.h"
+
+namespace efes {
+
+namespace {
+
+thread_local TraceSpan* tls_open_span = nullptr;
+
+/// Small dense thread ids (0 = first thread to record a span), so traces
+/// stay readable and deterministic in single-threaded runs.
+int CurrentTid() {
+  static std::atomic<int> next_tid{0};
+  thread_local int tid = next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void TraceRecorder::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::string TraceRecorder::ToChromeTraceJson() const {
+  std::vector<TraceEvent> snapshot = events();
+  JsonWriter json;
+  json.BeginObject().Key("traceEvents").BeginArray();
+  for (const TraceEvent& event : snapshot) {
+    json.BeginObject()
+        .Key("name")
+        .String(event.name)
+        .Key("cat")
+        .String("efes")
+        .Key("ph")
+        .String("X")
+        .Key("ts")
+        .Number(static_cast<double>(event.start_nanos) / 1e3)
+        .Key("dur")
+        .Number(static_cast<double>(event.duration_nanos) / 1e3)
+        .Key("pid")
+        .Number(static_cast<int64_t>(1))
+        .Key("tid")
+        .Number(static_cast<int64_t>(event.tid))
+        .Key("args")
+        .BeginObject()
+        .Key("depth")
+        .Number(static_cast<int64_t>(event.depth))
+        .Key("id")
+        .Number(event.id)
+        .Key("parent")
+        .Number(event.parent_id)
+        .EndObject()
+        .EndObject();
+  }
+  json.EndArray().Key("displayTimeUnit").String("ms").EndObject();
+  return json.ToString();
+}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+TraceSpan::TraceSpan(std::string name, TraceRecorder* recorder,
+                     Histogram* latency_ms)
+    : recorder_(recorder != nullptr ? recorder : &TraceRecorder::Global()),
+      latency_ms_(latency_ms) {
+  tracing_ = recorder_->enabled();
+  timing_ = tracing_ || latency_ms_ != nullptr;
+  if (!timing_) return;  // disabled telemetry: one branch and out
+  name_ = std::move(name);
+  start_nanos_ = recorder_->clock()->NowNanos();
+  if (!tracing_) return;
+  id_ = recorder_->NextId();
+  enclosing_ = tls_open_span;
+  if (enclosing_ != nullptr && enclosing_->recorder_ == recorder_ &&
+      enclosing_->tracing_) {
+    parent_id_ = enclosing_->id_;
+    depth_ = enclosing_->depth_ + 1;
+  }
+  tls_open_span = this;
+}
+
+TraceSpan::~TraceSpan() {
+  if (!timing_) return;
+  int64_t duration = recorder_->clock()->NowNanos() - start_nanos_;
+  if (latency_ms_ != nullptr) {
+    latency_ms_->Observe(static_cast<double>(duration) / 1e6);
+  }
+  if (!tracing_) return;
+  tls_open_span = enclosing_;
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.start_nanos = start_nanos_;
+  event.duration_nanos = duration;
+  event.tid = CurrentTid();
+  event.depth = depth_;
+  event.id = id_;
+  event.parent_id = parent_id_;
+  recorder_->Record(std::move(event));
+}
+
+}  // namespace efes

@@ -1,0 +1,116 @@
+// Scoped tracing: RAII spans with parent/child nesting, recorded into a
+// TraceRecorder and exportable as Chrome trace-event JSON (open the file
+// in chrome://tracing or https://ui.perfetto.dev).
+//
+// Recording is off by default; a disabled recorder makes TraceSpan cost
+// one branch, so instrumentation can stay unconditionally in place on hot
+// paths. A span can additionally feed its duration into a latency
+// Histogram, which works even while tracing is disabled — the metrics
+// side of telemetry does not depend on the tracing side.
+
+#ifndef EFES_TELEMETRY_TRACE_H_
+#define EFES_TELEMETRY_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "efes/telemetry/clock.h"
+#include "efes/telemetry/metrics.h"
+
+namespace efes {
+
+/// One completed span. `id`/`parent_id` encode the nesting tree
+/// (parent_id == 0 for roots); `depth` is the nesting level at begin.
+struct TraceEvent {
+  std::string name;
+  int64_t start_nanos = 0;
+  int64_t duration_nanos = 0;
+  int tid = 0;
+  int depth = 0;
+  int64_t id = 0;
+  int64_t parent_id = 0;
+};
+
+class TraceSpan;
+
+/// Collects completed spans. Thread-safe; spans on different threads
+/// nest independently.
+class TraceRecorder {
+ public:
+  TraceRecorder() : clock_(Clock::Default()) {}
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// The clock spans read. Must outlive the recorder. Not synchronized
+  /// against concurrent spans; set it before recording.
+  void set_clock(const Clock* clock) { clock_ = clock; }
+  const Clock* clock() const { return clock_; }
+
+  /// Discards all recorded events.
+  void Clear();
+
+  std::vector<TraceEvent> events() const;
+
+  /// Renders every recorded event in Chrome trace-event format:
+  /// {"traceEvents": [{"name", "cat", "ph": "X", "ts", "dur", "pid",
+  /// "tid", "args": {"depth", "id", "parent"}}, ...],
+  /// "displayTimeUnit": "ms"}. Timestamps are microseconds.
+  std::string ToChromeTraceJson() const;
+
+  /// Process-wide recorder used by instrumentation sites.
+  static TraceRecorder& Global();
+
+ private:
+  friend class TraceSpan;
+
+  int64_t NextId() { return next_id_.fetch_add(1, std::memory_order_relaxed) + 1; }
+  void Record(TraceEvent event);
+
+  const Clock* clock_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<int64_t> next_id_{0};
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span: opens at construction, records at destruction. Nesting is
+/// tracked per thread — a span constructed while another span of the
+/// same recorder is open on the same thread becomes its child.
+class TraceSpan {
+ public:
+  /// Records into `recorder` (the global recorder when nullptr). When
+  /// `latency_ms` is given, the span duration is also Observe()d into it
+  /// in milliseconds, regardless of whether tracing is enabled.
+  explicit TraceSpan(std::string name, TraceRecorder* recorder = nullptr,
+                     Histogram* latency_ms = nullptr);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  Histogram* latency_ms_;
+  std::string name_;
+  int64_t start_nanos_ = 0;
+  int64_t id_ = 0;
+  int64_t parent_id_ = 0;
+  int depth_ = 0;
+  bool tracing_ = false;
+  bool timing_ = false;
+  /// Innermost open span of this thread (across recorders; parenthood
+  /// only links spans of the same recorder).
+  TraceSpan* enclosing_ = nullptr;
+};
+
+}  // namespace efes
+
+#endif  // EFES_TELEMETRY_TRACE_H_

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verification with warnings promoted to errors.
+#
+# Configures a dedicated build tree with -DEFES_WERROR=ON, builds
+# everything, and runs the full test suite. Exits nonzero on the first
+# failure. Usage:
+#
+#   tools/check_build.sh [build-dir]     # default: build-werror
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-werror}"
+
+cmake -B "$BUILD_DIR" -S . -DEFES_WERROR=ON
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j
+
+echo "check_build: OK (EFES_WERROR=ON, all tests passed)"

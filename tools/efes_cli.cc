@@ -10,11 +10,21 @@
 //       --format=text|json         output format
 //   efes execute <dir> <out>       actually perform the integration and
 //                                  persist the integrated target
+//       --quality=high|low         conflict-resolution strategy
 //   efes plan <dir>                cost-benefit execution order
+//       --quality=high|low         expected result quality (default high)
 //   efes match <dir>               propose correspondences with the matcher
 //   efes visualize <dir> [out.dot] Graphviz problem heatmap
 //   efes study                     run the Figure 6/7 cross-validated study
 //
+// Telemetry flags, accepted by every subcommand:
+//   --metrics                      print the metrics table after the run
+//   --trace=<file>                 write Chrome trace-event JSON spans
+//                                  (open in chrome://tracing / Perfetto)
+//   --log-level=<level>            debug|info|warn|error|off (default off;
+//                                  log lines go to stderr)
+//
+// Exit codes: 0 success, 1 runtime error, 2 usage error, 64 unknown flag.
 // Scenario directories follow the layout of scenario/scenario_io.h.
 
 #include <cstdio>
@@ -23,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "efes/common/string_util.h"
 #include "efes/core/effort_config.h"
 #include "efes/execute/integration_executor.h"
 #include "efes/experiment/cost_benefit.h"
@@ -34,10 +45,17 @@
 #include "efes/profiling/constraint_discovery.h"
 #include "efes/scenario/paper_example.h"
 #include "efes/scenario/scenario_io.h"
+#include "efes/telemetry/log.h"
+#include "efes/telemetry/metrics.h"
+#include "efes/telemetry/report.h"
+#include "efes/telemetry/trace.h"
 
 namespace {
 
-int Usage() {
+constexpr int kExitUsage = 2;
+constexpr int kExitUnknownFlag = 64;
+
+int Usage(int exit_code = kExitUsage) {
   std::fprintf(
       stderr,
       "usage:\n"
@@ -49,13 +67,85 @@ int Usage() {
       "  efes execute <dir> <out-dir> [--quality=high|low]\n"
       "  efes plan <dir> [--quality=high|low]\n"
       "  efes visualize <dir> [<out.dot>]\n"
-      "  efes study\n");
-  return 2;
+      "  efes study\n"
+      "telemetry flags (any subcommand):\n"
+      "  --metrics            print the metrics table after the run\n"
+      "  --trace=<file>       write Chrome trace-event JSON (chrome://tracing)\n"
+      "  --log-level=<level>  debug|info|warn|error|off (default off)\n");
+  return exit_code;
+}
+
+/// Unknown flags fail with their own exit code so scripts can tell a
+/// mistyped flag from a misshapen invocation.
+int UnknownFlag(const std::string& option) {
+  std::fprintf(stderr, "unknown option: %s\n", option.c_str());
+  return Usage(kExitUnknownFlag);
 }
 
 int Fail(const efes::Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// Telemetry flags, parsed off the command line before dispatch so every
+/// subcommand accepts them uniformly.
+struct TelemetryFlags {
+  bool metrics = false;
+  std::string trace_path;
+  /// Set when the subcommand already embedded the snapshot in its own
+  /// output (estimate --format=json), so main() skips the table.
+  bool metrics_emitted_inline = false;
+};
+
+TelemetryFlags g_telemetry;
+
+/// Strips --metrics / --trace= / --log-level= out of `args` and applies
+/// them. Returns an exit code, or -1 to continue.
+int ApplyTelemetryFlags(std::vector<std::string>* args) {
+  std::vector<std::string> remaining;
+  for (std::string& arg : *args) {
+    if (arg == "--metrics") {
+      g_telemetry.metrics = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      g_telemetry.trace_path = arg.substr(8);
+      if (g_telemetry.trace_path.empty()) return UnknownFlag(arg);
+      efes::TraceRecorder::Global().set_enabled(true);
+    } else if (arg.rfind("--log-level=", 0) == 0) {
+      efes::LogLevel level;
+      if (!efes::ParseLogLevel(arg.substr(12), &level)) {
+        return UnknownFlag(arg);
+      }
+      static efes::StderrSink* sink = new efes::StderrSink();
+      efes::Logger::Global().set_sink(sink);
+      efes::Logger::Global().set_level(level);
+    } else {
+      remaining.push_back(std::move(arg));
+    }
+  }
+  *args = std::move(remaining);
+  return -1;
+}
+
+/// Prints the metrics table / writes the trace file after a successful
+/// run. Without telemetry flags this is a no-op, leaving the output
+/// byte-identical to the untelemetered CLI.
+int EmitTelemetry() {
+  if (g_telemetry.metrics && !g_telemetry.metrics_emitted_inline) {
+    std::string report = efes::RenderMetricsReport(
+        efes::MetricsRegistry::Global().Snapshot());
+    std::printf("=== telemetry ===\n%s", report.c_str());
+  }
+  if (!g_telemetry.trace_path.empty()) {
+    std::ofstream out(g_telemetry.trace_path);
+    if (!out) {
+      return Fail(efes::Status::InvalidArgument(
+          "cannot write " + g_telemetry.trace_path));
+    }
+    out << efes::TraceRecorder::Global().ToChromeTraceJson();
+    std::printf("trace written to %s (open in chrome://tracing)\n",
+                g_telemetry.trace_path.c_str());
+  }
+  return 0;
 }
 
 int RunExportExample(const std::string& directory) {
@@ -91,8 +181,7 @@ int RunAssess(const std::string& directory,
     if (option == "--discover") {
       discover = true;
     } else {
-      std::fprintf(stderr, "unknown option: %s\n", option.c_str());
-      return Usage();
+      return UnknownFlag(option);
     }
   }
   auto scenario = efes::LoadScenario(directory);
@@ -130,8 +219,7 @@ int RunEstimate(const std::string& directory,
       if (!loaded.ok()) return Fail(loaded.status());
       config = std::move(*loaded);
     } else {
-      std::fprintf(stderr, "unknown option: %s\n", option.c_str());
-      return Usage();
+      return UnknownFlag(option);
     }
   }
   auto scenario = efes::LoadScenario(directory);
@@ -141,7 +229,17 @@ int RunEstimate(const std::string& directory,
   auto result = engine.Run(*scenario, quality, config.settings);
   if (!result.ok()) return Fail(result.status());
   if (json) {
-    std::printf("%s\n", efes::EstimationResultToJson(*result).c_str());
+    if (g_telemetry.metrics) {
+      // Embed the snapshot as the export's `telemetry` section instead
+      // of appending a table that would trail the JSON document.
+      g_telemetry.metrics_emitted_inline = true;
+      std::printf("%s\n",
+                  efes::EstimationResultToJson(
+                      *result, efes::MetricsRegistry::Global().Snapshot())
+                      .c_str());
+    } else {
+      std::printf("%s\n", efes::EstimationResultToJson(*result).c_str());
+    }
   } else {
     std::printf("%s", result->ToText().c_str());
   }
@@ -172,8 +270,7 @@ int RunExecute(const std::string& directory,
     } else if (option == "--quality=low") {
       executor_options.quality = efes::ExpectedQuality::kLowEffort;
     } else {
-      std::fprintf(stderr, "unknown option: %s\n", option.c_str());
-      return Usage();
+      return UnknownFlag(option);
     }
   }
   auto scenario = efes::LoadScenario(directory);
@@ -200,8 +297,7 @@ int RunPlan(const std::string& directory,
     } else if (option == "--quality=low") {
       quality = efes::ExpectedQuality::kLowEffort;
     } else {
-      std::fprintf(stderr, "unknown option: %s\n", option.c_str());
-      return Usage();
+      return UnknownFlag(option);
     }
   }
   auto scenario = efes::LoadScenario(directory);
@@ -255,14 +351,12 @@ int RunStudy() {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  std::string command = argv[1];
-  std::vector<std::string> rest(argv + 2, argv + argc);
-
+int Dispatch(const std::string& command, std::vector<std::string> rest) {
   if (command == "study") {
+    for (const std::string& option : rest) {
+      if (efes::StartsWith(option, "--")) return UnknownFlag(option);
+    }
+    if (!rest.empty()) return Usage();
     return RunStudy();
   }
   if (command == "export-example") {
@@ -303,4 +397,19 @@ int main(int argc, char** argv) {
     return RunEstimate(directory, rest);
   }
   return Usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  std::vector<std::string> rest(argv + 2, argv + argc);
+
+  int telemetry_code = ApplyTelemetryFlags(&rest);
+  if (telemetry_code >= 0) return telemetry_code;
+
+  int code = Dispatch(command, std::move(rest));
+  if (code != 0) return code;
+  return EmitTelemetry();
 }
