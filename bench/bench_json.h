@@ -3,10 +3,12 @@
 // workload against a zeroed telemetry registry and prints a single
 // machine-readable line
 //
-//   {"bench": <name>, "wall_ms": ..., "counters": {...}}
+//   {"bench": <name>, "wall_ms": ..., "threads": ..., "counters": {...}}
 //
 // on stdout, so `build/bench/perf_x | tail -1 > BENCH_x.json` yields a
-// consumable metrics record.
+// consumable metrics record. `--threads=<n>` (stripped before
+// google-benchmark sees the argv) pins the parallel-phase worker count;
+// the emitted `threads` field records what the workload actually used.
 
 #ifndef EFES_BENCH_BENCH_JSON_H_
 #define EFES_BENCH_BENCH_JSON_H_
@@ -14,9 +16,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <string_view>
 
+#include "efes/common/parallel.h"
 #include "efes/telemetry/clock.h"
 #include "efes/telemetry/metrics.h"
 #include "efes/telemetry/report.h"
@@ -24,8 +29,27 @@
 namespace efes {
 namespace bench {
 
+/// Removes `--threads=<n>` from argv (google-benchmark rejects unknown
+/// flags) and applies it as the pool-size override.
+inline void ApplyThreadsFlag(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      char* end = nullptr;
+      unsigned long threads = std::strtoul(argv[i] + 10, &end, 10);
+      if (end != argv[i] + 10 && *end == '\0' && threads > 0) {
+        SetThreadCountOverride(static_cast<size_t>(threads));
+        continue;
+      }
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+}
+
 inline int BenchMain(int argc, char** argv, std::string_view name,
                      const std::function<void()>& workload) {
+  ApplyThreadsFlag(&argc, argv);
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
@@ -37,7 +61,7 @@ inline int BenchMain(int argc, char** argv, std::string_view name,
   workload();
   const double wall_ms =
       static_cast<double>(clock.NowNanos() - start_nanos) / 1e6;
-  std::printf("%s\n", BenchJsonLine(name, wall_ms,
+  std::printf("%s\n", BenchJsonLine(name, wall_ms, ConfiguredThreadCount(),
                                     MetricsRegistry::Global().Snapshot())
                           .c_str());
   return 0;

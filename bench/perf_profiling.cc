@@ -73,16 +73,44 @@ void BM_GeneralizeToPattern(benchmark::State& state) {
 }
 BENCHMARK(BM_GeneralizeToPattern);
 
-/// Representative workload for the telemetry JSON line: profile one text
-/// and one numeric column and compare two samples.
+void BM_StatisticsBatch(benchmark::State& state) {
+  std::vector<std::vector<Value>> columns;
+  for (size_t i = 0; i < 32; ++i) {
+    columns.push_back(i % 2 == 0 ? RandomTextColumn(5000)
+                                 : RandomNumericColumn(5000));
+  }
+  std::vector<ColumnStatisticsRequest> requests;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    requests.push_back(ColumnStatisticsRequest{
+        &columns[i], i % 2 == 0 ? DataType::kText : DataType::kInteger});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeStatisticsBatch(requests));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(columns.size()));
+}
+BENCHMARK(BM_StatisticsBatch);
+
+/// Representative workload for the telemetry JSON line: a 32-column
+/// batch profile (wide enough that --threads scaling shows up in
+/// wall_ms) plus one pairwise fit comparison.
 void JsonLineWorkload() {
-  AttributeStatistics text_a =
-      ComputeStatistics(RandomTextColumn(20000), DataType::kText);
-  AttributeStatistics text_b =
-      ComputeStatistics(RandomTextColumn(20000), DataType::kText);
-  benchmark::DoNotOptimize(OverallFit(text_a, text_b));
-  benchmark::DoNotOptimize(
-      ComputeStatistics(RandomNumericColumn(20000), DataType::kInteger));
+  std::vector<std::vector<Value>> columns;
+  for (size_t i = 0; i < 32; ++i) {
+    columns.push_back(i % 2 == 0 ? RandomTextColumn(20000)
+                                 : RandomNumericColumn(20000));
+  }
+  std::vector<ColumnStatisticsRequest> requests;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    requests.push_back(ColumnStatisticsRequest{
+        &columns[i], i % 2 == 0 ? DataType::kText : DataType::kInteger});
+  }
+  auto batch = ComputeStatisticsBatch(requests);
+  benchmark::DoNotOptimize(batch);
+  if (batch.ok() && batch->size() >= 4) {
+    benchmark::DoNotOptimize(OverallFit((*batch)[0], (*batch)[2]));
+  }
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "efes/common/parallel.h"
 #include "efes/common/string_util.h"
 #include "efes/common/text_table.h"
 #include "efes/telemetry/log.h"
@@ -83,9 +84,11 @@ Result<EstimationResult> EfesEngine::Run(
   static Histogram& run_ms = metrics.GetHistogram("engine.run.ms");
   TraceSpan run_span("engine.run", nullptr, &run_ms);
   metrics.GetCounter("engine.run.count").Increment();
+  metrics.GetGauge("engine.run.threads").Set(ConfiguredThreadCount());
   EFES_LOG(LogLevel::kInfo,
            "engine: estimating scenario '" + scenario.name + "' with " +
-               std::to_string(modules_.size()) + " modules");
+               std::to_string(modules_.size()) + " modules, " +
+               std::to_string(ConfiguredThreadCount()) + " threads");
   EFES_RETURN_IF_ERROR(scenario.Validate());
   EstimationResult result;
   for (const auto& module : modules_) {
@@ -126,6 +129,9 @@ EfesEngine::AssessComplexity(const IntegrationScenario& scenario) const {
       MetricsRegistry::Global().GetHistogram("engine.run.ms");
   TraceSpan run_span("engine.assess", nullptr, &run_ms);
   MetricsRegistry::Global().GetCounter("engine.assess.runs").Increment();
+  MetricsRegistry::Global()
+      .GetGauge("engine.run.threads")
+      .Set(ConfiguredThreadCount());
   EFES_RETURN_IF_ERROR(scenario.Validate());
   std::vector<std::unique_ptr<ComplexityReport>> reports;
   for (const auto& module : modules_) {

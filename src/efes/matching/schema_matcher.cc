@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "efes/common/parallel.h"
 #include "efes/common/string_util.h"
 #include "efes/profiling/statistics.h"
 #include "efes/telemetry/metrics.h"
@@ -86,40 +87,52 @@ double SchemaMatcher::ScoreAttributePair(
 
 std::vector<MatchCandidate> SchemaMatcher::ScoreRelations(
     const Database& source, const Database& target) const {
-  std::vector<MatchCandidate> candidates;
+  // All (source relation, target relation) pairs in canonical schema
+  // order; each pair's score is independent (dominated by the per-pair
+  // instance statistics), so scoring fans out over the shared pool and
+  // the results merge back by pair index — bit-identical for any thread
+  // count.
+  std::vector<std::pair<const RelationDef*, const RelationDef*>> pairs;
   for (const RelationDef& source_rel : source.schema().relations()) {
     for (const RelationDef& target_rel : target.schema().relations()) {
-      // Relation score: name similarity blended with the mean of each
-      // target attribute's best source-attribute score.
-      double name = std::max(NameSimilarity(source_rel.name(),
-                                            target_rel.name()),
-                             TokenJaccard(source_rel.name(),
-                                          target_rel.name()));
-      double attribute_sum = 0.0;
-      size_t attribute_count = 0;
-      for (const AttributeDef& target_attr : target_rel.attributes()) {
-        double best = 0.0;
-        for (const AttributeDef& source_attr : source_rel.attributes()) {
-          best = std::max(
-              best, ScoreAttributePair(source, source_rel.name(),
-                                       source_attr, target, target_rel.name(),
-                                       target_attr));
-        }
-        attribute_sum += best;
-        ++attribute_count;
-      }
-      double attribute_mean =
-          attribute_count == 0 ? 0.0 : attribute_sum / attribute_count;
-      MatchCandidate candidate;
-      candidate.source_relation = source_rel.name();
-      candidate.target_relation = target_rel.name();
-      // Attribute-level evidence dominates: two relations about the
-      // same entities often carry dissimilar names (albums vs records)
-      // but similar attribute sets.
-      candidate.score = 0.3 * name + 0.7 * attribute_mean;
-      candidates.push_back(std::move(candidate));
+      pairs.emplace_back(&source_rel, &target_rel);
     }
   }
+  auto scored = ParallelMap(pairs.size(), [&](size_t i) {
+    const RelationDef& source_rel = *pairs[i].first;
+    const RelationDef& target_rel = *pairs[i].second;
+    // Relation score: name similarity blended with the mean of each
+    // target attribute's best source-attribute score.
+    double name = std::max(NameSimilarity(source_rel.name(),
+                                          target_rel.name()),
+                           TokenJaccard(source_rel.name(),
+                                        target_rel.name()));
+    double attribute_sum = 0.0;
+    size_t attribute_count = 0;
+    for (const AttributeDef& target_attr : target_rel.attributes()) {
+      double best = 0.0;
+      for (const AttributeDef& source_attr : source_rel.attributes()) {
+        best = std::max(
+            best, ScoreAttributePair(source, source_rel.name(),
+                                     source_attr, target, target_rel.name(),
+                                     target_attr));
+      }
+      attribute_sum += best;
+      ++attribute_count;
+    }
+    double attribute_mean =
+        attribute_count == 0 ? 0.0 : attribute_sum / attribute_count;
+    MatchCandidate candidate;
+    candidate.source_relation = source_rel.name();
+    candidate.target_relation = target_rel.name();
+    // Attribute-level evidence dominates: two relations about the
+    // same entities often carry dissimilar names (albums vs records)
+    // but similar attribute sets.
+    candidate.score = 0.3 * name + 0.7 * attribute_mean;
+    return candidate;
+  });
+  std::vector<MatchCandidate> candidates =
+      scored.ok() ? std::move(*scored) : std::vector<MatchCandidate>();
   std::sort(candidates.begin(), candidates.end(),
             [](const MatchCandidate& a, const MatchCandidate& b) {
               if (a.score != b.score) return a.score > b.score;
@@ -158,25 +171,36 @@ CorrespondenceSet SchemaMatcher::Match(const Database& source,
                                 candidate.target_relation);
   }
 
-  // Greedy 1:1 attribute matching within each matched relation pair.
+  // Greedy 1:1 attribute matching within each matched relation pair. The
+  // pairwise scores are computed in parallel (canonical attribute-pair
+  // order), then filtered and ranked sequentially.
   for (const auto& [source_relation, target_relation] : relation_pairs) {
     const RelationDef* source_rel = *source.schema().relation(source_relation);
     const RelationDef* target_rel = *target.schema().relation(target_relation);
-    std::vector<MatchCandidate> attribute_candidates;
+    std::vector<std::pair<const AttributeDef*, const AttributeDef*>>
+        attribute_pairs;
     for (const AttributeDef& source_attr : source_rel->attributes()) {
       for (const AttributeDef& target_attr : target_rel->attributes()) {
-        double score =
-            ScoreAttributePair(source, source_relation, source_attr, target,
-                               target_relation, target_attr);
-        if (score < options_.min_attribute_confidence) continue;
-        MatchCandidate candidate;
-        candidate.source_relation = source_relation;
-        candidate.source_attribute = source_attr.name;
-        candidate.target_relation = target_relation;
-        candidate.target_attribute = target_attr.name;
-        candidate.score = score;
-        attribute_candidates.push_back(std::move(candidate));
+        attribute_pairs.emplace_back(&source_attr, &target_attr);
       }
+    }
+    auto scores = ParallelMap(attribute_pairs.size(), [&](size_t i) {
+      return ScoreAttributePair(source, source_relation,
+                                *attribute_pairs[i].first, target,
+                                target_relation, *attribute_pairs[i].second);
+    });
+    if (!scores.ok()) continue;
+    std::vector<MatchCandidate> attribute_candidates;
+    for (size_t i = 0; i < attribute_pairs.size(); ++i) {
+      double score = (*scores)[i];
+      if (score < options_.min_attribute_confidence) continue;
+      MatchCandidate candidate;
+      candidate.source_relation = source_relation;
+      candidate.source_attribute = attribute_pairs[i].first->name;
+      candidate.target_relation = target_relation;
+      candidate.target_attribute = attribute_pairs[i].second->name;
+      candidate.score = score;
+      attribute_candidates.push_back(std::move(candidate));
     }
     std::sort(attribute_candidates.begin(), attribute_candidates.end(),
               [](const MatchCandidate& a, const MatchCandidate& b) {

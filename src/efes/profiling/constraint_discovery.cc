@@ -5,6 +5,7 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "efes/common/parallel.h"
 #include "efes/telemetry/metrics.h"
 #include "efes/telemetry/trace.h"
 
@@ -40,14 +41,39 @@ bool IsDeclared(const Schema& schema, const Constraint& candidate) {
   return false;
 }
 
-/// Set of distinct non-null values of a column, for inclusion testing.
-std::unordered_set<Value, ValueHash> DistinctSet(const Table& table,
-                                                 size_t column) {
+/// Null count plus the distinct non-null values of one column, computed
+/// once up front (the legacy code recomputed the distinct set for every
+/// candidate pair that referenced the column).
+struct ColumnProfile {
+  size_t nulls = 0;
   std::unordered_set<Value, ValueHash> values;
+
+  size_t distinct() const { return values.size(); }
+};
+
+ColumnProfile ProfileColumn(const Table& table, size_t column) {
+  ColumnProfile profile;
   for (const Value& v : table.column(column)) {
-    if (!v.is_null()) values.insert(v);
+    if (v.is_null()) {
+      ++profile.nulls;
+    } else {
+      profile.values.insert(v);
+    }
   }
-  return values;
+  return profile;
+}
+
+/// Checks the exact unary functional dependency lhs -> rhs.
+bool FdHolds(const Table& table, size_t lhs, size_t rhs) {
+  std::unordered_map<Value, Value, ValueHash> dependent_of;
+  for (size_t r = 0; r < table.row_count(); ++r) {
+    const Value& determinant = table.at(r, lhs);
+    if (determinant.is_null()) continue;
+    const Value& dependent = table.at(r, rhs);
+    auto [it, inserted] = dependent_of.emplace(determinant, dependent);
+    if (!inserted && !(it->second == dependent)) return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -81,18 +107,41 @@ std::vector<DiscoveredConstraint> DiscoverConstraints(
     discovered.push_back(DiscoveredConstraint{std::move(constraint), support});
   };
 
-  // --- NOT NULL and single-column UNIQUE ----------------------------------
+  // --- Per-column profiles (parallel) --------------------------------------
+  // Tables below the row threshold never contribute candidates; skip them.
+  std::vector<const Table*> tables;
   for (const Table& table : database.tables()) {
-    if (table.row_count() < options.min_row_count) continue;
+    if (table.row_count() >= options.min_row_count) tables.push_back(&table);
+  }
+  std::vector<std::pair<size_t, size_t>> column_index;  // (table, column)
+  for (size_t t = 0; t < tables.size(); ++t) {
+    for (size_t c = 0; c < tables[t]->column_count(); ++c) {
+      column_index.emplace_back(t, c);
+    }
+  }
+  auto profiled = ParallelMap(column_index.size(), [&](size_t i) {
+    auto [t, c] = column_index[i];
+    return ProfileColumn(*tables[t], c);
+  });
+  if (!profiled.ok()) return discovered;  // only possible via task throw
+  std::vector<std::vector<ColumnProfile>> profiles(tables.size());
+  for (size_t i = 0; i < column_index.size(); ++i) {
+    auto [t, c] = column_index[i];
+    (void)c;  // columns arrive in order per table
+    profiles[t].push_back(std::move((*profiled)[i]));
+  }
+
+  // --- NOT NULL and single-column UNIQUE ----------------------------------
+  for (size_t t = 0; t < tables.size(); ++t) {
+    const Table& table = *tables[t];
     for (size_t c = 0; c < table.column_count(); ++c) {
       const std::string& attribute = table.def().attributes()[c].name;
-      size_t nulls = table.NullCount(c);
-      if (nulls == 0) {
+      const ColumnProfile& profile = profiles[t][c];
+      if (profile.nulls == 0) {
         propose(Constraint::NotNull(table.name(), attribute),
                 table.row_count());
       }
-      size_t distinct = table.DistinctCount(c);
-      if (nulls == 0 && distinct == table.row_count()) {
+      if (profile.nulls == 0 && profile.distinct() == table.row_count()) {
         propose(Constraint::Unique(table.name(), {attribute}),
                 table.row_count());
       }
@@ -101,81 +150,97 @@ std::vector<DiscoveredConstraint> DiscoverConstraints(
 
   // --- Unary functional dependencies A -> B --------------------------------
   if (options.discover_functional_dependencies) {
-    for (const Table& table : database.tables()) {
-      if (table.row_count() < options.min_row_count) continue;
+    // Candidate pairs in canonical (table, lhs, rhs) order; the exact
+    // row-scan validation is the expensive part and fans out.
+    std::vector<std::tuple<size_t, size_t, size_t>> fd_candidates;
+    for (size_t t = 0; t < tables.size(); ++t) {
+      const Table& table = *tables[t];
       for (size_t lhs = 0; lhs < table.column_count(); ++lhs) {
-        size_t lhs_distinct = table.DistinctCount(lhs);
-        if (lhs_distinct < options.min_distinct_for_fd) continue;
+        const ColumnProfile& lhs_profile = profiles[t][lhs];
+        if (lhs_profile.distinct() < options.min_distinct_for_fd) continue;
         // A unique LHS determines everything trivially; skip.
-        if (table.NullCount(lhs) == 0 && lhs_distinct == table.row_count()) {
+        if (lhs_profile.nulls == 0 &&
+            lhs_profile.distinct() == table.row_count()) {
           continue;
         }
         for (size_t rhs = 0; rhs < table.column_count(); ++rhs) {
           if (lhs == rhs) continue;
-          // Check A -> B exactly: every A-group has one distinct B.
-          std::unordered_map<Value, Value, ValueHash> dependent_of;
-          bool holds = true;
-          for (size_t r = 0; r < table.row_count(); ++r) {
-            const Value& determinant = table.at(r, lhs);
-            if (determinant.is_null()) continue;
-            const Value& dependent = table.at(r, rhs);
-            auto [it, inserted] =
-                dependent_of.emplace(determinant, dependent);
-            if (!inserted && !(it->second == dependent)) {
-              holds = false;
-              break;
-            }
-          }
-          if (holds) {
-            propose(Constraint::FunctionalDependency(
-                        table.name(), {table.def().attributes()[lhs].name},
-                        {table.def().attributes()[rhs].name}),
-                    table.row_count());
-          }
+          fd_candidates.emplace_back(t, lhs, rhs);
         }
+      }
+    }
+    // `char` (not bool): vector<bool> packs bits, and concurrent writes
+    // to neighbouring slots would race.
+    auto fd_holds = ParallelMap(fd_candidates.size(), [&](size_t i) -> char {
+      auto [t, lhs, rhs] = fd_candidates[i];
+      return FdHolds(*tables[t], lhs, rhs) ? 1 : 0;
+    });
+    if (fd_holds.ok()) {
+      for (size_t i = 0; i < fd_candidates.size(); ++i) {
+        if (!(*fd_holds)[i]) continue;
+        auto [t, lhs, rhs] = fd_candidates[i];
+        const Table& table = *tables[t];
+        propose(Constraint::FunctionalDependency(
+                    table.name(), {table.def().attributes()[lhs].name},
+                    {table.def().attributes()[rhs].name}),
+                table.row_count());
       }
     }
   }
 
   // --- Unary inclusion dependencies (FK candidates) -----------------------
-  for (const Table& child : database.tables()) {
-    if (child.row_count() < options.min_row_count) continue;
+  // Candidate pairs that survive the cheap profile-based prunes, in
+  // canonical (child, child column, parent, parent column) order; the
+  // per-pair inclusion scan fans out.
+  std::vector<std::tuple<size_t, size_t, size_t, size_t>> ind_candidates;
+  for (size_t ct = 0; ct < tables.size(); ++ct) {
+    const Table& child = *tables[ct];
     for (size_t cc = 0; cc < child.column_count(); ++cc) {
-      size_t child_distinct = child.DistinctCount(cc);
-      if (child_distinct < options.min_distinct_for_ind) continue;
-      std::unordered_set<Value, ValueHash> child_values =
-          DistinctSet(child, cc);
-
-      for (const Table& parent : database.tables()) {
-        if (parent.row_count() < options.min_row_count) continue;
+      const ColumnProfile& child_profile = profiles[ct][cc];
+      if (child_profile.distinct() < options.min_distinct_for_ind) continue;
+      for (size_t pt = 0; pt < tables.size(); ++pt) {
+        const Table& parent = *tables[pt];
         for (size_t pc = 0; pc < parent.column_count(); ++pc) {
           if (&parent == &child && pc == cc) continue;
           if (parent.def().attributes()[pc].type !=
               child.def().attributes()[cc].type) {
             continue;
           }
+          const ColumnProfile& parent_profile = profiles[pt][pc];
           if (options.require_unique_referenced) {
-            bool unique = parent.NullCount(pc) == 0 &&
-                          parent.DistinctCount(pc) == parent.row_count();
+            bool unique = parent_profile.nulls == 0 &&
+                          parent_profile.distinct() == parent.row_count();
             if (!unique) continue;
           }
-          std::unordered_set<Value, ValueHash> parent_values =
-              DistinctSet(parent, pc);
-          if (parent_values.size() < child_values.size()) continue;
+          if (parent_profile.distinct() < child_profile.distinct()) continue;
           ind_checks.Increment();
-          bool included = std::all_of(
-              child_values.begin(), child_values.end(),
-              [&](const Value& v) { return parent_values.count(v) > 0; });
-          if (included) {
-            propose(Constraint::ForeignKey(
-                        child.name(),
-                        {child.def().attributes()[cc].name},
-                        parent.name(),
-                        {parent.def().attributes()[pc].name}),
-                    child.row_count());
-          }
+          ind_candidates.emplace_back(ct, cc, pt, pc);
         }
       }
+    }
+  }
+  auto included = ParallelMap(ind_candidates.size(), [&](size_t i) -> char {
+    auto [ct, cc, pt, pc] = ind_candidates[i];
+    const std::unordered_set<Value, ValueHash>& child_values =
+        profiles[ct][cc].values;
+    const std::unordered_set<Value, ValueHash>& parent_values =
+        profiles[pt][pc].values;
+    return std::all_of(
+               child_values.begin(), child_values.end(),
+               [&](const Value& v) { return parent_values.count(v) > 0; })
+               ? 1
+               : 0;
+  });
+  if (included.ok()) {
+    for (size_t i = 0; i < ind_candidates.size(); ++i) {
+      if (!(*included)[i]) continue;
+      auto [ct, cc, pt, pc] = ind_candidates[i];
+      const Table& child = *tables[ct];
+      const Table& parent = *tables[pt];
+      propose(Constraint::ForeignKey(
+                  child.name(), {child.def().attributes()[cc].name},
+                  parent.name(), {parent.def().attributes()[pc].name}),
+              child.row_count());
     }
   }
 

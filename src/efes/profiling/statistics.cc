@@ -6,6 +6,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "efes/common/parallel.h"
 #include "efes/common/string_util.h"
 #include "efes/telemetry/clock.h"
 #include "efes/telemetry/metrics.h"
@@ -303,6 +304,13 @@ AttributeStatistics ComputeStatistics(const std::vector<Value>& column,
   compute_ms.Observe(
       static_cast<double>(Clock::Default()->NowNanos() - start_nanos) / 1e6);
   return stats;
+}
+
+Result<std::vector<AttributeStatistics>> ComputeStatisticsBatch(
+    const std::vector<ColumnStatisticsRequest>& requests) {
+  return ParallelMap(requests.size(), [&](size_t i) {
+    return ComputeStatistics(*requests[i].column, requests[i].target_type);
+  });
 }
 
 std::vector<StatisticType> ApplicableStatistics(DataType target_type) {

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "efes/common/result.h"
 #include "efes/relational/table.h"
 #include "efes/relational/value.h"
 
@@ -148,6 +149,20 @@ struct AttributeStatistics {
 /// Computes all statistics applicable to `target_type` over `column`.
 AttributeStatistics ComputeStatistics(const std::vector<Value>& column,
                                       DataType target_type);
+
+/// One column to profile in a batch. The referenced column must outlive
+/// the ComputeStatisticsBatch call.
+struct ColumnStatisticsRequest {
+  const std::vector<Value>* column = nullptr;
+  DataType target_type = DataType::kText;
+};
+
+/// Profiles many columns through the shared thread pool (common/parallel).
+/// Each column is computed whole by one task and the results come back in
+/// request order, so the output is bit-identical to calling
+/// ComputeStatistics sequentially — for any thread count.
+Result<std::vector<AttributeStatistics>> ComputeStatisticsBatch(
+    const std::vector<ColumnStatisticsRequest>& requests);
 
 /// Generalizes a string into its text pattern: digit runs -> '9', letter
 /// runs -> 'a', whitespace runs -> ' ', everything else verbatim.

@@ -54,13 +54,15 @@ void WriteMetricsJson(const MetricsSnapshot& snapshot, JsonWriter& json) {
 }
 
 std::string BenchJsonLine(std::string_view bench_name, double wall_ms,
-                          const MetricsSnapshot& snapshot) {
+                          size_t threads, const MetricsSnapshot& snapshot) {
   JsonWriter json;
   json.BeginObject()
       .Key("bench")
       .String(bench_name)
       .Key("wall_ms")
       .Number(wall_ms)
+      .Key("threads")
+      .Number(static_cast<int64_t>(threads))
       .Key("counters")
       .BeginObject();
   for (const auto& counter : snapshot.counters) {

@@ -26,11 +26,13 @@ std::string RenderMetricsReport(const MetricsSnapshot& snapshot);
 void WriteMetricsJson(const MetricsSnapshot& snapshot, JsonWriter& json);
 
 /// One self-contained JSON line for benchmark harnesses:
-/// {"bench": name, "wall_ms": ..., "counters": {...}} where counters
-/// holds every counter plus gauges and histogram count/sum entries,
-/// flattened by name.
+/// {"bench": name, "wall_ms": ..., "threads": ..., "counters": {...}}
+/// where counters holds every counter plus gauges and histogram
+/// count/sum entries, flattened by name. `threads` records the worker
+/// thread count the workload ran with, so perf trajectories stay
+/// comparable across machines and --threads overrides.
 std::string BenchJsonLine(std::string_view bench_name, double wall_ms,
-                          const MetricsSnapshot& snapshot);
+                          size_t threads, const MetricsSnapshot& snapshot);
 
 }  // namespace efes
 

@@ -3,6 +3,7 @@
 #include <set>
 #include <sstream>
 
+#include "efes/common/parallel.h"
 #include "efes/common/string_util.h"
 #include "efes/common/text_table.h"
 
@@ -144,6 +145,18 @@ Result<std::unique_ptr<ComplexityReport>> ValueModule::AssessComplexity(
     }
   }
 
+  // Pass 1 (sequential): resolve every attribute-level correspondence
+  // into a self-contained work item, preserving the scenario's canonical
+  // source/correspondence order and its error behaviour.
+  struct WorkItem {
+    const Correspondence* corr = nullptr;
+    std::string source_database;
+    std::vector<Value> source_sample;
+    std::vector<Value> target_sample;
+    AttributeDef target_attribute;
+    bool has_target_data = false;
+  };
+  std::vector<WorkItem> items;
   for (const SourceBinding& source : scenario.sources) {
     for (const Correspondence& corr : source.correspondences.all()) {
       if (!corr.is_attribute_level()) continue;
@@ -166,63 +179,89 @@ Result<std::unique_ptr<ComplexityReport>> ValueModule::AssessComplexity(
           AttributeDef target_attribute,
           target_table->def().Attribute(corr.target_attribute));
 
-      std::vector<Value> source_sample =
-          SampleColumn(*source_column, options_.sample_limit);
-      std::vector<Value> target_sample =
-          SampleColumn(*target_column, options_.sample_limit);
-      AttributeStatistics source_stats =
-          ComputeStatistics(source_sample, target_attribute.type);
-      AttributeStatistics target_stats =
-          ComputeStatistics(target_sample, target_attribute.type);
-      bool has_target_data = !target_column->empty();
+      WorkItem item;
+      item.corr = &corr;
+      item.source_database = source.database.name();
+      item.source_sample = SampleColumn(*source_column, options_.sample_limit);
+      item.target_sample = SampleColumn(*target_column, options_.sample_limit);
+      item.target_attribute = std::move(target_attribute);
+      item.has_target_data = !target_column->empty();
+      items.push_back(std::move(item));
+    }
+  }
 
-      double overall_fit = 1.0;
-      std::vector<ValueHeterogeneityType> types = DetectValueHeterogeneities(
-          source_stats, target_stats, has_target_data, options_,
-          &overall_fit);
+  // Pass 2 (parallel): the statistics and detection work — the dominant
+  // cost, every cell of both samples is scanned — fans out per item and
+  // merges back in item order, keeping the report deterministic.
+  struct ItemResult {
+    AttributeStatistics source_stats;
+    AttributeStatistics target_stats;
+    double overall_fit = 1.0;
+    std::vector<ValueHeterogeneityType> types;
+    size_t source_pattern_count = 0;
+  };
+  EFES_ASSIGN_OR_RETURN(
+      std::vector<ItemResult> results,
+      ParallelMap(items.size(), [&](size_t index) {
+        const WorkItem& item = items[index];
+        ItemResult computed;
+        computed.source_stats = ComputeStatistics(item.source_sample,
+                                                  item.target_attribute.type);
+        computed.target_stats = ComputeStatistics(item.target_sample,
+                                                  item.target_attribute.type);
+        computed.types = DetectValueHeterogeneities(
+            computed.source_stats, computed.target_stats,
+            item.has_target_data, options_, &computed.overall_fit);
 
-      // Count the distinct text patterns of the source values: the number
-      // of format rules a conversion script would need.
-      std::set<std::string> source_patterns;
-      for (const Value& value : source_sample) {
-        if (value.is_null()) continue;
-        source_patterns.insert(GeneralizeToPattern(value.ToString()));
-        if (source_patterns.size() > options_.max_format_rules) break;
-      }
-
-      for (ValueHeterogeneityType type : types) {
-        // Missing mandatory values are structural NOT NULL conflicts; the
-        // structure module detects and plans them. Reporting them here
-        // too would double-count the same repair.
-        if (type == ValueHeterogeneityType::kTooFewSourceElements &&
-            scenario.target.schema().IsNotNullable(corr.target_relation,
-                                                   corr.target_attribute)) {
-          continue;
+        // Count the distinct text patterns of the source values: the
+        // number of format rules a conversion script would need.
+        std::set<std::string> source_patterns;
+        for (const Value& value : item.source_sample) {
+          if (value.is_null()) continue;
+          source_patterns.insert(GeneralizeToPattern(value.ToString()));
+          if (source_patterns.size() > options_.max_format_rules) break;
         }
-        ValueHeterogeneity h;
-        h.source_database = source.database.name();
-        h.source_attribute =
-            corr.source_relation + "." + corr.source_attribute;
-        h.target_attribute =
-            corr.target_relation + "." + corr.target_attribute;
-        h.type = type;
-        h.overall_fit = overall_fit;
-        h.source_values = source_stats.constancy.non_null_count;
-        h.source_distinct_values = source_stats.constancy.distinct_count;
-        h.source_pattern_count = source_patterns.size();
-        h.systematic = source_patterns.size() <= options_.max_format_rules;
-        if (type == ValueHeterogeneityType::kTooFewSourceElements) {
-          double gap = target_stats.fill_status.NonNullFraction() -
-                       source_stats.fill_status.NonNullFraction();
-          h.affected_values = static_cast<size_t>(
-              gap *
-              static_cast<double>(source_stats.fill_status.total_count));
-        } else if (type ==
-                   ValueHeterogeneityType::kDifferentRepresentationsCritical) {
-          h.affected_values = source_stats.fill_status.uncastable_count;
-        }
-        heterogeneities.push_back(std::move(h));
+        computed.source_pattern_count = source_patterns.size();
+        return computed;
+      }));
+
+  // Pass 3 (sequential): assemble the heterogeneity list in item order.
+  for (size_t index = 0; index < items.size(); ++index) {
+    const WorkItem& item = items[index];
+    const Correspondence& corr = *item.corr;
+    const AttributeStatistics& source_stats = results[index].source_stats;
+    const AttributeStatistics& target_stats = results[index].target_stats;
+    double overall_fit = results[index].overall_fit;
+    for (ValueHeterogeneityType type : results[index].types) {
+      // Missing mandatory values are structural NOT NULL conflicts; the
+      // structure module detects and plans them. Reporting them here
+      // too would double-count the same repair.
+      if (type == ValueHeterogeneityType::kTooFewSourceElements &&
+          scenario.target.schema().IsNotNullable(corr.target_relation,
+                                                 corr.target_attribute)) {
+        continue;
       }
+      ValueHeterogeneity h;
+      h.source_database = item.source_database;
+      h.source_attribute = corr.source_relation + "." + corr.source_attribute;
+      h.target_attribute = corr.target_relation + "." + corr.target_attribute;
+      h.type = type;
+      h.overall_fit = overall_fit;
+      h.source_values = source_stats.constancy.non_null_count;
+      h.source_distinct_values = source_stats.constancy.distinct_count;
+      h.source_pattern_count = results[index].source_pattern_count;
+      h.systematic =
+          results[index].source_pattern_count <= options_.max_format_rules;
+      if (type == ValueHeterogeneityType::kTooFewSourceElements) {
+        double gap = target_stats.fill_status.NonNullFraction() -
+                     source_stats.fill_status.NonNullFraction();
+        h.affected_values = static_cast<size_t>(
+            gap * static_cast<double>(source_stats.fill_status.total_count));
+      } else if (type ==
+                 ValueHeterogeneityType::kDifferentRepresentationsCritical) {
+        h.affected_values = source_stats.fill_status.uncastable_count;
+      }
+      heterogeneities.push_back(std::move(h));
     }
   }
 

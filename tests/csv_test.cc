@@ -60,6 +60,65 @@ TEST(CsvTest, RejectsUnterminatedQuote) {
   EXPECT_FALSE(doc.ok());
 }
 
+TEST(CsvTest, MixedCrLfAndLfLineEndings) {
+  auto doc = ParseCsv("a,b\r\n1,2\n3,4\r\n5,6");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 3u);
+  EXPECT_EQ(doc->rows[0], (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(doc->rows[1], (std::vector<std::string>{"3", "4"}));
+  EXPECT_EQ(doc->rows[2], (std::vector<std::string>{"5", "6"}));
+}
+
+TEST(CsvTest, LoneCrEndsRecord) {
+  auto doc = ParseCsv("a,b\r1,2\r");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 1u);
+  EXPECT_EQ(doc->rows[0], (std::vector<std::string>{"1", "2"}));
+}
+
+TEST(CsvTest, CrLfInsideQuotesIsPreserved) {
+  auto doc = ParseCsv("a\n\"x\r\ny\"\n");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 1u);
+  EXPECT_EQ(doc->rows[0][0], "x\r\ny");
+}
+
+TEST(CsvTest, RejectsUnterminatedQuoteAtEof) {
+  EXPECT_FALSE(ParseCsv("a\n\"oops").ok());
+  EXPECT_FALSE(ParseCsv("a\n\"").ok());
+  auto doc = ParseCsv("a\n\"trailing quote");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, EmptyTrailingFieldBeforeNewline) {
+  auto doc = ParseCsv("a,b\n1,\n");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 1u);
+  EXPECT_EQ(doc->rows[0], (std::vector<std::string>{"1", ""}));
+}
+
+TEST(CsvTest, EmptyTrailingFieldAtEof) {
+  auto doc = ParseCsv("a,b\n1,");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 1u);
+  EXPECT_EQ(doc->rows[0], (std::vector<std::string>{"1", ""}));
+}
+
+TEST(CsvTest, EmptyTrailingFieldWithCrLf) {
+  auto doc = ParseCsv("a,b\r\n1,\r\n");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 1u);
+  EXPECT_EQ(doc->rows[0], (std::vector<std::string>{"1", ""}));
+}
+
+TEST(CsvTest, QuotedEmptyTrailingField) {
+  auto doc = ParseCsv("a,b\n1,\"\"\n");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 1u);
+  EXPECT_EQ(doc->rows[0], (std::vector<std::string>{"1", ""}));
+}
+
 TEST(CsvTest, RejectsEmptyInput) {
   EXPECT_FALSE(ParseCsv("").ok());
 }

@@ -1,0 +1,196 @@
+// Unit tests for the parallel-execution layer (common/parallel.h):
+// thread-count resolution, edge-case ranges, ordered results, error and
+// exception semantics, nesting, and queue draining on pool destruction.
+
+#include "efes/common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace efes {
+namespace {
+
+/// Restores the default thread count when a test returns.
+struct ThreadOverrideGuard {
+  explicit ThreadOverrideGuard(size_t threads) {
+    SetThreadCountOverride(threads);
+  }
+  ~ThreadOverrideGuard() { SetThreadCountOverride(0); }
+};
+
+TEST(ThreadCountTest, OverrideWinsAndClears) {
+  {
+    ThreadOverrideGuard guard(3);
+    EXPECT_EQ(ConfiguredThreadCount(), 3u);
+  }
+  EXPECT_GE(ConfiguredThreadCount(), 1u);
+}
+
+TEST(ThreadCountTest, HardwareConcurrencyIsPositive) {
+  EXPECT_GE(HardwareConcurrency(), 1u);
+}
+
+TEST(ParallelForTest, EmptyRangeRunsNothing) {
+  ThreadOverrideGuard guard(4);
+  std::atomic<size_t> calls{0};
+  Status status = ParallelFor(0, [&](size_t) -> Status {
+    calls.fetch_add(1);
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls.load(), 0u);
+}
+
+TEST(ParallelForTest, SingleItemRunsOnce) {
+  ThreadOverrideGuard guard(8);
+  std::atomic<size_t> calls{0};
+  Status status = ParallelFor(1, [&](size_t i) -> Status {
+    EXPECT_EQ(i, 0u);
+    calls.fetch_add(1);
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls.load(), 1u);
+}
+
+TEST(ParallelForTest, FewerItemsThanWorkersVisitsEveryIndexOnce) {
+  ThreadOverrideGuard guard(8);
+  std::vector<std::atomic<int>> visits(3);
+  Status status = ParallelFor(3, [&](size_t i) -> Status {
+    visits[i].fetch_add(1);
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  for (const std::atomic<int>& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelForTest, ReportsLowestFailingIndex) {
+  ThreadOverrideGuard guard(4);
+  Status status = ParallelFor(64, [&](size_t i) -> Status {
+    if (i == 7 || i == 3 || i == 50) {
+      return Status::InvalidArgument("failed at " + std::to_string(i));
+    }
+    return Status::OK();
+  });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "failed at 3");
+}
+
+TEST(ParallelForTest, SequentialPathReportsFirstError) {
+  ThreadOverrideGuard guard(1);
+  size_t calls = 0;
+  Status status = ParallelFor(10, [&](size_t i) -> Status {
+    ++calls;
+    if (i == 2) return Status::NotFound("stop");
+    return Status::OK();
+  });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  // Sequential execution stops at the first error.
+  EXPECT_EQ(calls, 3u);
+}
+
+TEST(ParallelForTest, ExceptionsBecomeInternalStatus) {
+  ThreadOverrideGuard guard(4);
+  Status status = ParallelFor(16, [&](size_t i) -> Status {
+    if (i == 5) throw std::runtime_error("boom");
+    return Status::OK();
+  });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("exception in parallel task"),
+            std::string::npos);
+  EXPECT_NE(status.message().find("boom"), std::string::npos);
+}
+
+TEST(ParallelForTest, NonStdExceptionsBecomeInternalStatus) {
+  ThreadOverrideGuard guard(2);
+  Status status = ParallelFor(4, [&](size_t i) -> Status {
+    if (i == 1) throw 42;
+    return Status::OK();
+  });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+TEST(ParallelForTest, NestedRegionsCompleteWithoutDeadlock) {
+  ThreadOverrideGuard guard(2);
+  std::atomic<size_t> inner_calls{0};
+  Status status = ParallelFor(8, [&](size_t) -> Status {
+    EXPECT_TRUE(InParallelRegion());
+    return ParallelFor(8, [&](size_t) -> Status {
+      inner_calls.fetch_add(1);
+      return Status::OK();
+    });
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(inner_calls.load(), 64u);
+}
+
+TEST(ParallelForTest, NotInRegionOutsideBatch) {
+  EXPECT_FALSE(InParallelRegion());
+}
+
+TEST(ParallelMapTest, ResultsArriveInIndexOrder) {
+  ThreadOverrideGuard guard(8);
+  auto result = ParallelMap(1000, [](size_t i) { return i * i; });
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1000u);
+  for (size_t i = 0; i < result->size(); ++i) {
+    EXPECT_EQ((*result)[i], i * i);
+  }
+}
+
+TEST(ParallelMapTest, IdenticalForAnyThreadCount) {
+  std::vector<std::vector<size_t>> runs;
+  for (size_t threads : {1, 2, 8}) {
+    ThreadOverrideGuard guard(threads);
+    auto result = ParallelMap(257, [](size_t i) { return i * 31 + 7; });
+    ASSERT_TRUE(result.ok());
+    runs.push_back(std::move(*result));
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+}
+
+TEST(ParallelMapTest, PropagatesTaskException) {
+  ThreadOverrideGuard guard(4);
+  auto result = ParallelMap(8, [](size_t i) -> int {
+    if (i == 2) throw std::runtime_error("map boom");
+    return static_cast<int>(i);
+  });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(ThreadPoolTest, DrainsQueueOnDestruction) {
+  std::atomic<size_t> executed{0};
+  {
+    ThreadPool pool(2);
+    for (size_t i = 0; i < 100; ++i) {
+      pool.Submit([&] { executed.fetch_add(1); });
+    }
+  }  // ~ThreadPool joins after draining.
+  EXPECT_EQ(executed.load(), 100u);
+}
+
+TEST(ThreadPoolTest, WorkerCountIsAsRequested) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.worker_count(), 3u);
+}
+
+TEST(ThreadPoolTest, WorkersAreInParallelRegion) {
+  std::atomic<bool> in_region{false};
+  {
+    ThreadPool pool(1);
+    pool.Submit([&] { in_region.store(InParallelRegion()); });
+  }
+  EXPECT_TRUE(in_region.load());
+}
+
+}  // namespace
+}  // namespace efes

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include "efes/common/parallel.h"
 #include "efes/experiment/default_pipeline.h"
+#include "efes/experiment/json_export.h"
 #include "efes/values/value_module.h"
 #include "efes/scenario/bibliographic.h"
 #include "efes/scenario/music.h"
@@ -134,6 +136,34 @@ TEST(GeneratorKnobTest, ScenarioSizeScalesButIdentityStaysClean) {
         result->estimate.CategoryMinutes(TaskCategory::kCleaningValues),
         0.0);
   }
+}
+
+TEST(GeneratorKnobTest, ThreadCountKnobNeverChangesEstimate) {
+  // The execution knob (unlike the data knobs above) must be invisible
+  // in the output: the whole pipeline is required to be bit-identical
+  // for any thread count.
+  BiblioOptions options;
+  options.publication_count = 300;
+  options.missing_venue_rate = 0.1;
+  options.sloppy_year_rate = 0.25;
+  auto scenario =
+      MakeBiblioScenario(BiblioSchemaId::kS1, BiblioSchemaId::kS2, options);
+  ASSERT_TRUE(scenario.ok());
+  std::string baseline;
+  for (size_t threads : {1u, 2u, 3u, 8u}) {
+    SetThreadCountOverride(threads);
+    EfesEngine engine = MakeDefaultEngine();
+    auto result = engine.Run(*scenario, ExpectedQuality::kHighQuality, {});
+    ASSERT_TRUE(result.ok()) << result.status();
+    std::string json = EstimationResultToJson(*result);
+    if (baseline.empty()) {
+      baseline = std::move(json);
+    } else {
+      EXPECT_EQ(json, baseline) << "threads=" << threads;
+    }
+  }
+  SetThreadCountOverride(0);
+  EXPECT_FALSE(baseline.empty());
 }
 
 TEST(GeneratorKnobTest, ExtendedLookupsDoNotChangeEfesEstimate) {

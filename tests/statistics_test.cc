@@ -7,6 +7,8 @@
 
 #include <cmath>
 
+#include "efes/common/parallel.h"
+
 namespace efes {
 namespace {
 
@@ -250,6 +252,33 @@ TEST(ApplicableStatisticsTest, PerTargetType) {
   EXPECT_EQ(ApplicableStatistics(DataType::kText).size(), 4u);
   EXPECT_EQ(ApplicableStatistics(DataType::kInteger).size(), 4u);
   EXPECT_EQ(ApplicableStatistics(DataType::kBoolean).size(), 1u);
+}
+
+TEST(StatisticsTest, BatchMatchesSequentialForAnyThreadCount) {
+  std::vector<std::vector<Value>> columns = {
+      Texts({"4:43", "6:55", "1:02", "4:43"}),
+      Integers({1, 2, 3, 4, 5, 6, 7, 8}),
+      {Value::Null(), Value::Text("x"), Value::Null()},
+      {},
+  };
+  std::vector<ColumnStatisticsRequest> requests;
+  std::vector<DataType> types = {DataType::kText, DataType::kInteger,
+                                 DataType::kText, DataType::kReal};
+  for (size_t i = 0; i < columns.size(); ++i) {
+    requests.push_back(ColumnStatisticsRequest{&columns[i], types[i]});
+  }
+  for (size_t threads : {1u, 4u}) {
+    SetThreadCountOverride(threads);
+    auto batch = ComputeStatisticsBatch(requests);
+    ASSERT_TRUE(batch.ok());
+    ASSERT_EQ(batch->size(), requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      AttributeStatistics sequential = ComputeStatistics(columns[i], types[i]);
+      EXPECT_EQ((*batch)[i].ToString(), sequential.ToString()) << i;
+      EXPECT_EQ((*batch)[i].evaluated_against, types[i]);
+    }
+  }
+  SetThreadCountOverride(0);
 }
 
 TEST(StatisticsTest, ToStringMentionsKeyFacts) {

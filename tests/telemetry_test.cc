@@ -431,9 +431,10 @@ TEST(ReportTest, WriteMetricsJsonIsLoadable) {
 TEST(ReportTest, BenchJsonLineGolden) {
   MetricsRegistry registry;
   registry.GetCounter("profiling.statistics.cells").Increment(100);
-  std::string line = BenchJsonLine("perf_test", 12.5, registry.Snapshot());
+  std::string line =
+      BenchJsonLine("perf_test", 12.5, 4, registry.Snapshot());
   EXPECT_EQ(line,
-            "{\"bench\":\"perf_test\",\"wall_ms\":12.5,"
+            "{\"bench\":\"perf_test\",\"wall_ms\":12.5,\"threads\":4,"
             "\"counters\":{\"profiling.statistics.cells\":100}}");
   EXPECT_TRUE(JsonChecker(line).Valid());
 }

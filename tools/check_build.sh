@@ -1,18 +1,37 @@
 #!/usr/bin/env bash
 # Tier-1 verification with warnings promoted to errors.
 #
-# Configures a dedicated build tree with -DEFES_WERROR=ON, builds
-# everything, and runs the full test suite. Exits nonzero on the first
-# failure. Usage:
+# Default mode configures a dedicated build tree with -DEFES_WERROR=ON,
+# builds everything, and runs the full test suite. `--tsan` adds a second
+# configuration with -DEFES_TSAN=ON (-fsanitize=thread) and runs the
+# threaded subset (telemetry, parallel, determinism) under the sanitizer.
+# Exits nonzero on the first failure. Usage:
 #
-#   tools/check_build.sh [build-dir]     # default: build-werror
+#   tools/check_build.sh [build-dir]         # default: build-werror
+#   tools/check_build.sh --tsan [build-dir]  # default: build-tsan
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-werror}"
 
-cmake -B "$BUILD_DIR" -S . -DEFES_WERROR=ON
-cmake --build "$BUILD_DIR" -j
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j
+MODE=werror
+if [[ "${1:-}" == "--tsan" ]]; then
+  MODE=tsan
+  shift
+fi
 
-echo "check_build: OK (EFES_WERROR=ON, all tests passed)"
+if [[ "$MODE" == "tsan" ]]; then
+  BUILD_DIR="${1:-build-tsan}"
+  cmake -B "$BUILD_DIR" -S . -DEFES_TSAN=ON
+  cmake --build "$BUILD_DIR" -j
+  # The threaded tests: the parallel layer itself, the end-to-end
+  # determinism harness, and the telemetry registry it reports through.
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j \
+    -R '(Parallel|ThreadPool|ThreadCount|Telemetry|Metrics|Report)'
+  echo "check_build: OK (EFES_TSAN=ON, threaded tests passed)"
+else
+  BUILD_DIR="${1:-build-werror}"
+  cmake -B "$BUILD_DIR" -S . -DEFES_WERROR=ON
+  cmake --build "$BUILD_DIR" -j
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j
+  echo "check_build: OK (EFES_WERROR=ON, all tests passed)"
+fi

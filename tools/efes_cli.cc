@@ -17,22 +17,28 @@
 //   efes visualize <dir> [out.dot] Graphviz problem heatmap
 //   efes study                     run the Figure 6/7 cross-validated study
 //
-// Telemetry flags, accepted by every subcommand:
+// Telemetry/execution flags, accepted by every subcommand:
 //   --metrics                      print the metrics table after the run
 //   --trace=<file>                 write Chrome trace-event JSON spans
 //                                  (open in chrome://tracing / Perfetto)
 //   --log-level=<level>            debug|info|warn|error|off (default off;
 //                                  log lines go to stderr)
+//   --threads=<n>                  worker threads for parallel phases
+//                                  (default: hardware concurrency; 1 runs
+//                                  everything sequentially; output is
+//                                  identical either way)
 //
 // Exit codes: 0 success, 1 runtime error, 2 usage error, 64 unknown flag.
 // Scenario directories follow the layout of scenario/scenario_io.h.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "efes/common/parallel.h"
 #include "efes/common/string_util.h"
 #include "efes/core/effort_config.h"
 #include "efes/execute/integration_executor.h"
@@ -68,10 +74,13 @@ int Usage(int exit_code = kExitUsage) {
       "  efes plan <dir> [--quality=high|low]\n"
       "  efes visualize <dir> [<out.dot>]\n"
       "  efes study\n"
-      "telemetry flags (any subcommand):\n"
+      "telemetry/execution flags (any subcommand):\n"
       "  --metrics            print the metrics table after the run\n"
       "  --trace=<file>       write Chrome trace-event JSON (chrome://tracing)\n"
-      "  --log-level=<level>  debug|info|warn|error|off (default off)\n");
+      "  --log-level=<level>  debug|info|warn|error|off (default off)\n"
+      "  --threads=<n>        worker threads for parallel phases (default:\n"
+      "                       hardware concurrency; results do not depend\n"
+      "                       on the thread count)\n");
   return exit_code;
 }
 
@@ -99,8 +108,8 @@ struct TelemetryFlags {
 
 TelemetryFlags g_telemetry;
 
-/// Strips --metrics / --trace= / --log-level= out of `args` and applies
-/// them. Returns an exit code, or -1 to continue.
+/// Strips --metrics / --trace= / --log-level= / --threads= out of `args`
+/// and applies them. Returns an exit code, or -1 to continue.
 int ApplyTelemetryFlags(std::vector<std::string>* args) {
   std::vector<std::string> remaining;
   for (std::string& arg : *args) {
@@ -118,6 +127,14 @@ int ApplyTelemetryFlags(std::vector<std::string>* args) {
       static efes::StderrSink* sink = new efes::StderrSink();
       efes::Logger::Global().set_sink(sink);
       efes::Logger::Global().set_level(level);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      std::string value = arg.substr(10);
+      char* end = nullptr;
+      unsigned long threads = std::strtoul(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || threads == 0) {
+        return UnknownFlag(arg);
+      }
+      efes::SetThreadCountOverride(static_cast<size_t>(threads));
     } else {
       remaining.push_back(std::move(arg));
     }
