@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_path_selection"
+  "../bench/ablation_path_selection.pdb"
+  "CMakeFiles/ablation_path_selection.dir/ablation_path_selection.cc.o"
+  "CMakeFiles/ablation_path_selection.dir/ablation_path_selection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_path_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_schema_width"
+  "../bench/ablation_schema_width.pdb"
+  "CMakeFiles/ablation_schema_width.dir/ablation_schema_width.cc.o"
+  "CMakeFiles/ablation_schema_width.dir/ablation_schema_width.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_schema_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

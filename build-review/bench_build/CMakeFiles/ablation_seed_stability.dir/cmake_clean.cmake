@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_seed_stability"
+  "../bench/ablation_seed_stability.pdb"
+  "CMakeFiles/ablation_seed_stability.dir/ablation_seed_stability.cc.o"
+  "CMakeFiles/ablation_seed_stability.dir/ablation_seed_stability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_seed_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

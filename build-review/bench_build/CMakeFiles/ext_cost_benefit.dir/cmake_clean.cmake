@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_cost_benefit"
+  "../bench/ext_cost_benefit.pdb"
+  "CMakeFiles/ext_cost_benefit.dir/ext_cost_benefit.cc.o"
+  "CMakeFiles/ext_cost_benefit.dir/ext_cost_benefit.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cost_benefit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_validation"
+  "../bench/ext_validation.pdb"
+  "CMakeFiles/ext_validation.dir/ext_validation.cc.o"
+  "CMakeFiles/ext_validation.dir/ext_validation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

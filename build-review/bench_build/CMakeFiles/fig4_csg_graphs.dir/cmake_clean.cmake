@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_csg_graphs"
+  "../bench/fig4_csg_graphs.pdb"
+  "CMakeFiles/fig4_csg_graphs.dir/fig4_csg_graphs.cc.o"
+  "CMakeFiles/fig4_csg_graphs.dir/fig4_csg_graphs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_csg_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

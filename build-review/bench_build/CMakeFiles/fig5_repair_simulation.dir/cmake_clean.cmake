@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_repair_simulation"
+  "../bench/fig5_repair_simulation.pdb"
+  "CMakeFiles/fig5_repair_simulation.dir/fig5_repair_simulation.cc.o"
+  "CMakeFiles/fig5_repair_simulation.dir/fig5_repair_simulation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_repair_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_bibliographic"
+  "../bench/fig6_bibliographic.pdb"
+  "CMakeFiles/fig6_bibliographic.dir/fig6_bibliographic.cc.o"
+  "CMakeFiles/fig6_bibliographic.dir/fig6_bibliographic.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_bibliographic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

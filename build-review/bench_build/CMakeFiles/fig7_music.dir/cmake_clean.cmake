@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_music"
+  "../bench/fig7_music.pdb"
+  "CMakeFiles/fig7_music.dir/fig7_music.cc.o"
+  "CMakeFiles/fig7_music.dir/fig7_music.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_music.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_csg"
+  "../bench/perf_csg.pdb"
+  "CMakeFiles/perf_csg.dir/perf_csg.cc.o"
+  "CMakeFiles/perf_csg.dir/perf_csg.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_csg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_detectors"
+  "../bench/perf_detectors.pdb"
+  "CMakeFiles/perf_detectors.dir/perf_detectors.cc.o"
+  "CMakeFiles/perf_detectors.dir/perf_detectors.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_executor"
+  "../bench/perf_executor.pdb"
+  "CMakeFiles/perf_executor.dir/perf_executor.cc.o"
+  "CMakeFiles/perf_executor.dir/perf_executor.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

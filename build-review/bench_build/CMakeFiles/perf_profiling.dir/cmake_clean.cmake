@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_profiling"
+  "../bench/perf_profiling.pdb"
+  "CMakeFiles/perf_profiling.dir/perf_profiling.cc.o"
+  "CMakeFiles/perf_profiling.dir/perf_profiling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_baseline_config"
+  "../bench/table1_baseline_config.pdb"
+  "CMakeFiles/table1_baseline_config.dir/table1_baseline_config.cc.o"
+  "CMakeFiles/table1_baseline_config.dir/table1_baseline_config.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_baseline_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_mapping_report"
+  "../bench/table2_mapping_report.pdb"
+  "CMakeFiles/table2_mapping_report.dir/table2_mapping_report.cc.o"
+  "CMakeFiles/table2_mapping_report.dir/table2_mapping_report.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_mapping_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

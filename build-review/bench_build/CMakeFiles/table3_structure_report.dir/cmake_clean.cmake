@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_structure_report"
+  "../bench/table3_structure_report.pdb"
+  "CMakeFiles/table3_structure_report.dir/table3_structure_report.cc.o"
+  "CMakeFiles/table3_structure_report.dir/table3_structure_report.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_structure_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

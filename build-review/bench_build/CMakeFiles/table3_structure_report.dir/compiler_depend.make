@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table3_structure_report.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_structure_tasks"
+  "../bench/table4_structure_tasks.pdb"
+  "CMakeFiles/table4_structure_tasks.dir/table4_structure_tasks.cc.o"
+  "CMakeFiles/table4_structure_tasks.dir/table4_structure_tasks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_structure_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_structure_effort"
+  "../bench/table5_structure_effort.pdb"
+  "CMakeFiles/table5_structure_effort.dir/table5_structure_effort.cc.o"
+  "CMakeFiles/table5_structure_effort.dir/table5_structure_effort.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_structure_effort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

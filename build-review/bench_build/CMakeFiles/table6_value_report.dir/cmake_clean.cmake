@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_value_report"
+  "../bench/table6_value_report.pdb"
+  "CMakeFiles/table6_value_report.dir/table6_value_report.cc.o"
+  "CMakeFiles/table6_value_report.dir/table6_value_report.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_value_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table7_value_tasks"
+  "../bench/table7_value_tasks.pdb"
+  "CMakeFiles/table7_value_tasks.dir/table7_value_tasks.cc.o"
+  "CMakeFiles/table7_value_tasks.dir/table7_value_tasks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_value_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table8_value_effort"
+  "../bench/table8_value_effort.pdb"
+  "CMakeFiles/table8_value_effort.dir/table8_value_effort.cc.o"
+  "CMakeFiles/table8_value_effort.dir/table8_value_effort.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_value_effort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table9_effort_functions"
+  "../bench/table9_effort_functions.pdb"
+  "CMakeFiles/table9_effort_functions.dir/table9_effort_functions.cc.o"
+  "CMakeFiles/table9_effort_functions.dir/table9_effort_functions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_effort_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/project_planning.dir/project_planning.cpp.o"
+  "CMakeFiles/project_planning.dir/project_planning.cpp.o.d"
+  "project_planning"
+  "project_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/project_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

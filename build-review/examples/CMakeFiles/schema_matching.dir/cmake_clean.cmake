@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_matching.dir/schema_matching.cpp.o"
+  "CMakeFiles/schema_matching.dir/schema_matching.cpp.o.d"
+  "schema_matching"
+  "schema_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

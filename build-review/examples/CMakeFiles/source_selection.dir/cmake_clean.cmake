@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/source_selection.dir/source_selection.cpp.o"
+  "CMakeFiles/source_selection.dir/source_selection.cpp.o.d"
+  "source_selection"
+  "source_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/source_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

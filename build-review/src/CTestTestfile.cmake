@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("efes/common")
+subdirs("efes/telemetry")
+subdirs("efes/relational")
+subdirs("efes/profiling")
+subdirs("efes/matching")
+subdirs("efes/csg")
+subdirs("efes/core")
+subdirs("efes/execute")
+subdirs("efes/mapping")
+subdirs("efes/structure")
+subdirs("efes/values")
+subdirs("efes/baseline")
+subdirs("efes/scenario")
+subdirs("efes/experiment")

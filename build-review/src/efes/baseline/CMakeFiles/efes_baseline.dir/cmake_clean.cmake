@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efes_baseline.dir/counting_estimator.cc.o"
+  "CMakeFiles/efes_baseline.dir/counting_estimator.cc.o.d"
+  "libefes_baseline.a"
+  "libefes_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efes_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/efes/common/csv.cc" "src/efes/common/CMakeFiles/efes_common.dir/csv.cc.o" "gcc" "src/efes/common/CMakeFiles/efes_common.dir/csv.cc.o.d"
+  "/root/repo/src/efes/common/json_writer.cc" "src/efes/common/CMakeFiles/efes_common.dir/json_writer.cc.o" "gcc" "src/efes/common/CMakeFiles/efes_common.dir/json_writer.cc.o.d"
+  "/root/repo/src/efes/common/parallel.cc" "src/efes/common/CMakeFiles/efes_common.dir/parallel.cc.o" "gcc" "src/efes/common/CMakeFiles/efes_common.dir/parallel.cc.o.d"
+  "/root/repo/src/efes/common/random.cc" "src/efes/common/CMakeFiles/efes_common.dir/random.cc.o" "gcc" "src/efes/common/CMakeFiles/efes_common.dir/random.cc.o.d"
+  "/root/repo/src/efes/common/status.cc" "src/efes/common/CMakeFiles/efes_common.dir/status.cc.o" "gcc" "src/efes/common/CMakeFiles/efes_common.dir/status.cc.o.d"
+  "/root/repo/src/efes/common/string_util.cc" "src/efes/common/CMakeFiles/efes_common.dir/string_util.cc.o" "gcc" "src/efes/common/CMakeFiles/efes_common.dir/string_util.cc.o.d"
+  "/root/repo/src/efes/common/text_table.cc" "src/efes/common/CMakeFiles/efes_common.dir/text_table.cc.o" "gcc" "src/efes/common/CMakeFiles/efes_common.dir/text_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/efes/telemetry/CMakeFiles/efes_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efes_common.dir/csv.cc.o"
+  "CMakeFiles/efes_common.dir/csv.cc.o.d"
+  "CMakeFiles/efes_common.dir/json_writer.cc.o"
+  "CMakeFiles/efes_common.dir/json_writer.cc.o.d"
+  "CMakeFiles/efes_common.dir/parallel.cc.o"
+  "CMakeFiles/efes_common.dir/parallel.cc.o.d"
+  "CMakeFiles/efes_common.dir/random.cc.o"
+  "CMakeFiles/efes_common.dir/random.cc.o.d"
+  "CMakeFiles/efes_common.dir/status.cc.o"
+  "CMakeFiles/efes_common.dir/status.cc.o.d"
+  "CMakeFiles/efes_common.dir/string_util.cc.o"
+  "CMakeFiles/efes_common.dir/string_util.cc.o.d"
+  "CMakeFiles/efes_common.dir/text_table.cc.o"
+  "CMakeFiles/efes_common.dir/text_table.cc.o.d"
+  "libefes_common.a"
+  "libefes_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efes_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/efes/core/effort_config.cc" "src/efes/core/CMakeFiles/efes_core.dir/effort_config.cc.o" "gcc" "src/efes/core/CMakeFiles/efes_core.dir/effort_config.cc.o.d"
+  "/root/repo/src/efes/core/effort_model.cc" "src/efes/core/CMakeFiles/efes_core.dir/effort_model.cc.o" "gcc" "src/efes/core/CMakeFiles/efes_core.dir/effort_model.cc.o.d"
+  "/root/repo/src/efes/core/engine.cc" "src/efes/core/CMakeFiles/efes_core.dir/engine.cc.o" "gcc" "src/efes/core/CMakeFiles/efes_core.dir/engine.cc.o.d"
+  "/root/repo/src/efes/core/formula.cc" "src/efes/core/CMakeFiles/efes_core.dir/formula.cc.o" "gcc" "src/efes/core/CMakeFiles/efes_core.dir/formula.cc.o.d"
+  "/root/repo/src/efes/core/integration_scenario.cc" "src/efes/core/CMakeFiles/efes_core.dir/integration_scenario.cc.o" "gcc" "src/efes/core/CMakeFiles/efes_core.dir/integration_scenario.cc.o.d"
+  "/root/repo/src/efes/core/task.cc" "src/efes/core/CMakeFiles/efes_core.dir/task.cc.o" "gcc" "src/efes/core/CMakeFiles/efes_core.dir/task.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/efes/telemetry/CMakeFiles/efes_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/efes/relational/CMakeFiles/efes_relational.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/efes/common/CMakeFiles/efes_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

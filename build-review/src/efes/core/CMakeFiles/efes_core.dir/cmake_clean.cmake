@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efes_core.dir/effort_config.cc.o"
+  "CMakeFiles/efes_core.dir/effort_config.cc.o.d"
+  "CMakeFiles/efes_core.dir/effort_model.cc.o"
+  "CMakeFiles/efes_core.dir/effort_model.cc.o.d"
+  "CMakeFiles/efes_core.dir/engine.cc.o"
+  "CMakeFiles/efes_core.dir/engine.cc.o.d"
+  "CMakeFiles/efes_core.dir/formula.cc.o"
+  "CMakeFiles/efes_core.dir/formula.cc.o.d"
+  "CMakeFiles/efes_core.dir/integration_scenario.cc.o"
+  "CMakeFiles/efes_core.dir/integration_scenario.cc.o.d"
+  "CMakeFiles/efes_core.dir/task.cc.o"
+  "CMakeFiles/efes_core.dir/task.cc.o.d"
+  "libefes_core.a"
+  "libefes_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efes_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

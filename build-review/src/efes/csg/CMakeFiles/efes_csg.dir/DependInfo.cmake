@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/efes/csg/builder.cc" "src/efes/csg/CMakeFiles/efes_csg.dir/builder.cc.o" "gcc" "src/efes/csg/CMakeFiles/efes_csg.dir/builder.cc.o.d"
+  "/root/repo/src/efes/csg/cardinality.cc" "src/efes/csg/CMakeFiles/efes_csg.dir/cardinality.cc.o" "gcc" "src/efes/csg/CMakeFiles/efes_csg.dir/cardinality.cc.o.d"
+  "/root/repo/src/efes/csg/graph.cc" "src/efes/csg/CMakeFiles/efes_csg.dir/graph.cc.o" "gcc" "src/efes/csg/CMakeFiles/efes_csg.dir/graph.cc.o.d"
+  "/root/repo/src/efes/csg/path_search.cc" "src/efes/csg/CMakeFiles/efes_csg.dir/path_search.cc.o" "gcc" "src/efes/csg/CMakeFiles/efes_csg.dir/path_search.cc.o.d"
+  "/root/repo/src/efes/csg/render_dot.cc" "src/efes/csg/CMakeFiles/efes_csg.dir/render_dot.cc.o" "gcc" "src/efes/csg/CMakeFiles/efes_csg.dir/render_dot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/efes/relational/CMakeFiles/efes_relational.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/efes/common/CMakeFiles/efes_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/efes/telemetry/CMakeFiles/efes_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

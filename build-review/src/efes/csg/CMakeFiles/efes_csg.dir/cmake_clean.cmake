@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efes_csg.dir/builder.cc.o"
+  "CMakeFiles/efes_csg.dir/builder.cc.o.d"
+  "CMakeFiles/efes_csg.dir/cardinality.cc.o"
+  "CMakeFiles/efes_csg.dir/cardinality.cc.o.d"
+  "CMakeFiles/efes_csg.dir/graph.cc.o"
+  "CMakeFiles/efes_csg.dir/graph.cc.o.d"
+  "CMakeFiles/efes_csg.dir/path_search.cc.o"
+  "CMakeFiles/efes_csg.dir/path_search.cc.o.d"
+  "CMakeFiles/efes_csg.dir/render_dot.cc.o"
+  "CMakeFiles/efes_csg.dir/render_dot.cc.o.d"
+  "libefes_csg.a"
+  "libefes_csg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efes_csg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

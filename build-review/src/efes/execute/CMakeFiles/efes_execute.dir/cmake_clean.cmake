@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efes_execute.dir/integration_executor.cc.o"
+  "CMakeFiles/efes_execute.dir/integration_executor.cc.o.d"
+  "libefes_execute.a"
+  "libefes_execute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efes_execute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

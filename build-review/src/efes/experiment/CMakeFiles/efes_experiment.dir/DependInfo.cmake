@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/efes/experiment/cost_benefit.cc" "src/efes/experiment/CMakeFiles/efes_experiment.dir/cost_benefit.cc.o" "gcc" "src/efes/experiment/CMakeFiles/efes_experiment.dir/cost_benefit.cc.o.d"
+  "/root/repo/src/efes/experiment/default_pipeline.cc" "src/efes/experiment/CMakeFiles/efes_experiment.dir/default_pipeline.cc.o" "gcc" "src/efes/experiment/CMakeFiles/efes_experiment.dir/default_pipeline.cc.o.d"
+  "/root/repo/src/efes/experiment/json_export.cc" "src/efes/experiment/CMakeFiles/efes_experiment.dir/json_export.cc.o" "gcc" "src/efes/experiment/CMakeFiles/efes_experiment.dir/json_export.cc.o.d"
+  "/root/repo/src/efes/experiment/metrics.cc" "src/efes/experiment/CMakeFiles/efes_experiment.dir/metrics.cc.o" "gcc" "src/efes/experiment/CMakeFiles/efes_experiment.dir/metrics.cc.o.d"
+  "/root/repo/src/efes/experiment/progress.cc" "src/efes/experiment/CMakeFiles/efes_experiment.dir/progress.cc.o" "gcc" "src/efes/experiment/CMakeFiles/efes_experiment.dir/progress.cc.o.d"
+  "/root/repo/src/efes/experiment/source_selection.cc" "src/efes/experiment/CMakeFiles/efes_experiment.dir/source_selection.cc.o" "gcc" "src/efes/experiment/CMakeFiles/efes_experiment.dir/source_selection.cc.o.d"
+  "/root/repo/src/efes/experiment/study.cc" "src/efes/experiment/CMakeFiles/efes_experiment.dir/study.cc.o" "gcc" "src/efes/experiment/CMakeFiles/efes_experiment.dir/study.cc.o.d"
+  "/root/repo/src/efes/experiment/visualization.cc" "src/efes/experiment/CMakeFiles/efes_experiment.dir/visualization.cc.o" "gcc" "src/efes/experiment/CMakeFiles/efes_experiment.dir/visualization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/efes/baseline/CMakeFiles/efes_baseline.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/efes/scenario/CMakeFiles/efes_scenario.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/efes/telemetry/CMakeFiles/efes_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/efes/mapping/CMakeFiles/efes_mapping.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/efes/structure/CMakeFiles/efes_structure.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/efes/csg/CMakeFiles/efes_csg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/efes/values/CMakeFiles/efes_values.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/efes/core/CMakeFiles/efes_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/efes/profiling/CMakeFiles/efes_profiling.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/efes/relational/CMakeFiles/efes_relational.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/efes/common/CMakeFiles/efes_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efes_experiment.dir/cost_benefit.cc.o"
+  "CMakeFiles/efes_experiment.dir/cost_benefit.cc.o.d"
+  "CMakeFiles/efes_experiment.dir/default_pipeline.cc.o"
+  "CMakeFiles/efes_experiment.dir/default_pipeline.cc.o.d"
+  "CMakeFiles/efes_experiment.dir/json_export.cc.o"
+  "CMakeFiles/efes_experiment.dir/json_export.cc.o.d"
+  "CMakeFiles/efes_experiment.dir/metrics.cc.o"
+  "CMakeFiles/efes_experiment.dir/metrics.cc.o.d"
+  "CMakeFiles/efes_experiment.dir/progress.cc.o"
+  "CMakeFiles/efes_experiment.dir/progress.cc.o.d"
+  "CMakeFiles/efes_experiment.dir/source_selection.cc.o"
+  "CMakeFiles/efes_experiment.dir/source_selection.cc.o.d"
+  "CMakeFiles/efes_experiment.dir/study.cc.o"
+  "CMakeFiles/efes_experiment.dir/study.cc.o.d"
+  "CMakeFiles/efes_experiment.dir/visualization.cc.o"
+  "CMakeFiles/efes_experiment.dir/visualization.cc.o.d"
+  "libefes_experiment.a"
+  "libefes_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efes_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

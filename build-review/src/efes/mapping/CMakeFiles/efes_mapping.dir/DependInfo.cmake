@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/efes/mapping/mapping_module.cc" "src/efes/mapping/CMakeFiles/efes_mapping.dir/mapping_module.cc.o" "gcc" "src/efes/mapping/CMakeFiles/efes_mapping.dir/mapping_module.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/efes/core/CMakeFiles/efes_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/efes/relational/CMakeFiles/efes_relational.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/efes/telemetry/CMakeFiles/efes_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/efes/common/CMakeFiles/efes_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

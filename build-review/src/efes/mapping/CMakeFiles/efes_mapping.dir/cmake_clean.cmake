@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efes_mapping.dir/mapping_module.cc.o"
+  "CMakeFiles/efes_mapping.dir/mapping_module.cc.o.d"
+  "libefes_mapping.a"
+  "libefes_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efes_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efes_matching.dir/match_accuracy.cc.o"
+  "CMakeFiles/efes_matching.dir/match_accuracy.cc.o.d"
+  "CMakeFiles/efes_matching.dir/schema_matcher.cc.o"
+  "CMakeFiles/efes_matching.dir/schema_matcher.cc.o.d"
+  "libefes_matching.a"
+  "libefes_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efes_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

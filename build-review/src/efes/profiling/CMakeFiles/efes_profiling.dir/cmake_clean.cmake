@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efes_profiling.dir/constraint_discovery.cc.o"
+  "CMakeFiles/efes_profiling.dir/constraint_discovery.cc.o.d"
+  "CMakeFiles/efes_profiling.dir/statistics.cc.o"
+  "CMakeFiles/efes_profiling.dir/statistics.cc.o.d"
+  "libefes_profiling.a"
+  "libefes_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efes_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/efes/relational/correspondence.cc" "src/efes/relational/CMakeFiles/efes_relational.dir/correspondence.cc.o" "gcc" "src/efes/relational/CMakeFiles/efes_relational.dir/correspondence.cc.o.d"
+  "/root/repo/src/efes/relational/database.cc" "src/efes/relational/CMakeFiles/efes_relational.dir/database.cc.o" "gcc" "src/efes/relational/CMakeFiles/efes_relational.dir/database.cc.o.d"
+  "/root/repo/src/efes/relational/schema.cc" "src/efes/relational/CMakeFiles/efes_relational.dir/schema.cc.o" "gcc" "src/efes/relational/CMakeFiles/efes_relational.dir/schema.cc.o.d"
+  "/root/repo/src/efes/relational/schema_text.cc" "src/efes/relational/CMakeFiles/efes_relational.dir/schema_text.cc.o" "gcc" "src/efes/relational/CMakeFiles/efes_relational.dir/schema_text.cc.o.d"
+  "/root/repo/src/efes/relational/table.cc" "src/efes/relational/CMakeFiles/efes_relational.dir/table.cc.o" "gcc" "src/efes/relational/CMakeFiles/efes_relational.dir/table.cc.o.d"
+  "/root/repo/src/efes/relational/value.cc" "src/efes/relational/CMakeFiles/efes_relational.dir/value.cc.o" "gcc" "src/efes/relational/CMakeFiles/efes_relational.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/efes/common/CMakeFiles/efes_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/efes/telemetry/CMakeFiles/efes_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

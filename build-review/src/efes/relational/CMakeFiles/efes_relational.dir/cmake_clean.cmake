@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efes_relational.dir/correspondence.cc.o"
+  "CMakeFiles/efes_relational.dir/correspondence.cc.o.d"
+  "CMakeFiles/efes_relational.dir/database.cc.o"
+  "CMakeFiles/efes_relational.dir/database.cc.o.d"
+  "CMakeFiles/efes_relational.dir/schema.cc.o"
+  "CMakeFiles/efes_relational.dir/schema.cc.o.d"
+  "CMakeFiles/efes_relational.dir/schema_text.cc.o"
+  "CMakeFiles/efes_relational.dir/schema_text.cc.o.d"
+  "CMakeFiles/efes_relational.dir/table.cc.o"
+  "CMakeFiles/efes_relational.dir/table.cc.o.d"
+  "CMakeFiles/efes_relational.dir/value.cc.o"
+  "CMakeFiles/efes_relational.dir/value.cc.o.d"
+  "libefes_relational.a"
+  "libefes_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efes_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efes_scenario.dir/bibliographic.cc.o"
+  "CMakeFiles/efes_scenario.dir/bibliographic.cc.o.d"
+  "CMakeFiles/efes_scenario.dir/ground_truth.cc.o"
+  "CMakeFiles/efes_scenario.dir/ground_truth.cc.o.d"
+  "CMakeFiles/efes_scenario.dir/music.cc.o"
+  "CMakeFiles/efes_scenario.dir/music.cc.o.d"
+  "CMakeFiles/efes_scenario.dir/paper_example.cc.o"
+  "CMakeFiles/efes_scenario.dir/paper_example.cc.o.d"
+  "CMakeFiles/efes_scenario.dir/scenario_io.cc.o"
+  "CMakeFiles/efes_scenario.dir/scenario_io.cc.o.d"
+  "libefes_scenario.a"
+  "libefes_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efes_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

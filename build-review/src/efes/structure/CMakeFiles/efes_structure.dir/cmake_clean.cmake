@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efes_structure.dir/conflict_detector.cc.o"
+  "CMakeFiles/efes_structure.dir/conflict_detector.cc.o.d"
+  "CMakeFiles/efes_structure.dir/repair_planner.cc.o"
+  "CMakeFiles/efes_structure.dir/repair_planner.cc.o.d"
+  "CMakeFiles/efes_structure.dir/structure_module.cc.o"
+  "CMakeFiles/efes_structure.dir/structure_module.cc.o.d"
+  "libefes_structure.a"
+  "libefes_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efes_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

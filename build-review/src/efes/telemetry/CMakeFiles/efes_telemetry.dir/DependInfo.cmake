@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/efes/telemetry/clock.cc" "src/efes/telemetry/CMakeFiles/efes_telemetry.dir/clock.cc.o" "gcc" "src/efes/telemetry/CMakeFiles/efes_telemetry.dir/clock.cc.o.d"
+  "/root/repo/src/efes/telemetry/log.cc" "src/efes/telemetry/CMakeFiles/efes_telemetry.dir/log.cc.o" "gcc" "src/efes/telemetry/CMakeFiles/efes_telemetry.dir/log.cc.o.d"
+  "/root/repo/src/efes/telemetry/metrics.cc" "src/efes/telemetry/CMakeFiles/efes_telemetry.dir/metrics.cc.o" "gcc" "src/efes/telemetry/CMakeFiles/efes_telemetry.dir/metrics.cc.o.d"
+  "/root/repo/src/efes/telemetry/report.cc" "src/efes/telemetry/CMakeFiles/efes_telemetry.dir/report.cc.o" "gcc" "src/efes/telemetry/CMakeFiles/efes_telemetry.dir/report.cc.o.d"
+  "/root/repo/src/efes/telemetry/trace.cc" "src/efes/telemetry/CMakeFiles/efes_telemetry.dir/trace.cc.o" "gcc" "src/efes/telemetry/CMakeFiles/efes_telemetry.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/efes/common/CMakeFiles/efes_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efes_telemetry.dir/clock.cc.o"
+  "CMakeFiles/efes_telemetry.dir/clock.cc.o.d"
+  "CMakeFiles/efes_telemetry.dir/log.cc.o"
+  "CMakeFiles/efes_telemetry.dir/log.cc.o.d"
+  "CMakeFiles/efes_telemetry.dir/metrics.cc.o"
+  "CMakeFiles/efes_telemetry.dir/metrics.cc.o.d"
+  "CMakeFiles/efes_telemetry.dir/report.cc.o"
+  "CMakeFiles/efes_telemetry.dir/report.cc.o.d"
+  "CMakeFiles/efes_telemetry.dir/trace.cc.o"
+  "CMakeFiles/efes_telemetry.dir/trace.cc.o.d"
+  "libefes_telemetry.a"
+  "libefes_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efes_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efes_values.dir/value_module.cc.o"
+  "CMakeFiles/efes_values.dir/value_module.cc.o.d"
+  "libefes_values.a"
+  "libefes_values.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efes_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/conflict_detector_test.cc" "tests/CMakeFiles/conflict_detector_test.dir/conflict_detector_test.cc.o" "gcc" "tests/CMakeFiles/conflict_detector_test.dir/conflict_detector_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/efes/matching/CMakeFiles/efes_matching.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/efes/execute/CMakeFiles/efes_execute.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/efes/experiment/CMakeFiles/efes_experiment.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/efes/baseline/CMakeFiles/efes_baseline.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/efes/scenario/CMakeFiles/efes_scenario.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/efes/mapping/CMakeFiles/efes_mapping.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/efes/structure/CMakeFiles/efes_structure.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/efes/csg/CMakeFiles/efes_csg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/efes/values/CMakeFiles/efes_values.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/efes/profiling/CMakeFiles/efes_profiling.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/efes/core/CMakeFiles/efes_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/efes/relational/CMakeFiles/efes_relational.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/efes/common/CMakeFiles/efes_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/efes/telemetry/CMakeFiles/efes_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conflict_detector_test.dir/conflict_detector_test.cc.o"
+  "CMakeFiles/conflict_detector_test.dir/conflict_detector_test.cc.o.d"
+  "conflict_detector_test"
+  "conflict_detector_test.pdb"
+  "conflict_detector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conflict_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

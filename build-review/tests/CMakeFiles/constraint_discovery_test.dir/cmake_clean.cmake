@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constraint_discovery_test.dir/constraint_discovery_test.cc.o"
+  "CMakeFiles/constraint_discovery_test.dir/constraint_discovery_test.cc.o.d"
+  "constraint_discovery_test"
+  "constraint_discovery_test.pdb"
+  "constraint_discovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraint_discovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/correspondence_test.dir/correspondence_test.cc.o"
+  "CMakeFiles/correspondence_test.dir/correspondence_test.cc.o.d"
+  "correspondence_test"
+  "correspondence_test.pdb"
+  "correspondence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/correspondence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csg_builder_test.dir/csg_builder_test.cc.o"
+  "CMakeFiles/csg_builder_test.dir/csg_builder_test.cc.o.d"
+  "csg_builder_test"
+  "csg_builder_test.pdb"
+  "csg_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csg_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

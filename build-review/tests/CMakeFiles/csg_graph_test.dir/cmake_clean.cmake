@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csg_graph_test.dir/csg_graph_test.cc.o"
+  "CMakeFiles/csg_graph_test.dir/csg_graph_test.cc.o.d"
+  "csg_graph_test"
+  "csg_graph_test.pdb"
+  "csg_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csg_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

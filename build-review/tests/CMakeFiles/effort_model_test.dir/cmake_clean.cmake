@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/effort_model_test.dir/effort_model_test.cc.o"
+  "CMakeFiles/effort_model_test.dir/effort_model_test.cc.o.d"
+  "effort_model_test"
+  "effort_model_test.pdb"
+  "effort_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/effort_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

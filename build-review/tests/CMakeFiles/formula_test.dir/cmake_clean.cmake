@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/formula_test.dir/formula_test.cc.o"
+  "CMakeFiles/formula_test.dir/formula_test.cc.o.d"
+  "formula_test"
+  "formula_test.pdb"
+  "formula_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/formula_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

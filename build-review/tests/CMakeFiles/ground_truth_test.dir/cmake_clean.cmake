@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ground_truth_test.dir/ground_truth_test.cc.o"
+  "CMakeFiles/ground_truth_test.dir/ground_truth_test.cc.o.d"
+  "ground_truth_test"
+  "ground_truth_test.pdb"
+  "ground_truth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ground_truth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_search_test.dir/path_search_test.cc.o"
+  "CMakeFiles/path_search_test.dir/path_search_test.cc.o.d"
+  "path_search_test"
+  "path_search_test.pdb"
+  "path_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_matcher_test.dir/schema_matcher_test.cc.o"
+  "CMakeFiles/schema_matcher_test.dir/schema_matcher_test.cc.o.d"
+  "schema_matcher_test"
+  "schema_matcher_test.pdb"
+  "schema_matcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_matcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_text_test.dir/schema_text_test.cc.o"
+  "CMakeFiles/schema_text_test.dir/schema_text_test.cc.o.d"
+  "schema_text_test"
+  "schema_text_test.pdb"
+  "schema_text_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/source_selection_test.dir/source_selection_test.cc.o"
+  "CMakeFiles/source_selection_test.dir/source_selection_test.cc.o.d"
+  "source_selection_test"
+  "source_selection_test.pdb"
+  "source_selection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/source_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

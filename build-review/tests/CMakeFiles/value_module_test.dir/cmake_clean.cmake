@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_module_test.dir/value_module_test.cc.o"
+  "CMakeFiles/value_module_test.dir/value_module_test.cc.o.d"
+  "value_module_test"
+  "value_module_test.pdb"
+  "value_module_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_module_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

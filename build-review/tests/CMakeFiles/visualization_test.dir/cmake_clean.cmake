@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visualization_test.dir/visualization_test.cc.o"
+  "CMakeFiles/visualization_test.dir/visualization_test.cc.o.d"
+  "visualization_test"
+  "visualization_test.pdb"
+  "visualization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visualization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efes_cli.dir/efes_cli.cc.o"
+  "CMakeFiles/efes_cli.dir/efes_cli.cc.o.d"
+  "efes"
+  "efes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efes_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
