@@ -1,7 +1,9 @@
 #include "efes/common/csv.h"
 
-#include <fstream>
 #include <sstream>
+
+#include "efes/common/fault.h"
+#include "efes/common/file_io.h"
 
 namespace efes {
 
@@ -27,24 +29,54 @@ void AppendCell(std::string& out, std::string_view cell, char delimiter) {
   out.push_back('"');
 }
 
+void AddIssue(std::vector<DataIssue>* issues, std::string location,
+              std::string message) {
+  if (issues == nullptr) return;
+  issues->push_back(
+      DataIssue{"csv", std::move(location), std::move(message)});
+}
+
 }  // namespace
 
-Result<CsvDocument> ParseCsv(std::string_view text, char delimiter) {
+Result<CsvDocument> ParseCsv(std::string_view text,
+                             const CsvReadOptions& options,
+                             std::vector<DataIssue>* issues) {
+  const bool recover = options.mode == CsvReadOptions::Mode::kRecover;
   std::vector<std::vector<std::string>> records;
   std::vector<std::string> current_record;
   std::string current_cell;
   bool in_quotes = false;
   bool cell_started = false;
+  Status limit_error;
 
   auto end_cell = [&]() {
     current_record.push_back(std::move(current_cell));
     current_cell.clear();
     cell_started = false;
   };
-  auto end_record = [&]() {
+  auto end_record = [&]() -> bool {
     end_cell();
     records.push_back(std::move(current_record));
     current_record.clear();
+    if (records.size() > options.max_rows) {
+      std::ostringstream oss;
+      oss << "CSV input exceeds the row limit of " << options.max_rows;
+      limit_error = Status::ResourceExhausted(oss.str());
+      return false;
+    }
+    return true;
+  };
+  auto grow_cell = [&](char c) -> bool {
+    if (current_cell.size() >= options.max_field_bytes) {
+      std::ostringstream oss;
+      oss << "CSV field in record " << records.size() + 1
+          << " exceeds the field limit of " << options.max_field_bytes
+          << " bytes";
+      limit_error = Status::ResourceExhausted(oss.str());
+      return false;
+    }
+    current_cell.push_back(c);
+    return true;
   };
 
   size_t i = 0;
@@ -53,38 +85,42 @@ Result<CsvDocument> ParseCsv(std::string_view text, char delimiter) {
     if (in_quotes) {
       if (c == '"') {
         if (i + 1 < text.size() && text[i + 1] == '"') {
-          current_cell.push_back('"');
+          if (!grow_cell('"')) return limit_error;
           ++i;
         } else {
           in_quotes = false;
         }
       } else {
-        current_cell.push_back(c);
+        if (!grow_cell(c)) return limit_error;
       }
     } else if (c == '"' && !cell_started && current_cell.empty()) {
       in_quotes = true;
       cell_started = true;
-    } else if (c == delimiter) {
+    } else if (c == options.delimiter) {
       end_cell();
     } else if (c == '\r') {
       // Swallow; the following \n (if any) ends the record.
       if (i + 1 >= text.size() || text[i + 1] != '\n') {
-        end_record();
+        if (!end_record()) return limit_error;
       }
     } else if (c == '\n') {
-      end_record();
+      if (!end_record()) return limit_error;
     } else {
-      current_cell.push_back(c);
+      if (!grow_cell(c)) return limit_error;
       cell_started = true;
     }
     ++i;
   }
   if (in_quotes) {
-    return Status::ParseError("unterminated quoted CSV field");
+    if (!recover) {
+      return Status::ParseError("unterminated quoted CSV field");
+    }
+    AddIssue(issues, "end of input",
+             "unterminated quoted field closed at end of input");
   }
   // Final record without trailing newline.
   if (!current_cell.empty() || !current_record.empty() || cell_started) {
-    end_record();
+    if (!end_record()) return limit_error;
   }
 
   if (records.empty()) {
@@ -95,14 +131,37 @@ Result<CsvDocument> ParseCsv(std::string_view text, char delimiter) {
   doc.header = std::move(records.front());
   for (size_t r = 1; r < records.size(); ++r) {
     if (records[r].size() != doc.header.size()) {
-      std::ostringstream oss;
-      oss << "CSV row " << r << " has " << records[r].size()
-          << " cells, expected " << doc.header.size();
-      return Status::ParseError(oss.str());
+      if (!recover) {
+        std::ostringstream oss;
+        oss << "CSV row " << r << " has " << records[r].size()
+            << " cells, expected " << doc.header.size();
+        return Status::ParseError(oss.str());
+      }
+      std::ostringstream location;
+      location << "row " << r;
+      if (records[r].size() < doc.header.size()) {
+        std::ostringstream oss;
+        oss << "short row padded from " << records[r].size() << " to "
+            << doc.header.size() << " cells";
+        AddIssue(issues, location.str(), oss.str());
+        records[r].resize(doc.header.size());
+      } else {
+        std::ostringstream oss;
+        oss << "long row truncated from " << records[r].size() << " to "
+            << doc.header.size() << " cells";
+        AddIssue(issues, location.str(), oss.str());
+        records[r].resize(doc.header.size());
+      }
     }
     doc.rows.push_back(std::move(records[r]));
   }
   return doc;
+}
+
+Result<CsvDocument> ParseCsv(std::string_view text, char delimiter) {
+  CsvReadOptions options;
+  options.delimiter = delimiter;
+  return ParseCsv(text, options, nullptr);
 }
 
 std::string WriteCsv(const CsvDocument& doc, char delimiter) {
@@ -119,27 +178,28 @@ std::string WriteCsv(const CsvDocument& doc, char delimiter) {
   return out;
 }
 
-Result<CsvDocument> ReadCsvFile(const std::string& path, char delimiter) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file) {
-    return Status::NotFound("cannot open CSV file: " + path);
+Result<CsvDocument> ReadCsvFile(const std::string& path,
+                                const CsvReadOptions& options,
+                                std::vector<DataIssue>* issues) {
+  EFES_RETURN_IF_ERROR(CheckFaultPoint("csv.read"));
+  EFES_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  Result<CsvDocument> doc = ParseCsv(text, options, issues);
+  if (!doc.ok()) {
+    return Status(doc.status().code(),
+                  doc.status().message() + " (" + path + ")");
   }
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  return ParseCsv(buffer.str(), delimiter);
+  return doc;
+}
+
+Result<CsvDocument> ReadCsvFile(const std::string& path, char delimiter) {
+  CsvReadOptions options;
+  options.delimiter = delimiter;
+  return ReadCsvFile(path, options, nullptr);
 }
 
 Status WriteCsvFile(const CsvDocument& doc, const std::string& path,
                     char delimiter) {
-  std::ofstream file(path, std::ios::binary | std::ios::trunc);
-  if (!file) {
-    return Status::InvalidArgument("cannot open file for writing: " + path);
-  }
-  file << WriteCsv(doc, delimiter);
-  if (!file.good()) {
-    return Status::Internal("short write to " + path);
-  }
-  return Status::OK();
+  return WriteFileAtomic(path, WriteCsv(doc, delimiter));
 }
 
 }  // namespace efes

@@ -3,14 +3,27 @@
 // The scenario generators persist their synthetic datasets as CSV so the
 // examples can demonstrate loading external data, and tests round-trip
 // through this module.
+//
+// Parsing runs in one of two modes (CsvReadOptions::Mode):
+//   * kStrict (default): the historical fail-fast behavior — the first
+//     malformed row aborts the parse with a ParseError.
+//   * kRecover: malformed rows are repaired (short rows padded, long rows
+//     truncated, an unterminated quote closed at end of input) and each
+//     repair is described as a DataIssue instead of failing. Dirty inputs
+//     are EFES's subject matter (paper §5); recover mode lets the
+//     estimator operate over them.
+// Both modes enforce resource guards (max field size, max row count) and
+// fail with ResourceExhausted instead of allocating without bound.
 
 #ifndef EFES_COMMON_CSV_H_
 #define EFES_COMMON_CSV_H_
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "efes/common/data_issue.h"
 #include "efes/common/result.h"
 
 namespace efes {
@@ -22,20 +35,47 @@ struct CsvDocument {
   std::vector<std::vector<std::string>> rows;
 };
 
+/// How to parse and which limits to enforce.
+struct CsvReadOptions {
+  enum class Mode { kStrict, kRecover };
+
+  Mode mode = Mode::kStrict;
+  char delimiter = ',';
+  /// Largest accepted single cell; longer cells fail the parse with
+  /// ResourceExhausted (both modes — a runaway field is a resource
+  /// problem, not a repairable data problem).
+  size_t max_field_bytes = 16u << 20;
+  /// Largest accepted number of records including the header.
+  size_t max_rows = 10u * 1000 * 1000;
+};
+
 /// Parses CSV text. Supports quoted fields with embedded delimiters,
 /// doubled quotes, and embedded newlines; accepts both \n and \r\n.
-/// Every row must have exactly as many cells as the header.
+/// In strict mode every row must have exactly as many cells as the
+/// header; in recover mode misshapen rows are repaired and reported
+/// through `issues` (may be null to discard the diagnostics).
+Result<CsvDocument> ParseCsv(std::string_view text,
+                             const CsvReadOptions& options,
+                             std::vector<DataIssue>* issues = nullptr);
+
+/// Strict parse with default limits (the historical entry point).
 Result<CsvDocument> ParseCsv(std::string_view text, char delimiter = ',');
 
 /// Serializes a document, quoting cells that contain the delimiter,
 /// quotes, or newlines.
 std::string WriteCsv(const CsvDocument& doc, char delimiter = ',');
 
-/// Reads and parses a CSV file from disk.
+/// Reads and parses a CSV file from disk. Fault point: `csv.read`.
+Result<CsvDocument> ReadCsvFile(const std::string& path,
+                                const CsvReadOptions& options,
+                                std::vector<DataIssue>* issues = nullptr);
+
+/// Strict read with default limits.
 Result<CsvDocument> ReadCsvFile(const std::string& path,
                                 char delimiter = ',');
 
-/// Writes a document to disk, overwriting any existing file.
+/// Writes a document to disk atomically (temp file + rename), replacing
+/// any existing file.
 Status WriteCsvFile(const CsvDocument& doc, const std::string& path,
                     char delimiter = ',');
 

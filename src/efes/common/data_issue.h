@@ -1,0 +1,53 @@
+// Structured diagnostics for lenient ("recover") ingestion.
+//
+// EFES's premise is that integration inputs are dirty (paper §5), so the
+// ingestion layer must be able to operate *over* defects instead of
+// rejecting the whole input at the first malformed row. In recover mode
+// the loaders repair or skip what they can and describe each defect as a
+// DataIssue; the caller decides whether the collected issues are
+// acceptable. Strict mode keeps the historical fail-fast behavior.
+
+#ifndef EFES_COMMON_DATA_ISSUE_H_
+#define EFES_COMMON_DATA_ISSUE_H_
+
+#include <string>
+#include <vector>
+
+namespace efes {
+
+/// One defect found (and survived) while loading dirty input.
+struct DataIssue {
+  /// The ingestion layer that hit the defect: "csv", "schema",
+  /// "correspondences", "data", "scenario".
+  std::string component;
+  /// Where: file path, row number, source name — whatever locates it.
+  std::string location;
+  /// What happened and how it was recovered from.
+  std::string message;
+
+  std::string ToString() const {
+    std::string out = component;
+    if (!location.empty()) {
+      out += " (";
+      out += location;
+      out += ")";
+    }
+    out += ": ";
+    out += message;
+    return out;
+  }
+};
+
+/// Renders one issue per line, for logs and run reports.
+inline std::string RenderDataIssues(const std::vector<DataIssue>& issues) {
+  std::string out;
+  for (const DataIssue& issue : issues) {
+    out += issue.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace efes
+
+#endif  // EFES_COMMON_DATA_ISSUE_H_

@@ -1,0 +1,195 @@
+#include "efes/common/fault.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+#include "efes/common/random.h"
+#include "efes/common/string_util.h"
+#include "efes/telemetry/metrics.h"
+
+namespace efes {
+
+/// Mutable runtime state of one armed point. Guarded by the registry
+/// mutex; the telemetry counters are updated outside it (they are atomic
+/// themselves).
+struct FaultRegistry::ArmedPoint {
+  ArmedPoint(const std::string& name, FaultSpec s)
+      : spec(s),
+        rng(s.seed),
+        hits_counter(
+            MetricsRegistry::Global().GetCounter("fault." + name + ".hits")),
+        fired_counter(MetricsRegistry::Global().GetCounter("fault." + name +
+                                                           ".fired")) {}
+
+  FaultSpec spec;
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+  Random rng;
+  Counter& hits_counter;
+  Counter& fired_counter;
+};
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* registry = [] {
+    auto* r = new FaultRegistry();
+    if (const char* env = std::getenv("EFES_FAULTS")) {
+      Status status = r->ArmFromList(env);
+      if (!status.ok()) {
+        std::fprintf(stderr, "EFES_FAULTS ignored: %s\n",
+                     status.ToString().c_str());
+        r->DisarmAll();
+      }
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+void FaultRegistry::Arm(std::string point, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_[point] = std::make_unique<ArmedPoint>(point, spec);
+  armed_count_.store(points_.size(), std::memory_order_relaxed);
+}
+
+Status FaultRegistry::ArmFromString(std::string_view spec) {
+  std::string_view point = Trim(spec);
+  FaultSpec parsed;
+  size_t colon = point.find(':');
+  if (colon != std::string_view::npos) {
+    std::string_view options = point.substr(colon + 1);
+    point = Trim(point.substr(0, colon));
+    for (const std::string& raw_option : Split(options, ',')) {
+      std::string_view option = Trim(raw_option);
+      if (option == "once") {
+        parsed.fire_count = 1;
+      } else if (option == "always") {
+        parsed.fire_count = 0;
+      } else if (option == "throw") {
+        parsed.throws = true;
+      } else if (StartsWith(option, "n=")) {
+        std::optional<int64_t> n = ParseInt64(option.substr(2));
+        if (!n.has_value() || *n < 1) {
+          return Status::InvalidArgument("bad fault hit index: " +
+                                         std::string(option));
+        }
+        parsed.first_hit = static_cast<uint64_t>(*n);
+        parsed.fire_count = 1;
+      } else if (StartsWith(option, "count=")) {
+        std::optional<int64_t> n = ParseInt64(option.substr(6));
+        if (!n.has_value() || *n < 1) {
+          return Status::InvalidArgument("bad fault fire count: " +
+                                         std::string(option));
+        }
+        parsed.fire_count = static_cast<uint64_t>(*n);
+      } else if (StartsWith(option, "p=")) {
+        std::optional<double> p = ParseDouble(option.substr(2));
+        if (!p.has_value() || *p < 0.0 || *p > 1.0) {
+          return Status::InvalidArgument("bad fault probability: " +
+                                         std::string(option));
+        }
+        parsed.probability = *p;
+      } else if (StartsWith(option, "seed=")) {
+        std::optional<int64_t> seed = ParseInt64(option.substr(5));
+        if (!seed.has_value()) {
+          return Status::InvalidArgument("bad fault seed: " +
+                                         std::string(option));
+        }
+        parsed.seed = static_cast<uint64_t>(*seed);
+      } else if (StartsWith(option, "code=")) {
+        std::string_view code = option.substr(5);
+        if (code == "unavailable") {
+          parsed.code = StatusCode::kUnavailable;
+        } else if (code == "internal") {
+          parsed.code = StatusCode::kInternal;
+        } else if (code == "notfound") {
+          parsed.code = StatusCode::kNotFound;
+        } else if (code == "parse") {
+          parsed.code = StatusCode::kParseError;
+        } else if (code == "resource") {
+          parsed.code = StatusCode::kResourceExhausted;
+        } else if (code == "invalid") {
+          parsed.code = StatusCode::kInvalidArgument;
+        } else {
+          return Status::InvalidArgument("unknown fault status code: " +
+                                         std::string(option));
+        }
+      } else {
+        return Status::InvalidArgument("unknown fault option: " +
+                                       std::string(option));
+      }
+    }
+  }
+  if (point.empty()) {
+    return Status::InvalidArgument("empty fault point name in spec: " +
+                                   std::string(spec));
+  }
+  Arm(std::string(point), parsed);
+  return Status::OK();
+}
+
+Status FaultRegistry::ArmFromList(std::string_view text) {
+  for (const std::string& piece : Split(text, ';')) {
+    if (Trim(piece).empty()) continue;
+    EFES_RETURN_IF_ERROR(ArmFromString(piece));
+  }
+  return Status::OK();
+}
+
+void FaultRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  points_.clear();
+  armed_count_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<std::string> FaultRegistry::ArmedPoints() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(points_.size());
+  for (const auto& [name, point] : points_) names.push_back(name);
+  return names;
+}
+
+Status FaultRegistry::Check(std::string_view point) {
+  Counter* hits_counter = nullptr;
+  Counter* fired_counter = nullptr;
+  bool fire = false;
+  bool throws = false;
+  StatusCode code = StatusCode::kUnavailable;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = points_.find(point);
+    if (it == points_.end()) return Status::OK();
+    ArmedPoint& armed = *it->second;
+    hits_counter = &armed.hits_counter;
+    ++armed.hits;
+    if (armed.hits >= armed.spec.first_hit &&
+        (armed.spec.fire_count == 0 ||
+         armed.fires < armed.spec.fire_count)) {
+      fire = armed.spec.probability >= 1.0 ||
+             armed.rng.Bernoulli(armed.spec.probability);
+    }
+    if (fire) {
+      ++armed.fires;
+      fired_counter = &armed.fired_counter;
+      throws = armed.spec.throws;
+      code = armed.spec.code;
+    }
+  }
+  hits_counter->Increment();
+  if (!fire) return Status::OK();
+  fired_counter->Increment();
+  MetricsRegistry::Global().GetCounter("fault.fired").Increment();
+  std::string message = "injected fault at " + std::string(point);
+  if (throws) throw std::runtime_error(message);
+  return Status(code, std::move(message));
+}
+
+uint64_t FaultRegistry::HitCount(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second->hits;
+}
+
+}  // namespace efes

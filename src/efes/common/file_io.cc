@@ -1,0 +1,111 @@
+#include "efes/common/file_io.h"
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "efes/common/fault.h"
+#include "efes/telemetry/metrics.h"
+
+namespace efes {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Transient errors are worth retrying; everything else (bad path,
+/// permission denied modeled as invalid argument, parse errors) is not.
+bool IsTransient(const Status& status) {
+  return status.code() == StatusCode::kUnavailable;
+}
+
+/// One write-and-rename attempt.
+Status WriteOnce(const fs::path& path, const fs::path& temp_path,
+                 std::string_view content) {
+  EFES_RETURN_IF_ERROR(CheckFaultPoint("io.write.open"));
+  std::ofstream file(temp_path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    return Status::InvalidArgument("cannot open for writing: " +
+                                   temp_path.string());
+  }
+  file.write(content.data(),
+             static_cast<std::streamsize>(content.size()));
+  file.flush();
+  Status write_fault = CheckFaultPoint("io.write.write");
+  if (!file.good() || !write_fault.ok()) {
+    file.close();
+    std::error_code ec;
+    fs::remove(temp_path, ec);
+    if (!write_fault.ok()) return write_fault;
+    return Status::Unavailable("short write to " + temp_path.string());
+  }
+  file.close();
+  Status commit_fault = CheckFaultPoint("io.write.commit");
+  std::error_code ec;
+  if (commit_fault.ok()) {
+    fs::rename(temp_path, path, ec);
+  }
+  if (!commit_fault.ok() || ec) {
+    std::error_code remove_ec;
+    fs::remove(temp_path, remove_ec);
+    if (!commit_fault.ok()) return commit_fault;
+    return Status::Unavailable("cannot rename " + temp_path.string() +
+                               " to " + path.string() + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFileAtomic(const std::string& path, std::string_view content,
+                       const WriteFileOptions& options) {
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  static Counter& files = metrics.GetCounter("io.write.files");
+  static Counter& retries = metrics.GetCounter("io.write.retries");
+  static Counter& failures = metrics.GetCounter("io.write.failures");
+
+  fs::path target(path);
+  // The temp file must live in the target directory: rename(2) is only
+  // atomic within one filesystem.
+  fs::path temp_path = target;
+  temp_path += ".tmp";
+
+  const int attempts = options.max_attempts < 1 ? 1 : options.max_attempts;
+  int backoff_ms = options.initial_backoff_ms;
+  Status status;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      retries.Increment();
+      if (backoff_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        backoff_ms *= 2;
+      }
+    }
+    status = WriteOnce(target, temp_path, content);
+    if (status.ok()) {
+      files.Increment();
+      return status;
+    }
+    if (!IsTransient(status)) break;
+  }
+  failures.Increment();
+  return status;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  EFES_RETURN_IF_ERROR(CheckFaultPoint("io.read"));
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (file.bad()) {
+    return Status::Unavailable("read error on " + path);
+  }
+  return buffer.str();
+}
+
+}  // namespace efes

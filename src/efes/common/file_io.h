@@ -1,0 +1,42 @@
+// Crash-safe file output: write to a temp file in the target directory,
+// then rename over the destination. A reader (or a crash) never observes
+// a half-written scenario, trace, or export — it sees either the old
+// content or the new content.
+//
+// Transient failures (and the injected faults standing in for them at
+// points `io.write.open`, `io.write.write`, `io.write.commit`) are
+// retried with bounded exponential backoff; persistent failures surface
+// as the underlying Status after the attempts are exhausted.
+
+#ifndef EFES_COMMON_FILE_IO_H_
+#define EFES_COMMON_FILE_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "efes/common/result.h"
+
+namespace efes {
+
+/// Retry policy for atomic writes.
+struct WriteFileOptions {
+  /// Total attempts per write (first try + retries). Must be >= 1.
+  int max_attempts = 3;
+  /// Sleep before the first retry; doubles per retry. 0 disables
+  /// sleeping (tests use this to keep the retry path instant).
+  int initial_backoff_ms = 1;
+};
+
+/// Atomically replaces `path` with `content` (temp file + rename in the
+/// same directory). Retries transient errors per `options`; the
+/// temp file is removed on failure.
+Status WriteFileAtomic(const std::string& path, std::string_view content,
+                       const WriteFileOptions& options = {});
+
+/// Reads a whole file. Fault point: `io.read` (code notfound/unavailable
+/// as armed).
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace efes
+
+#endif  // EFES_COMMON_FILE_IO_H_

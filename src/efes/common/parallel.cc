@@ -8,6 +8,7 @@
 #include <memory>
 #include <string>
 
+#include "efes/common/fault.h"
 #include "efes/telemetry/clock.h"
 #include "efes/telemetry/metrics.h"
 
@@ -56,8 +57,11 @@ PoolTelemetry& Telemetry() {
 
 /// Runs one task index, converting escaped exceptions into Status so the
 /// pool (and the exception-free library convention) never sees a throw.
+/// Fault point: `parallel.task` (arm with `throw` to exercise this very
+/// conversion path).
 Status RunOne(const std::function<Status(size_t)>& task, size_t index) {
   try {
+    EFES_RETURN_IF_ERROR(CheckFaultPoint("parallel.task"));
     return task(index);
   } catch (const std::exception& e) {
     return Status::Internal(std::string("exception in parallel task: ") +

@@ -20,6 +20,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "internal error";
     case StatusCode::kUnsatisfiable:
       return "unsatisfiable";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kResourceExhausted:
+      return "resource exhausted";
   }
   return "unknown";
 }

@@ -34,6 +34,12 @@ enum class StatusCode {
   /// planner detected contradicting cleaning tasks ("infinite cleaning
   /// loop", Section 4.2 of the paper).
   kUnsatisfiable,
+  /// A transient failure (I/O hiccup, injected fault); retrying the same
+  /// operation may succeed. Atomic file writes retry on this code.
+  kUnavailable,
+  /// An input exceeded a configured resource limit (max field size, max
+  /// row count) and processing stopped instead of allocating unboundedly.
+  kResourceExhausted,
 };
 
 /// Returns the canonical lowercase name of a status code, e.g. "not found".
@@ -75,6 +81,12 @@ class Status {
   }
   static Status Unsatisfiable(std::string msg) {
     return Status(StatusCode::kUnsatisfiable, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,8 +1,6 @@
 #include "efes/core/effort_config.h"
 
-#include <fstream>
-#include <sstream>
-
+#include "efes/common/file_io.h"
 #include "efes/common/string_util.h"
 #include "efes/core/formula.h"
 
@@ -145,13 +143,12 @@ Result<EstimationConfig> ParseEffortConfig(std::string_view text) {
 }
 
 Result<EstimationConfig> LoadEffortConfig(const std::string& path) {
-  std::ifstream file(path);
-  if (!file) {
-    return Status::NotFound("cannot open config file: " + path);
+  Result<std::string> text = ReadFileToString(path);
+  if (!text.ok()) {
+    return Status(text.status().code(),
+                  "cannot open config file: " + path);
   }
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  return ParseEffortConfig(buffer.str());
+  return ParseEffortConfig(*text);
 }
 
 }  // namespace efes

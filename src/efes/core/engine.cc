@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "efes/common/fault.h"
 #include "efes/common/parallel.h"
 #include "efes/common/string_util.h"
 #include "efes/common/text_table.h"
@@ -51,8 +52,16 @@ std::string EstimationResult::ToText() const {
   std::ostringstream oss;
   for (const ModuleRun& run : module_runs) {
     oss << "=== " << run.module << " ===\n";
-    oss << run.report->ToText();
+    if (run.report != nullptr) oss << run.report->ToText();
+    if (!run.status.ok()) {
+      oss << "module failed (" << run.status.ToString()
+          << "); its problems and tasks are missing from this estimate\n";
+    }
     oss << "\n";
+  }
+  if (degraded) {
+    oss << "=== DEGRADED RUN: one or more modules failed; the estimate "
+           "below is partial ===\n";
   }
   oss << "=== Effort estimate ===\n" << estimate.ToText();
   return oss.str();
@@ -65,14 +74,40 @@ void EfesEngine::AddModule(std::unique_ptr<EstimationModule> module) {
 namespace {
 
 /// Runs phase 1 of one module under a `<module>.assess` span, feeding the
-/// shared assessment-latency histogram.
+/// shared assessment-latency histogram. Fault point: `engine.assess`.
 Result<std::unique_ptr<ComplexityReport>> AssessModule(
     const EstimationModule& module, const IntegrationScenario& scenario) {
   MetricsRegistry& metrics = MetricsRegistry::Global();
   static Histogram& assess_ms = metrics.GetHistogram("engine.assess.ms");
   metrics.GetCounter("engine.assess.calls").Increment();
   TraceSpan span(module.name() + ".assess", nullptr, &assess_ms);
+  EFES_RETURN_IF_ERROR(CheckFaultPoint("engine.assess"));
   return module.AssessComplexity(scenario);
+}
+
+/// Runs both phases of one module into `run` (report + planned tasks,
+/// unpriced). Exceptions escaping the module — modules are third-party
+/// extension code — are converted to kInternal so the engine's
+/// containment sees every failure as a Status. Fault point:
+/// `engine.plan`.
+Status RunModule(const EstimationModule& module,
+                 const IntegrationScenario& scenario,
+                 ExpectedQuality quality, const ExecutionSettings& settings,
+                 ModuleRun* run, std::vector<Task>* tasks) try {
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  EFES_ASSIGN_OR_RETURN(run->report, AssessModule(module, scenario));
+  static Histogram& plan_ms = metrics.GetHistogram("engine.plan.ms");
+  TraceSpan plan_span(module.name() + ".plan", nullptr, &plan_ms);
+  EFES_RETURN_IF_ERROR(CheckFaultPoint("engine.plan"));
+  EFES_ASSIGN_OR_RETURN(*tasks,
+                        module.PlanTasks(*run->report, quality, settings));
+  return Status::OK();
+} catch (const std::exception& e) {
+  return Status::Internal("exception in module '" + module.name() +
+                          "': " + e.what());
+} catch (...) {
+  return Status::Internal("unknown exception in module '" + module.name() +
+                          "'");
 }
 
 }  // namespace
@@ -92,21 +127,27 @@ Result<EstimationResult> EfesEngine::Run(
   EFES_RETURN_IF_ERROR(scenario.Validate());
   EstimationResult result;
   for (const auto& module : modules_) {
-    EFES_ASSIGN_OR_RETURN(std::unique_ptr<ComplexityReport> report,
-                          AssessModule(*module, scenario));
+    ModuleRun run;
+    run.module = module->name();
     std::vector<Task> tasks;
-    {
-      static Histogram& plan_ms = metrics.GetHistogram("engine.plan.ms");
-      TraceSpan plan_span(module->name() + ".plan", nullptr, &plan_ms);
-      EFES_ASSIGN_OR_RETURN(tasks,
-                            module->PlanTasks(*report, quality, settings));
+    run.status =
+        RunModule(*module, scenario, quality, settings, &run, &tasks);
+    if (!run.status.ok()) {
+      // Containment: one failing detector degrades the estimate, it does
+      // not abort the run. The failure stays visible in the module's
+      // status, the degraded flag, and the failure counter.
+      result.degraded = true;
+      metrics.GetCounter("engine.module.failures").Increment();
+      EFES_LOG(LogLevel::kWarn,
+               "engine: module '" + module->name() +
+                   "' failed, continuing degraded: " +
+                   run.status.ToString());
+      result.module_runs.push_back(std::move(run));
+      continue;
     }
     metrics.GetCounter("engine.plan.tasks").Increment(tasks.size());
     metrics.GetCounter(module->name() + ".plan.tasks")
         .Increment(tasks.size());
-    ModuleRun run;
-    run.module = module->name();
-    run.report = std::move(report);
     for (Task& task : tasks) {
       double minutes = effort_model_.EstimateMinutes(task, settings);
       run.tasks.push_back(TaskEstimate{std::move(task), minutes});
@@ -119,7 +160,7 @@ Result<EstimationResult> EfesEngine::Run(
            "engine: planned " +
                std::to_string(result.estimate.tasks.size()) + " tasks, " +
                FormatDouble(result.estimate.TotalMinutes(), 4) +
-               " min total");
+               " min total" + (result.degraded ? " (degraded)" : ""));
   return result;
 }
 

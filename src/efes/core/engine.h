@@ -39,16 +39,28 @@ struct EffortEstimate {
 };
 
 /// Result of running one module: its report and its estimated tasks.
+/// When the module failed (returned an error or threw) and the engine
+/// contained it, `status` carries the failure; `report` is null when the
+/// assessment phase itself failed, and present without tasks when only
+/// the planning phase failed.
 struct ModuleRun {
   std::string module;
+  Status status;
   std::unique_ptr<ComplexityReport> report;
   std::vector<TaskEstimate> tasks;
+
+  bool ok() const { return status.ok(); }
 };
 
-/// Full estimation result.
+/// Full estimation result. A failing module does not abort the run: its
+/// failure is contained into its ModuleRun::status, `degraded` is set,
+/// and the estimate aggregates the modules that did succeed — a partial
+/// report beats no report (DESIGN.md, "Failure handling & degraded
+/// modes").
 struct EstimationResult {
   std::vector<ModuleRun> module_runs;
   EffortEstimate estimate;
+  bool degraded = false;
 
   std::string ToText() const;
 };

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "efes/common/fault.h"
 #include "efes/common/string_util.h"
 #include "efes/csg/builder.h"
 #include "efes/csg/path_search.h"
@@ -148,6 +149,7 @@ Result<Database> IntegrationExecutor::Execute(
       MetricsRegistry::Global().GetHistogram("execute.run.ms");
   TraceSpan span("execute.run", nullptr, &execute_ms);
   MetricsRegistry::Global().GetCounter("execute.run.count").Increment();
+  EFES_RETURN_IF_ERROR(CheckFaultPoint("execute.run"));
   EFES_RETURN_IF_ERROR(scenario.Validate());
   ExecutionReport local_report;
   ExecutionReport& counters = report != nullptr ? *report : local_report;

@@ -1,5 +1,6 @@
 #include "efes/experiment/json_export.h"
 
+#include "efes/common/file_io.h"
 #include "efes/common/json_writer.h"
 #include "efes/mapping/mapping_module.h"
 #include "efes/structure/structure_module.h"
@@ -96,14 +97,22 @@ std::string EstimationResultToJsonImpl(const EstimationResult& result,
   JsonWriter json;
   json.BeginObject();
 
+  // `degraded` and per-module `status` appear only on degraded runs, so
+  // a clean run exports byte-identically to the pre-containment format.
+  if (result.degraded) {
+    json.Key("degraded").Bool(true);
+  }
+
   json.Key("modules").BeginArray();
   for (const ModuleRun& run : result.module_runs) {
-    json.BeginObject()
-        .Key("name")
-        .String(run.module)
-        .Key("problem_count")
-        .Number(run.report->ProblemCount());
-    WriteModuleDetail(json, *run.report);
+    json.BeginObject().Key("name").String(run.module);
+    if (!run.status.ok()) {
+      json.Key("status").String(run.status.ToString());
+    }
+    if (run.report != nullptr) {
+      json.Key("problem_count").Number(run.report->ProblemCount());
+      WriteModuleDetail(json, *run.report);
+    }
     json.EndObject();
   }
   json.EndArray();
@@ -161,6 +170,14 @@ std::string EstimationResultToJson(const EstimationResult& result) {
 std::string EstimationResultToJson(const EstimationResult& result,
                                    const MetricsSnapshot& telemetry) {
   return EstimationResultToJsonImpl(result, &telemetry);
+}
+
+Status WriteEstimationResultJsonFile(const EstimationResult& result,
+                                     const std::string& path,
+                                     const MetricsSnapshot* telemetry) {
+  return WriteFileAtomic(path,
+                         EstimationResultToJsonImpl(result, telemetry) +
+                             "\n");
 }
 
 std::string StudyResultToJson(const StudyResult& study) {

@@ -35,6 +35,14 @@ std::string EstimationResultToJson(const EstimationResult& result,
 /// {"domain", "outcomes": [...], "efes_rmse", "counting_rmse"}.
 std::string StudyResultToJson(const StudyResult& study);
 
+/// Atomically writes the JSON export (plus trailing newline) to `path`
+/// via common/file_io.h — a crash or transient I/O error never leaves a
+/// truncated document behind. `telemetry` may be null.
+Status WriteEstimationResultJsonFile(const EstimationResult& result,
+                                     const std::string& path,
+                                     const MetricsSnapshot* telemetry =
+                                         nullptr);
+
 }  // namespace efes
 
 #endif  // EFES_EXPERIMENT_JSON_EXPORT_H_

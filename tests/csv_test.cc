@@ -168,5 +168,79 @@ TEST(CsvTest, ReadMissingFileFails) {
   EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
 }
 
+CsvReadOptions RecoverOptions() {
+  CsvReadOptions options;
+  options.mode = CsvReadOptions::Mode::kRecover;
+  return options;
+}
+
+TEST(CsvRecoverTest, PadsShortRows) {
+  std::vector<DataIssue> issues;
+  auto doc = ParseCsv("a,b,c\n1,2\n4,5,6\n", RecoverOptions(), &issues);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_EQ(doc->rows.size(), 2u);
+  EXPECT_EQ(doc->rows[0], (std::vector<std::string>{"1", "2", ""}));
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].location, "row 1");
+}
+
+TEST(CsvRecoverTest, TruncatesLongRows) {
+  std::vector<DataIssue> issues;
+  auto doc = ParseCsv("a,b\n1,2,3,4\n", RecoverOptions(), &issues);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows[0], (std::vector<std::string>{"1", "2"}));
+  ASSERT_EQ(issues.size(), 1u);
+}
+
+TEST(CsvRecoverTest, ClosesUnterminatedQuoteAtEof) {
+  std::vector<DataIssue> issues;
+  auto doc = ParseCsv("a\n\"oops", RecoverOptions(), &issues);
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->rows.size(), 1u);
+  EXPECT_EQ(doc->rows[0][0], "oops");
+  EXPECT_FALSE(issues.empty());
+}
+
+TEST(CsvRecoverTest, NullIssueListIsAccepted) {
+  auto doc = ParseCsv("a,b\n1\n", RecoverOptions(), nullptr);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->rows[0], (std::vector<std::string>{"1", ""}));
+}
+
+TEST(CsvRecoverTest, CleanInputYieldsNoIssues) {
+  std::vector<DataIssue> issues;
+  auto doc = ParseCsv("a,b\n1,2\n", RecoverOptions(), &issues);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(issues.empty());
+}
+
+TEST(CsvGuardTest, OversizedFieldIsResourceExhausted) {
+  CsvReadOptions options;
+  options.max_field_bytes = 8;
+  std::string text = "a\nthis-cell-is-longer-than-eight-bytes\n";
+  auto strict = ParseCsv(text, options);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kResourceExhausted);
+  // The guard is not repairable: recover mode fails identically.
+  options.mode = CsvReadOptions::Mode::kRecover;
+  auto recover = ParseCsv(text, options);
+  ASSERT_FALSE(recover.ok());
+  EXPECT_EQ(recover.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(CsvGuardTest, TooManyRowsIsResourceExhausted) {
+  CsvReadOptions options;
+  options.max_rows = 3;  // header + two data rows
+  EXPECT_TRUE(ParseCsv("a\n1\n2\n", options).ok());
+  auto over = ParseCsv("a\n1\n2\n3\n", options);
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(CsvGuardTest, DefaultLimitsAcceptNormalDocuments) {
+  auto doc = ParseCsv("a,b\n1,2\n", CsvReadOptions{});
+  EXPECT_TRUE(doc.ok());
+}
+
 }  // namespace
 }  // namespace efes

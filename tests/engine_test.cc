@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 namespace efes {
 namespace {
 
@@ -145,6 +147,101 @@ TEST(EngineTest, EstimateToTextContainsBreakdown) {
   EXPECT_NE(text.find("fake report"), std::string::npos);
   EXPECT_NE(text.find("Total"), std::string::npos);
   EXPECT_NE(text.find("Cleaning (Structure)"), std::string::npos);
+}
+
+/// A module whose assessment fails outright — the engine must contain
+/// it and keep estimating with the remaining modules.
+class BrokenAssessModule : public EstimationModule {
+ public:
+  std::string name() const override { return "broken-assess"; }
+  Result<std::unique_ptr<ComplexityReport>> AssessComplexity(
+      const IntegrationScenario&) const override {
+    return Status::Internal("detector blew up");
+  }
+  Result<std::vector<Task>> PlanTasks(const ComplexityReport&,
+                                      ExpectedQuality,
+                                      const ExecutionSettings&) const
+      override {
+    return Status::Internal("unreachable");
+  }
+};
+
+/// A module that throws from planning — extension code is not bound to
+/// the exception-free convention, so the engine converts the throw.
+class ThrowingPlanModule : public FakeModule {
+ public:
+  std::string name() const override { return "throwing-plan"; }
+  Result<std::vector<Task>> PlanTasks(const ComplexityReport&,
+                                      ExpectedQuality,
+                                      const ExecutionSettings&) const
+      override {
+    throw std::runtime_error("planner bug");
+  }
+};
+
+TEST(EngineDegradedTest, FailingModuleDegradesInsteadOfAborting) {
+  EfesEngine engine;
+  engine.AddModule(std::make_unique<FakeModule>(3));
+  engine.AddModule(std::make_unique<BrokenAssessModule>());
+  IntegrationScenario scenario = MakeTrivialScenario();
+  auto result = engine.Run(scenario, ExpectedQuality::kLowEffort, {});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->degraded);
+  ASSERT_EQ(result->module_runs.size(), 2u);
+
+  // The healthy module's estimate is intact.
+  EXPECT_EQ(result->module_runs[0].module, "fake");
+  EXPECT_TRUE(result->module_runs[0].ok());
+  EXPECT_DOUBLE_EQ(result->estimate.TotalMinutes(), 15.0);
+
+  // The broken module is present, marked failed, with no report.
+  const ModuleRun& broken = result->module_runs[1];
+  EXPECT_EQ(broken.module, "broken-assess");
+  EXPECT_FALSE(broken.ok());
+  EXPECT_EQ(broken.report, nullptr);
+  EXPECT_TRUE(broken.tasks.empty());
+  EXPECT_NE(broken.status.message().find("detector blew up"),
+            std::string::npos);
+}
+
+TEST(EngineDegradedTest, ThrowingModuleIsConvertedToStatus) {
+  EfesEngine engine;
+  engine.AddModule(std::make_unique<ThrowingPlanModule>());
+  IntegrationScenario scenario = MakeTrivialScenario();
+  auto result = engine.Run(scenario, ExpectedQuality::kLowEffort, {});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->degraded);
+  ASSERT_EQ(result->module_runs.size(), 1u);
+  const ModuleRun& run = result->module_runs[0];
+  EXPECT_FALSE(run.ok());
+  EXPECT_EQ(run.status.code(), StatusCode::kInternal);
+  EXPECT_NE(run.status.message().find("planner bug"), std::string::npos);
+  // Assessment succeeded before the planner threw; the report survives
+  // in the partial result even though its tasks do not.
+  EXPECT_NE(run.report, nullptr);
+  EXPECT_DOUBLE_EQ(result->estimate.TotalMinutes(), 0.0);
+}
+
+TEST(EngineDegradedTest, DegradedTextCallsOutTheFailure) {
+  EfesEngine engine;
+  engine.AddModule(std::make_unique<BrokenAssessModule>());
+  IntegrationScenario scenario = MakeTrivialScenario();
+  auto result = engine.Run(scenario, ExpectedQuality::kLowEffort, {});
+  ASSERT_TRUE(result.ok());
+  std::string text = result->ToText();
+  EXPECT_NE(text.find("DEGRADED RUN"), std::string::npos);
+  EXPECT_NE(text.find("module failed"), std::string::npos);
+}
+
+TEST(EngineDegradedTest, CleanRunTextHasNoDegradedMarkers) {
+  EfesEngine engine;
+  engine.AddModule(std::make_unique<FakeModule>(1));
+  IntegrationScenario scenario = MakeTrivialScenario();
+  auto result = engine.Run(scenario, ExpectedQuality::kLowEffort, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->degraded);
+  EXPECT_EQ(result->ToText().find("DEGRADED"), std::string::npos);
+  EXPECT_EQ(result->ToText().find("module failed"), std::string::npos);
 }
 
 TEST(EffortEstimateTest, EmptyEstimate) {

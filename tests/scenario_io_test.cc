@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
+#include "efes/common/file_io.h"
 #include "efes/experiment/default_pipeline.h"
 #include "efes/scenario/paper_example.h"
 
@@ -31,6 +33,40 @@ TEST(CorrespondenceLineTest, RejectsMalformedLines) {
   EXPECT_FALSE(ParseCorrespondenceLine(" -> records").ok());
   EXPECT_FALSE(ParseCorrespondenceLine("albums -> ").ok());
   EXPECT_FALSE(ParseCorrespondenceLine("albums.name -> records").ok());
+}
+
+TEST(CorrespondenceLineTest, ToleratesWhitespaceEverywhere) {
+  auto packed = ParseCorrespondenceLine("albums.name->records.title");
+  ASSERT_TRUE(packed.ok());
+  EXPECT_EQ(packed->source_attribute, "name");
+
+  auto spread =
+      ParseCorrespondenceLine("  albums .  name  ->  records . title  ");
+  ASSERT_TRUE(spread.ok()) << spread.status().ToString();
+  EXPECT_EQ(spread->source_relation, "albums");
+  EXPECT_EQ(spread->source_attribute, "name");
+  EXPECT_EQ(spread->target_relation, "records");
+  EXPECT_EQ(spread->target_attribute, "title");
+
+  auto relation = ParseCorrespondenceLine("\talbums\t->\trecords\t");
+  ASSERT_TRUE(relation.ok());
+  EXPECT_TRUE(relation->is_relation_level());
+}
+
+TEST(CorrespondenceLineTest, RejectsEmptyNames) {
+  auto no_relation = ParseCorrespondenceLine(".name -> records.title");
+  ASSERT_FALSE(no_relation.ok());
+  EXPECT_NE(no_relation.status().message().find("empty relation name"),
+            std::string::npos);
+
+  auto no_attribute = ParseCorrespondenceLine("albums. -> records.title");
+  ASSERT_FALSE(no_attribute.ok());
+  EXPECT_NE(no_attribute.status().message().find("empty attribute name"),
+            std::string::npos);
+
+  EXPECT_FALSE(ParseCorrespondenceLine("albums.name -> .title").ok());
+  EXPECT_FALSE(ParseCorrespondenceLine("albums.name -> records.").ok());
+  EXPECT_FALSE(ParseCorrespondenceLine(" . -> . ").ok());
 }
 
 TEST(CorrespondencesDocTest, RoundTrip) {
@@ -129,6 +165,122 @@ TEST_F(ScenarioIoTest, LoadMissingDirectoryFails) {
   auto loaded = LoadScenario(directory_ + "/does_not_exist");
   EXPECT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+/// Lenient loads of damaged scenario directories: strict keeps the
+/// historical fail-fast contract, recover salvages what it can and
+/// reports the rest as DataIssues.
+class LenientLoadTest : public ScenarioIoTest {
+ protected:
+  void SetUp() override {
+    ScenarioIoTest::SetUp();
+    PaperExampleOptions options;
+    options.album_count = 30;
+    options.song_count = 40;
+    auto scenario = MakePaperExample(options);
+    ASSERT_TRUE(scenario.ok());
+    ASSERT_TRUE(SaveScenario(*scenario, directory_).ok());
+    // The scenario has exactly one source; find its directory.
+    for (const auto& entry : std::filesystem::directory_iterator(
+             directory_ + "/sources")) {
+      source_dir_ = entry.path().string();
+    }
+    ASSERT_FALSE(source_dir_.empty());
+  }
+
+  static void Append(const std::string& path, const std::string& text) {
+    std::ofstream out(path, std::ios::app);
+    out << text;
+  }
+
+  static LoadOptions Recover() {
+    LoadOptions options;
+    options.mode = LoadOptions::Mode::kRecover;
+    return options;
+  }
+
+  std::string source_dir_;
+};
+
+TEST_F(LenientLoadTest, RecoversFromCorruptCorrespondences) {
+  Append(source_dir_ + "/correspondences.txt",
+         "no arrow here\nghost_rel -> no_such_target\n");
+
+  // Strict: the unparseable line aborts the load.
+  EXPECT_FALSE(LoadScenario(directory_).ok());
+
+  ScenarioLoadReport report;
+  auto loaded = LoadScenario(directory_, Recover(), &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(report.degraded);
+  ASSERT_GE(report.issues.size(), 2u);
+  EXPECT_EQ(loaded->sources.size(), 1u);
+  // The salvaged scenario still validates and estimates.
+  EXPECT_TRUE(loaded->Validate().ok());
+  bool saw_skipped = false;
+  bool saw_dropped = false;
+  for (const DataIssue& issue : report.issues) {
+    if (issue.message.find("line skipped") != std::string::npos) {
+      saw_skipped = true;
+    }
+    if (issue.message.find("correspondence dropped") != std::string::npos) {
+      saw_dropped = true;
+    }
+  }
+  EXPECT_TRUE(saw_skipped);
+  EXPECT_TRUE(saw_dropped);
+}
+
+TEST_F(LenientLoadTest, SkipsSourceWithBrokenSchema) {
+  ASSERT_TRUE(
+      WriteFileAtomic(source_dir_ + "/schema.sql", "NOT DDL AT ALL(((")
+          .ok());
+
+  EXPECT_FALSE(LoadScenario(directory_).ok());
+
+  ScenarioLoadReport report;
+  auto loaded = LoadScenario(directory_, Recover(), &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(report.degraded);
+  EXPECT_TRUE(loaded->sources.empty());
+  bool saw_source_skipped = false;
+  for (const DataIssue& issue : report.issues) {
+    if (issue.message.find("source skipped") != std::string::npos) {
+      saw_source_skipped = true;
+    }
+  }
+  EXPECT_TRUE(saw_source_skipped);
+}
+
+TEST_F(LenientLoadTest, RepairsMalformedTableCsv) {
+  // A trailing short row: strict rejects the arity mismatch, recover
+  // pads it and reports what happened.
+  Append(source_dir_ + "/data/albums.csv", "zz\n");
+
+  EXPECT_FALSE(LoadScenario(directory_).ok());
+
+  ScenarioLoadReport report;
+  auto loaded = LoadScenario(directory_, Recover(), &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(report.degraded);
+  EXPECT_FALSE(report.issues.empty());
+}
+
+TEST_F(LenientLoadTest, CleanDirectoryIsNotDegraded) {
+  ScenarioLoadReport report;
+  auto loaded = LoadScenario(directory_, Recover(), &report);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(report.degraded);
+  EXPECT_TRUE(report.issues.empty());
+
+  // Recover mode on a clean directory loads the same scenario as strict.
+  auto strict = LoadScenario(directory_);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_EQ(loaded->sources.size(), strict->sources.size());
+  EXPECT_EQ(loaded->sources[0].correspondences.size(),
+            strict->sources[0].correspondences.size());
+  EXPECT_EQ(loaded->sources[0].database.TotalRowCount(),
+            strict->sources[0].database.TotalRowCount());
 }
 
 TEST_F(ScenarioIoTest, EmptyTablesNeedNoCsvFiles) {

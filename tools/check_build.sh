@@ -5,10 +5,14 @@
 # builds everything, and runs the full test suite. `--tsan` adds a second
 # configuration with -DEFES_TSAN=ON (-fsanitize=thread) and runs the
 # threaded subset (telemetry, parallel, determinism) under the sanitizer.
+# `--asan` configures with -DEFES_ASAN=ON (-fsanitize=address,undefined)
+# and runs the full suite — the corruption and fault-injection tests are
+# most valuable here, where a parser walking off a buffer actually traps.
 # Exits nonzero on the first failure. Usage:
 #
 #   tools/check_build.sh [build-dir]         # default: build-werror
 #   tools/check_build.sh --tsan [build-dir]  # default: build-tsan
+#   tools/check_build.sh --asan [build-dir]  # default: build-asan
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,6 +20,9 @@ cd "$(dirname "$0")/.."
 MODE=werror
 if [[ "${1:-}" == "--tsan" ]]; then
   MODE=tsan
+  shift
+elif [[ "${1:-}" == "--asan" ]]; then
+  MODE=asan
   shift
 fi
 
@@ -28,6 +35,12 @@ if [[ "$MODE" == "tsan" ]]; then
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j \
     -R '(Parallel|ThreadPool|ThreadCount|Telemetry|Metrics|Report)'
   echo "check_build: OK (EFES_TSAN=ON, threaded tests passed)"
+elif [[ "$MODE" == "asan" ]]; then
+  BUILD_DIR="${1:-build-asan}"
+  cmake -B "$BUILD_DIR" -S . -DEFES_ASAN=ON
+  cmake --build "$BUILD_DIR" -j
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j
+  echo "check_build: OK (EFES_ASAN=ON, all tests passed)"
 else
   BUILD_DIR="${1:-build-werror}"
   cmake -B "$BUILD_DIR" -S . -DEFES_WERROR=ON

@@ -27,6 +27,15 @@
 //                                  (default: hardware concurrency; 1 runs
 //                                  everything sequentially; output is
 //                                  identical either way)
+//   --lenient                      load scenario directories in recover
+//                                  mode: malformed rows/files are skipped
+//                                  or repaired and reported as DataIssue
+//                                  diagnostics on stderr instead of
+//                                  aborting the run
+//   --inject-fault=<point>[:spec]  arm a deterministic fault point
+//                                  (common/fault.h grammar; repeatable;
+//                                  also via the EFES_FAULTS environment
+//                                  variable) — for robustness testing
 //
 // Exit codes: 0 success, 1 runtime error, 2 usage error, 64 unknown flag.
 // Scenario directories follow the layout of scenario/scenario_io.h.
@@ -34,10 +43,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <string>
 #include <vector>
 
+#include "efes/common/fault.h"
+#include "efes/common/file_io.h"
 #include "efes/common/parallel.h"
 #include "efes/common/string_util.h"
 #include "efes/core/effort_config.h"
@@ -68,7 +78,7 @@ int Usage(int exit_code = kExitUsage) {
       "  efes export-example <dir>\n"
       "  efes assess <dir> [--discover]\n"
       "  efes estimate <dir> [--quality=high|low] [--config=<file>]\n"
-      "                     [--format=text|json]\n"
+      "                     [--format=text|json] [--out=<file>]\n"
       "  efes match <dir>\n"
       "  efes execute <dir> <out-dir> [--quality=high|low]\n"
       "  efes plan <dir> [--quality=high|low]\n"
@@ -80,7 +90,11 @@ int Usage(int exit_code = kExitUsage) {
       "  --log-level=<level>  debug|info|warn|error|off (default off)\n"
       "  --threads=<n>        worker threads for parallel phases (default:\n"
       "                       hardware concurrency; results do not depend\n"
-      "                       on the thread count)\n");
+      "                       on the thread count)\n"
+      "  --lenient            recover-mode scenario loading: skip/repair\n"
+      "                       defects, report them on stderr\n"
+      "  --inject-fault=<point>[:spec]  arm a deterministic fault point\n"
+      "                       (robustness testing; see common/fault.h)\n");
   return exit_code;
 }
 
@@ -104,12 +118,16 @@ struct TelemetryFlags {
   /// Set when the subcommand already embedded the snapshot in its own
   /// output (estimate --format=json), so main() skips the table.
   bool metrics_emitted_inline = false;
+  /// --lenient: load scenarios in recover mode, reporting DataIssues on
+  /// stderr instead of aborting on the first defect.
+  bool lenient = false;
 };
 
 TelemetryFlags g_telemetry;
 
-/// Strips --metrics / --trace= / --log-level= / --threads= out of `args`
-/// and applies them. Returns an exit code, or -1 to continue.
+/// Strips the telemetry/execution flags (--metrics / --trace= /
+/// --log-level= / --threads= / --lenient / --inject-fault=) out of
+/// `args` and applies them. Returns an exit code, or -1 to continue.
 int ApplyTelemetryFlags(std::vector<std::string>* args) {
   std::vector<std::string> remaining;
   for (std::string& arg : *args) {
@@ -135,6 +153,16 @@ int ApplyTelemetryFlags(std::vector<std::string>* args) {
         return UnknownFlag(arg);
       }
       efes::SetThreadCountOverride(static_cast<size_t>(threads));
+    } else if (arg == "--lenient") {
+      g_telemetry.lenient = true;
+    } else if (arg.rfind("--inject-fault=", 0) == 0) {
+      efes::Status armed =
+          efes::FaultRegistry::Global().ArmFromString(arg.substr(15));
+      if (!armed.ok()) {
+        std::fprintf(stderr, "bad %s: %s\n", arg.c_str(),
+                     armed.ToString().c_str());
+        return kExitUsage;
+      }
     } else {
       remaining.push_back(std::move(arg));
     }
@@ -153,16 +181,34 @@ int EmitTelemetry() {
     std::printf("=== telemetry ===\n%s", report.c_str());
   }
   if (!g_telemetry.trace_path.empty()) {
-    std::ofstream out(g_telemetry.trace_path);
-    if (!out) {
-      return Fail(efes::Status::InvalidArgument(
-          "cannot write " + g_telemetry.trace_path));
-    }
-    out << efes::TraceRecorder::Global().ToChromeTraceJson();
+    efes::Status written = efes::WriteFileAtomic(
+        g_telemetry.trace_path,
+        efes::TraceRecorder::Global().ToChromeTraceJson());
+    if (!written.ok()) return Fail(written);
     std::printf("trace written to %s (open in chrome://tracing)\n",
                 g_telemetry.trace_path.c_str());
   }
   return 0;
+}
+
+/// Loads a scenario honoring --lenient. In lenient mode the survived
+/// defects are listed on stderr (stdout stays clean for the actual
+/// output) and the run proceeds on the salvaged scenario.
+efes::Result<efes::IntegrationScenario> LoadScenarioCli(
+    const std::string& directory) {
+  efes::LoadOptions options;
+  if (g_telemetry.lenient) {
+    options.mode = efes::LoadOptions::Mode::kRecover;
+  }
+  efes::ScenarioLoadReport report;
+  auto scenario = efes::LoadScenario(directory, options, &report);
+  if (scenario.ok() && report.degraded) {
+    std::fprintf(stderr,
+                 "lenient load: %zu issue(s) recovered from:\n%s",
+                 report.issues.size(),
+                 efes::RenderDataIssues(report.issues).c_str());
+  }
+  return scenario;
 }
 
 int RunExportExample(const std::string& directory) {
@@ -201,7 +247,7 @@ int RunAssess(const std::string& directory,
       return UnknownFlag(option);
     }
   }
-  auto scenario = efes::LoadScenario(directory);
+  auto scenario = LoadScenarioCli(directory);
   if (!scenario.ok()) return Fail(scenario.status());
   if (discover) {
     efes::Status status = DiscoverSourceConstraints(&*scenario);
@@ -222,6 +268,7 @@ int RunEstimate(const std::string& directory,
   efes::ExpectedQuality quality = efes::ExpectedQuality::kHighQuality;
   efes::EstimationConfig config;
   bool json = false;
+  std::string out_path;
   for (const std::string& option : options) {
     if (option == "--format=json") {
       json = true;
@@ -235,16 +282,28 @@ int RunEstimate(const std::string& directory,
       auto loaded = efes::LoadEffortConfig(option.substr(9));
       if (!loaded.ok()) return Fail(loaded.status());
       config = std::move(*loaded);
+    } else if (option.rfind("--out=", 0) == 0) {
+      out_path = option.substr(6);
+      if (out_path.empty()) return UnknownFlag(option);
     } else {
       return UnknownFlag(option);
     }
   }
-  auto scenario = efes::LoadScenario(directory);
+  auto scenario = LoadScenarioCli(directory);
   if (!scenario.ok()) return Fail(scenario.status());
   efes::EfesEngine engine =
       efes::MakeDefaultEngine(std::move(config.model));
   auto result = engine.Run(*scenario, quality, config.settings);
   if (!result.ok()) return Fail(result.status());
+  if (!out_path.empty()) {
+    // --out writes the JSON export atomically (temp + rename): a reader
+    // polling the file never sees a half-written document.
+    efes::Status written =
+        efes::WriteEstimationResultJsonFile(*result, out_path);
+    if (!written.ok()) return Fail(written);
+    std::printf("estimate written to %s\n", out_path.c_str());
+    return 0;
+  }
   if (json) {
     if (g_telemetry.metrics) {
       // Embed the snapshot as the export's `telemetry` section instead
@@ -264,7 +323,7 @@ int RunEstimate(const std::string& directory,
 }
 
 int RunMatch(const std::string& directory) {
-  auto scenario = efes::LoadScenario(directory);
+  auto scenario = LoadScenarioCli(directory);
   if (!scenario.ok()) return Fail(scenario.status());
   efes::SchemaMatcher matcher;
   for (const efes::SourceBinding& source : scenario->sources) {
@@ -290,7 +349,7 @@ int RunExecute(const std::string& directory,
       return UnknownFlag(option);
     }
   }
-  auto scenario = efes::LoadScenario(directory);
+  auto scenario = LoadScenarioCli(directory);
   if (!scenario.ok()) return Fail(scenario.status());
   efes::IntegrationExecutor executor(executor_options);
   efes::ExecutionReport report;
@@ -317,7 +376,7 @@ int RunPlan(const std::string& directory,
       return UnknownFlag(option);
     }
   }
-  auto scenario = efes::LoadScenario(directory);
+  auto scenario = LoadScenarioCli(directory);
   if (!scenario.ok()) return Fail(scenario.status());
   efes::EfesEngine engine = efes::MakeDefaultEngine();
   auto result = engine.Run(*scenario, quality, {});
@@ -335,7 +394,7 @@ int RunPlan(const std::string& directory,
 
 int RunVisualize(const std::string& directory,
                  const std::string& output_path) {
-  auto scenario = efes::LoadScenario(directory);
+  auto scenario = LoadScenarioCli(directory);
   if (!scenario.ok()) return Fail(scenario.status());
   efes::EfesEngine engine = efes::MakeDefaultEngine();
   auto result = engine.Run(*scenario, efes::ExpectedQuality::kHighQuality,
@@ -347,12 +406,8 @@ int RunVisualize(const std::string& directory,
     std::printf("%s", dot.c_str());
     return 0;
   }
-  std::ofstream out(output_path);
-  if (!out) {
-    return Fail(efes::Status::InvalidArgument("cannot write " +
-                                              output_path));
-  }
-  out << dot;
+  efes::Status written = efes::WriteFileAtomic(output_path, dot);
+  if (!written.ok()) return Fail(written);
   std::printf("problem heatmap written to %s (render with: dot -Tsvg %s)\n",
               output_path.c_str(), output_path.c_str());
   return 0;
