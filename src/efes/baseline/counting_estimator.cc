@@ -5,6 +5,7 @@ namespace efes {
 const std::vector<HardenTaskWeight>& HardenTaskWeights() {
   // Table 1 of the paper (from Harden [14]).
   static const std::vector<HardenTaskWeight>* const kWeights =
+      // EFES_LINT_ALLOW(banned-function): paper-constant table, leaked on purpose
       new std::vector<HardenTaskWeight>{
           {"Requirements and Mapping", 2.0, true},
           {"High Level Design", 0.1, true},

@@ -33,6 +33,7 @@ struct FaultRegistry::ArmedPoint {
 
 FaultRegistry& FaultRegistry::Global() {
   static FaultRegistry* registry = [] {
+    // EFES_LINT_ALLOW(banned-function): process-lifetime registry, leaked on purpose
     auto* r = new FaultRegistry();
     if (const char* env = std::getenv("EFES_FAULTS")) {
       Status status = r->ArmFromList(env);

@@ -42,6 +42,7 @@ PoolTelemetry& Telemetry() {
     MetricsRegistry& registry = MetricsRegistry::Global();
     static const std::vector<double> item_bounds = {
         1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096, 16384, 65536};
+    // EFES_LINT_ALLOW(banned-function): process-lifetime telemetry handles, leaked on purpose
     return new PoolTelemetry{
         registry.GetCounter("parallel.batches"),
         registry.GetCounter("parallel.items"),
@@ -75,8 +76,10 @@ Status RunOne(const std::function<Status(size_t)>& task, size_t index) {
 /// between batches. Callers hold a shared_ptr for the batch duration, so
 /// a resize never destroys a pool that is still executing.
 std::shared_ptr<ThreadPool> AcquireSharedPool(size_t worker_count) {
+  // EFES_LINT_ALLOW(banned-function): pool guard mutex must outlive every worker; leaked on purpose
   static std::mutex* mutex = new std::mutex();
   static std::shared_ptr<ThreadPool>* pool =
+      // EFES_LINT_ALLOW(banned-function): shared pool slot must outlive every worker; leaked on purpose
       new std::shared_ptr<ThreadPool>();
   std::lock_guard<std::mutex> lock(*mutex);
   if (*pool == nullptr || (*pool)->worker_count() != worker_count) {

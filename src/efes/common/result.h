@@ -16,8 +16,10 @@
 
 namespace efes {
 
+/// Marked [[nodiscard]] like Status: a Result that is neither checked nor
+/// consumed silently swallows the error it may carry.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs an OK result holding `value`.
   Result(T value)  // NOLINT(google-explicit-constructor)
@@ -34,19 +36,19 @@ class Result {
   Result(Result&&) = default;
   Result& operator=(Result&&) = default;
 
-  bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   /// Accessors require `ok()`; violating this is a programming error.
-  const T& value() const& {
+  [[nodiscard]] const T& value() const& {
     assert(ok());
     return *value_;
   }
-  T& value() & {
+  [[nodiscard]] T& value() & {
     assert(ok());
     return *value_;
   }
-  T&& value() && {
+  [[nodiscard]] T&& value() && {
     assert(ok());
     return std::move(*value_);
   }

@@ -46,7 +46,11 @@ enum class StatusCode {
 std::string_view StatusCodeToString(StatusCode code);
 
 /// Result of an operation that may fail. Cheap to copy in the OK case.
-class Status {
+/// Marked [[nodiscard]]: silently dropping a Status hides failures, so a
+/// discarded return is a compile error under EFES_WERROR (and an
+/// efes_lint `discarded-status` finding). Use `(void)` plus an
+/// EFES_LINT_ALLOW comment for the rare intentional drop.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -89,9 +93,9 @@ class Status {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// Renders "OK" or "<code>: <message>".
   std::string ToString() const;

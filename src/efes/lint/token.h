@@ -1,0 +1,51 @@
+// Lexer for efes_lint: splits C++ source into a flat token stream with
+// line numbers, so checks operate on real tokens instead of regexes over
+// raw text. Comments, string literals (including raw strings), and
+// character literals are single tokens, which is what keeps the checks
+// free of "matched a keyword inside a comment" false positives.
+//
+// This is deliberately NOT a conforming C++ lexer: no trigraphs, no
+// universal-character-names, and preprocessor directives are tokenized
+// inline (`#` is an ordinary punctuator). That is enough for the
+// project-invariant checks in lint.h, and it never fails: malformed
+// input degrades to best-effort tokens rather than an error.
+
+#ifndef EFES_LINT_TOKEN_H_
+#define EFES_LINT_TOKEN_H_
+
+#include <string_view>
+#include <vector>
+
+namespace efes::lint {
+
+enum class TokenKind {
+  /// Identifier or keyword ([A-Za-z_][A-Za-z0-9_]*).
+  kIdentifier,
+  /// Numeric literal, including hex/binary/float/digit-separator forms.
+  kNumber,
+  /// String or character literal: "...", '...', R"tag(...)tag", with any
+  /// encoding prefix (u8, u, U, L).
+  kString,
+  /// Operator or punctuator. Multi-character operators (::, ->, <<, ...)
+  /// are one token.
+  kPunct,
+  /// // or /* */ comment, text preserved (suppressions live here).
+  kComment,
+};
+
+struct Token {
+  TokenKind kind;
+  /// View into the source buffer passed to Tokenize.
+  std::string_view text;
+  /// 1-based line of the token's first character.
+  int line;
+};
+
+/// Tokenizes `source`. Never fails; unterminated literals/comments are
+/// consumed to end of line or end of input. The returned views alias
+/// `source`, which must outlive them.
+std::vector<Token> Tokenize(std::string_view source);
+
+}  // namespace efes::lint
+
+#endif  // EFES_LINT_TOKEN_H_

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "efes/common/random.h"
+#include "efes/scenario/schema_util.h"
 
 namespace efes {
 
@@ -142,7 +143,7 @@ Schema MakeBiblioSchema(BiblioSchemaId id) {
       // Flat and value-sloppy: everything in one relation, years and page
       // ranges as free-form strings, author lists inline.
       Schema schema("biblio_s1");
-      (void)schema.AddRelation(RelationDef(
+      scenario_internal::MustAddRelation(schema, RelationDef(
           "pubs", {{"pid", DataType::kInteger},
                    {"title", DataType::kText},
                    {"authors", DataType::kText},
@@ -160,7 +161,7 @@ Schema MakeBiblioSchema(BiblioSchemaId id) {
     case BiblioSchemaId::kS2: {
       // Fully normalized with typed columns.
       Schema schema("biblio_s2");
-      (void)schema.AddRelation(RelationDef(
+      scenario_internal::MustAddRelation(schema, RelationDef(
           "publications", {{"id", DataType::kInteger},
                            {"title", DataType::kText},
                            {"year", DataType::kInteger},
@@ -168,14 +169,14 @@ Schema MakeBiblioSchema(BiblioSchemaId id) {
                            {"pages_start", DataType::kInteger},
                            {"pages_end", DataType::kInteger},
                            {"kind", DataType::kText}}));
-      (void)schema.AddRelation(RelationDef(
+      scenario_internal::MustAddRelation(schema, RelationDef(
           "venues", {{"id", DataType::kInteger},
                      {"name", DataType::kText},
                      {"acronym", DataType::kText}}));
-      (void)schema.AddRelation(RelationDef(
+      scenario_internal::MustAddRelation(schema, RelationDef(
           "persons", {{"id", DataType::kInteger},
                       {"name", DataType::kText}}));
-      (void)schema.AddRelation(RelationDef(
+      scenario_internal::MustAddRelation(schema, RelationDef(
           "authorships", {{"pub", DataType::kInteger},
                           {"position", DataType::kInteger},
                           {"person", DataType::kInteger}}));
@@ -202,7 +203,7 @@ Schema MakeBiblioSchema(BiblioSchemaId id) {
       // BibTeX-flavoured: text keys, "Mar 1998" dates, " and "-separated
       // author lists, but typed page numbers.
       Schema schema("biblio_s3");
-      (void)schema.AddRelation(RelationDef(
+      scenario_internal::MustAddRelation(schema, RelationDef(
           "entries", {{"bibkey", DataType::kText},
                       {"title", DataType::kText},
                       {"author_list", DataType::kText},
@@ -219,7 +220,7 @@ Schema MakeBiblioSchema(BiblioSchemaId id) {
     case BiblioSchemaId::kS4: {
       // Normalized like s2, under different names and with a category.
       Schema schema("biblio_s4");
-      (void)schema.AddRelation(RelationDef(
+      scenario_internal::MustAddRelation(schema, RelationDef(
           "papers", {{"paper_id", DataType::kInteger},
                      {"title", DataType::kText},
                      {"pub_year", DataType::kInteger},
@@ -227,13 +228,13 @@ Schema MakeBiblioSchema(BiblioSchemaId id) {
                      {"first_page", DataType::kInteger},
                      {"last_page", DataType::kInteger},
                      {"category", DataType::kText}}));
-      (void)schema.AddRelation(RelationDef(
+      scenario_internal::MustAddRelation(schema, RelationDef(
           "venue", {{"venue_id", DataType::kInteger},
                     {"title", DataType::kText}}));
-      (void)schema.AddRelation(RelationDef(
+      scenario_internal::MustAddRelation(schema, RelationDef(
           "writers", {{"writer_id", DataType::kInteger},
                       {"full_name", DataType::kText}}));
-      (void)schema.AddRelation(RelationDef(
+      scenario_internal::MustAddRelation(schema, RelationDef(
           "paper_writers", {{"paper_id", DataType::kInteger},
                             {"pos", DataType::kInteger},
                             {"writer_id", DataType::kInteger}}));

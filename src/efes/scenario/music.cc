@@ -4,6 +4,7 @@
 #include <set>
 
 #include "efes/common/random.h"
+#include "efes/scenario/schema_util.h"
 
 namespace efes {
 
@@ -161,13 +162,13 @@ Schema MakeMusicSchema(MusicSchemaId id, const MusicOptions& options) {
     case MusicSchemaId::kFreedb: {
       // Flat dump: two relations.
       Schema schema("music_f");
-      (void)schema.AddRelation(RelationDef(
+      scenario_internal::MustAddRelation(schema, RelationDef(
           "discs", {{"disc_id", DataType::kInteger},
                     {"artist", DataType::kText},
                     {"dtitle", DataType::kText},
                     {"year", DataType::kInteger},
                     {"genre", DataType::kText}}));
-      (void)schema.AddRelation(RelationDef(
+      scenario_internal::MustAddRelation(schema, RelationDef(
           "disc_tracks", {{"disc_id", DataType::kInteger},
                           {"seq", DataType::kInteger},
                           {"title", DataType::kText},
@@ -185,52 +186,52 @@ Schema MakeMusicSchema(MusicSchemaId id, const MusicOptions& options) {
     case MusicSchemaId::kMusicbrainz: {
       // Heavily normalized: 12 relations.
       Schema schema("music_m");
-      (void)schema.AddRelation(RelationDef(
+      scenario_internal::MustAddRelation(schema, RelationDef(
           "artist", {{"id", DataType::kInteger},
                      {"name", DataType::kText},
                      {"sort_name", DataType::kText}}));
-      (void)schema.AddRelation(RelationDef(
+      scenario_internal::MustAddRelation(schema, RelationDef(
           "artist_credit", {{"id", DataType::kInteger},
                             {"name", DataType::kText}}));
-      (void)schema.AddRelation(RelationDef(
+      scenario_internal::MustAddRelation(schema, RelationDef(
           "artist_credit_name", {{"artist_credit", DataType::kInteger},
                                  {"position", DataType::kInteger},
                                  {"artist", DataType::kInteger}}));
-      (void)schema.AddRelation(RelationDef(
+      scenario_internal::MustAddRelation(schema, RelationDef(
           "release_group", {{"id", DataType::kInteger},
                             {"title", DataType::kText},
                             {"artist_credit", DataType::kInteger},
                             {"genre", DataType::kInteger}}));
-      (void)schema.AddRelation(RelationDef(
+      scenario_internal::MustAddRelation(schema, RelationDef(
           "release", {{"id", DataType::kInteger},
                       {"release_group", DataType::kInteger},
                       {"title", DataType::kText},
                       {"date", DataType::kText},
                       {"country", DataType::kInteger}}));
-      (void)schema.AddRelation(RelationDef(
+      scenario_internal::MustAddRelation(schema, RelationDef(
           "country", {{"id", DataType::kInteger},
                       {"name", DataType::kText}}));
-      (void)schema.AddRelation(RelationDef(
+      scenario_internal::MustAddRelation(schema, RelationDef(
           "medium", {{"id", DataType::kInteger},
                      {"release", DataType::kInteger},
                      {"position", DataType::kInteger},
                      {"format", DataType::kInteger}}));
-      (void)schema.AddRelation(RelationDef(
+      scenario_internal::MustAddRelation(schema, RelationDef(
           "format", {{"id", DataType::kInteger},
                      {"name", DataType::kText}}));
-      (void)schema.AddRelation(RelationDef(
+      scenario_internal::MustAddRelation(schema, RelationDef(
           "track", {{"id", DataType::kInteger},
                     {"medium", DataType::kInteger},
                     {"position", DataType::kInteger},
                     {"title", DataType::kText},
                     {"length", DataType::kInteger}}));
-      (void)schema.AddRelation(RelationDef(
+      scenario_internal::MustAddRelation(schema, RelationDef(
           "label", {{"id", DataType::kInteger},
                     {"name", DataType::kText}}));
-      (void)schema.AddRelation(RelationDef(
+      scenario_internal::MustAddRelation(schema, RelationDef(
           "release_label", {{"release", DataType::kInteger},
                             {"label", DataType::kInteger}}));
-      (void)schema.AddRelation(RelationDef(
+      scenario_internal::MustAddRelation(schema, RelationDef(
           "genre", {{"id", DataType::kInteger},
                     {"name", DataType::kText}}));
       schema.AddConstraint(Constraint::PrimaryKey("artist", {"id"}));
@@ -292,7 +293,7 @@ Schema MakeMusicSchema(MusicSchemaId id, const MusicOptions& options) {
       schema.AddConstraint(Constraint::Unique("genre", {"name"}));
       if (options.extended_lookups) {
         for (const char* lookup : kExtendedLookups) {
-          (void)schema.AddRelation(RelationDef(
+          scenario_internal::MustAddRelation(schema, RelationDef(
               lookup, {{"id", DataType::kInteger},
                        {"name", DataType::kText},
                        {"comment", DataType::kText}}));
@@ -304,22 +305,22 @@ Schema MakeMusicSchema(MusicSchemaId id, const MusicOptions& options) {
     }
     case MusicSchemaId::kDiscogs: {
       Schema schema("music_d");
-      (void)schema.AddRelation(RelationDef(
+      scenario_internal::MustAddRelation(schema, RelationDef(
           "releases", {{"release_id", DataType::kInteger},
                        {"title", DataType::kText},
                        {"artist", DataType::kText},
                        {"released", DataType::kInteger},
                        {"country", DataType::kText},
                        {"genre", DataType::kText}}));
-      (void)schema.AddRelation(RelationDef(
+      scenario_internal::MustAddRelation(schema, RelationDef(
           "release_tracks", {{"release_id", DataType::kInteger},
                              {"position", DataType::kInteger},
                              {"title", DataType::kText},
                              {"duration", DataType::kText}}));
-      (void)schema.AddRelation(RelationDef(
+      scenario_internal::MustAddRelation(schema, RelationDef(
           "labels", {{"label_id", DataType::kInteger},
                      {"name", DataType::kText}}));
-      (void)schema.AddRelation(RelationDef(
+      scenario_internal::MustAddRelation(schema, RelationDef(
           "release_labels", {{"release_id", DataType::kInteger},
                              {"label_id", DataType::kInteger}}));
       schema.AddConstraint(Constraint::PrimaryKey("releases", {"release_id"}));

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "efes/common/random.h"
+#include "efes/scenario/schema_util.h"
 
 namespace efes {
 
@@ -37,12 +38,12 @@ std::string FormatDuration(int64_t milliseconds) {
 
 Schema MakePaperTargetSchema() {
   Schema schema("music_target");
-  (void)schema.AddRelation(RelationDef(
+  scenario_internal::MustAddRelation(schema, RelationDef(
       "records", {{"id", DataType::kInteger},
                   {"title", DataType::kText},
                   {"artist", DataType::kText},
                   {"genre", DataType::kText}}));
-  (void)schema.AddRelation(RelationDef(
+  scenario_internal::MustAddRelation(schema, RelationDef(
       "tracks", {{"record", DataType::kInteger},
                  {"title", DataType::kText},
                  {"duration", DataType::kText}}));
@@ -58,18 +59,18 @@ Schema MakePaperTargetSchema() {
 
 Schema MakePaperSourceSchema() {
   Schema schema("music_source");
-  (void)schema.AddRelation(RelationDef(
+  scenario_internal::MustAddRelation(schema, RelationDef(
       "albums", {{"id", DataType::kInteger},
                  {"name", DataType::kText},
                  {"artist_list", DataType::kInteger}}));
-  (void)schema.AddRelation(RelationDef(
+  scenario_internal::MustAddRelation(schema, RelationDef(
       "songs", {{"album", DataType::kInteger},
                 {"name", DataType::kText},
                 {"artist_list", DataType::kInteger},
                 {"length", DataType::kInteger}}));
-  (void)schema.AddRelation(
+  scenario_internal::MustAddRelation(schema, 
       RelationDef("artist_lists", {{"id", DataType::kInteger}}));
-  (void)schema.AddRelation(RelationDef(
+  scenario_internal::MustAddRelation(schema, RelationDef(
       "artist_credits", {{"artist_list", DataType::kInteger},
                          {"position", DataType::kInteger},
                          {"artist", DataType::kText}}));

@@ -1,0 +1,31 @@
+// Internal helper for the generated-scenario builders (paper_example,
+// music, bibliographic). Their schemas are literals, so AddRelation can
+// only fail on a bug in the generator itself; MustAddRelation reports
+// that loudly instead of silently dropping the Status.
+
+#ifndef EFES_SCENARIO_SCHEMA_UTIL_H_
+#define EFES_SCENARIO_SCHEMA_UTIL_H_
+
+#include <string>
+#include <utility>
+
+#include "efes/relational/schema.h"
+#include "efes/telemetry/log.h"
+
+namespace efes {
+namespace scenario_internal {
+
+inline void MustAddRelation(Schema& schema, RelationDef relation) {
+  std::string name = relation.name();
+  Status status = schema.AddRelation(std::move(relation));
+  if (!status.ok()) {
+    EFES_LOG(LogLevel::kError, "scenario generator produced an invalid "
+                               "schema: AddRelation(" +
+                                   name + "): " + status.ToString());
+  }
+}
+
+}  // namespace scenario_internal
+}  // namespace efes
+
+#endif  // EFES_SCENARIO_SCHEMA_UTIL_H_

@@ -11,6 +11,7 @@ int64_t MonotonicClock::NowNanos() const {
 }
 
 const Clock* Clock::Default() {
+  // EFES_LINT_ALLOW(banned-function): process-lifetime clock singleton, leaked on purpose
   static const MonotonicClock* clock = new MonotonicClock();
   return clock;
 }

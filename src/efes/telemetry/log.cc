@@ -66,6 +66,7 @@ void Logger::Log(LogLevel level, std::string_view message) {
 }
 
 Logger& Logger::Global() {
+  // EFES_LINT_ALLOW(banned-function): process-lifetime logger singleton, leaked on purpose
   static Logger* logger = new Logger();
   return *logger;
 }

@@ -13,6 +13,7 @@ Histogram::Histogram(std::vector<double> upper_bounds)
 }
 
 const std::vector<double>& Histogram::DefaultLatencyBoundsMs() {
+  // EFES_LINT_ALLOW(banned-function): paper-constant histogram bounds, leaked on purpose
   static const std::vector<double>* bounds = new std::vector<double>{
       0.01, 0.025, 0.05, 0.1,  0.25,  0.5,   1.0,    2.5,
       5.0,  10.0,  25.0, 50.0, 100.0, 250.0, 1000.0, 10000.0};
@@ -123,6 +124,7 @@ void MetricsRegistry::Reset() {
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
+  // EFES_LINT_ALLOW(banned-function): process-lifetime metrics registry, leaked on purpose
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
 }

@@ -71,6 +71,7 @@ std::string TraceRecorder::ToChromeTraceJson() const {
 }
 
 TraceRecorder& TraceRecorder::Global() {
+  // EFES_LINT_ALLOW(banned-function): process-lifetime trace recorder singleton, leaked on purpose
   static TraceRecorder* recorder = new TraceRecorder();
   return *recorder;
 }

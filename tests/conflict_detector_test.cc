@@ -3,6 +3,7 @@
 #include "efes/structure/conflict_detector.h"
 
 #include <gtest/gtest.h>
+#include <memory>
 
 #include "efes/scenario/paper_example.h"
 
@@ -55,32 +56,30 @@ class PaperExampleDetectorTest : public ::testing::Test {
   static void SetUpTestSuite() {
     auto scenario = MakePaperExample();
     ASSERT_TRUE(scenario.ok());
-    scenario_ = new IntegrationScenario(std::move(*scenario));
-    target_graph_ = new CsgGraph();
-    auto assessments = DetectStructureConflicts(*scenario_, target_graph_);
+    scenario_ = std::make_unique<IntegrationScenario>(std::move(*scenario));
+    target_graph_ = std::make_unique<CsgGraph>();
+    auto assessments =
+        DetectStructureConflicts(*scenario_, target_graph_.get());
     ASSERT_TRUE(assessments.ok());
-    assessments_ =
-        new std::vector<SourceStructureAssessment>(std::move(*assessments));
+    assessments_ = std::make_unique<std::vector<SourceStructureAssessment>>(
+        std::move(*assessments));
   }
 
   static void TearDownTestSuite() {
-    delete assessments_;
-    delete target_graph_;
-    delete scenario_;
-    assessments_ = nullptr;
-    target_graph_ = nullptr;
-    scenario_ = nullptr;
+    assessments_.reset();
+    target_graph_.reset();
+    scenario_.reset();
   }
 
-  static IntegrationScenario* scenario_;
-  static CsgGraph* target_graph_;
-  static std::vector<SourceStructureAssessment>* assessments_;
+  static std::unique_ptr<IntegrationScenario> scenario_;
+  static std::unique_ptr<CsgGraph> target_graph_;
+  static std::unique_ptr<std::vector<SourceStructureAssessment>> assessments_;
 };
 
-IntegrationScenario* PaperExampleDetectorTest::scenario_ = nullptr;
-CsgGraph* PaperExampleDetectorTest::target_graph_ = nullptr;
-std::vector<SourceStructureAssessment>*
-    PaperExampleDetectorTest::assessments_ = nullptr;
+std::unique_ptr<IntegrationScenario> PaperExampleDetectorTest::scenario_;
+std::unique_ptr<CsgGraph> PaperExampleDetectorTest::target_graph_;
+std::unique_ptr<std::vector<SourceStructureAssessment>>
+    PaperExampleDetectorTest::assessments_;
 
 TEST_F(PaperExampleDetectorTest, OneAssessmentPerSource) {
   ASSERT_EQ(assessments_->size(), 1u);

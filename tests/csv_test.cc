@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_paths.h"
+
 namespace efes {
 namespace {
 
@@ -155,7 +157,7 @@ TEST(CsvTest, FileRoundTrip) {
   CsvDocument doc;
   doc.header = {"a", "b"};
   doc.rows = {{"1", "2"}, {"3", ""}};
-  std::string path = testing::TempDir() + "/efes_csv_test.csv";
+  std::string path = TestScratchPath("efes_csv_test") + ".csv";
   ASSERT_TRUE(WriteCsvFile(doc, path).ok());
   auto read = ReadCsvFile(path);
   ASSERT_TRUE(read.ok());

@@ -5,6 +5,7 @@
 #include "efes/execute/integration_executor.h"
 
 #include <gtest/gtest.h>
+#include <memory>
 
 #include "efes/scenario/bibliographic.h"
 #include "efes/scenario/music.h"
@@ -16,27 +17,25 @@ namespace {
 class ExecutorPaperExampleTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    options_small_ = new PaperExampleOptions();
+    options_small_ = std::make_unique<PaperExampleOptions>();
     options_small_->album_count = 400;
     options_small_->multi_artist_albums = 90;
     options_small_->orphan_artists = 25;
     options_small_->song_count = 500;
     auto scenario = MakePaperExample(*options_small_);
     ASSERT_TRUE(scenario.ok());
-    scenario_ = new IntegrationScenario(std::move(*scenario));
+    scenario_ = std::make_unique<IntegrationScenario>(std::move(*scenario));
   }
   static void TearDownTestSuite() {
-    delete scenario_;
-    delete options_small_;
-    scenario_ = nullptr;
-    options_small_ = nullptr;
+    scenario_.reset();
+    options_small_.reset();
   }
-  static PaperExampleOptions* options_small_;
-  static IntegrationScenario* scenario_;
+  static std::unique_ptr<PaperExampleOptions> options_small_;
+  static std::unique_ptr<IntegrationScenario> scenario_;
 };
 
-PaperExampleOptions* ExecutorPaperExampleTest::options_small_ = nullptr;
-IntegrationScenario* ExecutorPaperExampleTest::scenario_ = nullptr;
+std::unique_ptr<PaperExampleOptions> ExecutorPaperExampleTest::options_small_;
+std::unique_ptr<IntegrationScenario> ExecutorPaperExampleTest::scenario_;
 
 TEST_F(ExecutorPaperExampleTest, HighQualityResultSatisfiesConstraints) {
   IntegrationExecutor executor;

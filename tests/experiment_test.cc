@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include <gtest/gtest.h>
+#include <memory>
 
 #include "efes/common/string_util.h"
 #include "efes/experiment/default_pipeline.h"
@@ -62,16 +63,15 @@ class CrossValidationTest : public ::testing::Test {
   static void SetUpTestSuite() {
     auto studies = RunCrossValidatedStudies();
     ASSERT_TRUE(studies.ok());
-    studies_ = new CrossValidatedStudies(std::move(*studies));
+    studies_ = std::make_unique<CrossValidatedStudies>(std::move(*studies));
   }
   static void TearDownTestSuite() {
-    delete studies_;
-    studies_ = nullptr;
+    studies_.reset();
   }
-  static CrossValidatedStudies* studies_;
+  static std::unique_ptr<CrossValidatedStudies> studies_;
 };
 
-CrossValidatedStudies* CrossValidationTest::studies_ = nullptr;
+std::unique_ptr<CrossValidatedStudies> CrossValidationTest::studies_;
 
 TEST_F(CrossValidationTest, EightOutcomesPerDomain) {
   EXPECT_EQ(studies_->bibliographic.outcomes.size(), 8u);

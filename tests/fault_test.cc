@@ -24,6 +24,8 @@
 #include "efes/scenario/scenario_io.h"
 #include "efes/telemetry/metrics.h"
 
+#include "test_paths.h"
+
 namespace efes {
 namespace {
 
@@ -174,7 +176,7 @@ class FaultMatrixTest : public FaultTest {
  protected:
   void SetUp() override {
     FaultTest::SetUp();
-    directory_ = testing::TempDir() + "/efes_fault_matrix";
+    directory_ = TestScratchPath("efes_fault_matrix");
     std::filesystem::remove_all(directory_);
     PaperExampleOptions options;
     options.album_count = 40;
@@ -252,7 +254,7 @@ TEST_F(FaultMatrixTest, ThrowingEnginePointIsContainedToo) {
 TEST_F(FaultMatrixTest, WritePointsFailSavesCleanly) {
   auto scenario = LoadScenario(directory_);
   ASSERT_TRUE(scenario.ok());
-  const std::string out = testing::TempDir() + "/efes_fault_matrix_out";
+  const std::string out = TestScratchPath("efes_fault_matrix_out");
   for (const char* point :
        {"io.write.open", "io.write.write", "io.write.commit"}) {
     SCOPED_TRACE(point);

@@ -12,6 +12,8 @@
 #include "efes/common/fault.h"
 #include "efes/telemetry/metrics.h"
 
+#include "test_paths.h"
+
 namespace efes {
 namespace {
 
@@ -19,7 +21,7 @@ class FileIoTest : public ::testing::Test {
  protected:
   void SetUp() override {
     FaultRegistry::Global().DisarmAll();
-    directory_ = testing::TempDir() + "/efes_file_io_test";
+    directory_ = TestScratchPath("efes_file_io_test");
     std::filesystem::remove_all(directory_);
     std::filesystem::create_directories(directory_);
   }

@@ -2,11 +2,12 @@
 
 #include "efes/core/formula.h"
 
-#include <fstream>
-
 #include <gtest/gtest.h>
 
+#include "efes/common/file_io.h"
 #include "efes/core/effort_config.h"
+
+#include "test_paths.h"
 
 namespace efes {
 namespace {
@@ -184,11 +185,9 @@ TEST(EffortConfigTest, EmptyConfigIsPaperDefault) {
 }
 
 TEST(EffortConfigTest, LoadFromFile) {
-  std::string path = testing::TempDir() + "/efes_config_test.conf";
-  {
-    std::ofstream out(path);
-    out << "[settings]\ncriticality = 2\n";
-  }
+  std::string path = TestScratchPath("efes_config_test") + ".conf";
+  ASSERT_TRUE(
+      WriteFileAtomic(path, "[settings]\ncriticality = 2\n").ok());
   auto config = LoadEffortConfig(path);
   ASSERT_TRUE(config.ok());
   EXPECT_DOUBLE_EQ(config->settings.criticality, 2.0);

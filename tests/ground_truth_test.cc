@@ -3,6 +3,7 @@
 #include "efes/scenario/ground_truth.h"
 
 #include <gtest/gtest.h>
+#include <memory>
 
 #include "efes/scenario/paper_example.h"
 
@@ -14,16 +15,15 @@ class GroundTruthTest : public ::testing::Test {
   static void SetUpTestSuite() {
     auto scenario = MakePaperExample();
     ASSERT_TRUE(scenario.ok());
-    scenario_ = new IntegrationScenario(std::move(*scenario));
+    scenario_ = std::make_unique<IntegrationScenario>(std::move(*scenario));
   }
   static void TearDownTestSuite() {
-    delete scenario_;
-    scenario_ = nullptr;
+    scenario_.reset();
   }
-  static IntegrationScenario* scenario_;
+  static std::unique_ptr<IntegrationScenario> scenario_;
 };
 
-IntegrationScenario* GroundTruthTest::scenario_ = nullptr;
+std::unique_ptr<IntegrationScenario> GroundTruthTest::scenario_;
 
 TEST_F(GroundTruthTest, DeterministicPerSeedAndQuality) {
   auto a = SimulateMeasuredEffort(*scenario_,

@@ -2,6 +2,7 @@
 // must reproduce the numbers of Tables 2, 3, 5, and Example 3.8.
 
 #include <gtest/gtest.h>
+#include <memory>
 
 #include "efes/experiment/default_pipeline.h"
 #include "efes/scenario/paper_example.h"
@@ -14,32 +15,29 @@ class PipelineTest : public ::testing::Test {
   static void SetUpTestSuite() {
     auto scenario = MakePaperExample();
     ASSERT_TRUE(scenario.ok());
-    scenario_ = new IntegrationScenario(std::move(*scenario));
+    scenario_ = std::make_unique<IntegrationScenario>(std::move(*scenario));
     EfesEngine engine = MakeDefaultEngine();
     auto high = engine.Run(*scenario_, ExpectedQuality::kHighQuality, {});
     ASSERT_TRUE(high.ok());
-    high_ = new EstimationResult(std::move(*high));
+    high_ = std::make_unique<EstimationResult>(std::move(*high));
     auto low = engine.Run(*scenario_, ExpectedQuality::kLowEffort, {});
     ASSERT_TRUE(low.ok());
-    low_ = new EstimationResult(std::move(*low));
+    low_ = std::make_unique<EstimationResult>(std::move(*low));
   }
   static void TearDownTestSuite() {
-    delete high_;
-    delete low_;
-    delete scenario_;
-    high_ = nullptr;
-    low_ = nullptr;
-    scenario_ = nullptr;
+    high_.reset();
+    low_.reset();
+    scenario_.reset();
   }
 
-  static IntegrationScenario* scenario_;
-  static EstimationResult* high_;
-  static EstimationResult* low_;
+  static std::unique_ptr<IntegrationScenario> scenario_;
+  static std::unique_ptr<EstimationResult> high_;
+  static std::unique_ptr<EstimationResult> low_;
 };
 
-IntegrationScenario* PipelineTest::scenario_ = nullptr;
-EstimationResult* PipelineTest::high_ = nullptr;
-EstimationResult* PipelineTest::low_ = nullptr;
+std::unique_ptr<IntegrationScenario> PipelineTest::scenario_;
+std::unique_ptr<EstimationResult> PipelineTest::high_;
+std::unique_ptr<EstimationResult> PipelineTest::low_;
 
 TEST_F(PipelineTest, ThreeModuleReports) {
   ASSERT_EQ(high_->module_runs.size(), 3u);

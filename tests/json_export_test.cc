@@ -6,6 +6,7 @@
 #include <limits>
 
 #include <gtest/gtest.h>
+#include <memory>
 
 #include "efes/common/json_writer.h"
 #include "efes/experiment/default_pipeline.h"
@@ -77,16 +78,15 @@ class JsonExportTest : public ::testing::Test {
     auto result =
         engine.Run(*scenario, ExpectedQuality::kHighQuality, {});
     ASSERT_TRUE(result.ok());
-    json_ = new std::string(EstimationResultToJson(*result));
+    json_ = std::make_unique<std::string>(EstimationResultToJson(*result));
   }
   static void TearDownTestSuite() {
-    delete json_;
-    json_ = nullptr;
+    json_.reset();
   }
-  static std::string* json_;
+  static std::unique_ptr<std::string> json_;
 };
 
-std::string* JsonExportTest::json_ = nullptr;
+std::unique_ptr<std::string> JsonExportTest::json_;
 
 TEST_F(JsonExportTest, ContainsModulesTasksAndTotals) {
   EXPECT_NE(json_->find("\"modules\":["), std::string::npos);

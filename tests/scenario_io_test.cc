@@ -11,6 +11,8 @@
 #include "efes/experiment/default_pipeline.h"
 #include "efes/scenario/paper_example.h"
 
+#include "test_paths.h"
+
 namespace efes {
 namespace {
 
@@ -96,7 +98,7 @@ albums.name -> records.title   # the title feed
 class ScenarioIoTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    directory_ = testing::TempDir() + "/efes_scenario_io_test";
+    directory_ = TestScratchPath("efes_scenario_io_test");
     std::filesystem::remove_all(directory_);
   }
   void TearDown() override { std::filesystem::remove_all(directory_); }
@@ -189,6 +191,7 @@ class LenientLoadTest : public ScenarioIoTest {
   }
 
   static void Append(const std::string& path, const std::string& text) {
+    // EFES_LINT_ALLOW(raw-file-write): deliberately corrupts a file in place to exercise recovery
     std::ofstream out(path, std::ios::app);
     out << text;
   }

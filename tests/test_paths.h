@@ -1,0 +1,28 @@
+// Per-process-unique scratch paths for tests.
+//
+// gtest_discover_tests registers every TEST of a binary as its own ctest
+// entry, so under `ctest -j` sibling tests of one fixture run as
+// concurrent processes. A fixed directory name under TempDir() makes one
+// process's SetUp remove_all the files another process is still using —
+// an intermittent failure that only shows up in parallel runs. Deriving
+// the path from the process id keeps it stable within a test process but
+// unique across the concurrently running siblings.
+
+#ifndef EFES_TESTS_TEST_PATHS_H_
+#define EFES_TESTS_TEST_PATHS_H_
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <string>
+
+namespace efes {
+
+/// Returns TempDir()/<name>-<pid>, unique per test process.
+inline std::string TestScratchPath(const std::string& name) {
+  return testing::TempDir() + "/" + name + "-" + std::to_string(::getpid());
+}
+
+}  // namespace efes
+
+#endif  // EFES_TESTS_TEST_PATHS_H_

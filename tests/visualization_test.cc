@@ -4,6 +4,7 @@
 #include "efes/experiment/visualization.h"
 
 #include <gtest/gtest.h>
+#include <memory>
 
 #include "efes/experiment/default_pipeline.h"
 #include "efes/experiment/progress.h"
@@ -17,25 +18,23 @@ class VisualizationTest : public ::testing::Test {
   static void SetUpTestSuite() {
     auto scenario = MakePaperExample();
     ASSERT_TRUE(scenario.ok());
-    scenario_ = new IntegrationScenario(std::move(*scenario));
+    scenario_ = std::make_unique<IntegrationScenario>(std::move(*scenario));
     EfesEngine engine = MakeDefaultEngine();
     auto result =
         engine.Run(*scenario_, ExpectedQuality::kHighQuality, {});
     ASSERT_TRUE(result.ok());
-    result_ = new EstimationResult(std::move(*result));
+    result_ = std::make_unique<EstimationResult>(std::move(*result));
   }
   static void TearDownTestSuite() {
-    delete result_;
-    delete scenario_;
-    result_ = nullptr;
-    scenario_ = nullptr;
+    result_.reset();
+    scenario_.reset();
   }
-  static IntegrationScenario* scenario_;
-  static EstimationResult* result_;
+  static std::unique_ptr<IntegrationScenario> scenario_;
+  static std::unique_ptr<EstimationResult> result_;
 };
 
-IntegrationScenario* VisualizationTest::scenario_ = nullptr;
-EstimationResult* VisualizationTest::result_ = nullptr;
+std::unique_ptr<IntegrationScenario> VisualizationTest::scenario_;
+std::unique_ptr<EstimationResult> VisualizationTest::result_;
 
 TEST_F(VisualizationTest, CollectsProblemCountsPerElement) {
   ProblemCounts problems = CollectProblemCounts(*result_);

@@ -8,11 +8,18 @@
 # `--asan` configures with -DEFES_ASAN=ON (-fsanitize=address,undefined)
 # and runs the full suite — the corruption and fault-injection tests are
 # most valuable here, where a parser walking off a buffer actually traps.
+# `--ubsan` configures with -DEFES_UBSAN=ON (undefined + integer checks,
+# -fno-sanitize-recover) and runs the full suite; any UB aborts the test.
+# `--lint` builds only the efes_lint tool and runs it over src/, tools/,
+# tests/, and bench/ with --format=json, failing on any unsuppressed
+# finding.
 # Exits nonzero on the first failure. Usage:
 #
-#   tools/check_build.sh [build-dir]         # default: build-werror
-#   tools/check_build.sh --tsan [build-dir]  # default: build-tsan
-#   tools/check_build.sh --asan [build-dir]  # default: build-asan
+#   tools/check_build.sh [build-dir]          # default: build-werror
+#   tools/check_build.sh --tsan [build-dir]   # default: build-tsan
+#   tools/check_build.sh --asan [build-dir]   # default: build-asan
+#   tools/check_build.sh --ubsan [build-dir]  # default: build-ubsan
+#   tools/check_build.sh --lint [build-dir]   # default: build-lint
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,6 +30,12 @@ if [[ "${1:-}" == "--tsan" ]]; then
   shift
 elif [[ "${1:-}" == "--asan" ]]; then
   MODE=asan
+  shift
+elif [[ "${1:-}" == "--ubsan" ]]; then
+  MODE=ubsan
+  shift
+elif [[ "${1:-}" == "--lint" ]]; then
+  MODE=lint
   shift
 fi
 
@@ -41,6 +54,18 @@ elif [[ "$MODE" == "asan" ]]; then
   cmake --build "$BUILD_DIR" -j
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j
   echo "check_build: OK (EFES_ASAN=ON, all tests passed)"
+elif [[ "$MODE" == "ubsan" ]]; then
+  BUILD_DIR="${1:-build-ubsan}"
+  cmake -B "$BUILD_DIR" -S . -DEFES_UBSAN=ON
+  cmake --build "$BUILD_DIR" -j
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j
+  echo "check_build: OK (EFES_UBSAN=ON, all tests passed)"
+elif [[ "$MODE" == "lint" ]]; then
+  BUILD_DIR="${1:-build-lint}"
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j --target efes_lint
+  "$BUILD_DIR/tools/efes_lint" --format=json src tools tests bench
+  echo "check_build: OK (efes_lint, tree is lint-clean)"
 else
   BUILD_DIR="${1:-build-werror}"
   cmake -B "$BUILD_DIR" -S . -DEFES_WERROR=ON

@@ -142,6 +142,7 @@ int ApplyTelemetryFlags(std::vector<std::string>* args) {
       if (!efes::ParseLogLevel(arg.substr(12), &level)) {
         return UnknownFlag(arg);
       }
+      // EFES_LINT_ALLOW(banned-function): process-lifetime log sink, leaked on purpose
       static efes::StderrSink* sink = new efes::StderrSink();
       efes::Logger::Global().set_sink(sink);
       efes::Logger::Global().set_level(level);

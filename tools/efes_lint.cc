@@ -1,0 +1,142 @@
+// efes_lint — project-invariant static analyzer for the EFES tree.
+//
+//   efes_lint [flags] <path>...       lint files / directory trees
+//
+// Paths may be single files or directories; directories are walked
+// recursively for C++ sources (.h .hh .hpp .cc .cpp), visited in sorted
+// order so output is byte-stable across filesystems. The check catalog,
+// the suppression syntax, and the allowlist policy live in
+// src/efes/lint/lint.h (and DESIGN.md §10).
+//
+// Flags:
+//   --format=text|json   report format (default text)
+//   --show-suppressed    include suppressed findings in text output
+//   --list-checks        print the check catalog and exit
+//
+// Exit codes: 0 clean, 1 unsuppressed findings or I/O error, 2 usage
+// error, 64 unknown flag — matching the efes CLI convention.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "efes/common/file_io.h"
+#include "efes/common/result.h"
+#include "efes/lint/lint.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int kExitFindings = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitUnknownFlag = 64;
+
+int Usage(int exit_code = kExitUsage) {
+  std::fprintf(stderr,
+               "usage: efes_lint [--format=text|json] [--show-suppressed]\n"
+               "                 [--list-checks] <path>...\n"
+               "Paths are C++ files or directories (walked recursively).\n");
+  return exit_code;
+}
+
+bool HasLintableExtension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".hh" || ext == ".hpp" || ext == ".cc" ||
+         ext == ".cpp";
+}
+
+/// Expands files/directories into a sorted list of lintable sources.
+/// Nonexistent paths are reported and make the run fail.
+bool CollectFiles(const std::vector<std::string>& paths,
+                  std::vector<std::string>* files) {
+  bool ok = true;
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (fs::recursive_directory_iterator it(p, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file() && HasLintableExtension(it->path())) {
+          files->push_back(it->path().generic_string());
+        }
+      }
+      if (ec) {
+        std::fprintf(stderr, "efes_lint: cannot walk %s: %s\n", p.c_str(),
+                     ec.message().c_str());
+        ok = false;
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files->push_back(fs::path(p).generic_string());
+    } else {
+      std::fprintf(stderr, "efes_lint: no such file or directory: %s\n",
+                   p.c_str());
+      ok = false;
+    }
+  }
+  std::sort(files->begin(), files->end());
+  files->erase(std::unique(files->begin(), files->end()), files->end());
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string format = "text";
+  bool show_suppressed = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-checks") {
+      for (const std::string& id : efes::lint::AllCheckIds()) {
+        std::printf("%s\n", id.c_str());
+      }
+      return 0;
+    }
+    if (arg == "--show-suppressed") {
+      show_suppressed = true;
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json") return Usage();
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "efes_lint: unknown flag %s\n", arg.c_str());
+      return kExitUnknownFlag;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return Usage();
+
+  std::vector<std::string> files;
+  bool paths_ok = CollectFiles(paths, &files);
+
+  // Load every file up front (Result<T> carries per-file I/O errors), so
+  // the index pass sees the full tree before any check runs.
+  std::vector<std::pair<std::string, std::string>> sources;
+  sources.reserve(files.size());
+  bool io_ok = true;
+  for (const std::string& file : files) {
+    efes::Result<std::string> content = efes::ReadFileToString(file);
+    if (!content.ok()) {
+      std::fprintf(stderr, "efes_lint: %s: %s\n", file.c_str(),
+                   content.status().ToString().c_str());
+      io_ok = false;
+      continue;
+    }
+    sources.emplace_back(file, std::move(content).value());
+  }
+
+  efes::lint::Linter linter;
+  std::vector<efes::lint::Finding> findings = linter.Run(sources);
+
+  if (format == "json") {
+    std::printf("%s\n", efes::lint::RenderJson(findings).c_str());
+  } else {
+    std::fputs(efes::lint::RenderText(findings, show_suppressed).c_str(),
+               stdout);
+  }
+  if (!paths_ok || !io_ok) return kExitFindings;
+  return efes::lint::CountUnsuppressed(findings) == 0 ? 0 : kExitFindings;
+}
