@@ -1,14 +1,20 @@
 // Shared main()-harness for the perf_* benches: runs the registered
 // google-benchmark suites as before, then runs one representative
-// workload against a zeroed telemetry registry and prints a single
-// machine-readable line
+// workload twice — cold (fresh profile cache) and warm (same cache) —
+// against a zeroed telemetry registry and prints one machine-readable
+// line per run on stdout:
 //
-//   {"bench": <name>, "wall_ms": ..., "threads": ..., "counters": {...}}
+//   {"bench": <name>, "wall_ms": ..., "threads": ..., "cache": "cold",
+//    "counters": {...}}
+//   {"bench": <name>, "wall_ms": ..., "threads": ..., "cache": "warm",
+//    "cold_wall_ms": ..., "speedup": ..., "cache_hit_rate": ...,
+//    "counters": {...}}
 //
-// on stdout, so `build/bench/perf_x | tail -1 > BENCH_x.json` yields a
-// consumable metrics record. `--threads=<n>` (stripped before
-// google-benchmark sees the argv) pins the parallel-phase worker count;
-// the emitted `threads` field records what the workload actually used.
+// so `build/bench/perf_x | tail -1 > BENCH_x.json` yields the warm-run
+// record with the cold baseline and speedup embedded. `--threads=<n>`
+// (stripped before google-benchmark sees the argv) pins the
+// parallel-phase worker count; the emitted `threads` field records what
+// the workload actually used.
 
 #ifndef EFES_BENCH_BENCH_JSON_H_
 #define EFES_BENCH_BENCH_JSON_H_
@@ -16,11 +22,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <functional>
 #include <string_view>
+#include <vector>
 
+#include "efes/cache/profile_cache.h"
+#include "efes/common/flags.h"
 #include "efes/common/parallel.h"
 #include "efes/telemetry/clock.h"
 #include "efes/telemetry/metrics.h"
@@ -32,19 +39,21 @@ namespace bench {
 /// Removes `--threads=<n>` from argv (google-benchmark rejects unknown
 /// flags) and applies it as the pool-size override.
 inline void ApplyThreadsFlag(int* argc, char** argv) {
-  int out = 1;
-  for (int i = 1; i < *argc; ++i) {
-    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      char* end = nullptr;
-      unsigned long threads = std::strtoul(argv[i] + 10, &end, 10);
-      if (end != argv[i] + 10 && *end == '\0' && threads > 0) {
-        SetThreadCountOverride(static_cast<size_t>(threads));
-        continue;
-      }
-    }
-    argv[out++] = argv[i];
-  }
-  *argc = out;
+  static size_t threads = 0;
+  FlagSet flags;
+  flags.AddUint("threads", "<n>", "worker threads for parallel phases",
+                &threads);
+  flags.ParseArgvKeepUnknown(argc, argv);
+  if (threads > 0) SetThreadCountOverride(threads);
+}
+
+/// Times one `workload()` call against a zeroed registry.
+inline double TimeWorkloadMs(const std::function<void()>& workload) {
+  MetricsRegistry::Global().Reset();
+  const Clock& clock = *Clock::Default();
+  const int64_t start_nanos = clock.NowNanos();
+  workload();
+  return static_cast<double>(clock.NowNanos() - start_nanos) / 1e6;
 }
 
 inline int BenchMain(int argc, char** argv, std::string_view name,
@@ -55,14 +64,40 @@ inline int BenchMain(int argc, char** argv, std::string_view name,
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
 
-  MetricsRegistry::Global().Reset();
-  const Clock& clock = *Clock::Default();
-  const int64_t start_nanos = clock.NowNanos();
-  workload();
-  const double wall_ms =
-      static_cast<double>(clock.NowNanos() - start_nanos) / 1e6;
-  std::printf("%s\n", BenchJsonLine(name, wall_ms, ConfiguredThreadCount(),
-                                    MetricsRegistry::Global().Snapshot())
+  // Cold/warm pair through one profile cache: the cold run populates it,
+  // the warm run replays the same deterministic workload against it. The
+  // ratio is the bench's incremental re-estimation speedup.
+  ProfileCache cache;
+  ScopedProfileCache scoped(&cache);
+
+  const double cold_ms = TimeWorkloadMs(workload);
+  std::printf("%s\n",
+              BenchJsonLine(name, cold_ms, ConfiguredThreadCount(),
+                            {BenchJsonField::Text("cache", "cold")},
+                            MetricsRegistry::Global().Snapshot())
+                  .c_str());
+
+  const double warm_ms = TimeWorkloadMs(workload);
+  const MetricsSnapshot warm = MetricsRegistry::Global().Snapshot();
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  for (const auto& counter : warm.counters) {
+    if (counter.name == "cache.hits") hits = counter.value;
+    if (counter.name == "cache.misses") misses = counter.value;
+  }
+  const double hit_rate =
+      hits + misses == 0
+          ? 0.0
+          : static_cast<double>(hits) / static_cast<double>(hits + misses);
+  std::vector<BenchJsonField> extras = {
+      BenchJsonField::Text("cache", "warm"),
+      BenchJsonField::Number("cold_wall_ms", cold_ms),
+      BenchJsonField::Number("speedup", warm_ms > 0.0 ? cold_ms / warm_ms
+                                                      : 0.0),
+      BenchJsonField::Number("cache_hit_rate", hit_rate),
+  };
+  std::printf("%s\n", BenchJsonLine(name, warm_ms, ConfiguredThreadCount(),
+                                    extras, warm)
                           .c_str());
   return 0;
 }

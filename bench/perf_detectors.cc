@@ -56,7 +56,7 @@ BENCHMARK(BM_ComplexityAssessmentOnly)->Arg(2000)
 void JsonLineWorkload() {
   IntegrationScenario scenario = ScaledScenario(2000);
   EfesEngine engine = MakeDefaultEngine();
-  auto result = engine.Run(scenario, ExpectedQuality::kHighQuality, {});
+  auto result = engine.Run(scenario, ExpectedQuality::kHighQuality);
   benchmark::DoNotOptimize(result->estimate.TotalMinutes());
 }
 

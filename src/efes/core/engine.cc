@@ -1,7 +1,9 @@
 #include "efes/core/engine.h"
 
+#include <cmath>
 #include <sstream>
 
+#include "efes/cache/profile_cache.h"
 #include "efes/common/fault.h"
 #include "efes/common/parallel.h"
 #include "efes/common/string_util.h"
@@ -112,9 +114,24 @@ Status RunModule(const EstimationModule& module,
 
 }  // namespace
 
-Result<EstimationResult> EfesEngine::Run(
-    const IntegrationScenario& scenario, ExpectedQuality quality,
-    const ExecutionSettings& settings) const {
+Status EfesEngine::set_effort_model(EffortModel model) {
+  const double scale = model.global_scale();
+  if (!std::isfinite(scale) || scale <= 0.0) {
+    return Status::InvalidArgument(
+        "effort model global scale must be a finite positive number, got " +
+        FormatDouble(scale, 6));
+  }
+  effort_model_ = std::move(model);
+  return Status::OK();
+}
+
+Result<EstimationResult> EfesEngine::Run(const IntegrationScenario& scenario,
+                                         const RunOptions& options) const {
+  const ExpectedQuality& quality = options.quality;
+  const ExecutionSettings& settings = options.settings;
+  // Install the caller's cache for the run; leave an ambient one alone.
+  ScopedProfileCache scoped_cache(
+      options.cache != nullptr ? options.cache : ProfileCache::Active());
   MetricsRegistry& metrics = MetricsRegistry::Global();
   static Histogram& run_ms = metrics.GetHistogram("engine.run.ms");
   TraceSpan run_span("engine.run", nullptr, &run_ms);
@@ -165,7 +182,10 @@ Result<EstimationResult> EfesEngine::Run(
 }
 
 Result<std::vector<std::unique_ptr<ComplexityReport>>>
-EfesEngine::AssessComplexity(const IntegrationScenario& scenario) const {
+EfesEngine::AssessComplexity(const IntegrationScenario& scenario,
+                             const RunOptions& options) const {
+  ScopedProfileCache scoped_cache(
+      options.cache != nullptr ? options.cache : ProfileCache::Active());
   static Histogram& run_ms =
       MetricsRegistry::Global().GetHistogram("engine.run.ms");
   TraceSpan run_span("engine.assess", nullptr, &run_ms);

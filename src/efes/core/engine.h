@@ -18,6 +18,32 @@
 
 namespace efes {
 
+class ProfileCache;
+
+/// Everything that parameterizes one estimation run, with usable
+/// defaults. Callers set only what they care about:
+///
+///   RunOptions options;
+///   options.quality = ExpectedQuality::FromPercent(95);
+///   options.cache = &cache;
+///   engine.Run(scenario, options);
+///
+/// New knobs land here as defaulted fields, so adding one never breaks a
+/// call site (the old positional Run(scenario, quality, settings)
+/// overload delegates here and is kept for compatibility).
+struct RunOptions {
+  /// The expected-quality input of the paper's Section 3.2.
+  ExpectedQuality quality = ExpectedQuality::kHighQuality;
+  /// Execution-context multipliers (practitioner skill, familiarity, ...).
+  ExecutionSettings settings;
+  /// Optional profile cache consulted by phase-1 profiling. When set, the
+  /// engine installs it for the duration of the run (ScopedProfileCache),
+  /// so repeated runs over unchanged sources skip recomputation. When
+  /// null, an already-active ambient cache (e.g. installed by a bench
+  /// harness or the CLI) is left in place.
+  ProfileCache* cache = nullptr;
+};
+
 /// One planned task with its estimated effort.
 struct TaskEstimate {
   Task task;
@@ -76,17 +102,32 @@ class EfesEngine {
   size_t module_count() const { return modules_.size(); }
 
   const EffortModel& effort_model() const { return effort_model_; }
-  EffortModel& mutable_effort_model() { return effort_model_; }
+
+  /// Replaces the effort model after validating it (the global scale must
+  /// be a finite positive number — a zero or NaN scale silently nullifies
+  /// every estimate).
+  Status set_effort_model(EffortModel model);
 
   /// Runs phase 1 + 2 of every module and prices the resulting tasks.
   Result<EstimationResult> Run(const IntegrationScenario& scenario,
+                               const RunOptions& options = {}) const;
+
+  /// Compatibility shim for the pre-RunOptions positional signature.
+  Result<EstimationResult> Run(const IntegrationScenario& scenario,
                                ExpectedQuality quality,
-                               const ExecutionSettings& settings) const;
+                               const ExecutionSettings& settings = {}) const {
+    RunOptions options;
+    options.quality = quality;
+    options.settings = settings;
+    return Run(scenario, options);
+  }
 
   /// Runs phase 1 only — the pure complexity assessment, useful for
-  /// source selection and data visualization (Section 3.3).
+  /// source selection and data visualization (Section 3.3). Only
+  /// RunOptions::cache is consulted; quality/settings drive phase 2.
   Result<std::vector<std::unique_ptr<ComplexityReport>>> AssessComplexity(
-      const IntegrationScenario& scenario) const;
+      const IntegrationScenario& scenario,
+      const RunOptions& options = {}) const;
 
  private:
   EffortModel effort_model_;

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "efes/cache/profile_cache.h"
 #include "efes/common/fault.h"
 #include "efes/common/string_util.h"
 #include "efes/csg/builder.h"
@@ -145,6 +146,8 @@ std::optional<std::string> ProjectionKey(const Table& table, size_t row,
 
 Result<Database> IntegrationExecutor::Execute(
     const IntegrationScenario& scenario, ExecutionReport* report) const {
+  ScopedProfileCache scoped_cache(
+      options_.cache != nullptr ? options_.cache : ProfileCache::Active());
   static Histogram& execute_ms =
       MetricsRegistry::Global().GetHistogram("execute.run.ms");
   TraceSpan span("execute.run", nullptr, &execute_ms);

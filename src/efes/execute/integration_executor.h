@@ -32,6 +32,8 @@
 
 namespace efes {
 
+class ProfileCache;
+
 /// Work actually performed during an execution — the executor-side
 /// analogue of the planner's task repetition counts.
 struct ExecutionReport {
@@ -72,6 +74,10 @@ class IntegrationExecutor {
     std::string missing_text = "(researched)";
     /// Safety cap on the residual-repair fixpoint loop.
     size_t max_repair_rounds = 8;
+    /// Optional profile cache installed for the duration of Execute
+    /// (mirrors RunOptions::cache on the estimation side); null leaves
+    /// any ambient cache in place.
+    ProfileCache* cache = nullptr;
   };
 
   IntegrationExecutor() = default;

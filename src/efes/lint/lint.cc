@@ -361,6 +361,11 @@ void Linter::CheckFile(std::string_view path, std::string_view content,
         add(kBannedFunction, t.line,
             "naked 'delete'; owning raw pointers are banned");
       }
+      if (t.text == "mutable_effort_model") {
+        add(kBannedFunction, t.line,
+            "mutable_effort_model() was removed; use "
+            "set_effort_model(EffortModel), which validates the model");
+      }
     }
 
     // ---- unordered-iteration (decl tracking happens below) -----------

@@ -26,7 +26,8 @@
 //   header-hygiene      A header without #pragma once or an
 //                       #ifndef/#define guard, or `using namespace` in a
 //                       header.
-//   banned-function     strcpy/sprintf/atoi, and naked new/delete
+//   banned-function     strcpy/sprintf/atoi, naked new/delete, and the
+//                       removed mutable_effort_model() accessor
 //                       (leaked singletons carry suppressions).
 //   bad-suppression     An EFES_LINT_ALLOW comment with an unknown check
 //                       id or without a reason.

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "efes/cache/fingerprint.h"
+#include "efes/cache/profile_cache.h"
 #include "efes/common/parallel.h"
 #include "efes/telemetry/metrics.h"
 #include "efes/telemetry/trace.h"
@@ -84,7 +86,11 @@ std::string DiscoveredConstraint::ToString() const {
   return oss.str();
 }
 
-std::vector<DiscoveredConstraint> DiscoverConstraints(
+namespace {
+
+/// The full (uncached) mining pass; DiscoverConstraints below fronts it
+/// with the active profile cache.
+std::vector<DiscoveredConstraint> DiscoverConstraintsUncached(
     const Database& database, const DiscoveryOptions& options) {
   MetricsRegistry& metrics = MetricsRegistry::Global();
   static Histogram& discover_ms =
@@ -244,6 +250,38 @@ std::vector<DiscoveredConstraint> DiscoverConstraints(
     }
   }
 
+  return discovered;
+}
+
+/// Discovery results depend on the data *and* on every DiscoveryOptions
+/// knob, so the cache key mixes both.
+uint64_t FingerprintDiscovery(const Database& database,
+                              const DiscoveryOptions& options) {
+  Fingerprinter fp;
+  fp.MixUint64(FingerprintDatabase(database));
+  fp.MixUint64(options.min_row_count);
+  fp.MixUint64(options.min_distinct_for_ind);
+  fp.MixBool(options.require_unique_referenced);
+  fp.MixBool(options.skip_declared);
+  fp.MixBool(options.discover_functional_dependencies);
+  fp.MixUint64(options.min_distinct_for_fd);
+  return fp.digest();
+}
+
+}  // namespace
+
+std::vector<DiscoveredConstraint> DiscoverConstraints(
+    const Database& database, const DiscoveryOptions& options) {
+  ProfileCache* cache = ProfileCache::Active();
+  if (cache == nullptr) return DiscoverConstraintsUncached(database, options);
+  const uint64_t key = FingerprintDiscovery(database, options);
+  if (std::optional<std::vector<DiscoveredConstraint>> hit =
+          cache->LookupConstraints(key)) {
+    return *std::move(hit);
+  }
+  std::vector<DiscoveredConstraint> discovered =
+      DiscoverConstraintsUncached(database, options);
+  cache->StoreConstraints(key, discovered);
   return discovered;
 }
 

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "efes/cache/fingerprint.h"
+#include "efes/cache/profile_cache.h"
 #include "efes/common/parallel.h"
 #include "efes/common/string_util.h"
 #include "efes/telemetry/clock.h"
@@ -143,8 +145,12 @@ std::string GeneralizeToPattern(std::string_view text) {
   return pattern;
 }
 
-AttributeStatistics ComputeStatistics(const std::vector<Value>& column,
-                                      DataType target_type) {
+namespace {
+
+/// The full (uncached) computation; ComputeStatistics below fronts it
+/// with the active profile cache.
+AttributeStatistics ComputeStatisticsUncached(const std::vector<Value>& column,
+                                              DataType target_type) {
   static Counter& columns_profiled =
       MetricsRegistry::Global().GetCounter("profiling.statistics.columns");
   static Counter& cells_scanned =
@@ -303,6 +309,21 @@ AttributeStatistics ComputeStatistics(const std::vector<Value>& column,
 
   compute_ms.Observe(
       static_cast<double>(Clock::Default()->NowNanos() - start_nanos) / 1e6);
+  return stats;
+}
+
+}  // namespace
+
+AttributeStatistics ComputeStatistics(const std::vector<Value>& column,
+                                      DataType target_type) {
+  ProfileCache* cache = ProfileCache::Active();
+  if (cache == nullptr) return ComputeStatisticsUncached(column, target_type);
+  const uint64_t key = FingerprintColumn(column, target_type);
+  if (std::optional<AttributeStatistics> hit = cache->LookupStatistics(key)) {
+    return *std::move(hit);
+  }
+  AttributeStatistics stats = ComputeStatisticsUncached(column, target_type);
+  cache->StoreStatistics(key, stats);
   return stats;
 }
 

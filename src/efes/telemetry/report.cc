@@ -55,6 +55,28 @@ void WriteMetricsJson(const MetricsSnapshot& snapshot, JsonWriter& json) {
 
 std::string BenchJsonLine(std::string_view bench_name, double wall_ms,
                           size_t threads, const MetricsSnapshot& snapshot) {
+  return BenchJsonLine(bench_name, wall_ms, threads, {}, snapshot);
+}
+
+BenchJsonField BenchJsonField::Text(std::string key, std::string value) {
+  BenchJsonField field;
+  field.key = std::move(key);
+  field.text = std::move(value);
+  return field;
+}
+
+BenchJsonField BenchJsonField::Number(std::string key, double value) {
+  BenchJsonField field;
+  field.key = std::move(key);
+  field.number = value;
+  field.numeric = true;
+  return field;
+}
+
+std::string BenchJsonLine(std::string_view bench_name, double wall_ms,
+                          size_t threads,
+                          const std::vector<BenchJsonField>& extras,
+                          const MetricsSnapshot& snapshot) {
   JsonWriter json;
   json.BeginObject()
       .Key("bench")
@@ -62,9 +84,16 @@ std::string BenchJsonLine(std::string_view bench_name, double wall_ms,
       .Key("wall_ms")
       .Number(wall_ms)
       .Key("threads")
-      .Number(static_cast<int64_t>(threads))
-      .Key("counters")
-      .BeginObject();
+      .Number(static_cast<int64_t>(threads));
+  for (const BenchJsonField& field : extras) {
+    json.Key(field.key);
+    if (field.numeric) {
+      json.Number(field.number);
+    } else {
+      json.String(field.text);
+    }
+  }
+  json.Key("counters").BeginObject();
   for (const auto& counter : snapshot.counters) {
     json.Key(counter.name).Number(static_cast<int64_t>(counter.value));
   }

@@ -8,6 +8,7 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "efes/telemetry/metrics.h"
 
@@ -33,6 +34,26 @@ void WriteMetricsJson(const MetricsSnapshot& snapshot, JsonWriter& json);
 /// comparable across machines and --threads overrides.
 std::string BenchJsonLine(std::string_view bench_name, double wall_ms,
                           size_t threads, const MetricsSnapshot& snapshot);
+
+/// One extra top-level field for BenchJsonLine — either a string or a
+/// number, keyed by `key`. Used by the cold/warm cache harness to stamp
+/// lines with {"cache": "warm", "speedup": ..., ...}.
+struct BenchJsonField {
+  static BenchJsonField Text(std::string key, std::string value);
+  static BenchJsonField Number(std::string key, double value);
+
+  std::string key;
+  std::string text;
+  double number = 0.0;
+  bool numeric = false;
+};
+
+/// BenchJsonLine with extra top-level fields, emitted after `threads`
+/// and before `counters`, in the given order.
+std::string BenchJsonLine(std::string_view bench_name, double wall_ms,
+                          size_t threads,
+                          const std::vector<BenchJsonField>& extras,
+                          const MetricsSnapshot& snapshot);
 
 }  // namespace efes
 

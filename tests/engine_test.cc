@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
 
 namespace efes {
@@ -74,7 +75,7 @@ TEST(EngineTest, RunsModulesAndPricesTasks) {
   engine.AddModule(std::make_unique<FakeModule>(3));
   EXPECT_EQ(engine.module_count(), 1u);
   IntegrationScenario scenario = MakeTrivialScenario();
-  auto result = engine.Run(scenario, ExpectedQuality::kLowEffort, {});
+  auto result = engine.Run(scenario, ExpectedQuality::kLowEffort);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->estimate.tasks.size(), 3u);
   EXPECT_DOUBLE_EQ(result->estimate.TotalMinutes(), 15.0);
@@ -93,7 +94,7 @@ TEST(EngineTest, MultipleModulesAggregate) {
   engine.AddModule(std::make_unique<FakeModule>(1));
   engine.AddModule(std::make_unique<FakeModule>(2));
   IntegrationScenario scenario = MakeTrivialScenario();
-  auto result = engine.Run(scenario, ExpectedQuality::kHighQuality, {});
+  auto result = engine.Run(scenario, ExpectedQuality::kHighQuality);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->estimate.tasks.size(), 3u);
   EXPECT_EQ(result->module_runs.size(), 2u);
@@ -113,7 +114,7 @@ TEST(EngineTest, RunValidatesScenario) {
   broken.AddRelation("ghost", "t");
   IntegrationScenario scenario("broken", std::move(*target));
   scenario.AddSource(std::move(*source), std::move(broken));
-  auto result = engine.Run(scenario, ExpectedQuality::kLowEffort, {});
+  auto result = engine.Run(scenario, ExpectedQuality::kLowEffort);
   EXPECT_FALSE(result.ok());
 }
 
@@ -132,7 +133,7 @@ TEST(EngineTest, CustomEffortModelIsUsed) {
   EfesEngine engine(std::move(model));
   engine.AddModule(std::make_unique<FakeModule>(2));
   IntegrationScenario scenario = MakeTrivialScenario();
-  auto result = engine.Run(scenario, ExpectedQuality::kLowEffort, {});
+  auto result = engine.Run(scenario, ExpectedQuality::kLowEffort);
   ASSERT_TRUE(result.ok());
   EXPECT_DOUBLE_EQ(result->estimate.TotalMinutes(), 0.0);
 }
@@ -141,7 +142,7 @@ TEST(EngineTest, EstimateToTextContainsBreakdown) {
   EfesEngine engine;
   engine.AddModule(std::make_unique<FakeModule>(1));
   IntegrationScenario scenario = MakeTrivialScenario();
-  auto result = engine.Run(scenario, ExpectedQuality::kLowEffort, {});
+  auto result = engine.Run(scenario, ExpectedQuality::kLowEffort);
   ASSERT_TRUE(result.ok());
   std::string text = result->ToText();
   EXPECT_NE(text.find("fake report"), std::string::npos);
@@ -184,7 +185,7 @@ TEST(EngineDegradedTest, FailingModuleDegradesInsteadOfAborting) {
   engine.AddModule(std::make_unique<FakeModule>(3));
   engine.AddModule(std::make_unique<BrokenAssessModule>());
   IntegrationScenario scenario = MakeTrivialScenario();
-  auto result = engine.Run(scenario, ExpectedQuality::kLowEffort, {});
+  auto result = engine.Run(scenario, ExpectedQuality::kLowEffort);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_TRUE(result->degraded);
   ASSERT_EQ(result->module_runs.size(), 2u);
@@ -208,7 +209,7 @@ TEST(EngineDegradedTest, ThrowingModuleIsConvertedToStatus) {
   EfesEngine engine;
   engine.AddModule(std::make_unique<ThrowingPlanModule>());
   IntegrationScenario scenario = MakeTrivialScenario();
-  auto result = engine.Run(scenario, ExpectedQuality::kLowEffort, {});
+  auto result = engine.Run(scenario, ExpectedQuality::kLowEffort);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_TRUE(result->degraded);
   ASSERT_EQ(result->module_runs.size(), 1u);
@@ -226,7 +227,7 @@ TEST(EngineDegradedTest, DegradedTextCallsOutTheFailure) {
   EfesEngine engine;
   engine.AddModule(std::make_unique<BrokenAssessModule>());
   IntegrationScenario scenario = MakeTrivialScenario();
-  auto result = engine.Run(scenario, ExpectedQuality::kLowEffort, {});
+  auto result = engine.Run(scenario, ExpectedQuality::kLowEffort);
   ASSERT_TRUE(result.ok());
   std::string text = result->ToText();
   EXPECT_NE(text.find("DEGRADED RUN"), std::string::npos);
@@ -237,7 +238,7 @@ TEST(EngineDegradedTest, CleanRunTextHasNoDegradedMarkers) {
   EfesEngine engine;
   engine.AddModule(std::make_unique<FakeModule>(1));
   IntegrationScenario scenario = MakeTrivialScenario();
-  auto result = engine.Run(scenario, ExpectedQuality::kLowEffort, {});
+  auto result = engine.Run(scenario, ExpectedQuality::kLowEffort);
   ASSERT_TRUE(result.ok());
   EXPECT_FALSE(result->degraded);
   EXPECT_EQ(result->ToText().find("DEGRADED"), std::string::npos);
@@ -248,6 +249,49 @@ TEST(EffortEstimateTest, EmptyEstimate) {
   EffortEstimate estimate;
   EXPECT_DOUBLE_EQ(estimate.TotalMinutes(), 0.0);
   EXPECT_NE(estimate.ToText().find("Total"), std::string::npos);
+}
+
+TEST(SetEffortModelTest, AcceptsValidModelAndInstallsIt) {
+  EfesEngine engine;
+  EffortModel model = EffortModel::PaperDefault();
+  model.set_global_scale(2.0);
+  ASSERT_TRUE(engine.set_effort_model(std::move(model)).ok());
+  EXPECT_DOUBLE_EQ(engine.effort_model().global_scale(), 2.0);
+}
+
+TEST(SetEffortModelTest, RejectsBadScaleAndKeepsTheOldModel) {
+  EfesEngine engine;
+  EffortModel good = EffortModel::PaperDefault();
+  good.set_global_scale(3.0);
+  ASSERT_TRUE(engine.set_effort_model(std::move(good)).ok());
+
+  EffortModel zero;
+  zero.set_global_scale(0.0);
+  EXPECT_FALSE(engine.set_effort_model(std::move(zero)).ok());
+  EffortModel negative;
+  negative.set_global_scale(-1.0);
+  EXPECT_FALSE(engine.set_effort_model(std::move(negative)).ok());
+  EffortModel not_a_number;
+  not_a_number.set_global_scale(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_FALSE(engine.set_effort_model(std::move(not_a_number)).ok());
+  EffortModel infinite;
+  infinite.set_global_scale(std::numeric_limits<double>::infinity());
+  EXPECT_FALSE(engine.set_effort_model(std::move(infinite)).ok());
+
+  EXPECT_DOUBLE_EQ(engine.effort_model().global_scale(), 3.0);
+}
+
+TEST(SetEffortModelTest, InstalledModelPricesTasks) {
+  EfesEngine engine;
+  engine.AddModule(std::make_unique<FakeModule>(3));
+  EffortModel doubled = EffortModel::PaperDefault();
+  doubled.set_global_scale(2.0);
+  ASSERT_TRUE(engine.set_effort_model(std::move(doubled)).ok());
+  IntegrationScenario scenario = MakeTrivialScenario();
+  auto result = engine.Run(scenario, ExpectedQuality::kLowEffort);
+  ASSERT_TRUE(result.ok());
+  // 3 reject-tuples tasks at 5 min each, doubled by the global scale.
+  EXPECT_DOUBLE_EQ(result->estimate.TotalMinutes(), 30.0);
 }
 
 }  // namespace

@@ -17,10 +17,10 @@ class PipelineTest : public ::testing::Test {
     ASSERT_TRUE(scenario.ok());
     scenario_ = std::make_unique<IntegrationScenario>(std::move(*scenario));
     EfesEngine engine = MakeDefaultEngine();
-    auto high = engine.Run(*scenario_, ExpectedQuality::kHighQuality, {});
+    auto high = engine.Run(*scenario_, ExpectedQuality::kHighQuality);
     ASSERT_TRUE(high.ok());
     high_ = std::make_unique<EstimationResult>(std::move(*high));
-    auto low = engine.Run(*scenario_, ExpectedQuality::kLowEffort, {});
+    auto low = engine.Run(*scenario_, ExpectedQuality::kLowEffort);
     ASSERT_TRUE(low.ok());
     low_ = std::make_unique<EstimationResult>(std::move(*low));
   }

@@ -311,6 +311,23 @@ TEST(BannedFunctionTest, FlagsCFootgunsAndNakedNewDelete) {
   EXPECT_EQ(FindingsOf(findings, "banned-function").size(), 5u);
 }
 
+TEST(BannedFunctionTest, FlagsRemovedMutableEffortModelAccessor) {
+  auto findings = Lint({{"src/efes/core/x.cc",
+                         "void F(EfesEngine& engine) {\n"
+                         "  engine.mutable_effort_model().set_global_scale("
+                         "2.0);\n"
+                         "}\n"}});
+  EXPECT_EQ(FindingsOf(findings, "banned-function").size(), 1u);
+}
+
+TEST(BannedFunctionTest, MentionInStringLiteralIsClean) {
+  auto findings = Lint({{"src/efes/core/x.cc",
+                         "const char* kHint =\n"
+                         "    \"mutable_effort_model was replaced by "
+                         "set_effort_model\";\n"}});
+  EXPECT_TRUE(FindingsOf(findings, "banned-function").empty());
+}
+
 TEST(BannedFunctionTest, DeletedFunctionsAndOperatorsAreClean) {
   auto findings = Lint({{"src/efes/core/x.h",
                          "#pragma once\n"

@@ -56,7 +56,7 @@ TEST(ParallelDeterminismTest, EstimateJsonIsByteIdenticalAcrossThreadCounts) {
     SetThreadCountOverride(threads);
     MetricsRegistry::Global().Reset();
     EfesEngine engine = MakeDefaultEngine();
-    auto result = engine.Run(scenario, ExpectedQuality::kHighQuality, {});
+    auto result = engine.Run(scenario, ExpectedQuality::kHighQuality);
     ASSERT_TRUE(result.ok()) << result.status();
     reports.push_back(EstimationResultToJson(*result));
     counters.push_back(

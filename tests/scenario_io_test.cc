@@ -154,9 +154,9 @@ TEST_F(ScenarioIoTest, LoadedScenarioEstimatesIdentically) {
 
   EfesEngine engine = MakeDefaultEngine();
   auto original_estimate =
-      engine.Run(*original, ExpectedQuality::kHighQuality, {});
+      engine.Run(*original, ExpectedQuality::kHighQuality);
   auto loaded_estimate =
-      engine.Run(*loaded, ExpectedQuality::kHighQuality, {});
+      engine.Run(*loaded, ExpectedQuality::kHighQuality);
   ASSERT_TRUE(original_estimate.ok());
   ASSERT_TRUE(loaded_estimate.ok());
   EXPECT_DOUBLE_EQ(loaded_estimate->estimate.TotalMinutes(),

@@ -13,13 +13,18 @@
 # `--lint` builds only the efes_lint tool and runs it over src/, tools/,
 # tests/, and bench/ with --format=json, failing on any unsuppressed
 # finding.
+# `--cache-roundtrip` builds only the CLI, exports the paper example, and
+# estimates it three times — cold with a fresh --cache-dir, warm against
+# the saved snapshot, and once with --no-cache — then diffs the three
+# JSON reports byte-for-byte and requires the warm run to have hits.
 # Exits nonzero on the first failure. Usage:
 #
-#   tools/check_build.sh [build-dir]          # default: build-werror
-#   tools/check_build.sh --tsan [build-dir]   # default: build-tsan
-#   tools/check_build.sh --asan [build-dir]   # default: build-asan
-#   tools/check_build.sh --ubsan [build-dir]  # default: build-ubsan
-#   tools/check_build.sh --lint [build-dir]   # default: build-lint
+#   tools/check_build.sh [build-dir]                    # default: build-werror
+#   tools/check_build.sh --tsan [build-dir]             # default: build-tsan
+#   tools/check_build.sh --asan [build-dir]             # default: build-asan
+#   tools/check_build.sh --ubsan [build-dir]            # default: build-ubsan
+#   tools/check_build.sh --lint [build-dir]             # default: build-lint
+#   tools/check_build.sh --cache-roundtrip [build-dir]  # default: build-cache
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -36,6 +41,9 @@ elif [[ "${1:-}" == "--ubsan" ]]; then
   shift
 elif [[ "${1:-}" == "--lint" ]]; then
   MODE=lint
+  shift
+elif [[ "${1:-}" == "--cache-roundtrip" ]]; then
+  MODE=cache
   shift
 fi
 
@@ -66,6 +74,34 @@ elif [[ "$MODE" == "lint" ]]; then
   cmake --build "$BUILD_DIR" -j --target efes_lint
   "$BUILD_DIR/tools/efes_lint" --format=json src tools tests bench
   echo "check_build: OK (efes_lint, tree is lint-clean)"
+elif [[ "$MODE" == "cache" ]]; then
+  BUILD_DIR="${1:-build-cache}"
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j --target efes_cli
+  WORK="$(mktemp -d)"
+  trap 'rm -rf "$WORK"' EXIT
+  "$BUILD_DIR/tools/efes" export-example "$WORK/scenario"
+  # Cold run populates the snapshot, warm run must serve from it, and a
+  # --no-cache run recomputes everything; all three reports must be
+  # byte-identical (the cache may change performance, never bytes).
+  "$BUILD_DIR/tools/efes" estimate "$WORK/scenario" --format=json \
+    --cache-dir="$WORK/cache" --out="$WORK/cold.json" --metrics \
+    > "$WORK/cold.metrics"
+  test -f "$WORK/cache/profile_cache.efes"
+  "$BUILD_DIR/tools/efes" estimate "$WORK/scenario" --format=json \
+    --cache-dir="$WORK/cache" --out="$WORK/warm.json" --metrics \
+    > "$WORK/warm.metrics"
+  "$BUILD_DIR/tools/efes" estimate "$WORK/scenario" --format=json \
+    --no-cache --out="$WORK/uncached.json"
+  diff "$WORK/cold.json" "$WORK/warm.json"
+  diff "$WORK/cold.json" "$WORK/uncached.json"
+  grep -q 'cache\.hits' "$WORK/warm.metrics"
+  if grep -q 'cache\.misses' "$WORK/warm.metrics"; then
+    echo "check_build: warm run still missed some profiles" >&2
+    grep 'cache\.' "$WORK/warm.metrics" >&2
+    exit 1
+  fi
+  echo "check_build: OK (cache roundtrip, cold/warm/uncached byte-identical)"
 else
   BUILD_DIR="${1:-build-werror}"
   cmake -B "$BUILD_DIR" -S . -DEFES_WERROR=ON

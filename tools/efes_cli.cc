@@ -17,37 +17,30 @@
 //   efes visualize <dir> [out.dot] Graphviz problem heatmap
 //   efes study                     run the Figure 6/7 cross-validated study
 //
-// Telemetry/execution flags, accepted by every subcommand:
-//   --metrics                      print the metrics table after the run
-//   --trace=<file>                 write Chrome trace-event JSON spans
-//                                  (open in chrome://tracing / Perfetto)
-//   --log-level=<level>            debug|info|warn|error|off (default off;
-//                                  log lines go to stderr)
-//   --threads=<n>                  worker threads for parallel phases
-//                                  (default: hardware concurrency; 1 runs
-//                                  everything sequentially; output is
-//                                  identical either way)
-//   --lenient                      load scenario directories in recover
-//                                  mode: malformed rows/files are skipped
-//                                  or repaired and reported as DataIssue
-//                                  diagnostics on stderr instead of
-//                                  aborting the run
-//   --inject-fault=<point>[:spec]  arm a deterministic fault point
-//                                  (common/fault.h grammar; repeatable;
-//                                  also via the EFES_FAULTS environment
-//                                  variable) — for robustness testing
+// Telemetry/execution flags, accepted by every subcommand, are declared
+// in GlobalFlags() below — the usage text renders straight from the
+// FlagSet (common/flags.h), so help and parser cannot drift apart.
+// Highlights: --metrics, --trace=<file>, --log-level=<level>,
+// --threads=<n>, --lenient, --inject-fault=<point>[:spec], and the
+// profile cache pair --cache-dir=<dir> / --no-cache (cache/README in
+// DESIGN.md §11): profiling results are cached in memory per run by
+// default; --cache-dir persists them across runs, --no-cache disables
+// caching entirely. Cached and uncached runs print byte-identical
+// output.
 //
 // Exit codes: 0 success, 1 runtime error, 2 usage error, 64 unknown flag.
 // Scenario directories follow the layout of scenario/scenario_io.h.
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "efes/cache/profile_cache.h"
 #include "efes/common/fault.h"
 #include "efes/common/file_io.h"
+#include "efes/common/flags.h"
 #include "efes/common/parallel.h"
 #include "efes/common/string_util.h"
 #include "efes/core/effort_config.h"
@@ -71,6 +64,103 @@ namespace {
 constexpr int kExitUsage = 2;
 constexpr int kExitUnknownFlag = 64;
 
+/// Global tool state set by the telemetry/execution flags.
+struct CliFlags {
+  bool metrics = false;
+  std::string trace_path;
+  /// Set when the subcommand already embedded the snapshot in its own
+  /// output (estimate --format=json), so main() skips the table.
+  bool metrics_emitted_inline = false;
+  /// --lenient: load scenarios in recover mode, reporting DataIssues on
+  /// stderr instead of aborting on the first defect.
+  bool lenient = false;
+  /// --cache-dir: persist the profile cache here across invocations.
+  std::string cache_dir;
+  /// --no-cache: disable profile caching for this run.
+  bool no_cache = false;
+};
+
+CliFlags g_flags;
+
+/// The profile cache of this invocation (null with --no-cache); threaded
+/// into every RunOptions and installed as the ambient cache in main().
+efes::ProfileCache* g_cache = nullptr;
+
+/// The telemetry/execution flags every subcommand accepts. Registered
+/// once; Usage() renders this set, Parse strips it off the argv.
+efes::FlagSet& GlobalFlags() {
+  static efes::FlagSet* flags = [] {
+    auto* f = new efes::FlagSet();  // EFES_LINT_ALLOW(banned-function): process-lifetime flag registry, leaked on purpose
+    f->AddBool("metrics", "print the metrics table after the run",
+               &g_flags.metrics);
+    f->AddAction("trace", "<file>",
+                 "write Chrome trace-event JSON (chrome://tracing)",
+                 [](std::string_view value) {
+                   if (value.empty()) {
+                     return efes::Status::InvalidArgument(
+                         "trace path must not be empty");
+                   }
+                   g_flags.trace_path = std::string(value);
+                   efes::TraceRecorder::Global().set_enabled(true);
+                   return efes::Status::OK();
+                 });
+    f->AddAction("log-level", "<level>",
+                 "debug|info|warn|error|off (default off)",
+                 [](std::string_view value) {
+                   efes::LogLevel level;
+                   if (!efes::ParseLogLevel(std::string(value), &level)) {
+                     return efes::Status::InvalidArgument(
+                         "no such log level: " + std::string(value));
+                   }
+                   // EFES_LINT_ALLOW(banned-function): process-lifetime log sink, leaked on purpose
+                   static efes::StderrSink* sink = new efes::StderrSink();
+                   efes::Logger::Global().set_sink(sink);
+                   efes::Logger::Global().set_level(level);
+                   return efes::Status::OK();
+                 });
+    f->AddAction("threads", "<n>",
+                 "worker threads for parallel phases (default: hardware "
+                 "concurrency; results do not depend on the thread count)",
+                 [](std::string_view value) {
+                   std::string buffer(value);
+                   char* end = nullptr;
+                   unsigned long long threads =
+                       std::strtoull(buffer.c_str(), &end, 10);
+                   if (buffer.empty() ||
+                       end != buffer.c_str() + buffer.size() ||
+                       threads == 0) {
+                     return efes::Status::InvalidArgument(
+                         "expected a positive thread count, got '" + buffer +
+                         "'");
+                   }
+                   efes::SetThreadCountOverride(
+                       static_cast<size_t>(threads));
+                   return efes::Status::OK();
+                 });
+    f->AddBool("lenient",
+               "recover-mode scenario loading: skip/repair defects, report "
+               "them on stderr",
+               &g_flags.lenient);
+    f->AddAction("inject-fault", "<point>[:spec]",
+                 "arm a deterministic fault point (robustness testing; see "
+                 "common/fault.h)",
+                 [](std::string_view value) {
+                   return efes::FaultRegistry::Global().ArmFromString(
+                       std::string(value));
+                 });
+    f->AddString("cache-dir", "<dir>",
+                 "persist the profile cache in this directory (loaded "
+                 "before the run, saved after)",
+                 &g_flags.cache_dir);
+    f->AddBool("no-cache",
+               "disable the profile cache (every run recomputes all "
+               "profiles)",
+               &g_flags.no_cache);
+    return f;
+  }();
+  return *flags;
+}
+
 int Usage(int exit_code = kExitUsage) {
   std::fprintf(
       stderr,
@@ -84,25 +174,31 @@ int Usage(int exit_code = kExitUsage) {
       "  efes plan <dir> [--quality=high|low]\n"
       "  efes visualize <dir> [<out.dot>]\n"
       "  efes study\n"
-      "telemetry/execution flags (any subcommand):\n"
-      "  --metrics            print the metrics table after the run\n"
-      "  --trace=<file>       write Chrome trace-event JSON (chrome://tracing)\n"
-      "  --log-level=<level>  debug|info|warn|error|off (default off)\n"
-      "  --threads=<n>        worker threads for parallel phases (default:\n"
-      "                       hardware concurrency; results do not depend\n"
-      "                       on the thread count)\n"
-      "  --lenient            recover-mode scenario loading: skip/repair\n"
-      "                       defects, report them on stderr\n"
-      "  --inject-fault=<point>[:spec]  arm a deterministic fault point\n"
-      "                       (robustness testing; see common/fault.h)\n");
+      "telemetry/execution flags (any subcommand):\n%s",
+      GlobalFlags().UsageText().c_str());
   return exit_code;
 }
 
-/// Unknown flags fail with their own exit code so scripts can tell a
-/// mistyped flag from a misshapen invocation.
-int UnknownFlag(const std::string& option) {
-  std::fprintf(stderr, "unknown option: %s\n", option.c_str());
-  return Usage(kExitUnknownFlag);
+/// Maps a FlagSet parse failure to the tool convention: unknown flags
+/// exit 64, malformed values exit 2, both after the usage text.
+int FlagError(const efes::Status& status) {
+  std::fprintf(stderr, "%s\n", status.message().c_str());
+  return Usage(efes::IsUnknownFlagError(status) ? kExitUnknownFlag
+                                                : kExitUsage);
+}
+
+/// Parses subcommand-local flags; everything left in `options` after the
+/// parse is unexpected. Returns -1 to continue, an exit code otherwise.
+int ParseSubcommandFlags(const efes::FlagSet& flags,
+                         std::vector<std::string>* options) {
+  efes::Status parsed = flags.Parse(options);
+  if (!parsed.ok()) return FlagError(parsed);
+  if (!options->empty()) {
+    std::fprintf(stderr, "unexpected argument: %s\n",
+                 options->front().c_str());
+    return Usage(kExitUsage);
+  }
+  return -1;
 }
 
 int Fail(const efes::Status& status) {
@@ -110,84 +206,39 @@ int Fail(const efes::Status& status) {
   return 1;
 }
 
-/// Telemetry flags, parsed off the command line before dispatch so every
-/// subcommand accepts them uniformly.
-struct TelemetryFlags {
-  bool metrics = false;
-  std::string trace_path;
-  /// Set when the subcommand already embedded the snapshot in its own
-  /// output (estimate --format=json), so main() skips the table.
-  bool metrics_emitted_inline = false;
-  /// --lenient: load scenarios in recover mode, reporting DataIssues on
-  /// stderr instead of aborting on the first defect.
-  bool lenient = false;
-};
+efes::ExpectedQuality QualityFromString(const std::string& quality) {
+  return quality == "low" ? efes::ExpectedQuality::kLowEffort
+                          : efes::ExpectedQuality::kHighQuality;
+}
 
-TelemetryFlags g_telemetry;
-
-/// Strips the telemetry/execution flags (--metrics / --trace= /
-/// --log-level= / --threads= / --lenient / --inject-fault=) out of
-/// `args` and applies them. Returns an exit code, or -1 to continue.
-int ApplyTelemetryFlags(std::vector<std::string>* args) {
-  std::vector<std::string> remaining;
-  for (std::string& arg : *args) {
-    if (arg == "--metrics") {
-      g_telemetry.metrics = true;
-    } else if (arg.rfind("--trace=", 0) == 0) {
-      g_telemetry.trace_path = arg.substr(8);
-      if (g_telemetry.trace_path.empty()) return UnknownFlag(arg);
-      efes::TraceRecorder::Global().set_enabled(true);
-    } else if (arg.rfind("--log-level=", 0) == 0) {
-      efes::LogLevel level;
-      if (!efes::ParseLogLevel(arg.substr(12), &level)) {
-        return UnknownFlag(arg);
-      }
-      // EFES_LINT_ALLOW(banned-function): process-lifetime log sink, leaked on purpose
-      static efes::StderrSink* sink = new efes::StderrSink();
-      efes::Logger::Global().set_sink(sink);
-      efes::Logger::Global().set_level(level);
-    } else if (arg.rfind("--threads=", 0) == 0) {
-      std::string value = arg.substr(10);
-      char* end = nullptr;
-      unsigned long threads = std::strtoul(value.c_str(), &end, 10);
-      if (value.empty() || *end != '\0' || threads == 0) {
-        return UnknownFlag(arg);
-      }
-      efes::SetThreadCountOverride(static_cast<size_t>(threads));
-    } else if (arg == "--lenient") {
-      g_telemetry.lenient = true;
-    } else if (arg.rfind("--inject-fault=", 0) == 0) {
-      efes::Status armed =
-          efes::FaultRegistry::Global().ArmFromString(arg.substr(15));
-      if (!armed.ok()) {
-        std::fprintf(stderr, "bad %s: %s\n", arg.c_str(),
-                     armed.ToString().c_str());
-        return kExitUsage;
-      }
-    } else {
-      remaining.push_back(std::move(arg));
-    }
-  }
-  *args = std::move(remaining);
-  return -1;
+/// RunOptions for this invocation: quality/settings as given, plus the
+/// CLI-wide profile cache.
+efes::RunOptions MakeRunOptions(
+    efes::ExpectedQuality quality = efes::ExpectedQuality::kHighQuality,
+    const efes::ExecutionSettings& settings = {}) {
+  efes::RunOptions options;
+  options.quality = quality;
+  options.settings = settings;
+  options.cache = g_cache;
+  return options;
 }
 
 /// Prints the metrics table / writes the trace file after a successful
 /// run. Without telemetry flags this is a no-op, leaving the output
 /// byte-identical to the untelemetered CLI.
 int EmitTelemetry() {
-  if (g_telemetry.metrics && !g_telemetry.metrics_emitted_inline) {
+  if (g_flags.metrics && !g_flags.metrics_emitted_inline) {
     std::string report = efes::RenderMetricsReport(
         efes::MetricsRegistry::Global().Snapshot());
     std::printf("=== telemetry ===\n%s", report.c_str());
   }
-  if (!g_telemetry.trace_path.empty()) {
+  if (!g_flags.trace_path.empty()) {
     efes::Status written = efes::WriteFileAtomic(
-        g_telemetry.trace_path,
+        g_flags.trace_path,
         efes::TraceRecorder::Global().ToChromeTraceJson());
     if (!written.ok()) return Fail(written);
     std::printf("trace written to %s (open in chrome://tracing)\n",
-                g_telemetry.trace_path.c_str());
+                g_flags.trace_path.c_str());
   }
   return 0;
 }
@@ -198,7 +249,7 @@ int EmitTelemetry() {
 efes::Result<efes::IntegrationScenario> LoadScenarioCli(
     const std::string& directory) {
   efes::LoadOptions options;
-  if (g_telemetry.lenient) {
+  if (g_flags.lenient) {
     options.mode = efes::LoadOptions::Mode::kRecover;
   }
   efes::ScenarioLoadReport report;
@@ -239,15 +290,14 @@ efes::Status DiscoverSourceConstraints(efes::IntegrationScenario* scenario) {
 }
 
 int RunAssess(const std::string& directory,
-              const std::vector<std::string>& options) {
+              std::vector<std::string> options) {
   bool discover = false;
-  for (const std::string& option : options) {
-    if (option == "--discover") {
-      discover = true;
-    } else {
-      return UnknownFlag(option);
-    }
-  }
+  efes::FlagSet flags;
+  flags.AddBool("discover",
+                "profile the sources and declare mined constraints first",
+                &discover);
+  int code = ParseSubcommandFlags(flags, &options);
+  if (code >= 0) return code;
   auto scenario = LoadScenarioCli(directory);
   if (!scenario.ok()) return Fail(scenario.status());
   if (discover) {
@@ -255,7 +305,7 @@ int RunAssess(const std::string& directory,
     if (!status.ok()) return Fail(status);
   }
   efes::EfesEngine engine = efes::MakeDefaultEngine();
-  auto reports = engine.AssessComplexity(*scenario);
+  auto reports = engine.AssessComplexity(*scenario, MakeRunOptions());
   if (!reports.ok()) return Fail(reports.status());
   for (const auto& report : *reports) {
     std::printf("=== %s ===\n%s\n", report->module_name().c_str(),
@@ -265,36 +315,31 @@ int RunAssess(const std::string& directory,
 }
 
 int RunEstimate(const std::string& directory,
-                const std::vector<std::string>& options) {
-  efes::ExpectedQuality quality = efes::ExpectedQuality::kHighQuality;
-  efes::EstimationConfig config;
-  bool json = false;
+                std::vector<std::string> options) {
+  std::string quality = "high";
+  std::string format = "text";
   std::string out_path;
-  for (const std::string& option : options) {
-    if (option == "--format=json") {
-      json = true;
-    } else if (option == "--format=text") {
-      json = false;
-    } else if (option == "--quality=high") {
-      quality = efes::ExpectedQuality::kHighQuality;
-    } else if (option == "--quality=low") {
-      quality = efes::ExpectedQuality::kLowEffort;
-    } else if (option.rfind("--config=", 0) == 0) {
-      auto loaded = efes::LoadEffortConfig(option.substr(9));
-      if (!loaded.ok()) return Fail(loaded.status());
-      config = std::move(*loaded);
-    } else if (option.rfind("--out=", 0) == 0) {
-      out_path = option.substr(6);
-      if (out_path.empty()) return UnknownFlag(option);
-    } else {
-      return UnknownFlag(option);
-    }
-  }
+  efes::EstimationConfig config;
+  efes::FlagSet flags;
+  flags.AddChoice("quality", {"high", "low"}, "expected result quality",
+                  &quality);
+  flags.AddChoice("format", {"text", "json"}, "output format", &format);
+  flags.AddString("out", "<file>", "write the JSON export here", &out_path);
+  flags.AddAction("config", "<file>", "effort configuration file",
+                  [&config](std::string_view value) {
+                    EFES_ASSIGN_OR_RETURN(
+                        config, efes::LoadEffortConfig(std::string(value)));
+                    return efes::Status::OK();
+                  });
+  int code = ParseSubcommandFlags(flags, &options);
+  if (code >= 0) return code;
   auto scenario = LoadScenarioCli(directory);
   if (!scenario.ok()) return Fail(scenario.status());
   efes::EfesEngine engine =
       efes::MakeDefaultEngine(std::move(config.model));
-  auto result = engine.Run(*scenario, quality, config.settings);
+  auto result = engine.Run(
+      *scenario,
+      MakeRunOptions(QualityFromString(quality), config.settings));
   if (!result.ok()) return Fail(result.status());
   if (!out_path.empty()) {
     // --out writes the JSON export atomically (temp + rename): a reader
@@ -305,11 +350,11 @@ int RunEstimate(const std::string& directory,
     std::printf("estimate written to %s\n", out_path.c_str());
     return 0;
   }
-  if (json) {
-    if (g_telemetry.metrics) {
+  if (format == "json") {
+    if (g_flags.metrics) {
       // Embed the snapshot as the export's `telemetry` section instead
       // of appending a table that would trail the JSON document.
-      g_telemetry.metrics_emitted_inline = true;
+      g_flags.metrics_emitted_inline = true;
       std::printf("%s\n",
                   efes::EstimationResultToJson(
                       *result, efes::MetricsRegistry::Global().Snapshot())
@@ -339,17 +384,16 @@ int RunMatch(const std::string& directory) {
 
 int RunExecute(const std::string& directory,
                const std::string& output_directory,
-               const std::vector<std::string>& options) {
+               std::vector<std::string> options) {
+  std::string quality = "high";
+  efes::FlagSet flags;
+  flags.AddChoice("quality", {"high", "low"},
+                  "conflict-resolution strategy", &quality);
+  int code = ParseSubcommandFlags(flags, &options);
+  if (code >= 0) return code;
   efes::IntegrationExecutor::Options executor_options;
-  for (const std::string& option : options) {
-    if (option == "--quality=high") {
-      executor_options.quality = efes::ExpectedQuality::kHighQuality;
-    } else if (option == "--quality=low") {
-      executor_options.quality = efes::ExpectedQuality::kLowEffort;
-    } else {
-      return UnknownFlag(option);
-    }
-  }
+  executor_options.quality = QualityFromString(quality);
+  executor_options.cache = g_cache;
   auto scenario = LoadScenarioCli(directory);
   if (!scenario.ok()) return Fail(scenario.status());
   efes::IntegrationExecutor executor(executor_options);
@@ -366,21 +410,18 @@ int RunExecute(const std::string& directory,
 }
 
 int RunPlan(const std::string& directory,
-            const std::vector<std::string>& options) {
-  efes::ExpectedQuality quality = efes::ExpectedQuality::kHighQuality;
-  for (const std::string& option : options) {
-    if (option == "--quality=high") {
-      quality = efes::ExpectedQuality::kHighQuality;
-    } else if (option == "--quality=low") {
-      quality = efes::ExpectedQuality::kLowEffort;
-    } else {
-      return UnknownFlag(option);
-    }
-  }
+            std::vector<std::string> options) {
+  std::string quality = "high";
+  efes::FlagSet flags;
+  flags.AddChoice("quality", {"high", "low"}, "expected result quality",
+                  &quality);
+  int code = ParseSubcommandFlags(flags, &options);
+  if (code >= 0) return code;
   auto scenario = LoadScenarioCli(directory);
   if (!scenario.ok()) return Fail(scenario.status());
   efes::EfesEngine engine = efes::MakeDefaultEngine();
-  auto result = engine.Run(*scenario, quality, {});
+  auto result =
+      engine.Run(*scenario, MakeRunOptions(QualityFromString(quality)));
   if (!result.ok()) return Fail(result.status());
   efes::CostBenefitCurve curve =
       efes::AnalyzeCostBenefit(result->estimate);
@@ -398,8 +439,7 @@ int RunVisualize(const std::string& directory,
   auto scenario = LoadScenarioCli(directory);
   if (!scenario.ok()) return Fail(scenario.status());
   efes::EfesEngine engine = efes::MakeDefaultEngine();
-  auto result = engine.Run(*scenario, efes::ExpectedQuality::kHighQuality,
-                           {});
+  auto result = engine.Run(*scenario, MakeRunOptions());
   if (!result.ok()) return Fail(result.status());
   std::string dot = efes::RenderProblemHeatmapDot(
       *scenario, efes::CollectProblemCounts(*result));
@@ -427,7 +467,10 @@ int RunStudy() {
 int Dispatch(const std::string& command, std::vector<std::string> rest) {
   if (command == "study") {
     for (const std::string& option : rest) {
-      if (efes::StartsWith(option, "--")) return UnknownFlag(option);
+      if (efes::StartsWith(option, "--")) {
+        std::fprintf(stderr, "unknown flag: %s\n", option.c_str());
+        return Usage(kExitUnknownFlag);
+      }
     }
     if (!rest.empty()) return Usage();
     return RunStudy();
@@ -440,7 +483,7 @@ int Dispatch(const std::string& command, std::vector<std::string> rest) {
     if (rest.empty()) return Usage();
     std::string directory = rest[0];
     rest.erase(rest.begin());
-    return RunAssess(directory, rest);
+    return RunAssess(directory, std::move(rest));
   }
   if (command == "match") {
     if (rest.size() != 1) return Usage();
@@ -451,13 +494,13 @@ int Dispatch(const std::string& command, std::vector<std::string> rest) {
     std::string directory = rest[0];
     std::string output = rest[1];
     rest.erase(rest.begin(), rest.begin() + 2);
-    return RunExecute(directory, output, rest);
+    return RunExecute(directory, output, std::move(rest));
   }
   if (command == "plan") {
     if (rest.empty()) return Usage();
     std::string directory = rest[0];
     rest.erase(rest.begin());
-    return RunPlan(directory, rest);
+    return RunPlan(directory, std::move(rest));
   }
   if (command == "visualize") {
     if (rest.empty() || rest.size() > 2) return Usage();
@@ -467,7 +510,7 @@ int Dispatch(const std::string& command, std::vector<std::string> rest) {
     if (rest.empty()) return Usage();
     std::string directory = rest[0];
     rest.erase(rest.begin());
-    return RunEstimate(directory, rest);
+    return RunEstimate(directory, std::move(rest));
   }
   return Usage();
 }
@@ -479,10 +522,44 @@ int main(int argc, char** argv) {
   std::string command = argv[1];
   std::vector<std::string> rest(argv + 2, argv + argc);
 
-  int telemetry_code = ApplyTelemetryFlags(&rest);
-  if (telemetry_code >= 0) return telemetry_code;
+  // Strip the global flags; subcommand flags stay for Dispatch.
+  efes::Status parsed =
+      GlobalFlags().Parse(&rest, efes::FlagSet::UnknownFlags::kKeep);
+  if (!parsed.ok()) return FlagError(parsed);
+  if (g_flags.no_cache && !g_flags.cache_dir.empty()) {
+    std::fprintf(stderr, "--no-cache and --cache-dir are exclusive\n");
+    return Usage(kExitUsage);
+  }
+
+  // The profile cache: in-memory per run by default, persisted with
+  // --cache-dir, off with --no-cache. A missing/corrupt snapshot is a
+  // cold start, never an error.
+  efes::ProfileCache cache;
+  if (!g_flags.no_cache) {
+    g_cache = &cache;
+    if (!g_flags.cache_dir.empty()) {
+      efes::Status loaded = cache.LoadFromFile(
+          efes::ProfileCache::FilePathInDirectory(g_flags.cache_dir));
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "warning: cache load failed: %s\n",
+                     loaded.ToString().c_str());
+      }
+    }
+  }
+  efes::ScopedProfileCache scoped_cache(g_cache);
 
   int code = Dispatch(command, std::move(rest));
   if (code != 0) return code;
+
+  if (g_cache != nullptr && !g_flags.cache_dir.empty()) {
+    efes::Status saved = cache.SaveToFile(
+        efes::ProfileCache::FilePathInDirectory(g_flags.cache_dir));
+    if (!saved.ok()) {
+      // A failed save degrades the next run to cold; it does not fail
+      // this one.
+      std::fprintf(stderr, "warning: cache save failed: %s\n",
+                   saved.ToString().c_str());
+    }
+  }
   return EmitTelemetry();
 }

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "efes/common/file_io.h"
+#include "efes/common/flags.h"
 #include "efes/common/result.h"
 #include "efes/lint/lint.h"
 
@@ -86,26 +87,27 @@ bool CollectFiles(const std::vector<std::string>& paths,
 int main(int argc, char** argv) {
   std::string format = "text";
   bool show_suppressed = false;
-  std::vector<std::string> paths;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--list-checks") {
-      for (const std::string& id : efes::lint::AllCheckIds()) {
-        std::printf("%s\n", id.c_str());
-      }
-      return 0;
+  bool list_checks = false;
+  efes::FlagSet flags;
+  flags.AddChoice("format", {"text", "json"}, "report format", &format);
+  flags.AddBool("show-suppressed",
+                "include suppressed findings in text output",
+                &show_suppressed);
+  flags.AddBool("list-checks", "print the check catalog and exit",
+                &list_checks);
+
+  std::vector<std::string> paths(argv + 1, argv + argc);
+  efes::Status parsed = flags.Parse(&paths);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "efes_lint: %s\n", parsed.message().c_str());
+    if (efes::IsUnknownFlagError(parsed)) return kExitUnknownFlag;
+    return Usage();
+  }
+  if (list_checks) {
+    for (const std::string& id : efes::lint::AllCheckIds()) {
+      std::printf("%s\n", id.c_str());
     }
-    if (arg == "--show-suppressed") {
-      show_suppressed = true;
-    } else if (arg.rfind("--format=", 0) == 0) {
-      format = arg.substr(9);
-      if (format != "text" && format != "json") return Usage();
-    } else if (arg.rfind("--", 0) == 0) {
-      std::fprintf(stderr, "efes_lint: unknown flag %s\n", arg.c_str());
-      return kExitUnknownFlag;
-    } else {
-      paths.push_back(arg);
-    }
+    return 0;
   }
   if (paths.empty()) return Usage();
 
