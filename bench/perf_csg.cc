@@ -78,11 +78,15 @@ void BM_PathViolationCounting(benchmark::State& state) {
 BENCHMARK(BM_PathViolationCounting)->Arg(500)->Arg(2000)->Arg(8000);
 
 /// CSG build + path search; the CSG layer is not counter-instrumented,
-/// so the workload records its own size gauges.
+/// so the workload records its own size gauges and build latency.
 void JsonLineWorkload() {
   Database db = ScaledSource(2000);
-  Csg csg = BuildCsg(db);
   MetricsRegistry& metrics = MetricsRegistry::Global();
+  const Clock& clock = *Clock::Default();
+  const int64_t build_start = clock.NowNanos();
+  Csg csg = BuildCsg(db);
+  metrics.GetHistogram("csg.build.ms")
+      .Observe(static_cast<double>(clock.NowNanos() - build_start) / 1e6);
   metrics.GetGauge("csg.build.nodes")
       .Set(static_cast<double>(csg.graph.nodes().size()));
   NodeId start = *csg.graph.FindTableNode("albums");

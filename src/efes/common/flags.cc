@@ -104,6 +104,14 @@ FlagSet& FlagSet::AddAction(std::string name, std::string value_name,
   return *this;
 }
 
+FlagSet& FlagSet::AddOptional(std::string name, std::string value_name,
+                              std::string help,
+                              std::function<Status(std::string_view)> apply) {
+  flags_.push_back(Flag{std::move(name), std::move(value_name),
+                        std::move(help), std::move(apply), true});
+  return *this;
+}
+
 const FlagSet::Flag* FlagSet::Find(std::string_view name) const {
   for (const Flag& flag : flags_) {
     if (flag.name == name) return &flag;
@@ -132,7 +140,7 @@ Status FlagSet::Parse(std::vector<std::string>* args,
       return Status::NotFound("unknown flag: " + arg);
     }
     const bool wants_value = !flag->value_name.empty();
-    if (wants_value != has_value) {
+    if (!flag->optional_value && wants_value != has_value) {
       return Status::InvalidArgument(
           wants_value ? "--" + flag->name + " requires a value (--" +
                             flag->name + "=" + flag->value_name + ")"
@@ -157,7 +165,8 @@ void FlagSet::ParseArgvKeepUnknown(int* argc, char** argv) const {
     bool consumed = false;
     if (SplitFlag(argv[i], &name, &value, &has_value)) {
       const Flag* flag = Find(name);
-      if (flag != nullptr && (!flag->value_name.empty()) == has_value) {
+      if (flag != nullptr && (flag->optional_value ||
+                              (!flag->value_name.empty()) == has_value)) {
         consumed = flag->apply(value).ok();
       }
     }
@@ -172,7 +181,10 @@ std::string FlagSet::UsageText() const {
   size_t width = 0;
   for (const Flag& flag : flags_) {
     std::string spelling = "--" + flag.name;
-    if (!flag.value_name.empty()) spelling += "=" + flag.value_name;
+    if (!flag.value_name.empty()) {
+      spelling += flag.optional_value ? "[=" + flag.value_name + "]"
+                                      : "=" + flag.value_name;
+    }
     width = std::max(width, spelling.size());
     spellings.push_back(std::move(spelling));
   }

@@ -65,6 +65,13 @@ class FlagSet {
                      std::string help,
                      std::function<Status(std::string_view)> apply);
 
+  /// Optional-value flag: both `--name` and `--name=<value_name>` parse;
+  /// `apply` receives the empty string for the bare form. Rendered as
+  /// `--name[=<value_name>]` in UsageText.
+  FlagSet& AddOptional(std::string name, std::string value_name,
+                       std::string help,
+                       std::function<Status(std::string_view)> apply);
+
   /// Parses `args`, removing every recognized flag (and applying it).
   /// Stops at the first error; recognized flags before the error are
   /// already applied.
@@ -87,6 +94,7 @@ class FlagSet {
     std::string value_name;  // empty for boolean switches
     std::string help;
     std::function<Status(std::string_view)> apply;
+    bool optional_value = false;  // both --name and --name=value parse
   };
 
   const Flag* Find(std::string_view name) const;

@@ -132,12 +132,16 @@ Result<EstimationConfig> ParseEffortConfig(std::string_view text) {
       return Status::ParseError("line " + std::to_string(line_number) +
                                 ": " + formula.status().message());
     }
+    std::string formula_text = formula->text();
+    std::vector<std::string> formula_params =
+        formula->ReferencedParameters();
     config.model.SetFunction(
         *task_type,
         [parsed = std::move(*formula)](const Task& task,
                                        const ExecutionSettings&) {
           return parsed.Evaluate(task);
-        });
+        },
+        std::move(formula_text), std::move(formula_params));
   }
   return config;
 }

@@ -12,6 +12,29 @@ double DistinctValues(const Task& task) {
   return task.Param(task_params::kDistinctValues);
 }
 
+/// Which task parameters each Table 9 default function reads — the
+/// provenance layer links these parameter values into the effort node.
+std::vector<std::string> DefaultFunctionParameters(TaskType type) {
+  switch (type) {
+    case TaskType::kAggregateValues:
+      return {std::string(task_params::kRepetitions)};
+    case TaskType::kConvertValues:
+    case TaskType::kGeneralizeValues:
+      return {std::string(task_params::kDistinctValues)};
+    case TaskType::kRefineValues:
+    case TaskType::kAddValues:
+    case TaskType::kAddMissingValues:
+      return {std::string(task_params::kValues)};
+    case TaskType::kWriteMapping:
+      return {std::string(task_params::kForeignKeys),
+              std::string(task_params::kPrimaryKeys),
+              std::string(task_params::kAttributes),
+              std::string(task_params::kTables)};
+    default:
+      return {};
+  }
+}
+
 }  // namespace
 
 EffortModel EffortModel::PaperDefault() {
@@ -83,11 +106,26 @@ EffortModel EffortModel::PaperDefault() {
                3.0 * task.Param(task_params::kTables);
       });
 
+  // The defaults are fully described: attach the Table 9 formula text and
+  // parameter lists so Explain() can name them.
+  for (auto& [type, entry] : model.functions_) {
+    entry.description = DescribeDefaultFunction(type);
+    entry.parameters = DefaultFunctionParameters(type);
+    entry.described = true;
+  }
+
   return model;
 }
 
 void EffortModel::SetFunction(TaskType type, EffortFunction function) {
-  functions_[type] = std::move(function);
+  functions_[type] = FunctionEntry{std::move(function), "", {}, false};
+}
+
+void EffortModel::SetFunction(TaskType type, EffortFunction function,
+                              std::string description,
+                              std::vector<std::string> parameters) {
+  functions_[type] = FunctionEntry{std::move(function), std::move(description),
+                                   std::move(parameters), true};
 }
 
 bool EffortModel::HasFunction(TaskType type) const {
@@ -96,10 +134,33 @@ bool EffortModel::HasFunction(TaskType type) const {
 
 double EffortModel::EstimateMinutes(const Task& task,
                                     const ExecutionSettings& settings) const {
+  return Explain(task, settings).minutes;
+}
+
+EffortExplanation EffortModel::Explain(
+    const Task& task, const ExecutionSettings& settings) const {
+  EffortExplanation explanation;
+  explanation.multiplier = settings.OverallMultiplier();
+  explanation.scale = global_scale_;
   auto it = functions_.find(task.type);
-  if (it == functions_.end()) return 0.0;
-  double base = it->second(task, settings);
-  return base * settings.OverallMultiplier() * global_scale_;
+  if (it == functions_.end()) {
+    explanation.function = "(no effort function)";
+    return explanation;
+  }
+  explanation.known = true;
+  explanation.base = it->second.function(task, settings);
+  explanation.minutes =
+      explanation.base * explanation.multiplier * explanation.scale;
+  if (it->second.described) {
+    explanation.function = it->second.description;
+    explanation.parameters = it->second.parameters;
+  } else {
+    explanation.function = "(custom function)";
+    for (const auto& [name, value] : task.parameters) {
+      explanation.parameters.push_back(name);
+    }
+  }
+  return explanation;
 }
 
 std::string EffortModel::DescribeDefaultFunction(TaskType type) {

@@ -14,6 +14,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "efes/core/task.h"
 
@@ -47,6 +48,27 @@ struct ExecutionSettings {
   }
 };
 
+/// One effort-function evaluation, decomposed into the factors the
+/// provenance layer records: minutes = base * multiplier * scale.
+struct EffortExplanation {
+  /// Raw function value before scaling; 0 when the type has no function.
+  double base = 0.0;
+  /// ExecutionSettings::OverallMultiplier() at evaluation time.
+  double multiplier = 1.0;
+  /// The model's global calibration scale.
+  double scale = 1.0;
+  double minutes = 0.0;
+  /// False when no function is registered for the task's type.
+  bool known = false;
+  /// Human-readable formula, e.g. "3 * #FKs + 3 * #PKs + #atts +
+  /// 3 * #tables" or the effort-config formula text.
+  std::string function;
+  /// Names of the task parameters the function reads. Falls back to every
+  /// parameter of the task when the function was registered without
+  /// metadata (the legacy SetFunction overload).
+  std::vector<std::string> parameters;
+};
+
 /// Maps task types to effort-calculation functions (minutes).
 class EffortModel {
  public:
@@ -61,6 +83,11 @@ class EffortModel {
 
   /// Registers (or replaces) the function for `type`.
   void SetFunction(TaskType type, EffortFunction function);
+  /// Same, with explainability metadata: a human-readable `description`
+  /// of the formula and the task `parameters` it reads.
+  void SetFunction(TaskType type, EffortFunction function,
+                   std::string description,
+                   std::vector<std::string> parameters);
   bool HasFunction(TaskType type) const;
 
   /// Calibration knob: every estimate is multiplied by this factor (used
@@ -73,11 +100,25 @@ class EffortModel {
   double EstimateMinutes(const Task& task,
                          const ExecutionSettings& settings) const;
 
+  /// EstimateMinutes with every factor broken out, for the provenance
+  /// recorder. EstimateMinutes() is Explain().minutes, so the two can
+  /// never drift apart.
+  EffortExplanation Explain(const Task& task,
+                            const ExecutionSettings& settings) const;
+
   /// Human-readable formula per task type (for the Table 9 printer).
   static std::string DescribeDefaultFunction(TaskType type);
 
  private:
-  std::map<TaskType, EffortFunction> functions_;
+  struct FunctionEntry {
+    EffortFunction function;
+    std::string description;
+    std::vector<std::string> parameters;
+    /// True when registered through the metadata overload.
+    bool described = false;
+  };
+
+  std::map<TaskType, FunctionEntry> functions_;
   double global_scale_ = 1.0;
 };
 

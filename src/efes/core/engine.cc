@@ -8,6 +8,7 @@
 #include "efes/common/parallel.h"
 #include "efes/common/string_util.h"
 #include "efes/common/text_table.h"
+#include "efes/provenance/provenance.h"
 #include "efes/telemetry/log.h"
 #include "efes/telemetry/metrics.h"
 #include "efes/telemetry/trace.h"
@@ -84,7 +85,14 @@ Result<std::unique_ptr<ComplexityReport>> AssessModule(
   metrics.GetCounter("engine.assess.calls").Increment();
   TraceSpan span(module.name() + ".assess", nullptr, &assess_ms);
   EFES_RETURN_IF_ERROR(CheckFaultPoint("engine.assess"));
-  return module.AssessComplexity(scenario);
+  Result<std::unique_ptr<ComplexityReport>> report =
+      module.AssessComplexity(scenario);
+  if (report.ok() && *report != nullptr) {
+    // Cross-link the trace: the span that produced this assessment
+    // carries the report's provenance node id in the Chrome export.
+    span.set_provenance((*report)->provenance_node());
+  }
+  return report;
 }
 
 /// Runs both phases of one module into `run` (report + planned tasks,
@@ -142,6 +150,21 @@ Result<EstimationResult> EfesEngine::Run(const IntegrationScenario& scenario,
                std::to_string(modules_.size()) + " modules, " +
                std::to_string(ConfiguredThreadCount()) + " threads");
   EFES_RETURN_IF_ERROR(scenario.Validate());
+  // When someone is listening, record the run-wide pricing factors once;
+  // every task-effort node links back to them.
+  ProvenanceRecorder* prov = ProvenanceRecorder::Active();
+  uint64_t multiplier_node = 0;
+  uint64_t scale_node = 0;
+  if (prov != nullptr) {
+    multiplier_node = prov->RecordValue(
+        ProvenanceKind::kParameter, "parameter settings.overall_multiplier",
+        "", settings.OverallMultiplier());
+    scale_node = prov->RecordValue(ProvenanceKind::kParameter,
+                                   "parameter effort_model.global_scale", "",
+                                   effort_model_.global_scale());
+  }
+  std::vector<uint64_t> module_effort_nodes;
+  size_t task_counter = 0;
   EstimationResult result;
   for (const auto& module : modules_) {
     ModuleRun run;
@@ -165,13 +188,56 @@ Result<EstimationResult> EfesEngine::Run(const IntegrationScenario& scenario,
     metrics.GetCounter("engine.plan.tasks").Increment(tasks.size());
     metrics.GetCounter(module->name() + ".plan.tasks")
         .Increment(tasks.size());
+    std::vector<uint64_t> module_effort_inputs;
     for (Task& task : tasks) {
-      double minutes = effort_model_.EstimateMinutes(task, settings);
-      run.tasks.push_back(TaskEstimate{std::move(task), minutes});
+      EffortExplanation explained = effort_model_.Explain(task, settings);
+      if (prov != nullptr) {
+        const std::string ref = "t" + std::to_string(task_counter);
+        uint64_t task_node = prov->Record(
+            ProvenanceKind::kTask,
+            "task " + ref + ": " + std::string(TaskTypeToString(task.type)),
+            task.subject, task.provenance);
+        prov->SetRef(task_node, ref);
+        // The effort node derives from the task, the parameter values the
+        // function read, and the run-wide scaling factors.
+        std::vector<uint64_t> effort_inputs = {task_node};
+        for (const std::string& name : explained.parameters) {
+          auto param = task.parameters.find(name);
+          if (param == task.parameters.end()) continue;
+          effort_inputs.push_back(prov->RecordValue(
+              ProvenanceKind::kParameter, "parameter " + name, task.subject,
+              param->second));
+        }
+        effort_inputs.push_back(multiplier_node);
+        effort_inputs.push_back(scale_node);
+        module_effort_inputs.push_back(prov->RecordValue(
+            ProvenanceKind::kTaskEffort,
+            "task effort " + ref + ": " + explained.function, task.subject,
+            explained.minutes, std::move(effort_inputs)));
+      }
+      ++task_counter;
+      run.tasks.push_back(TaskEstimate{std::move(task), explained.minutes});
+    }
+    if (prov != nullptr) {
+      if (run.report != nullptr && run.report->provenance_node() != 0) {
+        // Keep assessments with zero priced tasks reachable from the
+        // total: the module node also derives from the assess summary.
+        module_effort_inputs.push_back(run.report->provenance_node());
+      }
+      double module_minutes = 0.0;
+      for (const TaskEstimate& t : run.tasks) module_minutes += t.minutes;
+      module_effort_nodes.push_back(prov->RecordValue(
+          ProvenanceKind::kModuleEffort, "module effort " + run.module, "",
+          module_minutes, std::move(module_effort_inputs)));
     }
     result.estimate.tasks.insert(result.estimate.tasks.end(),
                                  run.tasks.begin(), run.tasks.end());
     result.module_runs.push_back(std::move(run));
+  }
+  if (prov != nullptr) {
+    run_span.set_provenance(prov->RecordValue(
+        ProvenanceKind::kTotalEffort, "total effort", scenario.name,
+        result.estimate.TotalMinutes(), std::move(module_effort_nodes)));
   }
   EFES_LOG(LogLevel::kInfo,
            "engine: planned " +

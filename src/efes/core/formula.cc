@@ -1,5 +1,6 @@
 #include "efes/core/formula.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <vector>
@@ -331,6 +332,13 @@ double EvaluateNode(const Node& node, const Task& task) {
   return 0.0;
 }
 
+void CollectParameters(const Node& node, std::vector<std::string>* names) {
+  if (node.kind == Node::Kind::kParameter) names->push_back(node.parameter);
+  if (node.a != nullptr) CollectParameters(*node.a, names);
+  if (node.b != nullptr) CollectParameters(*node.b, names);
+  if (node.c != nullptr) CollectParameters(*node.c, names);
+}
+
 }  // namespace
 
 Result<Formula> Formula::Parse(std::string_view text) {
@@ -342,6 +350,14 @@ Result<Formula> Formula::Parse(std::string_view text) {
 
 double Formula::Evaluate(const Task& task) const {
   return EvaluateNode(*root_, task);
+}
+
+std::vector<std::string> Formula::ReferencedParameters() const {
+  std::vector<std::string> names;
+  CollectParameters(*root_, &names);
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
 }
 
 }  // namespace efes

@@ -22,6 +22,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "efes/common/result.h"
 #include "efes/core/task.h"
@@ -45,6 +46,10 @@ class Formula {
 
   /// The original source text.
   const std::string& text() const { return text_; }
+
+  /// Names of the task parameters the formula reads, sorted and deduped
+  /// (provenance metadata for config-defined effort functions).
+  std::vector<std::string> ReferencedParameters() const;
 
   /// Internal expression node (exposed for testing the tree shape only).
   struct Node;

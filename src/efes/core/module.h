@@ -9,6 +9,7 @@
 #ifndef EFES_CORE_MODULE_H_
 #define EFES_CORE_MODULE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -37,6 +38,15 @@ class ComplexityReport {
   /// A single scalar summarizing how many distinct problems the report
   /// contains (0 = nothing to do). Used by source-selection ranking.
   virtual size_t ProblemCount() const = 0;
+
+  /// Provenance-node id of this report's assessment summary (0 when no
+  /// recorder was active). Set by the producing module; the engine links
+  /// it into the module-effort node and the assess trace span.
+  uint64_t provenance_node() const { return provenance_node_; }
+  void set_provenance_node(uint64_t id) { provenance_node_ = id; }
+
+ private:
+  uint64_t provenance_node_ = 0;
 };
 
 class EstimationModule {

@@ -8,9 +8,11 @@
 #ifndef EFES_CORE_TASK_H_
 #define EFES_CORE_TASK_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace efes {
 
@@ -87,6 +89,11 @@ struct Task {
   std::string subject;
   /// Named numeric parameters, e.g. {"values": 102}.
   std::map<std::string, double> parameters;
+
+  /// Provenance-node ids of the detector findings this task repairs
+  /// (empty when no recorder was active; see efes/provenance). Structure
+  /// repairs can trace to several conflicts via side-effect propagation.
+  std::vector<uint64_t> provenance;
 
   /// Returns parameters[name], or `fallback` when absent.
   double Param(std::string_view name, double fallback = 0.0) const;

@@ -13,6 +13,7 @@
 #include "efes/common/string_util.h"
 #include "efes/csg/builder.h"
 #include "efes/csg/path_search.h"
+#include "efes/provenance/provenance.h"
 #include "efes/telemetry/log.h"
 #include "efes/telemetry/metrics.h"
 #include "efes/telemetry/trace.h"
@@ -673,6 +674,29 @@ Result<Database> IntegrationExecutor::Execute(
       .Increment(counters.values_converted);
   metrics.GetCounter("execute.run.dangling_repaired")
       .Increment(counters.dangling_repaired);
+  if (ProvenanceRecorder* prov = ProvenanceRecorder::Active();
+      prov != nullptr) {
+    std::vector<uint64_t> counter_nodes = {
+        prov->RecordValue(ProvenanceKind::kStatistic,
+                          "statistic execute.tuples_integrated", "",
+                          static_cast<double>(counters.tuples_integrated)),
+        prov->RecordValue(ProvenanceKind::kStatistic,
+                          "statistic execute.tuples_rejected", "",
+                          static_cast<double>(counters.tuples_rejected)),
+        prov->RecordValue(ProvenanceKind::kStatistic,
+                          "statistic execute.values_merged", "",
+                          static_cast<double>(counters.values_merged)),
+        prov->RecordValue(ProvenanceKind::kStatistic,
+                          "statistic execute.values_converted", "",
+                          static_cast<double>(counters.values_converted)),
+        prov->RecordValue(ProvenanceKind::kStatistic,
+                          "statistic execute.dangling_repaired", "",
+                          static_cast<double>(counters.dangling_repaired)),
+    };
+    span.set_provenance(prov->Record(ProvenanceKind::kFinding,
+                                     "execution report", scenario.name,
+                                     std::move(counter_nodes)));
+  }
   EFES_LOG(LogLevel::kInfo, "execute: " + counters.ToString());
   return result;
 }

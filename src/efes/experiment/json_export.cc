@@ -3,6 +3,7 @@
 #include "efes/common/file_io.h"
 #include "efes/common/json_writer.h"
 #include "efes/mapping/mapping_module.h"
+#include "efes/provenance/render.h"
 #include "efes/structure/structure_module.h"
 #include "efes/telemetry/report.h"
 #include "efes/values/value_module.h"
@@ -93,7 +94,8 @@ void WriteModuleDetail(JsonWriter& json, const ComplexityReport& report) {
 }
 
 std::string EstimationResultToJsonImpl(const EstimationResult& result,
-                                       const MetricsSnapshot* telemetry) {
+                                       const MetricsSnapshot* telemetry,
+                                       const ProvenanceSnapshot* provenance) {
   JsonWriter json;
   json.BeginObject();
 
@@ -157,6 +159,11 @@ std::string EstimationResultToJsonImpl(const EstimationResult& result,
     WriteMetricsJson(*telemetry, json);
   }
 
+  if (provenance != nullptr) {
+    json.Key("provenance");
+    WriteProvenanceJson(*provenance, json);
+  }
+
   json.EndObject();
   return json.ToString();
 }
@@ -164,20 +171,27 @@ std::string EstimationResultToJsonImpl(const EstimationResult& result,
 }  // namespace
 
 std::string EstimationResultToJson(const EstimationResult& result) {
-  return EstimationResultToJsonImpl(result, nullptr);
+  return EstimationResultToJsonImpl(result, nullptr, nullptr);
 }
 
 std::string EstimationResultToJson(const EstimationResult& result,
                                    const MetricsSnapshot& telemetry) {
-  return EstimationResultToJsonImpl(result, &telemetry);
+  return EstimationResultToJsonImpl(result, &telemetry, nullptr);
+}
+
+std::string EstimationResultToJson(const EstimationResult& result,
+                                   const MetricsSnapshot* telemetry,
+                                   const ProvenanceSnapshot* provenance) {
+  return EstimationResultToJsonImpl(result, telemetry, provenance);
 }
 
 Status WriteEstimationResultJsonFile(const EstimationResult& result,
                                      const std::string& path,
-                                     const MetricsSnapshot* telemetry) {
-  return WriteFileAtomic(path,
-                         EstimationResultToJsonImpl(result, telemetry) +
-                             "\n");
+                                     const MetricsSnapshot* telemetry,
+                                     const ProvenanceSnapshot* provenance) {
+  return WriteFileAtomic(
+      path,
+      EstimationResultToJsonImpl(result, telemetry, provenance) + "\n");
 }
 
 std::string StudyResultToJson(const StudyResult& study) {

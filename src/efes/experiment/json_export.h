@@ -10,6 +10,7 @@
 
 #include "efes/core/engine.h"
 #include "efes/experiment/study.h"
+#include "efes/provenance/provenance.h"
 #include "efes/telemetry/metrics.h"
 
 namespace efes {
@@ -31,16 +32,26 @@ std::string EstimationResultToJson(const EstimationResult& result);
 std::string EstimationResultToJson(const EstimationResult& result,
                                    const MetricsSnapshot& telemetry);
 
+/// Same, plus a "provenance" section carrying the recorded node DAG
+/// ({"nodes": [{id, kind, label, ...}]}, see provenance/render.h) so
+/// every exported effort number is traceable to its evidence. Either
+/// pointer may be null to omit its section.
+std::string EstimationResultToJson(const EstimationResult& result,
+                                   const MetricsSnapshot* telemetry,
+                                   const ProvenanceSnapshot* provenance);
+
 /// Serializes a study (the Figure 6/7 data):
 /// {"domain", "outcomes": [...], "efes_rmse", "counting_rmse"}.
 std::string StudyResultToJson(const StudyResult& study);
 
 /// Atomically writes the JSON export (plus trailing newline) to `path`
 /// via common/file_io.h — a crash or transient I/O error never leaves a
-/// truncated document behind. `telemetry` may be null.
+/// truncated document behind. `telemetry` and `provenance` may be null.
 Status WriteEstimationResultJsonFile(const EstimationResult& result,
                                      const std::string& path,
                                      const MetricsSnapshot* telemetry =
+                                         nullptr,
+                                     const ProvenanceSnapshot* provenance =
                                          nullptr);
 
 }  // namespace efes

@@ -18,13 +18,15 @@ constexpr std::string_view kUnorderedIteration = "unordered-iteration";
 constexpr std::string_view kRawFileWrite = "raw-file-write";
 constexpr std::string_view kHeaderHygiene = "header-hygiene";
 constexpr std::string_view kBannedFunction = "banned-function";
+constexpr std::string_view kMetricName = "metric-name";
 constexpr std::string_view kBadSuppression = "bad-suppression";
 
 /// Check ids a suppression may name (bad-suppression itself is not
 /// suppressible — the escape hatch must stay auditable).
 constexpr std::string_view kSuppressibleChecks[] = {
     kDiscardedStatus, kNondeterminism, kUnorderedIteration,
-    kRawFileWrite,    kHeaderHygiene,  kBannedFunction};
+    kRawFileWrite,    kHeaderHygiene,  kBannedFunction,
+    kMetricName};
 
 bool PathMatchesAny(std::string_view path,
                     const std::vector<std::string>& patterns) {
@@ -44,6 +46,27 @@ bool IsHeaderPath(std::string_view path) {
 
 bool IsIdent(const Token& t, std::string_view text) {
   return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+
+/// True for dotted lowercase metric/span names: two or more [a-z0-9_]+
+/// segments joined by single dots (`module.phase.metric`).
+bool IsDottedMetricName(std::string_view name) {
+  bool seen_dot = false;
+  bool segment_char = false;
+  for (char c : name) {
+    if (c == '.') {
+      if (!segment_char) return false;  // empty segment
+      seen_dot = true;
+      segment_char = false;
+      continue;
+    }
+    if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_') {
+      segment_char = true;
+      continue;
+    }
+    return false;
+  }
+  return seen_dot && segment_char;
 }
 
 bool IsPunct(const Token& t, std::string_view text) {
@@ -365,6 +388,37 @@ void Linter::CheckFile(std::string_view path, std::string_view content,
         add(kBannedFunction, t.line,
             "mutable_effort_model() was removed; use "
             "set_effort_model(EffortModel), which validates the model");
+      }
+    }
+
+    // ---- metric-name -------------------------------------------------
+    if (t.text == "GetCounter" || t.text == "GetGauge" ||
+        t.text == "GetHistogram" || t.text == "TraceSpan") {
+      // The Get* registrars are calls; TraceSpan also appears as a
+      // declaration (`TraceSpan span("name", ...)`).
+      size_t open = std::string_view::npos;
+      if (i + 1 < code.size() && IsPunct(code[i + 1], "(")) {
+        open = i + 1;
+      } else if (t.text == "TraceSpan" && i + 2 < code.size() &&
+                 code[i + 1].kind == TokenKind::kIdentifier &&
+                 IsPunct(code[i + 2], "(")) {
+        open = i + 2;
+      }
+      // Only complete literal names are checkable: the literal must be
+      // the whole first argument (followed by ',' or ')'), not a prefix
+      // of a concatenation or a runtime-built name.
+      if (open != std::string_view::npos && open + 2 < code.size() &&
+          code[open + 1].kind == TokenKind::kString &&
+          (IsPunct(code[open + 2], ",") || IsPunct(code[open + 2], ")"))) {
+        std::string_view literal = code[open + 1].text;
+        if (literal.size() >= 2 && literal.front() == '"' &&
+            literal.back() == '"' &&
+            !IsDottedMetricName(literal.substr(1, literal.size() - 2))) {
+          add(kMetricName, code[open + 1].line,
+              "metric/span name " + std::string(literal) +
+                  " violates the dotted lowercase scheme "
+                  "module.phase.metric ([a-z0-9_] segments, two or more)");
+        }
       }
     }
 

@@ -29,6 +29,11 @@
 //   banned-function     strcpy/sprintf/atoi, naked new/delete, and the
 //                       removed mutable_effort_model() accessor
 //                       (leaked singletons carry suppressions).
+//   metric-name         A complete string-literal name passed to
+//                       GetCounter/GetGauge/GetHistogram/TraceSpan that
+//                       does not follow the dotted lowercase
+//                       `module.phase.metric` scheme (two or more
+//                       [a-z0-9_]+ segments).
 //   bad-suppression     An EFES_LINT_ALLOW comment with an unknown check
 //                       id or without a reason.
 //

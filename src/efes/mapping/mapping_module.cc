@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "efes/common/text_table.h"
+#include "efes/provenance/provenance.h"
 
 namespace efes {
 
@@ -98,6 +99,7 @@ std::string MappingComplexityReport::ToText() const {
 
 Result<std::unique_ptr<ComplexityReport>> MappingModule::AssessComplexity(
     const IntegrationScenario& scenario) const {
+  ProvenanceRecorder* prov = ProvenanceRecorder::Active();
   std::vector<MappingConnection> connections;
   for (const SourceBinding& source : scenario.sources) {
     const Schema& source_schema = source.database.schema();
@@ -174,11 +176,39 @@ Result<std::unique_ptr<ComplexityReport>> MappingModule::AssessComplexity(
         }
       }
 
+      if (prov != nullptr) {
+        // Each connection derives from the correspondence scores that
+        // established it; the planner forwards the id into the task.
+        std::vector<uint64_t> inputs;
+        for (const Correspondence& c : attribute_correspondences) {
+          inputs.push_back(prov->RecordValue(
+              ProvenanceKind::kCorrespondence, "correspondence",
+              connection.source_database + ":" + c.source_relation + "." +
+                  c.source_attribute + " -> " + c.target_relation + "." +
+                  c.target_attribute,
+              c.confidence));
+        }
+        connection.provenance = prov->Record(
+            ProvenanceKind::kFinding, "mapping connection",
+            connection.source_database + " -> " + connection.target_table,
+            std::move(inputs));
+      }
       connections.push_back(std::move(connection));
     }
   }
-  return std::unique_ptr<ComplexityReport>(
-      std::make_unique<MappingComplexityReport>(std::move(connections)));
+  auto report =
+      std::make_unique<MappingComplexityReport>(std::move(connections));
+  if (prov != nullptr) {
+    std::vector<uint64_t> connection_nodes;
+    for (const MappingConnection& c : report->connections()) {
+      connection_nodes.push_back(c.provenance);
+    }
+    report->set_provenance_node(prov->RecordValue(
+        ProvenanceKind::kFinding, "mapping assessment", "",
+        static_cast<double>(report->connections().size()),
+        std::move(connection_nodes)));
+  }
+  return std::unique_ptr<ComplexityReport>(std::move(report));
 }
 
 Result<std::vector<Task>> MappingModule::PlanTasks(
@@ -207,6 +237,7 @@ Result<std::vector<Task>> MappingModule::PlanTasks(
         c.needs_key_generation ? 1.0 : 0.0;
     task.parameters[task_params::kForeignKeys] =
         static_cast<double>(c.foreign_key_count);
+    if (c.provenance != 0) task.provenance.push_back(c.provenance);
     tasks.push_back(std::move(task));
   }
   return tasks;

@@ -11,6 +11,7 @@
 #ifndef EFES_MAPPING_MAPPING_MODULE_H_
 #define EFES_MAPPING_MAPPING_MODULE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -34,6 +35,8 @@ struct MappingConnection {
   bool needs_key_generation = false;
   /// Target-side foreign keys that the mapping must establish.
   size_t foreign_key_count = 0;
+  /// Provenance-node id of this connection (0 = no recorder active).
+  uint64_t provenance = 0;
 };
 
 class MappingComplexityReport : public ComplexityReport {

@@ -7,6 +7,7 @@
 #include "efes/common/parallel.h"
 #include "efes/common/string_util.h"
 #include "efes/profiling/statistics.h"
+#include "efes/provenance/provenance.h"
 #include "efes/telemetry/metrics.h"
 
 namespace efes {
@@ -148,6 +149,20 @@ CorrespondenceSet SchemaMatcher::Match(const Database& source,
                                        const Database& target) const {
   CorrespondenceSet correspondences;
 
+  // Scoring fans out over the pool; recording stays on this sequential
+  // acceptance path, so node ids are independent of the thread count.
+  ProvenanceRecorder* prov = ProvenanceRecorder::Active();
+  uint64_t relation_threshold_node = 0;
+  uint64_t attribute_threshold_node = 0;
+  if (prov != nullptr) {
+    relation_threshold_node = prov->RecordValue(
+        ProvenanceKind::kThreshold, "threshold min_relation_confidence", "",
+        options_.min_relation_confidence);
+    attribute_threshold_node = prov->RecordValue(
+        ProvenanceKind::kThreshold, "threshold min_attribute_confidence", "",
+        options_.min_attribute_confidence);
+  }
+
   // Greedy 1:1 relation matching by descending score.
   std::vector<MatchCandidate> relation_candidates =
       ScoreRelations(source, target);
@@ -166,6 +181,13 @@ CorrespondenceSet SchemaMatcher::Match(const Database& source,
     corr.source_relation = candidate.source_relation;
     corr.target_relation = candidate.target_relation;
     corr.confidence = candidate.score;
+    if (prov != nullptr) {
+      prov->RecordValue(ProvenanceKind::kCorrespondence,
+                        "relation correspondence",
+                        candidate.source_relation + " -> " +
+                            candidate.target_relation,
+                        candidate.score, {relation_threshold_node});
+    }
     correspondences.Add(std::move(corr));
     relation_pairs.emplace_back(candidate.source_relation,
                                 candidate.target_relation);
@@ -225,6 +247,15 @@ CorrespondenceSet SchemaMatcher::Match(const Database& source,
       corr.target_relation = candidate.target_relation;
       corr.target_attribute = candidate.target_attribute;
       corr.confidence = candidate.score;
+      if (prov != nullptr) {
+        prov->RecordValue(ProvenanceKind::kCorrespondence,
+                          "attribute correspondence",
+                          candidate.source_relation + "." +
+                              candidate.source_attribute + " -> " +
+                              candidate.target_relation + "." +
+                              candidate.target_attribute,
+                          candidate.score, {attribute_threshold_node});
+      }
       correspondences.Add(std::move(corr));
     }
   }

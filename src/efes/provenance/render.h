@@ -1,0 +1,35 @@
+// Renderers for the provenance DAG: the `--explain[=<task-id>]` text tree
+// and the `provenance` section of the JSON export. Both honor the
+// `provenance.export` fault point and a degraded snapshot by reporting a
+// degraded explain section instead of failing the run.
+
+#ifndef EFES_PROVENANCE_RENDER_H_
+#define EFES_PROVENANCE_RENDER_H_
+
+#include <string>
+#include <string_view>
+
+#include "efes/common/json_writer.h"
+#include "efes/common/result.h"
+#include "efes/provenance/provenance.h"
+
+namespace efes {
+
+/// Renders the DAG as a text tree rooted at the total-effort node (or, with
+/// a non-empty `task_filter` such as "t3" or "3", at that task's effort
+/// node). Shared nodes are expanded once and referenced by id afterwards.
+/// Fails with kNotFound for an unknown task id and with kUnavailable when
+/// the snapshot is degraded or the `provenance.export` fault point fires —
+/// callers treat the latter as "degraded", not as a run failure.
+Result<std::string> RenderProvenanceTree(const ProvenanceSnapshot& snapshot,
+                                         std::string_view task_filter = {});
+
+/// Writes the snapshot as one JSON object value: `{"nodes": [...]}`, or
+/// `{"degraded": true}` when the snapshot is degraded or the
+/// `provenance.export` fault point fires. The caller owns the surrounding
+/// document and has already emitted the key.
+void WriteProvenanceJson(const ProvenanceSnapshot& snapshot, JsonWriter& json);
+
+}  // namespace efes
+
+#endif  // EFES_PROVENANCE_RENDER_H_

@@ -11,6 +11,7 @@
 #ifndef EFES_STRUCTURE_CONFLICT_DETECTOR_H_
 #define EFES_STRUCTURE_CONFLICT_DETECTOR_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,8 @@ struct StructureConflict {
   std::string source_path;
   /// Number of actually conflicting source data elements.
   size_t violation_count = 0;
+  /// Provenance-node id of this conflict (0 = no recorder active).
+  uint64_t provenance = 0;
 };
 
 /// All conflicts of one source database against the target.

@@ -60,11 +60,27 @@ Result<std::vector<Task>> PlanStructureRepairs(
 
   // --- Initialize the virtual CSG instance -------------------------------
   std::vector<VirtualState> states(relationships.size());
+  // Provenance-node ids of the conflicts that made each relationship
+  // defective. Side effects propagate them, so a repair triggered only by
+  // another repair still traces back to the original conflicts.
+  std::vector<std::vector<uint64_t>> causes(relationships.size());
+  auto merge_causes = [](std::vector<uint64_t>* into,
+                         const std::vector<uint64_t>& from) {
+    for (uint64_t id : from) {
+      if (std::find(into->begin(), into->end(), id) == into->end()) {
+        into->push_back(id);
+      }
+    }
+  };
   for (size_t i = 0; i < relationships.size(); ++i) {
     states[i].prescribed = relationships[i].prescribed;
     states[i].actual = relationships[i].prescribed;  // assume fit...
   }
   for (const StructureConflict& conflict : conflicts) {
+    if (conflict.provenance != 0) {
+      merge_causes(&causes[conflict.target_relationship],
+                   {conflict.provenance});
+    }
     VirtualState& state = states[conflict.target_relationship];
     // A conflict may carry a constraint tighter than the anchoring
     // relationship's own κ — e.g. a composite-key conflict prescribes 1
@@ -118,6 +134,7 @@ Result<std::vector<Task>> PlanStructureRepairs(
         task.parameters[task_params::kRepetitions] += repetitions;
         task.parameters[task_params::kValues] += repetitions;
         task.parameters[task_params::kDistinctValues] += repetitions;
+        merge_causes(&task.provenance, causes[rel_id]);
         tasks.erase(tasks.begin() + static_cast<ptrdiff_t>(i));
         task_keys.erase(task_keys.begin() + static_cast<ptrdiff_t>(i));
         tasks.push_back(std::move(task));
@@ -133,29 +150,35 @@ Result<std::vector<Task>> PlanStructureRepairs(
     task.parameters[task_params::kRepetitions] = repetitions;
     task.parameters[task_params::kValues] = repetitions;
     task.parameters[task_params::kDistinctValues] = repetitions;
+    task.provenance = causes[rel_id];
     tasks.push_back(std::move(task));
     task_keys.emplace_back(type, rel_id);
   };
 
   // --- Side-effect rules ---------------------------------------------------
-  // Marks `count` elements of relationship `rel_id` as lacking links.
-  auto break_too_few = [&](RelationshipId rel_id, size_t count) {
+  // Marks `count` elements of relationship `rel_id` as lacking links;
+  // `from_causes` are the conflict ids of the repair that broke them.
+  auto break_too_few = [&](RelationshipId rel_id, size_t count,
+                           const std::vector<uint64_t>& from_causes) {
     VirtualState& state = states[rel_id];
     if (state.prescribed.min() == 0) return;  // optional, nothing breaks
     state.actual =
         Cardinality::Between(0, std::max<uint64_t>(state.actual.max(), 1));
     state.too_few += count;
+    merge_causes(&causes[rel_id], from_causes);
     emit_trace("  side effect: actual k(" +
                target_graph.DescribeRelationship(rel_id) +
                ") drops to " + states[rel_id].actual.ToString());
   };
-  auto break_too_many = [&](RelationshipId rel_id, size_t count) {
+  auto break_too_many = [&](RelationshipId rel_id, size_t count,
+                            const std::vector<uint64_t>& from_causes) {
     VirtualState& state = states[rel_id];
     if (state.prescribed.is_unbounded()) return;
     state.actual = Cardinality::Between(
         state.actual.min(),
         std::max<uint64_t>(state.actual.max(), state.prescribed.max() + 1));
     state.too_many += count;
+    merge_causes(&causes[rel_id], from_causes);
     emit_trace("  side effect: actual k(" +
                target_graph.DescribeRelationship(rel_id) +
                ") grows to " + states[rel_id].actual.ToString());
@@ -163,6 +186,9 @@ Result<std::vector<Task>> PlanStructureRepairs(
 
   auto apply_side_effects = [&](TaskType type, RelationshipId rel_id,
                                 size_t count) {
+    // Copied, not referenced: break_* may grow causes[] and invalidate a
+    // reference into it.
+    const std::vector<uint64_t> repaired_causes = causes[rel_id];
     const CsgRelationship& rel = relationships[rel_id];
     switch (type) {
       case TaskType::kAddTuples: {
@@ -182,7 +208,7 @@ Result<std::vector<Task>> PlanStructureRepairs(
               sibling_inverse.prescribed == Cardinality::Exactly(1)) {
             continue;  // surrogate key
           }
-          break_too_few(out, count);
+          break_too_few(out, count, repaired_causes);
         }
         break;
       }
@@ -201,7 +227,7 @@ Result<std::vector<Task>> PlanStructureRepairs(
               sibling_inverse.prescribed == Cardinality::Exactly(1)) {
             continue;  // surrogate key
           }
-          break_too_many(out, count);
+          break_too_many(out, count, repaired_causes);
         }
         break;
       }
@@ -211,14 +237,14 @@ Result<std::vector<Task>> PlanStructureRepairs(
         for (RelationshipId out : target_graph.OutgoingOf(table_node)) {
           const CsgRelationship& sibling = target_graph.relationship(out);
           if (sibling.kind != CsgEdgeKind::kAttribute) continue;
-          break_too_few(sibling.inverse, count);
+          break_too_few(sibling.inverse, count, repaired_causes);
         }
         break;
       }
       case TaskType::kSetValuesToNull: {
         // Nulled values leave their tuples without a value for this
         // attribute.
-        break_too_few(rel.inverse, count);  // rel is attribute -> table
+        break_too_few(rel.inverse, count, repaired_causes);  // attribute -> table
         break;
       }
       default:

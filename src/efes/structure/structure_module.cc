@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "efes/common/text_table.h"
+#include "efes/provenance/provenance.h"
 
 namespace efes {
 
@@ -52,6 +53,44 @@ Result<std::unique_ptr<ComplexityReport>> StructureModule::AssessComplexity(
       std::vector<SourceStructureAssessment> assessments,
       DetectStructureConflicts(scenario, &target_graph,
                                options_.detector));
+  if (ProvenanceRecorder* prov = ProvenanceRecorder::Active();
+      prov != nullptr) {
+    // One constraint node per (source, target constraint), shared by the
+    // excess/deficit conflict pair it usually splits into.
+    std::map<std::string, uint64_t> constraint_nodes;
+    std::vector<uint64_t> conflict_nodes;
+    for (SourceStructureAssessment& source : assessments) {
+      for (StructureConflict& conflict : source.conflicts) {
+        const std::string key =
+            source.source_database + "|" + conflict.target_constraint;
+        auto [entry, inserted] = constraint_nodes.try_emplace(key, 0);
+        if (inserted) {
+          entry->second =
+              prov->Record(ProvenanceKind::kConstraint, "target constraint",
+                           conflict.target_constraint);
+        }
+        uint64_t inferred_node = prov->Record(
+            ProvenanceKind::kConstraint, "inferred source cardinality",
+            source.source_database + ":" + conflict.source_path + " : " +
+                conflict.inferred.ToString());
+        conflict.provenance = prov->RecordValue(
+            ProvenanceKind::kFinding,
+            "structural conflict: " +
+                std::string(StructuralConflictKindToString(conflict.kind)),
+            conflict.target_constraint,
+            static_cast<double>(conflict.violation_count),
+            {entry->second, inferred_node});
+        conflict_nodes.push_back(conflict.provenance);
+      }
+    }
+    auto report = std::make_unique<StructureComplexityReport>(
+        std::move(target_graph), std::move(assessments));
+    report->set_provenance_node(prov->RecordValue(
+        ProvenanceKind::kFinding, "structure assessment", "",
+        static_cast<double>(report->ProblemCount()),
+        std::move(conflict_nodes)));
+    return std::unique_ptr<ComplexityReport>(std::move(report));
+  }
   return std::unique_ptr<ComplexityReport>(
       std::make_unique<StructureComplexityReport>(std::move(target_graph),
                                                   std::move(assessments)));

@@ -26,7 +26,22 @@ void Histogram::Observe(double value) {
                                    value) -
                   upper_bounds_.begin();
   bucket_counts_[bucket].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
+  // The first observation seeds min/max; count_ orders after them only
+  // loosely, so a concurrent reader may briefly see a stale envelope —
+  // fine for telemetry.
+  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+  } else {
+    double min = min_.load(std::memory_order_relaxed);
+    while (value < min && !min_.compare_exchange_weak(
+                              min, value, std::memory_order_relaxed)) {
+    }
+    double max = max_.load(std::memory_order_relaxed);
+    while (value > max && !max_.compare_exchange_weak(
+                              max, value, std::memory_order_relaxed)) {
+    }
+  }
   double sum = sum_.load(std::memory_order_relaxed);
   while (!sum_.compare_exchange_weak(sum, sum + value,
                                      std::memory_order_relaxed)) {
@@ -38,6 +53,18 @@ uint64_t Histogram::TotalCount() const {
 }
 
 double Histogram::Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+double Histogram::Min() const {
+  return count_.load(std::memory_order_relaxed) == 0
+             ? 0.0
+             : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Max() const {
+  return count_.load(std::memory_order_relaxed) == 0
+             ? 0.0
+             : max_.load(std::memory_order_relaxed);
+}
 
 std::vector<uint64_t> Histogram::BucketCounts() const {
   std::vector<uint64_t> counts;
@@ -54,6 +81,33 @@ void Histogram::Reset() {
   }
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+double MetricsSnapshot::HistogramSample::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Walk the cumulative counts to the bucket holding the q-th
+  // observation, then interpolate linearly inside it.
+  double rank = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < bucket_counts.size(); ++i) {
+    if (bucket_counts[i] == 0) continue;
+    double lower = i == 0 ? min : upper_bounds[i - 1];
+    double upper = i < upper_bounds.size() ? upper_bounds[i] : max;
+    double position =
+        (rank - static_cast<double>(cumulative)) /
+        static_cast<double>(bucket_counts[i]);
+    cumulative += bucket_counts[i];
+    if (static_cast<double>(cumulative) >= rank) {
+      double estimate = lower + std::clamp(position, 0.0, 1.0) *
+                                    (upper - lower);
+      // The exact envelope beats the bucket bounds.
+      return std::clamp(estimate, min, max);
+    }
+  }
+  return max;
 }
 
 uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
@@ -109,7 +163,8 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   snapshot.histograms.reserve(histograms_.size());
   for (const auto& [name, histogram] : histograms_) {
     snapshot.histograms.push_back({name, histogram->TotalCount(),
-                                   histogram->Sum(),
+                                   histogram->Sum(), histogram->Min(),
+                                   histogram->Max(),
                                    histogram->upper_bounds(),
                                    histogram->BucketCounts()});
   }

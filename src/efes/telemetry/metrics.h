@@ -64,6 +64,9 @@ class Histogram {
 
   uint64_t TotalCount() const;
   double Sum() const;
+  /// Smallest/largest observed value; 0 when nothing was observed.
+  double Min() const;
+  double Max() const;
   const std::vector<double>& upper_bounds() const { return upper_bounds_; }
   std::vector<uint64_t> BucketCounts() const;
 
@@ -74,8 +77,11 @@ class Histogram {
   /// One count per bound plus the overflow bucket.
   std::vector<std::atomic<uint64_t>> bucket_counts_;
   std::atomic<uint64_t> count_{0};
-  /// Sum accumulated via compare-exchange (portable double add).
+  /// Sum accumulated via compare-exchange (portable double add); min/max
+  /// maintained the same way.
   std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
 };
 
 /// Point-in-time copy of every registered metric, sorted by name.
@@ -92,12 +98,19 @@ struct MetricsSnapshot {
     std::string name;
     uint64_t count = 0;
     double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
     std::vector<double> upper_bounds;
     std::vector<uint64_t> bucket_counts;
 
     double Mean() const {
       return count == 0 ? 0.0 : sum / static_cast<double>(count);
     }
+
+    /// Bucket-interpolated quantile estimate for q in [0, 1] (p50 =
+    /// Quantile(0.5)), clamped to the exact [min, max] envelope. An
+    /// estimate: the resolution is the bucket width.
+    double Quantile(double q) const;
   };
 
   std::vector<CounterSample> counters;

@@ -19,8 +19,12 @@ std::string RenderMetricsReport(const MetricsSnapshot& snapshot) {
   for (const auto& histogram : snapshot.histograms) {
     table.AddRow({histogram.name, "histogram",
                   std::to_string(histogram.count),
-                  "mean " + FormatDouble(histogram.Mean(), 4) + " ms, total " +
-                      FormatDouble(histogram.sum, 4) + " ms"});
+                  "mean " + FormatDouble(histogram.Mean(), 4) + " ms, p50 " +
+                      FormatDouble(histogram.Quantile(0.5), 4) + " ms, p95 " +
+                      FormatDouble(histogram.Quantile(0.95), 4) +
+                      " ms, min " + FormatDouble(histogram.min, 4) +
+                      " ms, max " + FormatDouble(histogram.max, 4) +
+                      " ms, total " + FormatDouble(histogram.sum, 4) + " ms"});
   }
   return table.ToString();
 }
@@ -47,6 +51,14 @@ void WriteMetricsJson(const MetricsSnapshot& snapshot, JsonWriter& json) {
         .Number(histogram.sum)
         .Key("mean")
         .Number(histogram.Mean())
+        .Key("p50")
+        .Number(histogram.Quantile(0.5))
+        .Key("p95")
+        .Number(histogram.Quantile(0.95))
+        .Key("min")
+        .Number(histogram.min)
+        .Key("max")
+        .Number(histogram.max)
         .EndObject();
   }
   json.EndObject();
@@ -104,6 +116,10 @@ std::string BenchJsonLine(std::string_view bench_name, double wall_ms,
     json.Key(histogram.name + ".count")
         .Number(static_cast<int64_t>(histogram.count));
     json.Key(histogram.name + ".sum_ms").Number(histogram.sum);
+    json.Key(histogram.name + ".p50_ms").Number(histogram.Quantile(0.5));
+    json.Key(histogram.name + ".p95_ms").Number(histogram.Quantile(0.95));
+    json.Key(histogram.name + ".min_ms").Number(histogram.min);
+    json.Key(histogram.name + ".max_ms").Number(histogram.max);
   }
   json.EndObject().EndObject();
   return json.ToString();

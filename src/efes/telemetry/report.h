@@ -17,21 +17,23 @@ namespace efes {
 class JsonWriter;
 
 /// Renders the snapshot as a text table (one row per metric; histograms
-/// show count, mean, and total). Returns "" for an empty snapshot.
+/// show count, mean, p50/p95 estimates, min/max, and total). Returns ""
+/// for an empty snapshot.
 std::string RenderMetricsReport(const MetricsSnapshot& snapshot);
 
 /// Writes the snapshot as one JSON object value:
 /// {"counters": {name: int, ...}, "gauges": {name: num, ...},
-///  "histograms": {name: {"count", "sum", "mean"}, ...}}.
+///  "histograms": {name: {"count", "sum", "mean", "p50", "p95", "min",
+///  "max"}, ...}}.
 /// The caller has positioned `json` where a value is expected.
 void WriteMetricsJson(const MetricsSnapshot& snapshot, JsonWriter& json);
 
 /// One self-contained JSON line for benchmark harnesses:
 /// {"bench": name, "wall_ms": ..., "threads": ..., "counters": {...}}
 /// where counters holds every counter plus gauges and histogram
-/// count/sum entries, flattened by name. `threads` records the worker
-/// thread count the workload ran with, so perf trajectories stay
-/// comparable across machines and --threads overrides.
+/// count/sum/p50/p95/min/max entries, flattened by name. `threads`
+/// records the worker thread count the workload ran with, so perf
+/// trajectories stay comparable across machines and --threads overrides.
 std::string BenchJsonLine(std::string_view bench_name, double wall_ms,
                           size_t threads, const MetricsSnapshot& snapshot);
 

@@ -62,9 +62,11 @@ std::string TraceRecorder::ToChromeTraceJson() const {
         .Key("id")
         .Number(event.id)
         .Key("parent")
-        .Number(event.parent_id)
-        .EndObject()
-        .EndObject();
+        .Number(event.parent_id);
+    if (event.provenance != 0) {
+      json.Key("prov").Number(static_cast<int64_t>(event.provenance));
+    }
+    json.EndObject().EndObject();
   }
   json.EndArray().Key("displayTimeUnit").String("ms").EndObject();
   return json.ToString();
@@ -112,6 +114,7 @@ TraceSpan::~TraceSpan() {
   event.depth = depth_;
   event.id = id_;
   event.parent_id = parent_id_;
+  event.provenance = provenance_;
   recorder_->Record(std::move(event));
 }
 

@@ -32,6 +32,9 @@ struct TraceEvent {
   int depth = 0;
   int64_t id = 0;
   int64_t parent_id = 0;
+  /// Provenance-node id the span produced (0 = none); exported as the
+  /// "prov" span arg so traces cross-link into `--explain` output.
+  uint64_t provenance = 0;
 };
 
 class TraceSpan;
@@ -96,6 +99,9 @@ class TraceSpan {
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 
+  /// Tags the span with the provenance node its work produced.
+  void set_provenance(uint64_t node_id) { provenance_ = node_id; }
+
  private:
   TraceRecorder* recorder_;
   Histogram* latency_ms_;
@@ -103,6 +109,7 @@ class TraceSpan {
   int64_t start_nanos_ = 0;
   int64_t id_ = 0;
   int64_t parent_id_ = 0;
+  uint64_t provenance_ = 0;
   int depth_ = 0;
   bool tracing_ = false;
   bool timing_ = false;

@@ -6,6 +6,7 @@
 #include "efes/common/parallel.h"
 #include "efes/common/string_util.h"
 #include "efes/common/text_table.h"
+#include "efes/provenance/provenance.h"
 
 namespace efes {
 
@@ -190,6 +191,26 @@ Result<std::unique_ptr<ComplexityReport>> ValueModule::AssessComplexity(
     }
   }
 
+  // Provenance: thresholds are recorded once, up front, on the sequential
+  // path; the per-item statistics and findings are buffered into
+  // fragments inside the parallel loop and absorbed in item order below —
+  // ids stay canonical for any thread count.
+  ProvenanceRecorder* prov = ProvenanceRecorder::Active();
+  uint64_t fit_threshold_node = 0;
+  uint64_t fewer_gap_node = 0;
+  uint64_t incompatible_node = 0;
+  if (prov != nullptr) {
+    fit_threshold_node =
+        prov->RecordValue(ProvenanceKind::kThreshold,
+                          "threshold fit_threshold", "", options_.fit_threshold);
+    fewer_gap_node = prov->RecordValue(ProvenanceKind::kThreshold,
+                                       "threshold fewer_values_gap", "",
+                                       options_.fewer_values_gap);
+    incompatible_node = prov->RecordValue(ProvenanceKind::kThreshold,
+                                          "threshold incompatible_tolerance",
+                                          "", options_.incompatible_tolerance);
+  }
+
   // Pass 2 (parallel): the statistics and detection work — the dominant
   // cost, every cell of both samples is scanned — fans out per item and
   // merges back in item order, keeping the report deterministic.
@@ -199,6 +220,9 @@ Result<std::unique_ptr<ComplexityReport>> ValueModule::AssessComplexity(
     double overall_fit = 1.0;
     std::vector<ValueHeterogeneityType> types;
     size_t source_pattern_count = 0;
+    ProvenanceFragment fragment;
+    /// Fragment-local index of the finding node for each entry of `types`.
+    std::vector<size_t> finding_locals;
   };
   EFES_ASSIGN_OR_RETURN(
       std::vector<ItemResult> results,
@@ -222,6 +246,72 @@ Result<std::unique_ptr<ComplexityReport>> ValueModule::AssessComplexity(
           if (source_patterns.size() > options_.max_format_rules) break;
         }
         computed.source_pattern_count = source_patterns.size();
+
+        if (prov != nullptr && !computed.types.empty()) {
+          const Correspondence& corr = *item.corr;
+          const std::string subject =
+              item.source_database + ":" + corr.source_relation + "." +
+              corr.source_attribute + " -> " + corr.target_relation + "." +
+              corr.target_attribute;
+          ProvenanceFragment& frag = computed.fragment;
+          const auto& src = computed.source_stats;
+          const auto& tgt = computed.target_stats;
+          size_t src_fill = frag.AddValue(
+              ProvenanceKind::kStatistic,
+              "statistic source.non_null_fraction", subject,
+              src.fill_status.NonNullFraction());
+          size_t tgt_fill = frag.AddValue(
+              ProvenanceKind::kStatistic,
+              "statistic target.non_null_fraction", subject,
+              tgt.fill_status.NonNullFraction());
+          size_t castable = frag.AddValue(
+              ProvenanceKind::kStatistic,
+              "statistic source.castable_fraction", subject,
+              src.fill_status.CastableFraction());
+          size_t distinct = frag.AddValue(
+              ProvenanceKind::kStatistic, "statistic source.distinct_count",
+              subject,
+              static_cast<double>(src.constancy.distinct_count));
+          size_t non_null = frag.AddValue(
+              ProvenanceKind::kStatistic, "statistic source.non_null_count",
+              subject,
+              static_cast<double>(src.constancy.non_null_count));
+          size_t fit =
+              frag.AddValue(ProvenanceKind::kStatistic,
+                            "statistic overall_fit", subject,
+                            computed.overall_fit);
+          size_t patterns = frag.AddValue(
+              ProvenanceKind::kStatistic, "statistic source.pattern_count",
+              subject,
+              static_cast<double>(computed.source_pattern_count));
+          for (ValueHeterogeneityType type : computed.types) {
+            std::vector<uint64_t> global_inputs;
+            std::vector<size_t> local_inputs;
+            switch (type) {
+              case ValueHeterogeneityType::kTooFewSourceElements:
+                global_inputs = {fewer_gap_node};
+                local_inputs = {src_fill, tgt_fill};
+                break;
+              case ValueHeterogeneityType::kDifferentRepresentationsCritical:
+                global_inputs = {incompatible_node};
+                local_inputs = {castable, non_null, patterns};
+                break;
+              case ValueHeterogeneityType::kDifferentRepresentations:
+                global_inputs = {fit_threshold_node};
+                local_inputs = {fit, patterns};
+                break;
+              case ValueHeterogeneityType::kTooCoarseGrainedSourceValues:
+              case ValueHeterogeneityType::kTooFineGrainedSourceValues:
+                local_inputs = {distinct, non_null};
+                break;
+            }
+            computed.finding_locals.push_back(frag.Add(
+                ProvenanceKind::kFinding,
+                "value heterogeneity: " +
+                    std::string(ValueHeterogeneityTypeToString(type)),
+                subject, std::move(global_inputs), std::move(local_inputs)));
+          }
+        }
         return computed;
       }));
 
@@ -232,7 +322,18 @@ Result<std::unique_ptr<ComplexityReport>> ValueModule::AssessComplexity(
     const AttributeStatistics& source_stats = results[index].source_stats;
     const AttributeStatistics& target_stats = results[index].target_stats;
     double overall_fit = results[index].overall_fit;
-    for (ValueHeterogeneityType type : results[index].types) {
+    // Canonical-order merge: absorbing here, in item order, assigns the
+    // fragment's nodes their global ids independent of which worker
+    // computed them.
+    std::vector<uint64_t> global_ids;
+    if (prov != nullptr) global_ids = prov->Absorb(results[index].fragment);
+    for (size_t ti = 0; ti < results[index].types.size(); ++ti) {
+      ValueHeterogeneityType type = results[index].types[ti];
+      uint64_t finding_node = 0;
+      if (ti < results[index].finding_locals.size()) {
+        size_t local = results[index].finding_locals[ti];
+        if (local < global_ids.size()) finding_node = global_ids[local];
+      }
       // Missing mandatory values are structural NOT NULL conflicts; the
       // structure module detects and plans them. Reporting them here
       // too would double-count the same repair.
@@ -261,12 +362,24 @@ Result<std::unique_ptr<ComplexityReport>> ValueModule::AssessComplexity(
                  ValueHeterogeneityType::kDifferentRepresentationsCritical) {
         h.affected_values = source_stats.fill_status.uncastable_count;
       }
+      h.provenance = finding_node;
       heterogeneities.push_back(std::move(h));
     }
   }
 
-  return std::unique_ptr<ComplexityReport>(
-      std::make_unique<ValueComplexityReport>(std::move(heterogeneities)));
+  auto report =
+      std::make_unique<ValueComplexityReport>(std::move(heterogeneities));
+  if (prov != nullptr) {
+    std::vector<uint64_t> finding_nodes;
+    for (const ValueHeterogeneity& h : report->heterogeneities()) {
+      finding_nodes.push_back(h.provenance);
+    }
+    report->set_provenance_node(prov->RecordValue(
+        ProvenanceKind::kFinding, "value assessment", "",
+        static_cast<double>(report->heterogeneities().size()),
+        std::move(finding_nodes)));
+  }
+  return std::unique_ptr<ComplexityReport>(std::move(report));
 }
 
 Result<std::vector<Task>> ValueModule::PlanTasks(
@@ -325,6 +438,7 @@ Result<std::vector<Task>> ValueModule::PlanTasks(
       dist_vals = static_cast<double>(h.source_pattern_count);
     }
     task.parameters[task_params::kDistinctValues] = dist_vals;
+    if (h.provenance != 0) task.provenance.push_back(h.provenance);
     tasks.push_back(std::move(task));
   }
   return tasks;

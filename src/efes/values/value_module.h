@@ -9,6 +9,7 @@
 #ifndef EFES_VALUES_VALUE_MODULE_H_
 #define EFES_VALUES_VALUE_MODULE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -57,6 +58,8 @@ struct ValueHeterogeneity {
   /// ms -> "m:ss"). False for irregular, hand-entered values that need a
   /// per-value mapping (the bibliographic case).
   bool systematic = true;
+  /// Provenance-node id of this finding (0 = no recorder active).
+  uint64_t provenance = 0;
 };
 
 struct ValueFitOptions {

@@ -348,6 +348,53 @@ TEST(BannedFunctionTest, SuppressionWithReasonSilences) {
   EXPECT_TRUE(FindingsOf(findings, "banned-function").empty());
 }
 
+// ----------------------------------------------------------- metric-name
+
+TEST(MetricNameTest, FlagsUndottedAndUppercaseNames) {
+  auto findings = Lint(
+      {{"src/efes/core/x.cc",
+        "void F(MetricsRegistry& m, TraceRecorder* r) {\n"
+        "  m.GetCounter(\"tuples\").Increment(1);\n"
+        "  m.GetGauge(\"Core.Size\").Set(2.0);\n"
+        "  m.GetHistogram(\"core..ms\").Observe(3.0);\n"
+        "  TraceSpan span(\"run\", r);\n"
+        "}\n"}});
+  EXPECT_EQ(FindingsOf(findings, "metric-name").size(), 4u);
+}
+
+TEST(MetricNameTest, DottedLowercaseNamesAreClean) {
+  auto findings = Lint(
+      {{"src/efes/core/x.cc",
+        "void F(MetricsRegistry& m, TraceRecorder* r) {\n"
+        "  m.GetCounter(\"core.run.tuples\").Increment(1);\n"
+        "  m.GetHistogram(\"values.assess.ms\").Observe(3.0);\n"
+        "  TraceSpan span(\"execute.run\", r);\n"
+        "}\n"}});
+  EXPECT_TRUE(FindingsOf(findings, "metric-name").empty());
+}
+
+TEST(MetricNameTest, ConcatenatedOrComputedNamesAreSkipped) {
+  // Only complete single-literal names are checkable; adjacent-literal
+  // concatenation and runtime-built names are out of scope.
+  auto findings = Lint(
+      {{"src/efes/core/x.cc",
+        "void F(MetricsRegistry& m, std::string n) {\n"
+        "  m.GetCounter(\"core\" \".tuples\").Increment(1);\n"
+        "  m.GetCounter(n).Increment(1);\n"
+        "}\n"}});
+  EXPECT_TRUE(FindingsOf(findings, "metric-name").empty());
+}
+
+TEST(MetricNameTest, SuppressionWithReasonSilences) {
+  auto findings = Lint(
+      {{"src/efes/core/x.cc",
+        "void F(MetricsRegistry& m) {\n"
+        "  // EFES_LINT_ALLOW(metric-name): exercises escape rendering\n"
+        "  m.GetGauge(\"g\\\"quoted\\\"\").Set(0.5);\n"
+        "}\n"}});
+  EXPECT_TRUE(FindingsOf(findings, "metric-name").empty());
+}
+
 // ------------------------------------------------------- bad-suppression
 
 TEST(BadSuppressionTest, MissingReasonIsAFinding) {
@@ -393,7 +440,8 @@ TEST(RenderTest, TextAndJsonCarryFindings) {
 
 TEST(RenderTest, CheckCatalogIsStable) {
   const auto& ids = AllCheckIds();
-  EXPECT_EQ(ids.size(), 7u);
+  EXPECT_EQ(ids.size(), 8u);
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "metric-name"), ids.end());
   EXPECT_NE(std::find(ids.begin(), ids.end(), "discarded-status"),
             ids.end());
   EXPECT_NE(std::find(ids.begin(), ids.end(), "bad-suppression"),

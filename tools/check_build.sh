@@ -17,6 +17,11 @@
 # estimates it three times — cold with a fresh --cache-dir, warm against
 # the saved snapshot, and once with --no-cache — then diffs the three
 # JSON reports byte-for-byte and requires the warm run to have hits.
+# `--explain-determinism` builds only the CLI and requires the --explain
+# provenance tree (and the JSON provenance section) to be byte-identical
+# across --threads=1/4/8 and cold/warm/uncached profile-cache states.
+# `--bench-smoke` runs the perf_* benches via tools/run_benches.sh into a
+# scratch file and checks each emitted a valid cold and warm JSON record.
 # Exits nonzero on the first failure. Usage:
 #
 #   tools/check_build.sh [build-dir]                    # default: build-werror
@@ -25,6 +30,8 @@
 #   tools/check_build.sh --ubsan [build-dir]            # default: build-ubsan
 #   tools/check_build.sh --lint [build-dir]             # default: build-lint
 #   tools/check_build.sh --cache-roundtrip [build-dir]  # default: build-cache
+#   tools/check_build.sh --explain-determinism [build-dir]  # default: build-cache
+#   tools/check_build.sh --bench-smoke [build-dir]      # default: build-bench
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -44,6 +51,12 @@ elif [[ "${1:-}" == "--lint" ]]; then
   shift
 elif [[ "${1:-}" == "--cache-roundtrip" ]]; then
   MODE=cache
+  shift
+elif [[ "${1:-}" == "--explain-determinism" ]]; then
+  MODE=explain
+  shift
+elif [[ "${1:-}" == "--bench-smoke" ]]; then
+  MODE=bench
   shift
 fi
 
@@ -102,6 +115,60 @@ elif [[ "$MODE" == "cache" ]]; then
     exit 1
   fi
   echo "check_build: OK (cache roundtrip, cold/warm/uncached byte-identical)"
+elif [[ "$MODE" == "explain" ]]; then
+  BUILD_DIR="${1:-build-cache}"
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j --target efes_cli
+  WORK="$(mktemp -d)"
+  trap 'rm -rf "$WORK"' EXIT
+  "$BUILD_DIR/tools/efes" export-example "$WORK/scenario"
+  # The provenance tree must not depend on how the work was scheduled:
+  # any thread count, cold or warm cache, or no cache at all.
+  for threads in 1 4 8; do
+    "$BUILD_DIR/tools/efes" estimate "$WORK/scenario" --explain \
+      --threads="$threads" > "$WORK/explain-t$threads.txt"
+    "$BUILD_DIR/tools/efes" estimate "$WORK/scenario" --explain \
+      --format=json --threads="$threads" > "$WORK/explain-t$threads.json"
+  done
+  "$BUILD_DIR/tools/efes" estimate "$WORK/scenario" --explain \
+    --cache-dir="$WORK/cache" > "$WORK/explain-cold.txt"
+  "$BUILD_DIR/tools/efes" estimate "$WORK/scenario" --explain \
+    --cache-dir="$WORK/cache" > "$WORK/explain-warm.txt"
+  "$BUILD_DIR/tools/efes" estimate "$WORK/scenario" --explain \
+    --no-cache > "$WORK/explain-nocache.txt"
+  for variant in t4 t8; do
+    diff "$WORK/explain-t1.txt" "$WORK/explain-$variant.txt"
+    diff "$WORK/explain-t1.json" "$WORK/explain-$variant.json"
+  done
+  for variant in cold warm nocache; do
+    diff "$WORK/explain-t1.txt" "$WORK/explain-$variant.txt"
+  done
+  grep -q 'total effort' "$WORK/explain-t1.txt"
+  grep -q '"provenance"' "$WORK/explain-t1.json"
+  echo "check_build: OK (--explain byte-identical across threads and cache states)"
+elif [[ "$MODE" == "bench" ]]; then
+  BUILD_DIR="${1:-build-bench}"
+  WORK="$(mktemp -d)"
+  trap 'rm -rf "$WORK"' EXIT
+  BENCH_OUT="$WORK/BENCH_perf.json" tools/run_benches.sh "$BUILD_DIR"
+  COLD="$(grep -c '"cache":"cold"' "$WORK/BENCH_perf.json")"
+  WARM="$(grep -c '"cache":"warm"' "$WORK/BENCH_perf.json")"
+  if [[ "$COLD" -eq 0 || "$COLD" -ne "$WARM" ]]; then
+    echo "check_build: expected matching cold/warm records, got $COLD/$WARM" >&2
+    exit 1
+  fi
+  # Every line must be a self-contained JSON record carrying the
+  # histogram quantile fields.
+  python3 - "$WORK/BENCH_perf.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    for line in f:
+        record = json.loads(line)
+        assert "bench" in record and "wall_ms" in record, record
+        assert any(key.endswith(".p95_ms") for key in record["counters"]), \
+            "no histogram quantile fields in " + record["bench"]
+EOF
+  echo "check_build: OK (bench smoke, $COLD cold + $WARM warm JSON records)"
 else
   BUILD_DIR="${1:-build-werror}"
   cmake -B "$BUILD_DIR" -S . -DEFES_WERROR=ON

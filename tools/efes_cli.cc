@@ -8,6 +8,10 @@
 //       --quality=high|low         expected result quality (default high)
 //       --config=<file>            effort configuration (effort_config.h)
 //       --format=text|json         output format
+//       --explain[=<task-id>]      record estimate provenance and print
+//                                  the evidence tree (or one task's
+//                                  subtree); JSON output gains a
+//                                  "provenance" section instead
 //   efes execute <dir> <out>       actually perform the integration and
 //                                  persist the integrated target
 //       --quality=high|low         conflict-resolution strategy
@@ -33,6 +37,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -52,6 +57,8 @@
 #include "efes/experiment/visualization.h"
 #include "efes/matching/schema_matcher.h"
 #include "efes/profiling/constraint_discovery.h"
+#include "efes/provenance/provenance.h"
+#include "efes/provenance/render.h"
 #include "efes/scenario/paper_example.h"
 #include "efes/scenario/scenario_io.h"
 #include "efes/telemetry/log.h"
@@ -169,6 +176,7 @@ int Usage(int exit_code = kExitUsage) {
       "  efes assess <dir> [--discover]\n"
       "  efes estimate <dir> [--quality=high|low] [--config=<file>]\n"
       "                     [--format=text|json] [--out=<file>]\n"
+      "                     [--explain[=<task-id>]]\n"
       "  efes match <dir>\n"
       "  efes execute <dir> <out-dir> [--quality=high|low]\n"
       "  efes plan <dir> [--quality=high|low]\n"
@@ -331,39 +339,73 @@ int RunEstimate(const std::string& directory,
                         config, efes::LoadEffortConfig(std::string(value)));
                     return efes::Status::OK();
                   });
+  bool explain = false;
+  std::string explain_task;
+  flags.AddOptional("explain", "<task-id>",
+                    "record estimate provenance; print the evidence tree "
+                    "(optionally one task's subtree)",
+                    [&explain, &explain_task](std::string_view value) {
+                      explain = true;
+                      explain_task = std::string(value);
+                      return efes::Status::OK();
+                    });
   int code = ParseSubcommandFlags(flags, &options);
   if (code >= 0) return code;
   auto scenario = LoadScenarioCli(directory);
   if (!scenario.ok()) return Fail(scenario.status());
   efes::EfesEngine engine =
       efes::MakeDefaultEngine(std::move(config.model));
+  // Recording is scoped to the engine run: off (the default) leaves the
+  // pipeline byte-identical to an unexplained run.
+  efes::ProvenanceRecorder recorder;
+  std::optional<efes::ScopedProvenanceRecorder> scoped;
+  if (explain) scoped.emplace(&recorder);
   auto result = engine.Run(
       *scenario,
       MakeRunOptions(QualityFromString(quality), config.settings));
+  scoped.reset();
   if (!result.ok()) return Fail(result.status());
+  efes::ProvenanceSnapshot provenance;
+  if (explain) provenance = recorder.Snapshot();
   if (!out_path.empty()) {
     // --out writes the JSON export atomically (temp + rename): a reader
     // polling the file never sees a half-written document.
-    efes::Status written =
-        efes::WriteEstimationResultJsonFile(*result, out_path);
+    efes::Status written = efes::WriteEstimationResultJsonFile(
+        *result, out_path, nullptr, explain ? &provenance : nullptr);
     if (!written.ok()) return Fail(written);
     std::printf("estimate written to %s\n", out_path.c_str());
     return 0;
   }
   if (format == "json") {
+    efes::MetricsSnapshot telemetry;
     if (g_flags.metrics) {
       // Embed the snapshot as the export's `telemetry` section instead
       // of appending a table that would trail the JSON document.
       g_flags.metrics_emitted_inline = true;
-      std::printf("%s\n",
-                  efes::EstimationResultToJson(
-                      *result, efes::MetricsRegistry::Global().Snapshot())
-                      .c_str());
-    } else {
-      std::printf("%s\n", efes::EstimationResultToJson(*result).c_str());
+      telemetry = efes::MetricsRegistry::Global().Snapshot();
     }
+    std::printf("%s\n",
+                efes::EstimationResultToJson(
+                    *result, g_flags.metrics ? &telemetry : nullptr,
+                    explain ? &provenance : nullptr)
+                    .c_str());
   } else {
     std::printf("%s", result->ToText().c_str());
+    if (explain) {
+      auto tree = efes::RenderProvenanceTree(provenance, explain_task);
+      if (tree.ok()) {
+        std::printf("\n=== provenance ===\n%s", tree->c_str());
+      } else if (tree.status().code() == efes::StatusCode::kNotFound) {
+        // A bad --explain=<task-id> is a real error (the tree exists,
+        // the caller asked for a task that does not).
+        return Fail(tree.status());
+      } else {
+        // Degraded recording/export: the estimate stands, the
+        // explanation is just unavailable.
+        std::fprintf(stderr, "warning: %s\n",
+                     tree.status().ToString().c_str());
+      }
+    }
   }
   return 0;
 }

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Runs the perf_* benches and appends their machine-readable JSON lines
+# (one cold + one warm record per bench, see bench/bench_json.h) to
+# BENCH_perf.json, building the trajectory of the repo's performance over
+# time. By default the google-benchmark suites are skipped (their filter
+# matches nothing) so only the instrumented cold/warm workload pair runs;
+# `--full` runs the suites too (human-readable, stdout only). Usage:
+#
+#   tools/run_benches.sh [--full] [build-dir]   # default: build
+#
+# The output file can be redirected with BENCH_OUT=<file>.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FULL=0
+if [[ "${1:-}" == "--full" ]]; then
+  FULL=1
+  shift
+fi
+BUILD_DIR="${1:-build}"
+OUT="${BENCH_OUT:-BENCH_perf.json}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j --target \
+  perf_csg perf_profiling perf_detectors perf_executor
+
+ARGS=()
+if [[ "$FULL" -eq 0 ]]; then
+  # A filter no suite matches: google-benchmark runs nothing, the
+  # cold/warm workload pair still runs and emits its JSON lines.
+  ARGS+=("--benchmark_filter=^$")
+fi
+
+APPENDED=0
+for bench in "$BUILD_DIR"/bench/perf_*; do
+  [[ -x "$bench" ]] || continue
+  "$bench" ${ARGS[@]+"${ARGS[@]}"} | grep '^{' >> "$OUT"
+  APPENDED=$((APPENDED + 2))
+done
+
+echo "run_benches: appended $APPENDED line(s); $OUT now has $(wc -l < "$OUT") line(s)"
