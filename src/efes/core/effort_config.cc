@@ -19,6 +19,7 @@ const TaskType kAllTaskTypes[] = {
     TaskType::kAddValues,           TaskType::kDropValues,
     TaskType::kConvertValues,       TaskType::kGeneralizeValues,
     TaskType::kRefineValues,        TaskType::kAggregateValues,
+    TaskType::kResolveDuplicateClusters, TaskType::kDropDuplicateRecords,
 };
 
 Result<bool> ParseBool(std::string_view value) {
@@ -58,6 +59,78 @@ Status ApplySetting(ExecutionSettings* settings, std::string_view key,
   return Status::OK();
 }
 
+/// Re-derives the two deduplication effort functions from the configured
+/// costs. Called after every [dedup] cost change, so a later [efforts]
+/// formula for the same task still takes precedence (file order wins).
+void ApplyDedupCosts(EstimationConfig* config) {
+  const double cluster_minutes = config->dedup.cluster_resolution_minutes;
+  const double pair_minutes = config->dedup.pair_review_minutes;
+  config->model.SetFunction(
+      TaskType::kResolveDuplicateClusters,
+      [cluster_minutes, pair_minutes](const Task& task,
+                                      const ExecutionSettings&) {
+        return cluster_minutes * task.Param(task_params::kClusters) +
+               pair_minutes * task.Param(task_params::kPairs);
+      },
+      FormatDouble(cluster_minutes, 6) + " * #clusters + " +
+          FormatDouble(pair_minutes, 6) + " * #pairs",
+      {task_params::kClusters, task_params::kPairs});
+  const double drop_minutes = config->dedup.drop_script_minutes;
+  config->model.SetFunction(
+      TaskType::kDropDuplicateRecords,
+      [drop_minutes](const Task&, const ExecutionSettings&) {
+        return drop_minutes;
+      },
+      FormatDouble(drop_minutes, 6), {});
+}
+
+/// One `key = value` line of the [dedup] section. Parse failures are
+/// kParseError; values the detector cannot run with are kInvalidArgument
+/// (DedupOptions::Validate) — the caller keeps the code and prefixes the
+/// line number.
+Status ApplyDedupSetting(EstimationConfig* config, std::string_view key,
+                         std::string_view value) {
+  DedupOptions& dedup = config->dedup;
+  bool cost_changed = false;
+  if (key == "pair_review_minutes") {
+    EFES_ASSIGN_OR_RETURN(dedup.pair_review_minutes, ParseNumber(value));
+    cost_changed = true;
+  } else if (key == "cluster_resolution_minutes") {
+    EFES_ASSIGN_OR_RETURN(dedup.cluster_resolution_minutes,
+                          ParseNumber(value));
+    cost_changed = true;
+  } else if (key == "drop_script_minutes") {
+    EFES_ASSIGN_OR_RETURN(dedup.drop_script_minutes, ParseNumber(value));
+    cost_changed = true;
+  } else if (key == "max_block_size") {
+    EFES_ASSIGN_OR_RETURN(double parsed, ParseNumber(value));
+    if (parsed < 0.0) {
+      return Status::InvalidArgument(
+          "dedup max_block_size must not be negative");
+    }
+    dedup.max_block_size = static_cast<size_t>(parsed);
+  } else if (key == "min_key_fill") {
+    EFES_ASSIGN_OR_RETURN(dedup.min_key_fill, ParseNumber(value));
+  } else if (key == "min_key_uniqueness") {
+    EFES_ASSIGN_OR_RETURN(dedup.min_key_uniqueness, ParseNumber(value));
+  } else if (key == "min_support_similarity") {
+    EFES_ASSIGN_OR_RETURN(dedup.min_support_similarity, ParseNumber(value));
+  } else if (key == "sample_limit") {
+    EFES_ASSIGN_OR_RETURN(double parsed, ParseNumber(value));
+    if (parsed < 0.0) {
+      return Status::InvalidArgument(
+          "dedup sample_limit must not be negative");
+    }
+    dedup.sample_limit = static_cast<size_t>(parsed);
+  } else {
+    return Status::ParseError("unknown dedup setting '" + std::string(key) +
+                              "'");
+  }
+  EFES_RETURN_IF_ERROR(dedup.Validate());
+  if (cost_changed) ApplyDedupCosts(config);
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<TaskType> TaskTypeFromName(std::string_view name) {
@@ -88,7 +161,8 @@ Result<EstimationConfig> ParseEffortConfig(std::string_view text) {
                                   ": unterminated section header");
       }
       section = std::string(Trim(line.substr(1, line.size() - 2)));
-      if (section != "settings" && section != "efforts") {
+      if (section != "settings" && section != "efforts" &&
+          section != "dedup") {
         return Status::ParseError("line " + std::to_string(line_number) +
                                   ": unknown section '" + section + "'");
       }
@@ -112,6 +186,17 @@ Result<EstimationConfig> ParseEffortConfig(std::string_view text) {
       if (!status.ok()) {
         return Status::ParseError("line " + std::to_string(line_number) +
                                   ": " + status.message());
+      }
+      continue;
+    }
+
+    if (section == "dedup") {
+      Status status = ApplyDedupSetting(&config, key, value);
+      if (!status.ok()) {
+        // Keep the code: an unusable value (negative cost, zero block
+        // size) stays kInvalidArgument, a malformed one kParseError.
+        return Status(status.code(), "line " + std::to_string(line_number) +
+                                         ": " + status.message());
       }
       continue;
     }

@@ -19,9 +19,22 @@
 //   Write mapping  = 3*fks + 3*pks + attributes + 3*tables
 //   Reject tuples  = 5
 //
+//   [dedup]
+//   pair_review_minutes        = 0.75
+//   cluster_resolution_minutes = 3
+//   max_block_size             = 48
+//
 // Keys in [efforts] are the Table 9 task names (TaskTypeToString); their
 // values are formulas over task parameters (see formula.h). Unlisted
 // tasks keep their Table 9 defaults.
+//
+// The [dedup] section configures the deduplication detector and its
+// pair-review cost function (see dedup_options.h for every knob). Setting
+// a cost knob immediately re-derives the "Resolve duplicate clusters" and
+// "Drop duplicate records" effort functions, so a later [efforts] line
+// still wins. Invalid values (negative costs, zero block size,
+// out-of-range fractions) are rejected with kInvalidArgument — never
+// silently clamped.
 
 #ifndef EFES_CORE_EFFORT_CONFIG_H_
 #define EFES_CORE_EFFORT_CONFIG_H_
@@ -31,12 +44,14 @@
 
 #include "efes/common/result.h"
 #include "efes/core/effort_model.h"
+#include "efes/dedup/dedup_options.h"
 
 namespace efes {
 
 struct EstimationConfig {
   ExecutionSettings settings;
   EffortModel model = EffortModel::PaperDefault();
+  DedupOptions dedup;
 };
 
 /// Parses a configuration document. Unknown sections, unknown setting

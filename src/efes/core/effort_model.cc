@@ -30,6 +30,9 @@ std::vector<std::string> DefaultFunctionParameters(TaskType type) {
               std::string(task_params::kPrimaryKeys),
               std::string(task_params::kAttributes),
               std::string(task_params::kTables)};
+    case TaskType::kResolveDuplicateClusters:
+      return {std::string(task_params::kClusters),
+              std::string(task_params::kPairs)};
     default:
       return {};
   }
@@ -92,6 +95,19 @@ EffortModel EffortModel::PaperDefault() {
   model.SetFunction(TaskType::kMergeValues, constant(15.0));
   // Setting violating values to NULL is a single UPDATE statement.
   model.SetFunction(TaskType::kSetValuesToNull, constant(5.0));
+
+  // --- Deduplication (dedup module) ----------------------------------------
+  // Resolving a cluster group is merge work per confirmed cluster plus a
+  // human look at every candidate pair (the configurable pair-review cost;
+  // see effort_config.h's [dedup] section).
+  model.SetFunction(TaskType::kResolveDuplicateClusters,
+                    [](const Task& task, const ExecutionSettings&) {
+                      return 2.0 * task.Param(task_params::kClusters) +
+                             0.5 * task.Param(task_params::kPairs);
+                    });
+  // Low effort keeps one arbitrary record per cluster: one DELETE script
+  // per affected relation, independent of the cluster count.
+  model.SetFunction(TaskType::kDropDuplicateRecords, constant(8.0));
 
   // --- Mapping (Table 9, bottom row; Example 3.8) --------------------------
   model.SetFunction(
@@ -186,6 +202,10 @@ std::string EffortModel::DescribeDefaultFunction(TaskType type) {
       return "15";
     case TaskType::kWriteMapping:
       return "3 * #FKs + 3 * #PKs + #atts + 3 * #tables";
+    case TaskType::kResolveDuplicateClusters:
+      return "2 * #clusters + 0.5 * #pairs";
+    case TaskType::kDropDuplicateRecords:
+      return "8";
     case TaskType::kRejectTuples:
     case TaskType::kKeepAnyValue:
     case TaskType::kAddTuples:

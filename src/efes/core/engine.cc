@@ -40,7 +40,8 @@ std::string EffortEstimate::ToText() const {
   table.AddSeparator();
   for (TaskCategory category :
        {TaskCategory::kMapping, TaskCategory::kCleaningStructure,
-        TaskCategory::kCleaningValues, TaskCategory::kOther}) {
+        TaskCategory::kCleaningValues, TaskCategory::kDeduplication,
+        TaskCategory::kOther}) {
     double minutes = CategoryMinutes(category);
     if (minutes > 0.0) {
       table.AddRow({"Subtotal", std::string(TaskCategoryToString(category)),

@@ -24,6 +24,8 @@ std::string_view TaskCategoryToString(TaskCategory category) {
       return "Cleaning (Structure)";
     case TaskCategory::kCleaningValues:
       return "Cleaning (Values)";
+    case TaskCategory::kDeduplication:
+      return "Deduplication";
     case TaskCategory::kOther:
       return "Other";
   }
@@ -72,6 +74,10 @@ std::string_view TaskTypeToString(TaskType type) {
       return "Refine values";
     case TaskType::kAggregateValues:
       return "Aggregate values";
+    case TaskType::kResolveDuplicateClusters:
+      return "Resolve duplicate clusters";
+    case TaskType::kDropDuplicateRecords:
+      return "Drop duplicate records";
   }
   return "unknown";
 }

@@ -25,11 +25,14 @@ enum class ExpectedQuality {
 
 std::string_view ExpectedQualityToString(ExpectedQuality quality);
 
-/// The effort breakdown axes of Figures 6/7.
+/// The effort breakdown axes of Figures 6/7, extended with the
+/// deduplication dimension (cross-source duplicate entities, which the
+/// paper's module set never priced).
 enum class TaskCategory {
   kMapping,
   kCleaningStructure,
   kCleaningValues,
+  kDeduplication,
   kOther,
 };
 
@@ -64,6 +67,10 @@ enum class TaskType {
   kGeneralizeValues,  // too fine-grained source values, high quality
   kRefineValues,      // too coarse-grained source values, high quality
   kAggregateValues,   // duplicate value consolidation (Table 9)
+
+  // Deduplication (cross-source duplicate entities; dedup module).
+  kResolveDuplicateClusters,  // verify candidate pairs + merge, high quality
+  kDropDuplicateRecords,      // keep one record per cluster, low effort
 };
 
 /// Display name as printed in the paper's tables, e.g. "Convert values".
@@ -79,6 +86,8 @@ inline constexpr char kTables[] = "tables";
 inline constexpr char kAttributes[] = "attributes";
 inline constexpr char kPrimaryKeys[] = "pks";
 inline constexpr char kForeignKeys[] = "fks";
+inline constexpr char kClusters[] = "clusters";
+inline constexpr char kPairs[] = "pairs";
 }  // namespace task_params
 
 struct Task {

@@ -1,0 +1,96 @@
+// Configuration of the deduplication estimation module.
+//
+// Lives in its own header-only file (no dedup library dependency) so the
+// core effort-config parser can populate it from a `[dedup]` INI section
+// without a dependency cycle: core must not link the dedup module, the
+// dedup module links core.
+
+#ifndef EFES_DEDUP_DEDUP_OPTIONS_H_
+#define EFES_DEDUP_DEDUP_OPTIONS_H_
+
+#include <cstddef>
+
+#include "efes/common/status.h"
+
+namespace efes {
+
+/// Knobs of the duplicate-entity detector and the pair-review cost
+/// function. Invalid combinations are rejected by Validate() with
+/// kInvalidArgument — never silently clamped (the same contract as
+/// ParseCorrespondenceLine: a typo in a config must surface, not vanish).
+struct DedupOptions {
+  /// Minutes a human needs to verify one candidate duplicate pair
+  /// (high-quality resolution reviews every within-cluster pair).
+  double pair_review_minutes = 0.5;
+
+  /// Minutes to merge one confirmed cluster into a single record.
+  double cluster_resolution_minutes = 2.0;
+
+  /// Minutes for the low-effort alternative: one keep-one-drop-rest
+  /// DELETE script per affected target relation.
+  double drop_script_minutes = 8.0;
+
+  /// Blocks (groups of records sharing a normalized blocking-key value)
+  /// larger than this are considered non-discriminative — a constant-like
+  /// key value such as "unknown" — and are skipped, not resolved. Must be
+  /// positive.
+  size_t max_block_size = 64;
+
+  /// A blocking-key candidate must be at least this well filled in every
+  /// contributing feed (fraction of non-null values).
+  double min_key_fill = 0.5;
+
+  /// ... and at least this unique within every feed (distinct / non-null).
+  /// Below the floor the attribute is category-like and blocking on it
+  /// would merge unrelated entities.
+  double min_key_uniqueness = 0.3;
+
+  /// Cross-feed statistics similarity (importance-weighted fit over the
+  /// shared non-key attributes) required before key collisions count as
+  /// duplicate clusters rather than coincidence.
+  double min_support_similarity = 0.5;
+
+  /// When > 0, per-feed statistics are computed over at most this many
+  /// rows per column (deterministic strided sample); blocking always
+  /// scans every row. 0 = use every row.
+  size_t sample_limit = 0;
+
+  /// Rejects invalid configurations with kInvalidArgument: negative
+  /// costs, a zero block size, or fraction thresholds outside [0, 1].
+  Status Validate() const {
+    if (pair_review_minutes < 0.0) {
+      return Status::InvalidArgument(
+          "dedup pair_review_minutes must not be negative");
+    }
+    if (cluster_resolution_minutes < 0.0) {
+      return Status::InvalidArgument(
+          "dedup cluster_resolution_minutes must not be negative");
+    }
+    if (drop_script_minutes < 0.0) {
+      return Status::InvalidArgument(
+          "dedup drop_script_minutes must not be negative");
+    }
+    if (max_block_size == 0) {
+      return Status::InvalidArgument(
+          "dedup max_block_size must be positive (a zero-size block can "
+          "never hold a duplicate)");
+    }
+    if (min_key_fill < 0.0 || min_key_fill > 1.0) {
+      return Status::InvalidArgument(
+          "dedup min_key_fill must be within [0, 1]");
+    }
+    if (min_key_uniqueness < 0.0 || min_key_uniqueness > 1.0) {
+      return Status::InvalidArgument(
+          "dedup min_key_uniqueness must be within [0, 1]");
+    }
+    if (min_support_similarity < 0.0 || min_support_similarity > 1.0) {
+      return Status::InvalidArgument(
+          "dedup min_support_similarity must be within [0, 1]");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace efes
+
+#endif  // EFES_DEDUP_DEDUP_OPTIONS_H_

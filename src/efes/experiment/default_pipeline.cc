@@ -1,18 +1,63 @@
 #include "efes/experiment/default_pipeline.h"
 
 #include <memory>
+#include <set>
+#include <string>
 
+#include "efes/common/string_util.h"
+#include "efes/dedup/dedup_module.h"
 #include "efes/mapping/mapping_module.h"
 #include "efes/structure/structure_module.h"
 #include "efes/values/value_module.h"
 
 namespace efes {
 
-EfesEngine MakeDefaultEngine(EffortModel model) {
+EfesEngine MakeDefaultEngine(EffortModel model, const DedupOptions& dedup) {
   EfesEngine engine(std::move(model));
   engine.AddModule(std::make_unique<MappingModule>());
   engine.AddModule(std::make_unique<StructureModule>());
   engine.AddModule(std::make_unique<ValueModule>());
+  engine.AddModule(std::make_unique<DedupModule>(dedup));
+  return engine;
+}
+
+Result<EfesEngine> MakeEngineForModules(std::string_view modules_csv,
+                                        EffortModel model,
+                                        const DedupOptions& dedup) {
+  std::set<std::string> requested;
+  for (const std::string& piece : Split(modules_csv, ',')) {
+    std::string name = ToLower(Trim(piece));
+    if (name.empty()) continue;
+    if (name != "mapping" && name != "structure" && name != "values" &&
+        name != "dedup") {
+      return Status::InvalidArgument("unknown module '" + name +
+                                     "' (available: " + kDefaultModules +
+                                     ")");
+    }
+    if (!requested.insert(name).second) {
+      return Status::InvalidArgument("module '" + name +
+                                     "' listed more than once");
+    }
+  }
+  if (requested.empty()) {
+    return Status::InvalidArgument("module list must name at least one of: " +
+                                   std::string(kDefaultModules));
+  }
+  // Registration always follows the canonical pipeline order, so
+  // "dedup,mapping" and "mapping,dedup" produce identical engines.
+  EfesEngine engine(std::move(model));
+  if (requested.count("mapping") > 0) {
+    engine.AddModule(std::make_unique<MappingModule>());
+  }
+  if (requested.count("structure") > 0) {
+    engine.AddModule(std::make_unique<StructureModule>());
+  }
+  if (requested.count("values") > 0) {
+    engine.AddModule(std::make_unique<ValueModule>());
+  }
+  if (requested.count("dedup") > 0) {
+    engine.AddModule(std::make_unique<DedupModule>(dedup));
+  }
   return engine;
 }
 

@@ -1,18 +1,37 @@
 // Convenience assembly of the full EFES pipeline: the engine loaded with
 // the three estimation modules of the paper (mapping, structure, values)
-// and the Table 9 effort model.
+// plus the deduplication module, and the Table 9 effort model.
 
 #ifndef EFES_EXPERIMENT_DEFAULT_PIPELINE_H_
 #define EFES_EXPERIMENT_DEFAULT_PIPELINE_H_
 
+#include <string_view>
+
+#include "efes/common/result.h"
 #include "efes/core/effort_model.h"
 #include "efes/core/engine.h"
+#include "efes/dedup/dedup_options.h"
 
 namespace efes {
 
-/// Builds an engine with MappingModule, StructureModule, and ValueModule
-/// registered (in that order) on top of `model`.
-EfesEngine MakeDefaultEngine(EffortModel model = EffortModel::PaperDefault());
+/// The module list MakeDefaultEngine registers, in registration order —
+/// also the accepted names of MakeEngineForModules.
+inline constexpr char kDefaultModules[] = "mapping,structure,values,dedup";
+
+/// Builds an engine with MappingModule, StructureModule, ValueModule, and
+/// DedupModule registered (in that order) on top of `model`.
+EfesEngine MakeDefaultEngine(EffortModel model = EffortModel::PaperDefault(),
+                             const DedupOptions& dedup = DedupOptions());
+
+/// Builds an engine with exactly the modules named in the comma-separated
+/// `modules_csv` (names from kDefaultModules, e.g. "mapping,dedup"),
+/// registered in the canonical pipeline order regardless of the list
+/// order. Unknown or duplicate names and an empty list are
+/// kInvalidArgument.
+Result<EfesEngine> MakeEngineForModules(
+    std::string_view modules_csv,
+    EffortModel model = EffortModel::PaperDefault(),
+    const DedupOptions& dedup = DedupOptions());
 
 }  // namespace efes
 

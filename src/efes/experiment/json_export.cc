@@ -2,6 +2,7 @@
 
 #include "efes/common/file_io.h"
 #include "efes/common/json_writer.h"
+#include "efes/dedup/dedup_module.h"
 #include "efes/mapping/mapping_module.h"
 #include "efes/provenance/render.h"
 #include "efes/structure/structure_module.h"
@@ -90,6 +91,40 @@ void WriteModuleDetail(JsonWriter& json, const ComplexityReport& report) {
           .EndObject();
     }
     json.EndArray();
+  } else if (const auto* dedup =
+                 dynamic_cast<const DedupComplexityReport*>(&report)) {
+    json.Key("findings").BeginArray();
+    for (const DuplicateClusterFinding& finding : dedup->findings()) {
+      json.BeginObject()
+          .Key("target_relation")
+          .String(finding.target_relation)
+          .Key("blocking_key")
+          .String(finding.blocking_key)
+          .Key("feeds")
+          .BeginArray();
+      for (const std::string& feed : finding.feeds) {
+        json.String(feed);
+      }
+      json.EndArray()
+          .Key("clusters")
+          .Number(finding.cluster_count)
+          .Key("duplicate_records")
+          .Number(finding.duplicate_records)
+          .Key("verification_pairs")
+          .Number(finding.verification_pairs)
+          .Key("max_cluster_size")
+          .Number(finding.max_cluster_size)
+          .Key("oversize_blocks")
+          .Number(finding.oversize_blocks)
+          .Key("key_uniqueness")
+          .Number(finding.key_uniqueness)
+          .Key("key_fill")
+          .Number(finding.key_fill)
+          .Key("support_similarity")
+          .Number(finding.support_similarity)
+          .EndObject();
+    }
+    json.EndArray();
   }
 }
 
@@ -150,6 +185,8 @@ std::string EstimationResultToJsonImpl(const EstimationResult& result,
           result.estimate.CategoryMinutes(TaskCategory::kCleaningStructure))
       .Key("cleaning_values")
       .Number(result.estimate.CategoryMinutes(TaskCategory::kCleaningValues))
+      .Key("deduplication")
+      .Number(result.estimate.CategoryMinutes(TaskCategory::kDeduplication))
       .Key("other")
       .Number(result.estimate.CategoryMinutes(TaskCategory::kOther))
       .EndObject();

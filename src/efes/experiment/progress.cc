@@ -44,6 +44,9 @@ ProgressReport TrackProgress(
       case TaskCategory::kCleaningValues:
         report.remaining_values += task.minutes;
         break;
+      case TaskCategory::kDeduplication:
+        report.remaining_dedup += task.minutes;
+        break;
       case TaskCategory::kOther:
         report.remaining_other += task.minutes;
         break;

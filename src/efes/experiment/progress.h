@@ -27,6 +27,7 @@ struct ProgressReport {
   double remaining_mapping = 0.0;
   double remaining_structure = 0.0;
   double remaining_values = 0.0;
+  double remaining_dedup = 0.0;
   double remaining_other = 0.0;
 
   /// "7/10 tasks done, 312 of 480 min spent, 168 min (35%) remaining".

@@ -1,0 +1,386 @@
+#include "efes/scenario/fuzzer.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "efes/common/random.h"
+#include "efes/scenario/schema_util.h"
+
+namespace efes {
+
+Status FuzzOptions::Validate() const {
+  // Duplicate injection spreads each cluster over >= 2 sources, so a
+  // single-source fuzz would be degenerate for the dedup property.
+  if (min_sources < 2 || min_sources > max_sources) {
+    return Status::InvalidArgument(
+        "fuzz sources range must satisfy 2 <= min <= max");
+  }
+  if (min_entities == 0 || min_entities > max_entities) {
+    return Status::InvalidArgument(
+        "fuzz entities range must satisfy 1 <= min <= max");
+  }
+  if (min_extra_attributes > max_extra_attributes) {
+    return Status::InvalidArgument(
+        "fuzz extra-attributes range must satisfy min <= max");
+  }
+  for (double rate : {duplicate_entity_rate, key_dirt_rate,
+                      missing_value_rate, sloppy_number_rate,
+                      target_data_rate}) {
+    if (rate < 0.0 || rate > 1.0) {
+      return Status::InvalidArgument(
+          "fuzz rates must be probabilities within [0, 1]");
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+using scenario_internal::MustAddRelation;
+
+/// One non-key root attribute of the generated domain.
+struct ExtraAttr {
+  std::string name;
+  DataType type = DataType::kText;
+  /// Shared value pool (all sources draw from it, Zipf-skewed), kept
+  /// small so the attribute never out-scores the entity name as a
+  /// blocking key.
+  std::vector<std::string> text_pool;
+  int64_t int_range = 20;
+};
+
+/// One entity of the shared domain pool.
+struct Entity {
+  std::string name;
+  std::vector<size_t> extra_choice;  // per extra attr: pool index / number
+  std::vector<size_t> in_sources;    // source indices holding a record
+};
+
+std::string CapWord(Random& rng, size_t min_len, size_t max_len) {
+  std::string word = rng.Word(min_len, max_len);
+  word[0] = static_cast<char>(word[0] - 'a' + 'A');
+  return word;
+}
+
+/// A normalization-recoverable corruption of an entity name: case flips,
+/// doubled inner spaces, and outer padding — never content changes, so
+/// NormalizeEntityKey maps the dirty name back onto the clean key.
+std::string DirtyName(Random& rng, const std::string& name) {
+  std::string dirty = name;
+  switch (rng.UniformUint64(4)) {
+    case 0:  // SHOUTING
+      for (char& c : dirty) {
+        if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+      }
+      break;
+    case 1:  // all lowercase
+      for (char& c : dirty) {
+        if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+      }
+      break;
+    case 2: {  // double one inner space
+      size_t space = dirty.find(' ');
+      if (space != std::string::npos) dirty.insert(space, " ");
+      break;
+    }
+    case 3:  // outer padding
+      dirty = " " + dirty + "  ";
+      break;
+  }
+  return dirty;
+}
+
+Value ExtraValue(const ExtraAttr& attr, size_t choice, bool sloppy) {
+  if (attr.type == DataType::kText) {
+    return Value::Text(attr.text_pool[choice % attr.text_pool.size()]);
+  }
+  int64_t number = static_cast<int64_t>(choice) % attr.int_range;
+  if (sloppy) {
+    // Decorated text that no longer casts to the numeric target type.
+    return Value::Text("~ " + std::to_string(number));
+  }
+  if (attr.type == DataType::kReal) {
+    return Value::Real(static_cast<double>(number) + 0.5);
+  }
+  return Value::Integer(number);
+}
+
+}  // namespace
+
+Result<FuzzedScenario> FuzzScenario(uint64_t seed,
+                                    const FuzzOptions& options) {
+  EFES_RETURN_IF_ERROR(options.Validate());
+  Random rng(seed ^ 0xEFE5F0220DD5EEDULL);
+
+  // --- Shape of the domain.
+  const size_t source_count = static_cast<size_t>(rng.UniformInt(
+      static_cast<int64_t>(options.min_sources),
+      static_cast<int64_t>(options.max_sources)));
+  const size_t entity_count = static_cast<size_t>(rng.UniformInt(
+      static_cast<int64_t>(options.min_entities),
+      static_cast<int64_t>(options.max_entities)));
+  const size_t extra_count = static_cast<size_t>(rng.UniformInt(
+      static_cast<int64_t>(options.min_extra_attributes),
+      static_cast<int64_t>(options.max_extra_attributes)));
+  const size_t detail_count = static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(options.max_detail_relations)));
+
+  std::vector<ExtraAttr> extras;
+  for (size_t i = 0; i < extra_count; ++i) {
+    ExtraAttr attr;
+    attr.name = "x" + std::to_string(i) + "_" + rng.Word(3, 7);
+    switch (rng.UniformUint64(3)) {
+      case 0:
+        attr.type = DataType::kText;
+        break;
+      case 1:
+        attr.type = DataType::kInteger;
+        break;
+      default:
+        attr.type = DataType::kReal;
+        break;
+    }
+    if (attr.type == DataType::kText) {
+      size_t pool_size = 4 + rng.UniformUint64(8);
+      std::set<std::string> pool;
+      while (pool.size() < pool_size) pool.insert(rng.Word(4, 9));
+      attr.text_pool.assign(pool.begin(), pool.end());
+    } else {
+      attr.int_range = rng.UniformInt(8, 24);
+    }
+    extras.push_back(std::move(attr));
+  }
+  // Detail-relation payload pool, shared like a real reference vocabulary.
+  std::vector<std::string> detail_pool;
+  for (size_t i = 0; i < 6; ++i) detail_pool.push_back(rng.Word(4, 8));
+
+  // --- Target schema: root entity relation + FK detail chain.
+  Schema target_schema("fuzz_target");
+  {
+    std::vector<AttributeDef> attributes = {{"id", DataType::kInteger},
+                                            {"name", DataType::kText}};
+    for (const ExtraAttr& attr : extras) {
+      attributes.push_back({attr.name, attr.type});
+    }
+    MustAddRelation(target_schema, RelationDef("entity", attributes));
+    target_schema.AddConstraint(Constraint::PrimaryKey("entity", {"id"}));
+    target_schema.AddConstraint(Constraint::NotNull("entity", "name"));
+    for (size_t d = 0; d < detail_count; ++d) {
+      std::string relation = "detail" + std::to_string(d);
+      MustAddRelation(target_schema,
+                      RelationDef(relation, {{"id", DataType::kInteger},
+                                             {"entity_id", DataType::kInteger},
+                                             {"info", DataType::kText}}));
+      target_schema.AddConstraint(Constraint::PrimaryKey(relation, {"id"}));
+      target_schema.AddConstraint(Constraint::ForeignKey(
+          relation, {"entity_id"}, "entity", {"id"}));
+    }
+  }
+  EFES_ASSIGN_OR_RETURN(Database target,
+                        Database::Create(std::move(target_schema)));
+
+  // --- The shared entity pool with unique (normalized) names.
+  std::vector<Entity> entities;
+  std::set<std::string> seen_keys;
+  while (entities.size() < entity_count) {
+    Entity entity;
+    entity.name = CapWord(rng, 3, 7) + " " + CapWord(rng, 4, 9);
+    if (!seen_keys.insert(NormalizeEntityKey(entity.name)).second) continue;
+    for (const ExtraAttr& attr : extras) {
+      size_t choice = attr.type == DataType::kText
+                          ? rng.Zipf(attr.text_pool.size(), 1.2)
+                          : static_cast<size_t>(rng.UniformUint64(
+                                static_cast<uint64_t>(attr.int_range)));
+      entity.extra_choice.push_back(choice);
+    }
+    entities.push_back(std::move(entity));
+  }
+
+  // --- Assign entities to sources; >= 2 sources = an injected cluster.
+  FuzzedScenario fuzzed(IntegrationScenario(
+      "fuzz_" + std::to_string(seed), std::move(target)));
+  std::vector<size_t> source_order(source_count);
+  for (size_t i = 0; i < source_count; ++i) source_order[i] = i;
+  for (Entity& entity : entities) {
+    if (source_count >= 2 && rng.Bernoulli(options.duplicate_entity_rate)) {
+      size_t copies = static_cast<size_t>(
+          rng.UniformInt(2, static_cast<int64_t>(source_count)));
+      rng.Shuffle(source_order);
+      entity.in_sources.assign(source_order.begin(),
+                               source_order.begin() +
+                                   static_cast<ptrdiff_t>(copies));
+      std::sort(entity.in_sources.begin(), entity.in_sources.end());
+      InjectedCluster cluster;
+      cluster.target_relation = "entity";
+      cluster.key = NormalizeEntityKey(entity.name);
+      cluster.occurrences = copies;
+      fuzzed.injected_clusters.push_back(std::move(cluster));
+    } else {
+      entity.in_sources.push_back(
+          static_cast<size_t>(rng.UniformUint64(source_count)));
+    }
+  }
+
+  // --- Optional target example data: a clean excerpt of the domain.
+  if (rng.Bernoulli(options.target_data_rate)) {
+    EFES_ASSIGN_OR_RETURN(Table * entity_table,
+                          fuzzed.scenario.target.mutable_table("entity"));
+    size_t sample = std::max<size_t>(entity_count / 4, 4);
+    for (size_t i = 0; i < sample && i < entities.size(); ++i) {
+      std::vector<Value> row = {Value::Integer(static_cast<int64_t>(i + 1)),
+                                Value::Text(entities[i].name)};
+      for (size_t ai = 0; ai < extras.size(); ++ai) {
+        row.push_back(
+            ExtraValue(extras[ai], entities[i].extra_choice[ai], false));
+      }
+      EFES_RETURN_IF_ERROR(entity_table->AppendRow(std::move(row)));
+    }
+  }
+
+  // --- Sources: renamed schemas, injected dirt, full correspondences.
+  for (size_t si = 0; si < source_count; ++si) {
+    const std::string prefix = "s" + std::to_string(si) + "_";
+    // A source may render a numeric attribute as decorated text — the
+    // classic critical representation difference.
+    std::vector<bool> sloppy(extras.size(), false);
+    for (size_t ai = 0; ai < extras.size(); ++ai) {
+      if (extras[ai].type != DataType::kText &&
+          rng.Bernoulli(options.sloppy_number_rate)) {
+        sloppy[ai] = true;
+      }
+    }
+
+    Schema schema("fuzz_src" + std::to_string(si));
+    {
+      std::vector<AttributeDef> attributes = {
+          {prefix + "id", DataType::kInteger},
+          {prefix + "name", DataType::kText}};
+      for (size_t ai = 0; ai < extras.size(); ++ai) {
+        attributes.push_back({prefix + extras[ai].name,
+                              sloppy[ai] ? DataType::kText
+                                         : extras[ai].type});
+      }
+      MustAddRelation(schema, RelationDef(prefix + "entity", attributes));
+      schema.AddConstraint(
+          Constraint::PrimaryKey(prefix + "entity", {prefix + "id"}));
+      schema.AddConstraint(
+          Constraint::NotNull(prefix + "entity", prefix + "name"));
+      for (size_t d = 0; d < detail_count; ++d) {
+        std::string relation = prefix + "detail" + std::to_string(d);
+        MustAddRelation(
+            schema,
+            RelationDef(relation, {{prefix + "id", DataType::kInteger},
+                                   {prefix + "entity_id", DataType::kInteger},
+                                   {prefix + "info", DataType::kText}}));
+        schema.AddConstraint(Constraint::PrimaryKey(relation, {prefix + "id"}));
+        schema.AddConstraint(
+            Constraint::ForeignKey(relation, {prefix + "entity_id"},
+                                   prefix + "entity", {prefix + "id"}));
+      }
+    }
+    EFES_ASSIGN_OR_RETURN(Database database,
+                          Database::Create(std::move(schema)));
+
+    EFES_ASSIGN_OR_RETURN(Table * entity_table,
+                          database.mutable_table(prefix + "entity"));
+    std::vector<int64_t> entity_row_id(entities.size(), 0);
+    int64_t next_id = 1;
+    for (size_t ei = 0; ei < entities.size(); ++ei) {
+      const Entity& entity = entities[ei];
+      if (std::find(entity.in_sources.begin(), entity.in_sources.end(),
+                    si) == entity.in_sources.end()) {
+        continue;
+      }
+      std::string name = entity.name;
+      if (entity.in_sources.size() >= 2 &&
+          rng.Bernoulli(options.key_dirt_rate)) {
+        name = DirtyName(rng, name);
+      }
+      std::vector<Value> row = {Value::Integer(next_id),
+                                Value::Text(std::move(name))};
+      for (size_t ai = 0; ai < extras.size(); ++ai) {
+        if (rng.Bernoulli(options.missing_value_rate)) {
+          ++fuzzed.injected_nulls;
+          row.push_back(Value::Null());
+          continue;
+        }
+        if (sloppy[ai]) ++fuzzed.injected_sloppy_values;
+        row.push_back(
+            ExtraValue(extras[ai], entity.extra_choice[ai], sloppy[ai]));
+      }
+      EFES_RETURN_IF_ERROR(entity_table->AppendRow(std::move(row)));
+      entity_row_id[ei] = next_id++;
+    }
+    for (size_t d = 0; d < detail_count; ++d) {
+      EFES_ASSIGN_OR_RETURN(
+          Table * detail_table,
+          database.mutable_table(prefix + "detail" + std::to_string(d)));
+      int64_t detail_id = 1;
+      for (size_t ei = 0; ei < entities.size(); ++ei) {
+        if (entity_row_id[ei] == 0) continue;
+        size_t rows = rng.UniformUint64(3);  // 0-2 detail rows per entity
+        for (size_t r = 0; r < rows; ++r) {
+          EFES_RETURN_IF_ERROR(detail_table->AppendRow(
+              {Value::Integer(detail_id++),
+               Value::Integer(entity_row_id[ei]),
+               Value::Text(rng.Choice(detail_pool))}));
+        }
+      }
+    }
+    if (!database.SatisfiesConstraints()) {
+      return Status::Internal(
+          "fuzzer produced a source violating its own constraints (seed " +
+          std::to_string(seed) + ", source " + std::to_string(si) + ")");
+    }
+
+    CorrespondenceSet correspondences;
+    correspondences.AddAttribute(prefix + "entity", prefix + "id", "entity",
+                                 "id");
+    correspondences.AddAttribute(prefix + "entity", prefix + "name",
+                                 "entity", "name");
+    for (const ExtraAttr& attr : extras) {
+      correspondences.AddAttribute(prefix + "entity", prefix + attr.name,
+                                   "entity", attr.name);
+    }
+    for (size_t d = 0; d < detail_count; ++d) {
+      std::string source_relation = prefix + "detail" + std::to_string(d);
+      std::string target_relation = "detail" + std::to_string(d);
+      correspondences.AddAttribute(source_relation, prefix + "id",
+                                   target_relation, "id");
+      correspondences.AddAttribute(source_relation, prefix + "entity_id",
+                                   target_relation, "entity_id");
+      correspondences.AddAttribute(source_relation, prefix + "info",
+                                   target_relation, "info");
+    }
+    fuzzed.scenario.AddSource(std::move(database),
+                              std::move(correspondences));
+  }
+
+  EFES_RETURN_IF_ERROR(fuzzed.scenario.Validate());
+  return fuzzed;
+}
+
+double InjectedClusterRecall(const FuzzedScenario& fuzzed,
+                             const DedupComplexityReport& report) {
+  if (fuzzed.injected_clusters.empty()) return 1.0;
+  size_t detected = 0;
+  for (const InjectedCluster& injected : fuzzed.injected_clusters) {
+    bool found = false;
+    for (const DuplicateClusterFinding& finding : report.findings()) {
+      if (finding.target_relation != injected.target_relation) continue;
+      for (const DuplicateCluster& cluster : finding.clusters) {
+        if (cluster.key == injected.key) {
+          found = true;
+          break;
+        }
+      }
+      if (found) break;
+    }
+    if (found) ++detected;
+  }
+  return static_cast<double>(detected) /
+         static_cast<double>(fuzzed.injected_clusters.size());
+}
+
+}  // namespace efes

@@ -1,0 +1,109 @@
+// Seeded scenario fuzzer: generates randomized-but-deterministic
+// integration scenarios with *known ground truth* for property testing,
+// calibration, and benchmarking.
+//
+// Every scenario has one target schema (a root entity relation plus an FK
+// chain of detail relations) and 2-3 sources with renamed schemas and
+// full correspondences. The generator injects, and records, the defects
+// the estimation modules are supposed to find:
+//   * duplicate entity clusters — the same entity placed into several
+//     sources, its name dirtied with normalization-recoverable noise
+//     (case flips, doubled inner spaces, padding);
+//   * missing values — nulls sprinkled into nullable non-key attributes;
+//   * sloppy numeric representations — a source rendering a numeric
+//     target attribute as decorated text.
+// The injected-cluster list is the oracle of the dedup property tests:
+// recall = detected injected keys / injected keys.
+//
+// Determinism contract: FuzzScenario(seed, options) is a pure function —
+// byte-identical scenarios for the same (seed, options) on every
+// platform, thread count, and run. All randomness flows through one
+// seeded Random; no time, no global state.
+
+#ifndef EFES_SCENARIO_FUZZER_H_
+#define EFES_SCENARIO_FUZZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "efes/common/result.h"
+#include "efes/core/integration_scenario.h"
+#include "efes/dedup/dedup_module.h"
+
+namespace efes {
+
+struct FuzzOptions {
+  /// Sources per scenario, drawn uniformly from [min, max].
+  size_t min_sources = 2;
+  size_t max_sources = 3;
+
+  /// Root entities in the shared domain pool, drawn from [min, max].
+  size_t min_entities = 24;
+  size_t max_entities = 80;
+
+  /// Extra (non-key) root attributes, drawn from [min, max].
+  size_t min_extra_attributes = 2;
+  size_t max_extra_attributes = 7;
+
+  /// Detail relations hanging off the root via an FK, drawn from [0, max].
+  size_t max_detail_relations = 2;
+
+  /// Probability that an entity is placed into >= 2 sources — becoming an
+  /// injected duplicate cluster.
+  double duplicate_entity_rate = 0.2;
+
+  /// Probability that one occurrence of a duplicated entity gets its name
+  /// dirtied (normalization-recoverable: case, inner spaces, padding).
+  double key_dirt_rate = 0.35;
+
+  /// Probability of a null in a nullable non-key attribute cell.
+  double missing_value_rate = 0.06;
+
+  /// Probability that a source renders a numeric extra attribute as
+  /// decorated text ("~ 42") — a critical representation heterogeneity.
+  double sloppy_number_rate = 0.5;
+
+  /// Probability that the target comes with example data (some scenarios
+  /// integrate into a populated warehouse, some into an empty one).
+  double target_data_rate = 0.35;
+
+  /// Rejects non-sensical combinations (min > max, rates outside [0, 1])
+  /// with kInvalidArgument.
+  Status Validate() const;
+};
+
+/// One injected duplicate cluster — the ground truth the detector is
+/// measured against.
+struct InjectedCluster {
+  std::string target_relation;
+  /// Normalized blocking-key value (NormalizeEntityKey of the clean name).
+  std::string key;
+  /// Total records of this entity across all sources (>= 2).
+  size_t occurrences = 0;
+};
+
+struct FuzzedScenario {
+  IntegrationScenario scenario;
+  std::vector<InjectedCluster> injected_clusters;
+  size_t injected_nulls = 0;
+  size_t injected_sloppy_values = 0;
+
+  explicit FuzzedScenario(IntegrationScenario s)
+      : scenario(std::move(s)) {}
+};
+
+/// Generates the scenario for `seed`. Every produced source database
+/// satisfies its own constraints; the scenario passes Validate().
+Result<FuzzedScenario> FuzzScenario(uint64_t seed,
+                                    const FuzzOptions& options = {});
+
+/// Fraction of injected clusters whose normalized key appears in one of
+/// the report's findings for the right target relation. 1.0 when nothing
+/// was injected (vacuous recall).
+double InjectedClusterRecall(const FuzzedScenario& fuzzed,
+                             const DedupComplexityReport& report);
+
+}  // namespace efes
+
+#endif  // EFES_SCENARIO_FUZZER_H_

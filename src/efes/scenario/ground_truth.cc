@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "efes/common/random.h"
+#include "efes/dedup/dedup_module.h"
 #include "efes/mapping/mapping_module.h"
 #include "efes/structure/structure_module.h"
 #include "efes/values/value_module.h"
@@ -161,6 +162,31 @@ Result<MeasuredEffort> SimulateMeasuredEffort(
       }
     }
     measured.value_minutes = minutes;
+  }
+
+  // --- Deduplication: the practitioner reviews the candidate pairs the
+  // blocking actually surfaces and merges the confirmed clusters.
+  {
+    DedupModule detector;
+    EFES_ASSIGN_OR_RETURN(auto report, detector.AssessComplexity(scenario));
+    const auto& dedup_report =
+        static_cast<const DedupComplexityReport&>(*report);
+    double minutes = 0.0;
+    for (const DuplicateClusterFinding& finding : dedup_report.findings()) {
+      double item = 0.0;
+      if (!high) {
+        item = model.dedup_drop_script_low;
+      } else {
+        item = model.dedup_review_setup +
+               model.cluster_merge_each *
+                   static_cast<double>(finding.cluster_count) +
+               model.pair_check_each *
+                   std::pow(static_cast<double>(finding.verification_pairs),
+                            model.pair_exponent);
+      }
+      minutes += item * Noise(rng, model.noise_sigma);
+    }
+    measured.dedup_minutes = minutes;
   }
 
   return measured;

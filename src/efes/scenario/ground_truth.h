@@ -59,6 +59,13 @@ struct GroundTruthModel {
   double refine_each_value = 0.5;
   double add_value_each = 2.0;
 
+  // --- Deduplication ---------------------------------------------------------
+  double dedup_review_setup = 6.0;     // similarity query + review sheet
+  double cluster_merge_each = 1.7;     // build one golden record
+  double pair_check_each = 0.4;        // eyeball one candidate pair...
+  double pair_exponent = 0.93;         // ...with a batch learning effect
+  double dedup_drop_script_low = 7.0;  // keep-one-drop-rest script
+
   // --- Human variance --------------------------------------------------------
   /// Sigma of the multiplicative lognormal noise per component.
   double noise_sigma = 0.15;
@@ -69,9 +76,11 @@ struct MeasuredEffort {
   double mapping_minutes = 0.0;
   double structure_minutes = 0.0;
   double value_minutes = 0.0;
+  double dedup_minutes = 0.0;
 
   double total() const {
-    return mapping_minutes + structure_minutes + value_minutes;
+    return mapping_minutes + structure_minutes + value_minutes +
+           dedup_minutes;
   }
 };
 

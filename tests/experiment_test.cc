@@ -53,9 +53,23 @@ TEST(FitCalibrationScaleTest, MinimizesRelativeError) {
   }
 }
 
-TEST(DefaultPipelineTest, HasThreeModules) {
+TEST(DefaultPipelineTest, HasFourModules) {
   EfesEngine engine = MakeDefaultEngine();
-  EXPECT_EQ(engine.module_count(), 3u);
+  EXPECT_EQ(engine.module_count(), 4u);
+}
+
+TEST(DefaultPipelineTest, ModuleSubsetsAreValidatedAndCanonicallyOrdered) {
+  auto subset = MakeEngineForModules("values,mapping");
+  ASSERT_TRUE(subset.ok()) << subset.status();
+  EXPECT_EQ(subset->module_count(), 2u);
+
+  auto unknown = MakeEngineForModules("mapping,entities");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+
+  auto duplicate = MakeEngineForModules("dedup,dedup");
+  ASSERT_FALSE(duplicate.ok());
+  EXPECT_EQ(duplicate.status().code(), StatusCode::kInvalidArgument);
 }
 
 class CrossValidationTest : public ::testing::Test {

@@ -39,11 +39,12 @@ std::unique_ptr<IntegrationScenario> PipelineTest::scenario_;
 std::unique_ptr<EstimationResult> PipelineTest::high_;
 std::unique_ptr<EstimationResult> PipelineTest::low_;
 
-TEST_F(PipelineTest, ThreeModuleReports) {
-  ASSERT_EQ(high_->module_runs.size(), 3u);
+TEST_F(PipelineTest, FourModuleReports) {
+  ASSERT_EQ(high_->module_runs.size(), 4u);
   EXPECT_EQ(high_->module_runs[0].module, "mapping");
   EXPECT_EQ(high_->module_runs[1].module, "structure");
   EXPECT_EQ(high_->module_runs[2].module, "values");
+  EXPECT_EQ(high_->module_runs[3].module, "dedup");
 }
 
 TEST_F(PipelineTest, Example38MappingIs25Minutes) {
@@ -115,7 +116,7 @@ TEST_F(PipelineTest, ComplexityAssessmentAloneWorks) {
   EfesEngine engine = MakeDefaultEngine();
   auto reports = engine.AssessComplexity(*scenario_);
   ASSERT_TRUE(reports.ok());
-  ASSERT_EQ(reports->size(), 3u);
+  ASSERT_EQ(reports->size(), 4u);
   // Source selection application: the problem counts summarize fit.
   EXPECT_EQ((*reports)[0]->ProblemCount(), 2u);  // two connections
   EXPECT_GT((*reports)[1]->ProblemCount(), 0u);  // structural conflicts

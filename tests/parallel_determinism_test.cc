@@ -16,7 +16,9 @@
 #include "efes/experiment/json_export.h"
 #include "efes/matching/schema_matcher.h"
 #include "efes/profiling/constraint_discovery.h"
+#include "efes/cache/profile_cache.h"
 #include "efes/scenario/bibliographic.h"
+#include "efes/scenario/fuzzer.h"
 #include "efes/scenario/scenario_io.h"
 #include "efes/telemetry/metrics.h"
 
@@ -104,6 +106,38 @@ TEST(ParallelDeterminismTest, SchemaMatchingIsThreadCountInvariant) {
   EXPECT_FALSE(runs[0].empty());
   EXPECT_EQ(runs[0], runs[1]);
   EXPECT_EQ(runs[0], runs[2]);
+}
+
+TEST(ParallelDeterminismTest, FuzzedScenarioIsThreadAndCacheInvariant) {
+  // A fuzzed scenario exercises the dedup module's blocking scan, the
+  // heaviest new parallel section; the JSON must not depend on the
+  // thread count or on whether profiling statistics come from a cache.
+  auto fuzzed = FuzzScenario(42);
+  ASSERT_TRUE(fuzzed.ok()) << fuzzed.status();
+  std::vector<std::string> reports;
+  for (size_t threads : kThreadCounts) {
+    SetThreadCountOverride(threads);
+    EfesEngine engine = MakeDefaultEngine();
+    auto result = engine.Run(fuzzed->scenario, ExpectedQuality::kHighQuality);
+    ASSERT_TRUE(result.ok()) << result.status();
+    reports.push_back(EstimationResultToJson(*result));
+  }
+  SetThreadCountOverride(0);
+  ASSERT_EQ(reports.size(), 3u);
+  EXPECT_NE(reports[0].find("\"dedup\""), std::string::npos);
+  EXPECT_EQ(reports[0], reports[1]);
+  EXPECT_EQ(reports[0], reports[2]);
+
+  ProfileCache cache;
+  for (int pass = 0; pass < 2; ++pass) {
+    EfesEngine engine = MakeDefaultEngine();
+    RunOptions options;
+    options.cache = &cache;
+    auto result = engine.Run(fuzzed->scenario, options);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(reports[0], EstimationResultToJson(*result))
+        << (pass == 0 ? "cold" : "warm") << " cache";
+  }
 }
 
 TEST(ParallelDeterminismTest, ParallelItemCountersMatchAcrossThreadCounts) {

@@ -23,6 +23,7 @@
 #include "efes/cache/profile_cache.h"
 #include "efes/provenance/render.h"
 #include "efes/scenario/bibliographic.h"
+#include "efes/scenario/fuzzer.h"
 
 namespace efes {
 namespace {
@@ -183,6 +184,35 @@ TEST_F(ProvenanceTest, ExplainIsByteIdenticalAcrossCacheStates) {
   EXPECT_EQ(uncached.tree, warm.tree);
   EXPECT_EQ(uncached.json, cold.json);
   EXPECT_EQ(uncached.json, warm.json);
+}
+
+TEST_F(ProvenanceTest, FuzzedDedupExplainIsByteIdenticalAcrossThreads) {
+  // Seed 1 injects duplicate clusters, so the provenance DAG contains
+  // dedup evidence (key statistics, thresholds, cluster findings); the
+  // rendered tree must still not depend on the thread count.
+  auto fuzzed = FuzzScenario(1);
+  ASSERT_TRUE(fuzzed.ok()) << fuzzed.status();
+  std::vector<RecordedRun> runs;
+  for (size_t threads : {1, 4, 8}) {
+    SetThreadCountOverride(threads);
+    runs.push_back(RunWithProvenance(fuzzed->scenario));
+  }
+  SetThreadCountOverride(0);
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_NE(runs[0].tree.find("dedup assessment"), std::string::npos);
+  for (size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[0].tree, runs[i].tree) << "thread variant " << i;
+    EXPECT_EQ(runs[0].json, runs[i].json) << "thread variant " << i;
+  }
+
+  // Every dedup task's provenance chain terminates in its finding node.
+  bool saw_dedup_task = false;
+  for (const TaskEstimate& estimate : runs[0].result.estimate.tasks) {
+    if (estimate.task.category != TaskCategory::kDeduplication) continue;
+    saw_dedup_task = true;
+    EXPECT_FALSE(estimate.task.provenance.empty());
+  }
+  EXPECT_TRUE(saw_dedup_task);
 }
 
 // ------------------------------------------------- traceability property

@@ -22,6 +22,10 @@
 # across --threads=1/4/8 and cold/warm/uncached profile-cache states.
 # `--bench-smoke` runs the perf_* benches via tools/run_benches.sh into a
 # scratch file and checks each emitted a valid cold and warm JSON record.
+# `--fuzz-corpus` builds only efes_fuzz and replays the checked-in
+# data/fuzz_corpus.txt manifest across --threads=1/8 and cold/warm/
+# disabled profile-cache states; all five reports must byte-diff equal
+# and the aggregate recall line must be present.
 # Exits nonzero on the first failure. Usage:
 #
 #   tools/check_build.sh [build-dir]                    # default: build-werror
@@ -32,6 +36,7 @@
 #   tools/check_build.sh --cache-roundtrip [build-dir]  # default: build-cache
 #   tools/check_build.sh --explain-determinism [build-dir]  # default: build-cache
 #   tools/check_build.sh --bench-smoke [build-dir]      # default: build-bench
+#   tools/check_build.sh --fuzz-corpus [build-dir]      # default: build-cache
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -57,6 +62,9 @@ elif [[ "${1:-}" == "--explain-determinism" ]]; then
   shift
 elif [[ "${1:-}" == "--bench-smoke" ]]; then
   MODE=bench
+  shift
+elif [[ "${1:-}" == "--fuzz-corpus" ]]; then
+  MODE=fuzz
   shift
 fi
 
@@ -146,6 +154,31 @@ elif [[ "$MODE" == "explain" ]]; then
   grep -q 'total effort' "$WORK/explain-t1.txt"
   grep -q '"provenance"' "$WORK/explain-t1.json"
   echo "check_build: OK (--explain byte-identical across threads and cache states)"
+elif [[ "$MODE" == "fuzz" ]]; then
+  BUILD_DIR="${1:-build-cache}"
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j --target efes_fuzz
+  WORK="$(mktemp -d)"
+  trap 'rm -rf "$WORK"' EXIT
+  # The corpus replay must not depend on how the work was scheduled:
+  # any thread count, cold or warm cache, or no cache at all.
+  for threads in 1 8; do
+    "$BUILD_DIR/tools/efes_fuzz" corpus data/fuzz_corpus.txt \
+      --threads="$threads" > "$WORK/corpus-t$threads.txt"
+  done
+  "$BUILD_DIR/tools/efes_fuzz" corpus data/fuzz_corpus.txt \
+    --cache-dir="$WORK/cache" > "$WORK/corpus-cold.txt"
+  test -f "$WORK/cache/profile_cache.efes"
+  "$BUILD_DIR/tools/efes_fuzz" corpus data/fuzz_corpus.txt \
+    --cache-dir="$WORK/cache" > "$WORK/corpus-warm.txt"
+  "$BUILD_DIR/tools/efes_fuzz" corpus data/fuzz_corpus.txt \
+    --no-cache > "$WORK/corpus-nocache.txt"
+  for variant in t8 cold warm nocache; do
+    diff "$WORK/corpus-t1.txt" "$WORK/corpus-$variant.txt"
+  done
+  grep -q '^fuzz summary: seeds=50 ' "$WORK/corpus-t1.txt"
+  grep -q 'mean_recall=' "$WORK/corpus-t1.txt"
+  echo "check_build: OK (fuzz corpus byte-identical across threads and cache states)"
 elif [[ "$MODE" == "bench" ]]; then
   BUILD_DIR="${1:-build-bench}"
   WORK="$(mktemp -d)"

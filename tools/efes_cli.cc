@@ -4,9 +4,14 @@
 //   efes export-example <dir>      write the Figure 2 scenario to disk
 //   efes assess <dir> [--discover] phase 1: complexity reports only
 //                                  (--discover profiles the sources first)
+//       --modules=<list>           run only these modules (comma-separated
+//                                  subset of mapping,structure,values,dedup)
 //   efes estimate <dir> [options]  phase 1 + 2: full effort estimate
 //       --quality=high|low         expected result quality (default high)
-//       --config=<file>            effort configuration (effort_config.h)
+//       --modules=<list>           module subset, as for assess
+//       --config=<file>            effort configuration (effort_config.h;
+//                                  its [dedup] section configures the
+//                                  dedup detector and pair-review costs)
 //       --format=text|json         output format
 //       --explain[=<task-id>]      record estimate provenance and print
 //                                  the evidence tree (or one task's
@@ -173,10 +178,10 @@ int Usage(int exit_code = kExitUsage) {
       stderr,
       "usage:\n"
       "  efes export-example <dir>\n"
-      "  efes assess <dir> [--discover]\n"
+      "  efes assess <dir> [--discover] [--modules=<list>]\n"
       "  efes estimate <dir> [--quality=high|low] [--config=<file>]\n"
-      "                     [--format=text|json] [--out=<file>]\n"
-      "                     [--explain[=<task-id>]]\n"
+      "                     [--modules=<list>] [--format=text|json]\n"
+      "                     [--out=<file>] [--explain[=<task-id>]]\n"
       "  efes match <dir>\n"
       "  efes execute <dir> <out-dir> [--quality=high|low]\n"
       "  efes plan <dir> [--quality=high|low]\n"
@@ -300,10 +305,13 @@ efes::Status DiscoverSourceConstraints(efes::IntegrationScenario* scenario) {
 int RunAssess(const std::string& directory,
               std::vector<std::string> options) {
   bool discover = false;
+  std::string modules = efes::kDefaultModules;
   efes::FlagSet flags;
   flags.AddBool("discover",
                 "profile the sources and declare mined constraints first",
                 &discover);
+  flags.AddString("modules", "<list>",
+                  "comma-separated module subset (default: all)", &modules);
   int code = ParseSubcommandFlags(flags, &options);
   if (code >= 0) return code;
   auto scenario = LoadScenarioCli(directory);
@@ -312,8 +320,9 @@ int RunAssess(const std::string& directory,
     efes::Status status = DiscoverSourceConstraints(&*scenario);
     if (!status.ok()) return Fail(status);
   }
-  efes::EfesEngine engine = efes::MakeDefaultEngine();
-  auto reports = engine.AssessComplexity(*scenario, MakeRunOptions());
+  auto engine = efes::MakeEngineForModules(modules);
+  if (!engine.ok()) return Fail(engine.status());
+  auto reports = engine->AssessComplexity(*scenario, MakeRunOptions());
   if (!reports.ok()) return Fail(reports.status());
   for (const auto& report : *reports) {
     std::printf("=== %s ===\n%s\n", report->module_name().c_str(),
@@ -327,11 +336,14 @@ int RunEstimate(const std::string& directory,
   std::string quality = "high";
   std::string format = "text";
   std::string out_path;
+  std::string modules = efes::kDefaultModules;
   efes::EstimationConfig config;
   efes::FlagSet flags;
   flags.AddChoice("quality", {"high", "low"}, "expected result quality",
                   &quality);
   flags.AddChoice("format", {"text", "json"}, "output format", &format);
+  flags.AddString("modules", "<list>",
+                  "comma-separated module subset (default: all)", &modules);
   flags.AddString("out", "<file>", "write the JSON export here", &out_path);
   flags.AddAction("config", "<file>", "effort configuration file",
                   [&config](std::string_view value) {
@@ -353,8 +365,10 @@ int RunEstimate(const std::string& directory,
   if (code >= 0) return code;
   auto scenario = LoadScenarioCli(directory);
   if (!scenario.ok()) return Fail(scenario.status());
-  efes::EfesEngine engine =
-      efes::MakeDefaultEngine(std::move(config.model));
+  auto engine_result = efes::MakeEngineForModules(
+      modules, std::move(config.model), config.dedup);
+  if (!engine_result.ok()) return Fail(engine_result.status());
+  efes::EfesEngine engine = std::move(*engine_result);
   // Recording is scoped to the engine run: off (the default) leaves the
   // pipeline byte-identical to an unexplained run.
   efes::ProvenanceRecorder recorder;

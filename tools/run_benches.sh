@@ -23,7 +23,7 @@ OUT="${BENCH_OUT:-BENCH_perf.json}"
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j --target \
-  perf_csg perf_profiling perf_detectors perf_executor
+  perf_csg perf_profiling perf_detectors perf_executor perf_dedup
 
 ARGS=()
 if [[ "$FULL" -eq 0 ]]; then
