@@ -1,0 +1,95 @@
+#include "efes/common/deadline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "efes/common/fault.h"
+#include "efes/telemetry/clock.h"
+
+namespace efes {
+
+namespace {
+
+thread_local CancelToken* tls_active_token = nullptr;
+
+/// One fixed message per cancellation cause: responses and reports must
+/// stay byte-identical across runs, so no elapsed times in here.
+constexpr const char kDeadlineMessage[] = "deadline expired at checkpoint";
+
+}  // namespace
+
+void CancelToken::SetDeadline(uint64_t deadline_ms, const Clock* clock) {
+  clock_ = clock != nullptr ? clock : Clock::Default();
+  int64_t now = clock_->NowNanos();
+  int64_t budget_nanos = static_cast<int64_t>(deadline_ms) * 1'000'000;
+  deadline_nanos_.store(now + budget_nanos, std::memory_order_relaxed);
+}
+
+void CancelToken::Cancel(Status reason) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (cancelled_.load(std::memory_order_relaxed)) return;
+    reason_ = reason.ok() ? Status::Cancelled("cancelled") : std::move(reason);
+    cancelled_.store(true, std::memory_order_release);
+  }
+  cancelled_cv_.notify_all();
+}
+
+Status CancelToken::Check() {
+  if (cancelled()) return status();
+  int64_t deadline = deadline_nanos_.load(std::memory_order_relaxed);
+  if (deadline != kNoDeadline && clock_->NowNanos() >= deadline) {
+    Cancel(Status::DeadlineExceeded(kDeadlineMessage));
+    return status();
+  }
+  return Status::OK();
+}
+
+Status CancelToken::status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!cancelled_.load(std::memory_order_relaxed)) return Status::OK();
+  return reason_;
+}
+
+bool CancelToken::WaitCancelled(uint64_t max_wait_ms) {
+  // Waits for Cancel(), deliberately NOT polling the deadline: a parked
+  // server request must be failed by the watchdog's Cancel (fixed
+  // force-fail reason), not by self-latching expiry — otherwise the
+  // response bytes would depend on which side noticed the deadline
+  // first. The wait stays bounded by `max_wait_ms` regardless.
+  std::unique_lock<std::mutex> lock(mutex_);
+  cancelled_cv_.wait_for(lock, std::chrono::milliseconds(max_wait_ms),
+                         [this] {
+                           return cancelled_.load(std::memory_order_relaxed);
+                         });
+  return cancelled_.load(std::memory_order_relaxed);
+}
+
+ScopedCancelToken::ScopedCancelToken(CancelToken* token)
+    : previous_(tls_active_token) {
+  tls_active_token = token;
+}
+
+ScopedCancelToken::~ScopedCancelToken() { tls_active_token = previous_; }
+
+CancelToken* ActiveCancelToken() { return tls_active_token; }
+
+Status CheckCancellation() {
+  CancelToken* token = tls_active_token;
+  Status fault = CheckFaultPoint("serve.cancel");
+  if (!fault.ok()) {
+    // Normalise injected codes to kCancelled so consumers see exactly the
+    // two cancellation codes, and latch the active token so every later
+    // checkpoint in the same run stays tripped.
+    Status cancelled = IsCancellation(fault.code())
+                           ? std::move(fault)
+                           : Status::Cancelled(fault.message());
+    if (token != nullptr) token->Cancel(cancelled);
+    return cancelled;
+  }
+  if (token != nullptr) return token->Check();
+  return Status::OK();
+}
+
+}  // namespace efes

@@ -11,6 +11,21 @@
 
 namespace efes {
 
+namespace {
+thread_local FaultRegistry* tls_request_faults = nullptr;
+}  // namespace
+
+FaultRegistry* ActiveRequestFaults() { return tls_request_faults; }
+
+ScopedRequestFaults::ScopedRequestFaults(FaultRegistry* registry)
+    : previous_(tls_request_faults) {
+  tls_request_faults = registry;
+}
+
+ScopedRequestFaults::~ScopedRequestFaults() {
+  tls_request_faults = previous_;
+}
+
 /// Mutable runtime state of one armed point. Guarded by the registry
 /// mutex; the telemetry counters are updated outside it (they are atomic
 /// themselves).
@@ -30,6 +45,9 @@ struct FaultRegistry::ArmedPoint {
   Counter& hits_counter;
   Counter& fired_counter;
 };
+
+FaultRegistry::FaultRegistry() = default;
+FaultRegistry::~FaultRegistry() = default;
 
 FaultRegistry& FaultRegistry::Global() {
   static FaultRegistry* registry = [] {

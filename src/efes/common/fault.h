@@ -71,6 +71,14 @@ struct FaultSpec {
 /// nothing-armed fast path is one relaxed atomic load.
 class FaultRegistry {
  public:
+  /// Registries are also constructible standalone, for request-scoped
+  /// fault sets (ScopedRequestFaults). Out-of-line special members:
+  /// ArmedPoint is an incomplete type here.
+  FaultRegistry();
+  ~FaultRegistry();
+  FaultRegistry(const FaultRegistry&) = delete;
+  FaultRegistry& operator=(const FaultRegistry&) = delete;
+
   static FaultRegistry& Global();
 
   /// Arms `point` with `spec`, replacing any previous arming.
@@ -108,9 +116,41 @@ class FaultRegistry {
   std::atomic<size_t> armed_count_{0};
 };
 
+/// The calling thread's request-scoped registry (see ScopedRequestFaults),
+/// or nullptr.
+FaultRegistry* ActiveRequestFaults();
+
+/// Installs a request-scoped fault registry on the calling thread for the
+/// scope. CheckFaultPoint consults it *in addition to* the process-global
+/// registry, so a server can arm faults for one request without them
+/// leaking into sibling requests running on other worker threads.
+///
+/// Thread-local by design: only checkpoints executed on the installing
+/// thread see the request's faults. Checkpoints reached on pool worker
+/// threads (e.g. `parallel.task`) keep answering to the global registry
+/// only — request-scoped arming targets the request-thread points
+/// (`engine.assess`, `engine.plan`, `serve.cancel`, `scenario.load`, the
+/// io.* points), which is what keeps per-request injection deterministic
+/// under any thread count.
+class ScopedRequestFaults {
+ public:
+  explicit ScopedRequestFaults(FaultRegistry* registry);
+  ~ScopedRequestFaults();
+  ScopedRequestFaults(const ScopedRequestFaults&) = delete;
+  ScopedRequestFaults& operator=(const ScopedRequestFaults&) = delete;
+
+ private:
+  FaultRegistry* previous_;
+};
+
 /// The check production code places at a fault point. Near-zero cost
-/// while nothing is armed.
+/// while nothing is armed anywhere: one thread-local read plus one
+/// relaxed atomic load.
 inline Status CheckFaultPoint(std::string_view point) {
+  if (FaultRegistry* request = ActiveRequestFaults();
+      request != nullptr && request->AnyArmed()) {
+    EFES_RETURN_IF_ERROR(request->Check(point));
+  }
   FaultRegistry& registry = FaultRegistry::Global();
   if (!registry.AnyArmed()) return Status::OK();
   return registry.Check(point);

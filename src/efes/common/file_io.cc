@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "efes/common/fault.h"
+#include "efes/common/random.h"
 #include "efes/telemetry/metrics.h"
 
 namespace efes {
@@ -14,6 +15,17 @@ namespace efes {
 namespace fs = std::filesystem;
 
 namespace {
+
+/// FNV-1a over the target path: a platform-stable jitter seed (std::hash
+/// is not specified to agree across standard libraries).
+uint64_t HashPath(std::string_view path) {
+  uint64_t hash = 1469598103934665603ULL;
+  for (char c : path) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
 
 /// Transient errors are worth retrying; everything else (bad path,
 /// permission denied modeled as invalid argument, parse errors) is not.
@@ -59,12 +71,24 @@ Status WriteOnce(const fs::path& path, const fs::path& temp_path,
 
 }  // namespace
 
+int RetryBackoffMs(int initial_backoff_ms, int attempt, uint64_t seed) {
+  if (initial_backoff_ms <= 0 || attempt < 1) return 0;
+  // Cap the doubling so the shift stays defined even for absurd attempt
+  // counts; 2^20 ms (~17 min) is already far beyond any sane policy.
+  int exponent = attempt - 1 > 20 ? 20 : attempt - 1;
+  int64_t base = static_cast<int64_t>(initial_backoff_ms) << exponent;
+  Random rng(seed ^ (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(attempt)));
+  int64_t jitter = static_cast<int64_t>(
+      rng.UniformUint64(static_cast<uint64_t>(base)));
+  return static_cast<int>(base + jitter);
+}
+
 Status WriteFileAtomic(const std::string& path, std::string_view content,
                        const WriteFileOptions& options) {
   MetricsRegistry& metrics = MetricsRegistry::Global();
-  static Counter& files = metrics.GetCounter("io.write.files");
-  static Counter& retries = metrics.GetCounter("io.write.retries");
-  static Counter& failures = metrics.GetCounter("io.write.failures");
+  static Counter& files = metrics.GetCounter("file_io.files");
+  static Counter& retries = metrics.GetCounter("file_io.retries");
+  static Counter& failures = metrics.GetCounter("file_io.failures");
 
   fs::path target(path);
   // The temp file must live in the target directory: rename(2) is only
@@ -73,14 +97,17 @@ Status WriteFileAtomic(const std::string& path, std::string_view content,
   temp_path += ".tmp";
 
   const int attempts = options.max_attempts < 1 ? 1 : options.max_attempts;
-  int backoff_ms = options.initial_backoff_ms;
+  const uint64_t jitter_seed = HashPath(path) ^ options.backoff_seed;
   Status status;
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
       retries.Increment();
+      // Seeded jitter spreads concurrent retriers over the backoff
+      // window instead of re-colliding on a fixed interval.
+      int backoff_ms =
+          RetryBackoffMs(options.initial_backoff_ms, attempt, jitter_seed);
       if (backoff_ms > 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-        backoff_ms *= 2;
       }
     }
     status = WriteOnce(target, temp_path, content);

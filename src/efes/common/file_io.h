@@ -5,12 +5,16 @@
 //
 // Transient failures (and the injected faults standing in for them at
 // points `io.write.open`, `io.write.write`, `io.write.commit`) are
-// retried with bounded exponential backoff; persistent failures surface
-// as the underlying Status after the attempts are exhausted.
+// retried with bounded exponential backoff plus seeded jitter; persistent
+// failures surface as the underlying Status after the attempts are
+// exhausted. Counters: `file_io.files` / `file_io.retries` /
+// `file_io.failures` (a clean run keeps retries at 0, which the serve
+// soak asserts).
 
 #ifndef EFES_COMMON_FILE_IO_H_
 #define EFES_COMMON_FILE_IO_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -22,10 +26,25 @@ namespace efes {
 struct WriteFileOptions {
   /// Total attempts per write (first try + retries). Must be >= 1.
   int max_attempts = 3;
-  /// Sleep before the first retry; doubles per retry. 0 disables
-  /// sleeping (tests use this to keep the retry path instant).
+  /// Base backoff before the first retry; the window doubles per retry
+  /// and the actual sleep is drawn from it with seeded jitter (see
+  /// RetryBackoffMs). 0 disables sleeping (tests use this to keep the
+  /// retry path instant).
   int initial_backoff_ms = 1;
+  /// Extra entropy mixed into the jitter seed. The default derives the
+  /// seed from the target path alone, so concurrent writers to
+  /// *different* paths already decorrelate; set this to decorrelate
+  /// retries of the same path across processes.
+  uint64_t backoff_seed = 0;
 };
+
+/// Backoff for retry `attempt` (1-based): the exponential base
+/// `initial_backoff_ms << (attempt-1)` plus jitter drawn uniformly from
+/// [0, base). Deterministic in (initial_backoff_ms, attempt, seed) — the
+/// jitter comes from a dedicated PRNG, never from wall time — so retry
+/// schedules are reproducible while concurrent writers with different
+/// seeds still spread out instead of thundering in lockstep.
+int RetryBackoffMs(int initial_backoff_ms, int attempt, uint64_t seed);
 
 /// Atomically replaces `path` with `content` (temp file + rename in the
 /// same directory). Retries transient errors per `options`; the

@@ -8,6 +8,7 @@
 #include <memory>
 #include <string>
 
+#include "efes/common/deadline.h"
 #include "efes/common/fault.h"
 #include "efes/telemetry/clock.h"
 #include "efes/telemetry/metrics.h"
@@ -158,6 +159,10 @@ void ThreadPool::WorkerLoop() {
 
 Status ParallelFor(size_t count,
                    const std::function<Status(size_t)>& task) {
+  // Cancellation checkpoint at the batch boundary, on the calling thread,
+  // *before* any item runs: a cancelled batch produces no partial merge,
+  // so output stays byte-identical whenever the run completes at all.
+  EFES_RETURN_IF_ERROR(CheckCancellation());
   PoolTelemetry& telemetry = Telemetry();
   telemetry.batches.Increment();
   telemetry.items.Increment(count);

@@ -24,6 +24,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "unavailable";
     case StatusCode::kResourceExhausted:
       return "resource exhausted";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline exceeded";
   }
   return "unknown";
 }

@@ -40,7 +40,23 @@ enum class StatusCode {
   /// An input exceeded a configured resource limit (max field size, max
   /// row count) and processing stopped instead of allocating unboundedly.
   kResourceExhausted,
+  /// The caller cancelled the operation (deadline.h CancelToken). Work
+  /// stops at the next cooperative checkpoint; partial results are
+  /// discarded, never returned.
+  kCancelled,
+  /// The operation's deadline expired before it completed. Like
+  /// kCancelled, surfaces only whole-operation failure — callers never
+  /// see a torn result.
+  kDeadlineExceeded,
 };
+
+/// True for the two cancellation codes (kCancelled, kDeadlineExceeded).
+/// The engine treats these as run-aborting: a cancelled module is never
+/// contained into a degraded/partial estimate.
+inline bool IsCancellation(StatusCode code) {
+  return code == StatusCode::kCancelled ||
+         code == StatusCode::kDeadlineExceeded;
+}
 
 /// Returns the canonical lowercase name of a status code, e.g. "not found".
 std::string_view StatusCodeToString(StatusCode code);
@@ -91,6 +107,12 @@ class [[nodiscard]] Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "efes/cache/profile_cache.h"
+#include "efes/common/deadline.h"
 #include "efes/common/fault.h"
 #include "efes/common/parallel.h"
 #include "efes/common/string_util.h"
@@ -168,12 +169,20 @@ Result<EstimationResult> EfesEngine::Run(const IntegrationScenario& scenario,
   size_t task_counter = 0;
   EstimationResult result;
   for (const auto& module : modules_) {
+    // Cancellation checkpoint at the module boundary: a tripped deadline
+    // aborts the whole run here, before the module starts, so the caller
+    // never sees a half-planned estimate.
+    EFES_RETURN_IF_ERROR(CheckCancellation());
     ModuleRun run;
     run.module = module->name();
     std::vector<Task> tasks;
     run.status =
         RunModule(*module, scenario, quality, settings, &run, &tasks);
     if (!run.status.ok()) {
+      // Cancellation is *not* contained: degrading a cancelled run would
+      // hand back a torn partial estimate, the one thing the deadline
+      // machinery promises never happens. Abort the run instead.
+      if (IsCancellation(run.status.code())) return run.status;
       // Containment: one failing detector degrades the estimate, it does
       // not abort the run. The failure stays visible in the module's
       // status, the degraded flag, and the failure counter.
@@ -263,6 +272,7 @@ EfesEngine::AssessComplexity(const IntegrationScenario& scenario,
   EFES_RETURN_IF_ERROR(scenario.Validate());
   std::vector<std::unique_ptr<ComplexityReport>> reports;
   for (const auto& module : modules_) {
+    EFES_RETURN_IF_ERROR(CheckCancellation());
     EFES_ASSIGN_OR_RETURN(std::unique_ptr<ComplexityReport> report,
                           AssessModule(*module, scenario));
     reports.push_back(std::move(report));

@@ -18,6 +18,7 @@ constexpr std::string_view kUnorderedIteration = "unordered-iteration";
 constexpr std::string_view kRawFileWrite = "raw-file-write";
 constexpr std::string_view kHeaderHygiene = "header-hygiene";
 constexpr std::string_view kBannedFunction = "banned-function";
+constexpr std::string_view kUnboundedWait = "unbounded-wait";
 constexpr std::string_view kMetricName = "metric-name";
 constexpr std::string_view kBadSuppression = "bad-suppression";
 
@@ -26,7 +27,7 @@ constexpr std::string_view kBadSuppression = "bad-suppression";
 constexpr std::string_view kSuppressibleChecks[] = {
     kDiscardedStatus, kNondeterminism, kUnorderedIteration,
     kRawFileWrite,    kHeaderHygiene,  kBannedFunction,
-    kMetricName};
+    kUnboundedWait,   kMetricName};
 
 bool PathMatchesAny(std::string_view path,
                     const std::vector<std::string>& patterns) {
@@ -274,6 +275,8 @@ void Linter::CheckFile(std::string_view path, std::string_view content,
       PathMatchesAny(path, config_.raw_file_write_allowlist);
   const bool allow_banned =
       PathMatchesAny(path, config_.banned_function_allowlist);
+  const bool allow_unbounded_wait =
+      PathMatchesAny(path, config_.unbounded_wait_allowlist);
   const bool ordered_output =
       PathMatchesAny(path, config_.ordered_output_paths);
 
@@ -388,6 +391,44 @@ void Linter::CheckFile(std::string_view path, std::string_view content,
         add(kBannedFunction, t.line,
             "mutable_effort_model() was removed; use "
             "set_effort_model(EffortModel), which validates the model");
+      }
+    }
+
+    // ---- unbounded-wait ----------------------------------------------
+    if (!allow_unbounded_wait) {
+      if ((t.text == "sleep_for" || t.text == "sleep_until") && called) {
+        add(kUnboundedWait, t.line,
+            std::string(t.text) +
+                "() blocks with no cancellation path; block through a "
+                "predicate/deadline primitive (CancelToken::WaitCancelled, "
+                "wait_for with predicate) or keep the sleep in common/");
+      }
+      if (t.text == "wait" && called && member_access) {
+        // Count top-level arguments of the call: `cv.wait(lock)` (and
+        // `future.wait()`) parks forever; `cv.wait(lock, predicate)`
+        // re-checks a condition and can observe shutdown. A comma at
+        // paren depth 1 means a predicate was passed.
+        bool has_predicate = false;
+        int depth = 0;
+        size_t limit = std::min(code.size(), i + 257);
+        for (size_t k = i + 1; k < limit; ++k) {
+          if (code[k].kind != TokenKind::kPunct) continue;
+          if (code[k].text == "(") {
+            ++depth;
+          } else if (code[k].text == ")") {
+            --depth;
+            if (depth <= 0) break;
+          } else if (code[k].text == "," && depth == 1) {
+            has_predicate = true;
+            break;
+          }
+        }
+        if (!has_predicate) {
+          add(kUnboundedWait, t.line,
+              ".wait() without a predicate can block forever (missed "
+              "notify, shutdown); use wait(lock, predicate) or a "
+              "wait_for/wait_until overload");
+        }
       }
     }
 

@@ -29,6 +29,14 @@
 //   banned-function     strcpy/sprintf/atoi, naked new/delete, and the
 //                       removed mutable_effort_model() accessor
 //                       (leaked singletons carry suppressions).
+//   unbounded-wait      A blocking primitive with no cancellation path:
+//                       this_thread::sleep_for/sleep_until, or a .wait()
+//                       call without a predicate argument, outside the
+//                       allowlisted common/ implementation files. Server
+//                       code must block via predicate/deadline overloads
+//                       (wait_for with predicate, CancelToken) so drain
+//                       and watchdog cancellation can always make
+//                       progress.
 //   metric-name         A complete string-literal name passed to
 //                       GetCounter/GetGauge/GetHistogram/TraceSpan that
 //                       does not follow the dotted lowercase
@@ -75,6 +83,10 @@ struct LintConfig {
   std::vector<std::string> raw_file_write_allowlist = {"common/file_io"};
   /// Files allowed naked new/delete without a suppression comment.
   std::vector<std::string> banned_function_allowlist = {};
+  /// Files allowed raw sleeps / predicate-less waits: the common/
+  /// concurrency and I/O primitives everything else is supposed to
+  /// block through.
+  std::vector<std::string> unbounded_wait_allowlist = {"common/"};
   /// Output-rendering paths where unordered iteration order would become
   /// observable bytes; the unordered-iteration check only runs here.
   std::vector<std::string> ordered_output_paths = {

@@ -1,5 +1,6 @@
 #include "efes/provenance/provenance.h"
 
+#include <atomic>
 #include <utility>
 
 #include "efes/common/fault.h"
@@ -11,8 +12,11 @@ namespace {
 /// The ambient recorder. Process-global rather than thread-local because
 /// one run's parallel workers must all see the recorder installed by the
 /// driver thread; workers only buffer into fragments, so the shared
-/// pointer never serializes them.
-ProvenanceRecorder* g_active_recorder = nullptr;
+/// pointer never serializes them. Atomic so unrelated server requests
+/// reading a null recorder never race an explain request installing one
+/// (the server additionally runs explain requests exclusively — recording
+/// itself is still single-run-at-a-time).
+std::atomic<ProvenanceRecorder*> g_active_recorder{nullptr};
 
 void DropZeroIds(std::vector<uint64_t>* ids) {
   std::erase(*ids, static_cast<uint64_t>(0));
@@ -147,16 +151,17 @@ ProvenanceSnapshot ProvenanceRecorder::Snapshot() const {
   return snapshot;
 }
 
-ProvenanceRecorder* ProvenanceRecorder::Active() { return g_active_recorder; }
+ProvenanceRecorder* ProvenanceRecorder::Active() {
+  return g_active_recorder.load(std::memory_order_acquire);
+}
 
 ScopedProvenanceRecorder::ScopedProvenanceRecorder(
     ProvenanceRecorder* recorder)
-    : previous_(g_active_recorder) {
-  g_active_recorder = recorder;
-}
+    : previous_(g_active_recorder.exchange(recorder,
+                                           std::memory_order_acq_rel)) {}
 
 ScopedProvenanceRecorder::~ScopedProvenanceRecorder() {
-  g_active_recorder = previous_;
+  g_active_recorder.store(previous_, std::memory_order_release);
 }
 
 }  // namespace efes

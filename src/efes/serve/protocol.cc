@@ -1,0 +1,367 @@
+#include "efes/serve/protocol.h"
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "efes/common/json_writer.h"
+#include "efes/common/string_util.h"
+
+namespace efes {
+
+namespace {
+
+bool IsJsonWs(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+/// A hand-rolled scanner for the flat request objects. Deliberately not
+/// a general JSON parser: no nesting, no streaming, bounded by the line
+/// it is given — small enough to audit against hostile input.
+class LineScanner {
+ public:
+  explicit LineScanner(std::string_view text) : text_(text) {}
+
+  void SkipWs() {
+    while (pos_ < text_.size() && IsJsonWs(text_[pos_])) ++pos_;
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= text_.size();
+  }
+
+  char Peek() {
+    SkipWs();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Scalar value of one field.
+  struct Value {
+    enum class Kind { kString, kNumber, kBool, kNull };
+    Kind kind = Kind::kNull;
+    std::string string_value;
+    std::string number_raw;
+    bool bool_value = false;
+  };
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) return Status::ParseError("expected a string");
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Status::ParseError("unescaped control byte in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          uint32_t code_point;
+          if (!ParseHex4(&code_point)) {
+            return Status::ParseError("bad \\u escape in string");
+          }
+          // Combine a surrogate pair when one follows; a lone surrogate
+          // is malformed input.
+          if (code_point >= 0xD800 && code_point <= 0xDBFF) {
+            uint32_t low = 0;
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Status::ParseError("lone high surrogate in string");
+            }
+            pos_ += 2;
+            if (!ParseHex4(&low) || low < 0xDC00 || low > 0xDFFF) {
+              return Status::ParseError("bad low surrogate in string");
+            }
+            code_point =
+                0x10000 + ((code_point - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code_point >= 0xDC00 && code_point <= 0xDFFF) {
+            return Status::ParseError("lone low surrogate in string");
+          }
+          AppendUtf8(code_point, &out);
+          break;
+        }
+        default:
+          return Status::ParseError("unknown escape in string");
+      }
+    }
+    return Status::ParseError("unterminated string");
+  }
+
+  Result<Value> ParseValue() {
+    Value value;
+    char head = Peek();
+    if (head == '"') {
+      EFES_ASSIGN_OR_RETURN(value.string_value, ParseString());
+      value.kind = Value::Kind::kString;
+      return value;
+    }
+    if (head == '{' || head == '[') {
+      return Status::ParseError(
+          "nested values are not supported by the request protocol");
+    }
+    if (ConsumeLiteral("true")) {
+      value.kind = Value::Kind::kBool;
+      value.bool_value = true;
+      return value;
+    }
+    if (ConsumeLiteral("false")) {
+      value.kind = Value::Kind::kBool;
+      value.bool_value = false;
+      return value;
+    }
+    if (ConsumeLiteral("null")) {
+      value.kind = Value::Kind::kNull;
+      return value;
+    }
+    if (head == '-' || (head >= '0' && head <= '9')) {
+      SkipWs();
+      size_t start = pos_;
+      while (pos_ < text_.size()) {
+        char c = text_[pos_];
+        if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+            c == 'e' || c == 'E') {
+          ++pos_;
+        } else {
+          break;
+        }
+      }
+      value.number_raw = std::string(text_.substr(start, pos_ - start));
+      if (!ParseDouble(value.number_raw).has_value()) {
+        return Status::ParseError("malformed number: " + value.number_raw);
+      }
+      value.kind = Value::Kind::kNumber;
+      return value;
+    }
+    return Status::ParseError("expected a scalar JSON value");
+  }
+
+ private:
+  bool ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return false;
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_ + static_cast<size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+    }
+    pos_ += 4;
+    *out = value;
+    return true;
+  }
+
+  static void AppendUtf8(uint32_t code_point, std::string* out) {
+    if (code_point < 0x80) {
+      out->push_back(static_cast<char>(code_point));
+    } else if (code_point < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code_point >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    } else if (code_point < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code_point >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code_point >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code_point >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    }
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    SkipWs();
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+using Value = LineScanner::Value;
+
+Status ExpectString(const std::string& key, const Value& value,
+                    std::string* out) {
+  if (value.kind == Value::Kind::kNull) return Status::OK();
+  if (value.kind != Value::Kind::kString) {
+    return Status::InvalidArgument("field \"" + key + "\" must be a string");
+  }
+  *out = value.string_value;
+  return Status::OK();
+}
+
+Status ExpectBool(const std::string& key, const Value& value, bool* out) {
+  if (value.kind == Value::Kind::kNull) return Status::OK();
+  if (value.kind != Value::Kind::kBool) {
+    return Status::InvalidArgument("field \"" + key + "\" must be a bool");
+  }
+  *out = value.bool_value;
+  return Status::OK();
+}
+
+Status AssignField(ServeRequest* request, const std::string& key,
+                   const Value& value) {
+  if (key == "id") return ExpectString(key, value, &request->id);
+  if (key == "op") return ExpectString(key, value, &request->op);
+  if (key == "session") return ExpectString(key, value, &request->session);
+  if (key == "dir") return ExpectString(key, value, &request->dir);
+  if (key == "quality") return ExpectString(key, value, &request->quality);
+  if (key == "modules") return ExpectString(key, value, &request->modules);
+  if (key == "format") return ExpectString(key, value, &request->format);
+  if (key == "faults") return ExpectString(key, value, &request->faults);
+  if (key == "lenient") return ExpectBool(key, value, &request->lenient);
+  if (key == "explain") return ExpectBool(key, value, &request->explain);
+  if (key == "deadline_ms") {
+    if (value.kind == Value::Kind::kNull) return Status::OK();
+    if (value.kind != Value::Kind::kNumber) {
+      return Status::InvalidArgument(
+          "field \"deadline_ms\" must be a number");
+    }
+    std::optional<int64_t> parsed = ParseInt64(value.number_raw);
+    if (!parsed.has_value() || *parsed < 0) {
+      return Status::InvalidArgument(
+          "field \"deadline_ms\" must be a non-negative integer, got " +
+          value.number_raw);
+    }
+    request->has_deadline = true;
+    request->deadline_ms = static_cast<uint64_t>(*parsed);
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown request field \"" + key + "\"");
+}
+
+Status ValidateRequest(const ServeRequest& request) {
+  if (request.id.empty()) {
+    return Status::InvalidArgument("request is missing a non-empty \"id\"");
+  }
+  if (request.op != "open" && request.op != "estimate" &&
+      request.op != "assess" && request.op != "close" &&
+      request.op != "ping" && request.op != "stats" &&
+      request.op != "shutdown") {
+    return Status::InvalidArgument(
+        request.op.empty() ? "request is missing a non-empty \"op\""
+                           : "unknown op \"" + request.op + "\"");
+  }
+  if (request.quality != "high" && request.quality != "low") {
+    return Status::InvalidArgument("field \"quality\" must be high or low");
+  }
+  if (request.format != "json" && request.format != "text") {
+    return Status::InvalidArgument("field \"format\" must be json or text");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ServeRequest> ParseServeRequest(std::string_view line) {
+  LineScanner scanner(line);
+  if (!scanner.Consume('{')) {
+    return Status::ParseError("request must be one JSON object per line");
+  }
+  ServeRequest request;
+  if (!scanner.Consume('}')) {
+    for (;;) {
+      if (scanner.Peek() != '"') {
+        return Status::ParseError("expected a quoted field name");
+      }
+      EFES_ASSIGN_OR_RETURN(std::string key, scanner.ParseString());
+      if (!scanner.Consume(':')) {
+        return Status::ParseError("expected ':' after field \"" + key +
+                                  "\"");
+      }
+      EFES_ASSIGN_OR_RETURN(Value value, scanner.ParseValue());
+      EFES_RETURN_IF_ERROR(AssignField(&request, key, value));
+      if (scanner.Consume(',')) continue;
+      if (scanner.Consume('}')) break;
+      return Status::ParseError("expected ',' or '}' after field \"" + key +
+                                "\"");
+    }
+  }
+  if (!scanner.AtEnd()) {
+    return Status::ParseError("trailing bytes after the request object");
+  }
+  EFES_RETURN_IF_ERROR(ValidateRequest(request));
+  return request;
+}
+
+std::string RecoverRequestId(std::string_view line) {
+  size_t pos = line.find("\"id\"");
+  while (pos != std::string_view::npos) {
+    LineScanner scanner(line.substr(pos + 4));
+    if (scanner.Consume(':') && scanner.Peek() == '"') {
+      Result<std::string> id = scanner.ParseString();
+      if (id.ok()) return *id;
+    }
+    pos = line.find("\"id\"", pos + 4);
+  }
+  return "";
+}
+
+std::string SerializeServeResponse(const ServeResponse& response) {
+  std::string out = "{\"id\":";
+  if (response.id.empty()) {
+    out += "null";
+  } else {
+    out += '"';
+    out += JsonWriter::Escape(response.id);
+    out += '"';
+  }
+  out += ",\"ok\":";
+  out += response.status.ok() ? "true" : "false";
+  if (!response.status.ok()) {
+    out += ",\"code\":\"";
+    out += StatusCodeToString(response.status.code());
+    out += "\",\"error\":\"";
+    out += JsonWriter::Escape(response.status.message());
+    out += '"';
+  }
+  out += ",\"degraded\":";
+  out += response.degraded ? "true" : "false";
+  if (response.retry_after_ms >= 0) {
+    out += ",\"retry_after_ms\":";
+    out += std::to_string(response.retry_after_ms);
+  }
+  if (!response.result_json.empty()) {
+    out += ",\"result\":";
+    out += response.result_json;
+  } else if (!response.result_text.empty()) {
+    out += ",\"result\":\"";
+    out += JsonWriter::Escape(response.result_text);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace efes

@@ -1,0 +1,90 @@
+// The efes_serve line protocol: newline-delimited JSON, one request per
+// line in, one response per line out (DESIGN.md §14).
+//
+// Request grammar (a single *flat* JSON object — nested values are
+// rejected, which keeps the parser small enough to be obviously safe on
+// adversarial input):
+//
+//   {"id":"r1","op":"open","session":"s1","dir":"/path/to/scenario"}
+//   {"id":"r2","op":"estimate","session":"s1","quality":"low",
+//    "modules":"mapping,dedup","format":"json","explain":true,
+//    "deadline_ms":250,"faults":"engine.assess:once"}
+//
+// Fields: `id` (required, echoed verbatim), `op` (required: open |
+// estimate | assess | close | ping | stats | shutdown), `session`,
+// `dir`, `quality` (high|low), `modules` (comma list), `format`
+// (text|json), `lenient`, `explain`, `deadline_ms` (0 = already
+// expired; absent = no deadline beyond the server default), `faults`
+// (';'-separated fault specs armed for this request only, see
+// common/fault.h).
+//
+// Response envelope, always one line:
+//
+//   {"id":"r2","ok":true,"degraded":false,"result":{...}}
+//   {"id":"r9","ok":false,"code":"resource exhausted",
+//    "error":"admission queue full","retry_after_ms":50}
+//
+// `code` is StatusCodeToString of the failure; `retry_after_ms` appears
+// only on overload rejections. Every field value is deterministic for a
+// given request sequence — responses never embed wall-clock readings —
+// which is what lets the soak harness byte-diff runs across thread
+// counts.
+
+#ifndef EFES_SERVE_PROTOCOL_H_
+#define EFES_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "efes/common/result.h"
+
+namespace efes {
+
+/// One parsed request line.
+struct ServeRequest {
+  std::string id;
+  std::string op;
+  std::string session;
+  std::string dir;
+  std::string quality = "high";
+  std::string modules;  // empty = all modules
+  std::string format = "json";
+  std::string faults;  // request-scoped fault specs, ';'-separated
+  bool lenient = false;
+  bool explain = false;
+  bool has_deadline = false;
+  uint64_t deadline_ms = 0;
+};
+
+/// Parses one request line. Never crashes on garbage: any malformed
+/// input yields kParseError (or kInvalidArgument for well-formed JSON
+/// with bad field types/names). When the line is good enough to carry an
+/// id, the error message preserves it so the server can still address
+/// the response (see RecoverRequestId).
+Result<ServeRequest> ParseServeRequest(std::string_view line);
+
+/// Best-effort extraction of the "id" field from a line that failed to
+/// parse, so even the response to a malformed request carries its id.
+/// Returns "" when no id is recoverable.
+std::string RecoverRequestId(std::string_view line);
+
+/// One response line (without the trailing '\n').
+struct ServeResponse {
+  std::string id;  // empty renders as null
+  Status status;
+  bool degraded = false;
+  /// Raw JSON embedded verbatim as "result" (already serialized).
+  /// Mutually exclusive with `result_text`.
+  std::string result_json;
+  /// Plain-text payload, rendered as a JSON string "result".
+  std::string result_text;
+  /// Emitted as "retry_after_ms" when >= 0 (overload rejections).
+  int64_t retry_after_ms = -1;
+};
+
+std::string SerializeServeResponse(const ServeResponse& response);
+
+}  // namespace efes
+
+#endif  // EFES_SERVE_PROTOCOL_H_

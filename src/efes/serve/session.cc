@@ -1,0 +1,110 @@
+#include "efes/serve/session.h"
+
+#include <utility>
+
+#include "efes/scenario/scenario_io.h"
+#include "efes/telemetry/metrics.h"
+
+namespace efes {
+
+Status SessionManager::Reserve(const std::string& name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("session name must not be empty");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sessions_.count(name) > 0) {
+    return Status::AlreadyExists("session already open: " + name);
+  }
+  if (sessions_.size() >= max_sessions_) {
+    return Status::ResourceExhausted(
+        "session table full (" + std::to_string(max_sessions_) +
+        " open); close a session first");
+  }
+  sessions_.emplace(name, nullptr);
+  return Status::OK();
+}
+
+void SessionManager::CancelReservation(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(name);
+  if (it != sessions_.end() && it->second == nullptr) {
+    sessions_.erase(it);
+  }
+}
+
+Result<SessionInfo> SessionManager::Open(const std::string& name,
+                                         const std::string& dir,
+                                         bool lenient) {
+  LoadOptions options;
+  if (lenient) options.mode = LoadOptions::Mode::kRecover;
+  ScenarioLoadReport report;
+  EFES_ASSIGN_OR_RETURN(IntegrationScenario scenario,
+                        LoadScenario(dir, options, &report));
+  // Rename to the session name: responses must not leak (and not vary
+  // with) the server-side filesystem layout.
+  scenario.name = name;
+  auto shared =
+      std::make_shared<const IntegrationScenario>(std::move(scenario));
+  SessionInfo info;
+  info.name = name;
+  info.sources = shared->sources.size();
+  info.load_degraded = report.degraded;
+  info.load_issues = report.issues.size();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sessions_.find(name);
+    if (it == sessions_.end()) {
+      // The reservation vanished mid-load — only possible through a
+      // code path that skipped Reserve, since per-session strand FIFO
+      // runs any close after this open completes.
+      return Status::Internal("session \"" + name +
+                              "\" was not reserved before Open");
+    }
+    it->second = std::move(shared);
+    MetricsRegistry::Global().GetCounter("serve.sessions.opened")
+        .Increment();
+    MetricsRegistry::Global().GetGauge("serve.sessions.open")
+        .Set(static_cast<double>(sessions_.size()));
+  }
+  return info;
+}
+
+Result<std::shared_ptr<const IntegrationScenario>> SessionManager::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(name);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no such session: " + name);
+  }
+  if (it->second == nullptr) {
+    return Status::Unavailable("session \"" + name +
+                               "\" is still opening");
+  }
+  return it->second;
+}
+
+Status SessionManager::Close(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sessions_.erase(name) == 0) {
+    return Status::NotFound("no such session: " + name);
+  }
+  MetricsRegistry::Global().GetCounter("serve.sessions.closed").Increment();
+  MetricsRegistry::Global().GetGauge("serve.sessions.open")
+      .Set(static_cast<double>(sessions_.size()));
+  return Status::OK();
+}
+
+size_t SessionManager::open_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+std::vector<std::string> SessionManager::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(sessions_.size());
+  for (const auto& [name, scenario] : sessions_) names.push_back(name);
+  return names;
+}
+
+}  // namespace efes

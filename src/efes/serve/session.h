@@ -1,0 +1,95 @@
+// Session table for efes_serve (DESIGN.md §14).
+//
+// A session is one loaded scenario, opened once and estimated many
+// times. The scenario itself is immutable after open — every estimate
+// request reads it through a shared_ptr, so `close` can drop the table
+// entry while an in-flight estimate on another worker still holds the
+// data alive. Profiling statistics are *not* stored here: they live in
+// the server-wide content-addressed ProfileCache, which `open` warms
+// with one assessment pass so later estimates under any RunOptions hit
+// warm entries.
+//
+// Lifecycle per name: absent → reserved (Reserve, on the reader thread,
+// so capacity and duplicate decisions follow line order) → open
+// (kAlreadyExists on re-open) → closed (kNotFound afterwards). A
+// reservation holds a table slot; a failed or cancelled load releases
+// it. The table is bounded: reserving beyond `max_sessions` is refused
+// with kResourceExhausted, the same overload-shedding contract as the
+// admission queue.
+
+#ifndef EFES_SERVE_SESSION_H_
+#define EFES_SERVE_SESSION_H_
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "efes/common/result.h"
+#include "efes/core/integration_scenario.h"
+
+namespace efes {
+
+/// What `open` reports back about the loaded scenario.
+struct SessionInfo {
+  std::string name;
+  size_t sources = 0;
+  /// True when a lenient load skipped or repaired defects.
+  bool load_degraded = false;
+  size_t load_issues = 0;
+};
+
+/// Thread-safe bounded session table.
+class SessionManager {
+ public:
+  explicit SessionManager(size_t max_sessions)
+      : max_sessions_(max_sessions) {}
+
+  /// Claims `name` and one table slot *before* the slow load. Fails with
+  /// kAlreadyExists / kResourceExhausted. The server calls this from the
+  /// single-threaded reader, so duplicate- and capacity-decisions are
+  /// made strictly in line order — two concurrent opens racing the last
+  /// slot on different worker strands would otherwise make the winner
+  /// scheduling-dependent, breaking response determinism.
+  Status Reserve(const std::string& name);
+
+  /// Releases a reservation whose load never completed (load error,
+  /// cancelled open, admission rejection). No-op once fulfilled.
+  void CancelReservation(const std::string& name);
+
+  /// Loads `dir` (strict, or recover mode when `lenient`) and fulfills
+  /// the reservation for `name` made by Reserve. Fails with the load
+  /// error (the caller still owns the reservation then). The scenario
+  /// name is overwritten with the session name so responses are stable
+  /// regardless of the directory path.
+  Result<SessionInfo> Open(const std::string& name, const std::string& dir,
+                           bool lenient);
+
+  /// The scenario behind `name`; kNotFound when absent, kUnavailable
+  /// while a reservation is still loading (only reachable from a
+  /// *different* session's request — per-session admission strands keep
+  /// a session's own requests FIFO behind its open).
+  Result<std::shared_ptr<const IntegrationScenario>> Get(
+      const std::string& name) const;
+
+  /// Drops `name` from the table (in-flight readers keep their
+  /// shared_ptr). kNotFound when absent.
+  Status Close(const std::string& name);
+
+  size_t open_count() const;
+
+  /// Session names, sorted (the std::map order) — for `stats`.
+  std::vector<std::string> Names() const;
+
+ private:
+  const size_t max_sessions_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const IntegrationScenario>>
+      sessions_;
+};
+
+}  // namespace efes
+
+#endif  // EFES_SERVE_SESSION_H_

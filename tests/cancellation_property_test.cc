@@ -1,0 +1,139 @@
+// Cancellation-correctness property test (the `serve.cancel` fault
+// point): for EVERY batch-boundary checkpoint k an engine run crosses,
+// cancelling exactly at checkpoint k must yield a clean cancellation
+// error (kCancelled/kDeadlineExceeded) — and cancelling after the last
+// checkpoint must yield a report byte-identical to the uncancelled run.
+// There is no third outcome: never a torn, partially-estimated,
+// non-degraded report.
+//
+// At --threads=1 every checkpoint executes on the driver thread, so the
+// global fault registry's n-th-hit trigger walks the boundaries
+// deterministically. At higher thread counts nested parallel regions
+// check in on pool threads, so hit *order* is scheduling-dependent; the
+// property weakens to the same disjunction (error XOR identical bytes),
+// which the multithreaded section verifies per seed.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "efes/common/deadline.h"
+#include "efes/common/fault.h"
+#include "efes/common/parallel.h"
+#include "efes/core/engine.h"
+#include "efes/experiment/default_pipeline.h"
+#include "efes/experiment/json_export.h"
+#include "efes/scenario/paper_example.h"
+
+namespace efes {
+namespace {
+
+class CancellationPropertyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto scenario = MakePaperExample();
+    ASSERT_TRUE(scenario.ok());
+    scenario_ = std::move(*scenario);
+  }
+
+  void TearDown() override {
+    FaultRegistry::Global().DisarmAll();
+    SetThreadCountOverride(0);
+  }
+
+  /// Runs the full pipeline and renders the bytes an `estimate` response
+  /// would carry.
+  Result<std::string> RunToBytes() {
+    EfesEngine engine = MakeDefaultEngine();
+    EFES_ASSIGN_OR_RETURN(EstimationResult result, engine.Run(*scenario_));
+    return EstimationResultToJson(result);
+  }
+
+  std::optional<IntegrationScenario> scenario_;
+};
+
+TEST_F(CancellationPropertyTest, EveryCheckpointAbortsCleanlyAtOneThread) {
+  SetThreadCountOverride(1);
+  // Baseline: no fault, and count the checkpoints with a trigger that
+  // never fires (hit counting starts once a point is armed).
+  ASSERT_TRUE(
+      FaultRegistry::Global().ArmFromString("serve.cancel:n=1000000").ok());
+  auto baseline = RunToBytes();
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  const uint64_t checkpoints =
+      FaultRegistry::Global().HitCount("serve.cancel");
+  ASSERT_GT(checkpoints, 0u) << "no checkpoint was crossed; the fault "
+                                "point is dead and the property vacuous";
+
+  for (uint64_t k = 1; k <= checkpoints; ++k) {
+    FaultRegistry::Global().DisarmAll();
+    ASSERT_TRUE(FaultRegistry::Global()
+                    .ArmFromString("serve.cancel:n=" + std::to_string(k))
+                    .ok());
+    auto result = RunToBytes();
+    ASSERT_FALSE(result.ok())
+        << "checkpoint " << k << " of " << checkpoints
+        << " fired but the run completed — the cancellation was lost";
+    EXPECT_TRUE(IsCancellation(result.status().code()))
+        << "checkpoint " << k << " surfaced " << result.status().ToString()
+        << " instead of a cancellation code";
+  }
+
+  // One past the last checkpoint: the run must complete byte-identically
+  // to the baseline — cancellation machinery armed-but-unfired is free.
+  FaultRegistry::Global().DisarmAll();
+  ASSERT_TRUE(FaultRegistry::Global()
+                  .ArmFromString("serve.cancel:n=" +
+                                 std::to_string(checkpoints + 1))
+                  .ok());
+  auto complete = RunToBytes();
+  ASSERT_TRUE(complete.ok()) << complete.status().ToString();
+  EXPECT_EQ(*complete, *baseline);
+}
+
+TEST_F(CancellationPropertyTest, ErrorOrIdenticalAcrossThreadCounts) {
+  SetThreadCountOverride(1);
+  auto baseline = RunToBytes();
+  ASSERT_TRUE(baseline.ok());
+
+  SetThreadCountOverride(4);
+  auto parallel_baseline = RunToBytes();
+  ASSERT_TRUE(parallel_baseline.ok());
+  ASSERT_EQ(*parallel_baseline, *baseline)
+      << "determinism precondition broken before any cancellation";
+
+  for (uint64_t k = 1; k <= 12; ++k) {
+    FaultRegistry::Global().DisarmAll();
+    ASSERT_TRUE(FaultRegistry::Global()
+                    .ArmFromString("serve.cancel:n=" + std::to_string(k))
+                    .ok());
+    auto result = RunToBytes();
+    if (result.ok()) {
+      // The k-th hit never happened (or happened after the work was
+      // done): the report must be exactly the uncancelled bytes.
+      EXPECT_EQ(*result, *baseline)
+          << "k=" << k << ": completed run differs from baseline";
+    } else {
+      EXPECT_TRUE(IsCancellation(result.status().code()))
+          << "k=" << k << ": " << result.status().ToString();
+    }
+  }
+}
+
+TEST_F(CancellationPropertyTest, FirstCheckpointCancelIsDeterministic) {
+  // `once` fires at the very first checkpoint, which always executes on
+  // the driver thread — deterministic at any thread count.
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    SetThreadCountOverride(threads);
+    FaultRegistry::Global().DisarmAll();
+    ASSERT_TRUE(
+        FaultRegistry::Global().ArmFromString("serve.cancel:once").ok());
+    auto result = RunToBytes();
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  }
+}
+
+}  // namespace
+}  // namespace efes

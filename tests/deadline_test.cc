@@ -1,0 +1,160 @@
+// Tests for common/deadline.h: CancelToken semantics (latching, deadline
+// expiry against a FakeClock, bounded waiting), the ambient
+// ScopedCancelToken, the CheckCancellation checkpoint (including its
+// serve.cancel fault hook), and the abort-not-tear contract of
+// cancellation through ParallelFor and the engine.
+
+#include "efes/common/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "efes/common/fault.h"
+#include "efes/common/parallel.h"
+#include "efes/experiment/default_pipeline.h"
+#include "efes/scenario/paper_example.h"
+#include "efes/telemetry/clock.h"
+
+namespace efes {
+namespace {
+
+class DeadlineTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultRegistry::Global().DisarmAll(); }
+};
+
+TEST_F(DeadlineTest, FreshTokenIsLive) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.has_deadline());
+  EXPECT_TRUE(token.Check().ok());
+  EXPECT_TRUE(token.status().ok());
+}
+
+TEST_F(DeadlineTest, FirstCancelWinsAndLatches) {
+  CancelToken token;
+  token.Cancel(Status::Cancelled("first"));
+  token.Cancel(Status::DeadlineExceeded("second"));
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.Check().code(), StatusCode::kCancelled);
+  EXPECT_EQ(token.status().message(), "first");
+}
+
+TEST_F(DeadlineTest, DeadlineTripsAgainstTheClock) {
+  FakeClock clock;
+  CancelToken token;
+  token.SetDeadline(50, &clock);
+  EXPECT_TRUE(token.has_deadline());
+  EXPECT_TRUE(token.Check().ok());
+  clock.AdvanceMillis(49);
+  EXPECT_TRUE(token.Check().ok());
+  clock.AdvanceMillis(1);
+  EXPECT_EQ(token.Check().code(), StatusCode::kDeadlineExceeded);
+  // Expiry latched: the token stays cancelled even if time went backwards.
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(DeadlineTest, ZeroDeadlineIsAlreadyExpired) {
+  FakeClock clock;
+  CancelToken token;
+  token.SetDeadline(0, &clock);
+  EXPECT_EQ(token.Check().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(DeadlineTest, WaitCancelledReturnsOnCancelAndOnTimeout) {
+  CancelToken token;
+  // Not cancelled, bounded wait: returns false quickly.
+  EXPECT_FALSE(token.WaitCancelled(/*max_wait_ms=*/10));
+  // A concurrent cancel wakes the waiter.
+  std::thread canceller([&token] { token.Cancel(Status::Cancelled("bye")); });
+  EXPECT_TRUE(token.WaitCancelled(/*max_wait_ms=*/10000));
+  canceller.join();
+}
+
+TEST_F(DeadlineTest, ScopedTokenInstallsAndRestores) {
+  EXPECT_EQ(ActiveCancelToken(), nullptr);
+  CancelToken outer_token;
+  {
+    ScopedCancelToken outer(&outer_token);
+    EXPECT_EQ(ActiveCancelToken(), &outer_token);
+    CancelToken inner_token;
+    {
+      ScopedCancelToken inner(&inner_token);
+      EXPECT_EQ(ActiveCancelToken(), &inner_token);
+    }
+    EXPECT_EQ(ActiveCancelToken(), &outer_token);
+  }
+  EXPECT_EQ(ActiveCancelToken(), nullptr);
+}
+
+TEST_F(DeadlineTest, CheckpointIsFreeWithoutTokenOrFault) {
+  EXPECT_TRUE(CheckCancellation().ok());
+}
+
+TEST_F(DeadlineTest, CheckpointSeesTheActiveToken) {
+  CancelToken token;
+  ScopedCancelToken scoped(&token);
+  EXPECT_TRUE(CheckCancellation().ok());
+  token.Cancel(Status::Cancelled("stop"));
+  EXPECT_EQ(CheckCancellation().code(), StatusCode::kCancelled);
+}
+
+TEST_F(DeadlineTest, ServeCancelFaultFiresAsCancellationAndLatches) {
+  ASSERT_TRUE(
+      FaultRegistry::Global().ArmFromString("serve.cancel:once").ok());
+  CancelToken token;
+  ScopedCancelToken scoped(&token);
+  EXPECT_EQ(CheckCancellation().code(), StatusCode::kCancelled);
+  // Latched into the token: later checkpoints stay tripped even though
+  // the fault was once-only.
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(CheckCancellation().code(), StatusCode::kCancelled);
+}
+
+TEST_F(DeadlineTest, ParallelForAbortsAtEntryWhenCancelled) {
+  FakeClock clock;
+  CancelToken token;
+  token.SetDeadline(0, &clock);
+  ScopedCancelToken scoped(&token);
+  bool ran = false;
+  Status status = ParallelFor(8, [&ran](size_t) {
+    ran = true;
+    return Status::OK();
+  });
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(ran);
+}
+
+TEST_F(DeadlineTest, EngineRunAbortsWholeNotTorn) {
+  auto scenario = MakePaperExample();
+  ASSERT_TRUE(scenario.ok());
+  FakeClock clock;
+  CancelToken token;
+  token.SetDeadline(0, &clock);
+  ScopedCancelToken scoped(&token);
+  EfesEngine engine = MakeDefaultEngine();
+  auto result = engine.Run(*scenario);
+  // Cancellation is an abort, not a degraded partial report.
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(DeadlineTest, EngineRunWithLiveTokenMatchesUntokenedRun) {
+  auto scenario = MakePaperExample();
+  ASSERT_TRUE(scenario.ok());
+  EfesEngine engine = MakeDefaultEngine();
+  auto baseline = engine.Run(*scenario);
+  ASSERT_TRUE(baseline.ok());
+  CancelToken token;
+  token.SetDeadline(1000000);  // far future, real clock
+  ScopedCancelToken scoped(&token);
+  auto bounded = engine.Run(*scenario);
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_EQ(bounded->estimate.ToText(), baseline->estimate.ToText());
+  EXPECT_EQ(bounded->degraded, baseline->degraded);
+}
+
+}  // namespace
+}  // namespace efes

@@ -72,7 +72,7 @@ TEST_F(FileIoTest, RetriesPastTransientFaults) {
   ASSERT_TRUE(
       FaultRegistry::Global().ArmFromString("io.write.commit:count=2").ok());
   uint64_t retries_before =
-      MetricsRegistry::Global().GetCounter("io.write.retries").Value();
+      MetricsRegistry::Global().GetCounter("file_io.retries").Value();
   WriteFileOptions options;
   options.max_attempts = 3;
   options.initial_backoff_ms = 0;
@@ -80,8 +80,43 @@ TEST_F(FileIoTest, RetriesPastTransientFaults) {
   Status status = WriteFileAtomic(path, "payload", options);
   ASSERT_TRUE(status.ok()) << status.ToString();
   EXPECT_EQ(Slurp(path), "payload");
-  EXPECT_EQ(MetricsRegistry::Global().GetCounter("io.write.retries").Value(),
+  EXPECT_EQ(MetricsRegistry::Global().GetCounter("file_io.retries").Value(),
             retries_before + 2);
+}
+
+TEST_F(FileIoTest, RetryBackoffIsSeededAndBounded) {
+  // Deterministic: the same (attempt, seed) always yields the same
+  // backoff, and different seeds decorrelate the jitter.
+  for (int attempt = 1; attempt <= 5; ++attempt) {
+    int a = RetryBackoffMs(8, attempt, 42);
+    int b = RetryBackoffMs(8, attempt, 42);
+    EXPECT_EQ(a, b);
+    // base * 2^(attempt-1) <= backoff < 2 * base * 2^(attempt-1)
+    int base = 8 << (attempt - 1);
+    EXPECT_GE(a, base);
+    EXPECT_LT(a, 2 * base);
+  }
+  // Zero base means no sleeping at all (the test-suite configuration).
+  EXPECT_EQ(RetryBackoffMs(0, 3, 42), 0);
+  EXPECT_EQ(RetryBackoffMs(8, 0, 42), 0);
+  // Distinct seeds must produce some distinct jitter (with base 1024
+  // the jitter range is wide enough that 8 collisions in a row would
+  // mean the seed is ignored).
+  bool differs = false;
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    if (RetryBackoffMs(1024, 1, seed) != RetryBackoffMs(1024, 1, seed + 100)) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(FileIoTest, CleanWritesLeaveRetryCounterUntouched) {
+  uint64_t retries_before =
+      MetricsRegistry::Global().GetCounter("file_io.retries").Value();
+  ASSERT_TRUE(WriteFileAtomic(Path("clean.txt"), "payload").ok());
+  EXPECT_EQ(MetricsRegistry::Global().GetCounter("file_io.retries").Value(),
+            retries_before);
 }
 
 TEST_F(FileIoTest, GivesUpAfterMaxAttempts) {

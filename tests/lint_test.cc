@@ -348,6 +348,51 @@ TEST(BannedFunctionTest, SuppressionWithReasonSilences) {
   EXPECT_TRUE(FindingsOf(findings, "banned-function").empty());
 }
 
+// -------------------------------------------------------- unbounded-wait
+
+TEST(UnboundedWaitTest, FlagsSleepsAndPredicatelessWaits) {
+  auto findings = Lint({{"src/efes/serve/x.cc",
+                         "void F(std::condition_variable& cv,\n"
+                         "       std::unique_lock<std::mutex>& lock,\n"
+                         "       std::future<int>& f) {\n"
+                         "  std::this_thread::sleep_for(\n"
+                         "      std::chrono::milliseconds(10));\n"
+                         "  cv.wait(lock);\n"
+                         "  f.wait();\n"
+                         "}\n"}});
+  EXPECT_EQ(FindingsOf(findings, "unbounded-wait").size(), 3u);
+}
+
+TEST(UnboundedWaitTest, PredicateAndDeadlineOverloadsAreClean) {
+  auto findings = Lint({{"src/efes/serve/x.cc",
+                         "void F(std::condition_variable& cv,\n"
+                         "       std::unique_lock<std::mutex>& lock) {\n"
+                         "  cv.wait(lock, [&] { return done(); });\n"
+                         "  cv.wait_for(lock, std::chrono::seconds(1));\n"
+                         "  cv.wait_until(lock, deadline);\n"
+                         "}\n"}});
+  EXPECT_TRUE(FindingsOf(findings, "unbounded-wait").empty());
+}
+
+TEST(UnboundedWaitTest, CommonImplementationFilesAreAllowlisted) {
+  auto findings = Lint({{"src/efes/common/file_io.cc",
+                         "void F() {\n"
+                         "  std::this_thread::sleep_for(\n"
+                         "      std::chrono::milliseconds(10));\n"
+                         "}\n"}});
+  EXPECT_TRUE(FindingsOf(findings, "unbounded-wait").empty());
+}
+
+TEST(UnboundedWaitTest, SuppressionWithReasonSilences) {
+  auto findings = Lint(
+      {{"src/efes/serve/x.cc",
+        "void F(std::future<int>& f) {\n"
+        "  // EFES_LINT_ALLOW(unbounded-wait): result is already ready\n"
+        "  f.wait();\n"
+        "}\n"}});
+  EXPECT_TRUE(FindingsOf(findings, "unbounded-wait").empty());
+}
+
 // ----------------------------------------------------------- metric-name
 
 TEST(MetricNameTest, FlagsUndottedAndUppercaseNames) {
@@ -440,8 +485,9 @@ TEST(RenderTest, TextAndJsonCarryFindings) {
 
 TEST(RenderTest, CheckCatalogIsStable) {
   const auto& ids = AllCheckIds();
-  EXPECT_EQ(ids.size(), 8u);
+  EXPECT_EQ(ids.size(), 9u);
   EXPECT_NE(std::find(ids.begin(), ids.end(), "metric-name"), ids.end());
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "unbounded-wait"), ids.end());
   EXPECT_NE(std::find(ids.begin(), ids.end(), "discarded-status"),
             ids.end());
   EXPECT_NE(std::find(ids.begin(), ids.end(), "bad-suppression"),

@@ -32,6 +32,17 @@ TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
   EXPECT_EQ(Status::TypeMismatch("x").code(), StatusCode::kTypeMismatch);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::Unsatisfiable("x").code(), StatusCode::kUnsatisfiable);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(StatusTest, CancellationPredicateCoversBothCodes) {
+  EXPECT_TRUE(IsCancellation(StatusCode::kCancelled));
+  EXPECT_TRUE(IsCancellation(StatusCode::kDeadlineExceeded));
+  EXPECT_FALSE(IsCancellation(StatusCode::kOk));
+  EXPECT_FALSE(IsCancellation(StatusCode::kUnavailable));
+  EXPECT_FALSE(IsCancellation(StatusCode::kResourceExhausted));
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
@@ -44,6 +55,9 @@ TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "ok");
   EXPECT_EQ(StatusCodeToString(StatusCode::kUnsatisfiable),
             "unsatisfiable");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCancelled), "cancelled");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+            "deadline exceeded");
 }
 
 Status FailIfNegative(int x) {

@@ -26,6 +26,12 @@
 # data/fuzz_corpus.txt manifest across --threads=1/8 and cold/warm/
 # disabled profile-cache states; all five reports must byte-diff equal
 # and the aggregate recall line must be present.
+# `--serve-soak` builds efes_serve + the CLI and soaks the server with
+# three interleaved deterministic client streams mixing good, bad,
+# fault-injected, and deadline-expired requests; gates on byte-identical
+# responses across --threads=1/4/8, zero cross-request contamination
+# (good responses unchanged by the hostile mix), file_io.retries staying
+# 0 on a clean run, and a clean SIGTERM drain (exit 0).
 # Exits nonzero on the first failure. Usage:
 #
 #   tools/check_build.sh [build-dir]                    # default: build-werror
@@ -37,6 +43,7 @@
 #   tools/check_build.sh --explain-determinism [build-dir]  # default: build-cache
 #   tools/check_build.sh --bench-smoke [build-dir]      # default: build-bench
 #   tools/check_build.sh --fuzz-corpus [build-dir]      # default: build-cache
+#   tools/check_build.sh --serve-soak [build-dir]       # default: build-cache
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -65,6 +72,9 @@ elif [[ "${1:-}" == "--bench-smoke" ]]; then
   shift
 elif [[ "${1:-}" == "--fuzz-corpus" ]]; then
   MODE=fuzz
+  shift
+elif [[ "${1:-}" == "--serve-soak" ]]; then
+  MODE=serve
   shift
 fi
 
@@ -179,6 +189,109 @@ elif [[ "$MODE" == "fuzz" ]]; then
   grep -q '^fuzz summary: seeds=50 ' "$WORK/corpus-t1.txt"
   grep -q 'mean_recall=' "$WORK/corpus-t1.txt"
   echo "check_build: OK (fuzz corpus byte-identical across threads and cache states)"
+elif [[ "$MODE" == "serve" ]]; then
+  BUILD_DIR="${1:-build-cache}"
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j --target efes_serve --target efes_cli
+  WORK="$(mktemp -d)"
+  trap 'rm -rf "$WORK"' EXIT
+  "$BUILD_DIR/tools/efes" export-example "$WORK/scenario"
+  mkdir "$WORK/broken"  # an open against this dir must fail cleanly
+
+  # Three interleaved deterministic client streams (sessions s1/s2/s3 run
+  # on separate admission strands, so their requests execute concurrently
+  # inside the server). `full` mode salts the stream with hostile
+  # requests: unknown sessions, a broken open, per-request injected
+  # faults, an already-expired deadline, and a malformed line. Good
+  # request ids all start with "g" so the contamination gate can compare
+  # them across runs.
+  emit_requests() {  # $1 = full|good
+    local mode="$1" c round
+    for c in 1 2 3; do
+      echo "{\"id\":\"g$c-open\",\"op\":\"open\",\"session\":\"s$c\",\"dir\":\"$WORK/scenario\"}"
+    done
+    for round in 1 2 3; do
+      for c in 1 2 3; do
+        echo "{\"id\":\"g$c-est$round\",\"op\":\"estimate\",\"session\":\"s$c\",\"quality\":\"low\",\"format\":\"json\"}"
+        if [[ "$mode" == "full" ]]; then
+          echo "{\"id\":\"f$c-est$round\",\"op\":\"estimate\",\"session\":\"s$c\",\"faults\":\"engine.assess:once\"}"
+          echo "{\"id\":\"d$c-est$round\",\"op\":\"estimate\",\"session\":\"s$c\",\"deadline_ms\":0}"
+        fi
+      done
+      if [[ "$mode" == "full" ]]; then
+        echo "{\"id\":\"b-ghost$round\",\"op\":\"estimate\",\"session\":\"ghost\"}"
+      fi
+    done
+    for c in 1 2 3; do
+      echo "{\"id\":\"g$c-assess\",\"op\":\"assess\",\"session\":\"s$c\",\"modules\":\"mapping\"}"
+    done
+    if [[ "$mode" == "full" ]]; then
+      echo "{\"id\":\"b-open\",\"op\":\"open\",\"session\":\"s4\",\"dir\":\"$WORK/broken\"}"
+      echo "this line is not json"
+      echo "{\"id\":\"b-op\",\"op\":\"frobnicate\",\"session\":\"s1\"}"
+    fi
+    echo '{"id":"stats","op":"stats"}'
+    echo '{"id":"shutdown","op":"shutdown"}'
+  }
+  emit_requests full > "$WORK/full.req"
+  emit_requests good > "$WORK/good.req"
+
+  # The watchdog grace is huge so every expired deadline fails at a
+  # cooperative checkpoint with its fixed message — the watchdog's
+  # force-fail text would race it and break byte-determinism.
+  serve() {  # $1 = threads, stdin = requests, stdout = responses
+    "$BUILD_DIR/tools/efes_serve" --workers=4 --threads="$1" \
+      --watchdog-grace-ms=600000
+  }
+  # Responses interleave nondeterministically across strands; per-request
+  # bytes must not. Sort by line and drop the stats snapshot (its
+  # counters legitimately depend on how much work had finished).
+  normalize() { grep -v '^{"id":"stats"' "$1" | LC_ALL=C sort; }
+
+  for threads in 1 4 8; do
+    serve "$threads" < "$WORK/full.req" > "$WORK/full-t$threads.out"
+    normalize "$WORK/full-t$threads.out" > "$WORK/full-t$threads.sorted"
+  done
+  for threads in 4 8; do
+    diff "$WORK/full-t1.sorted" "$WORK/full-t$threads.sorted"
+  done
+
+  # Contamination gate: the hostile mix must not change one byte of any
+  # good response — same sessions, same estimates, with and without
+  # faulted/deadline/bad siblings sharing the server.
+  serve 4 < "$WORK/good.req" > "$WORK/good-t4.out"
+  grep '^{"id":"g' "$WORK/good-t4.out" | LC_ALL=C sort > "$WORK/good-only.sorted"
+  grep '^{"id":"g' "$WORK/full-t4.out" | LC_ALL=C sort > "$WORK/good-in-mix.sorted"
+  diff "$WORK/good-only.sorted" "$WORK/good-in-mix.sorted"
+
+  # A clean soak never retries an atomic write.
+  grep '^{"id":"stats"' "$WORK/good-t4.out" | grep -q '"file_io.retries":0'
+
+  # Graceful drain: a server parked on an open pipe must exit 0 on
+  # SIGTERM after answering what it already read.
+  mkfifo "$WORK/in"
+  # Background the binary itself (not the serve() function — that would
+  # put a subshell between $! and the server, and SIGTERM would kill the
+  # subshell instead).
+  "$BUILD_DIR/tools/efes_serve" --workers=4 --threads=4 \
+    --watchdog-grace-ms=600000 < "$WORK/in" > "$WORK/sigterm.out" &
+  SERVER=$!
+  exec 3> "$WORK/in"
+  printf '{"id":"p","op":"ping"}\n' >&3
+  for _ in $(seq 100); do
+    grep -q '"pong"' "$WORK/sigterm.out" 2>/dev/null && break
+    sleep 0.1
+  done
+  grep -q '"pong"' "$WORK/sigterm.out"
+  kill -TERM "$SERVER"
+  DRAIN_EXIT=0
+  wait "$SERVER" || DRAIN_EXIT=$?
+  exec 3>&-
+  if [[ "$DRAIN_EXIT" -ne 0 ]]; then
+    echo "check_build: SIGTERM drain exited $DRAIN_EXIT, want 0" >&2
+    exit 1
+  fi
+  echo "check_build: OK (serve soak: byte-identical across --threads=1/4/8, no contamination, clean drain)"
 elif [[ "$MODE" == "bench" ]]; then
   BUILD_DIR="${1:-build-bench}"
   WORK="$(mktemp -d)"

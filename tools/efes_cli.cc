@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "efes/cache/profile_cache.h"
+#include "efes/common/deadline.h"
 #include "efes/common/fault.h"
 #include "efes/common/file_io.h"
 #include "efes/common/flags.h"
@@ -74,6 +75,9 @@
 namespace {
 
 constexpr int kExitUsage = 2;
+/// --timeout-ms expired (kDeadlineExceeded/kCancelled): distinct from the
+/// generic failure exit so wrappers can tell "slow" from "broken".
+constexpr int kExitDeadline = 3;
 constexpr int kExitUnknownFlag = 64;
 
 /// Global tool state set by the telemetry/execution flags.
@@ -90,6 +94,8 @@ struct CliFlags {
   std::string cache_dir;
   /// --no-cache: disable profile caching for this run.
   bool no_cache = false;
+  /// --timeout-ms: deadline for the whole invocation (0 = none).
+  size_t timeout_ms = 0;
 };
 
 CliFlags g_flags;
@@ -168,6 +174,10 @@ efes::FlagSet& GlobalFlags() {
                "disable the profile cache (every run recomputes all "
                "profiles)",
                &g_flags.no_cache);
+    f->AddUint("timeout-ms", "<ms>",
+               "abort the run with exit 3 once this deadline passes "
+               "(checked at batch boundaries; no partial output)",
+               &g_flags.timeout_ms);
     return f;
   }();
   return *flags;
@@ -216,7 +226,7 @@ int ParseSubcommandFlags(const efes::FlagSet& flags,
 
 int Fail(const efes::Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-  return 1;
+  return efes::IsCancellation(status.code()) ? kExitDeadline : 1;
 }
 
 efes::ExpectedQuality QualityFromString(const std::string& quality) {
@@ -603,6 +613,17 @@ int main(int argc, char** argv) {
     }
   }
   efes::ScopedProfileCache scoped_cache(g_cache);
+
+  // --timeout-ms: install a deadline-carrying cancel token for the whole
+  // invocation. The engine and the parallel loops check it at batch
+  // boundaries, so expiry aborts with kDeadlineExceeded (exit 3 via
+  // Fail) instead of producing a torn result.
+  efes::CancelToken deadline_token;
+  std::optional<efes::ScopedCancelToken> scoped_deadline;
+  if (g_flags.timeout_ms > 0) {
+    deadline_token.SetDeadline(g_flags.timeout_ms);
+    scoped_deadline.emplace(&deadline_token);
+  }
 
   int code = Dispatch(command, std::move(rest));
   if (code != 0) return code;
