@@ -29,8 +29,8 @@
 #include "efes/cache/profile_cache.h"
 #include "efes/common/flags.h"
 #include "efes/common/parallel.h"
-#include "efes/telemetry/clock.h"
-#include "efes/telemetry/metrics.h"
+#include "efes/common/clock.h"
+#include "efes/common/metrics.h"
 #include "efes/telemetry/report.h"
 
 namespace efes {

@@ -1,0 +1,168 @@
+// efes_analyze: whole-program semantic analysis for the EFES tree
+// (DESIGN.md §15) — the second analyzer tier above efes_lint.
+//
+// efes_lint checks each file's token stream in isolation; the
+// guarantees the server stack (PR 8) leans on are cross-file: a member
+// guarded in one header is accessed from a .cc, a module's Assess body
+// reaches CheckCancellation through two helper calls, an include edge
+// quietly inverts the layer order, a metric name is registered in code
+// but missing from the documented registry. This analyzer merges
+// per-file summaries (summary.h) into one index and runs four
+// whole-program checks over it:
+//
+//   lock-discipline  An EFES_GUARDED_BY(mutex)-annotated member is
+//                    accessed in a method body outside a lexical
+//                    std::lock_guard/unique_lock/scoped_lock region of
+//                    that mutex (constructors, destructors, and
+//                    *Locked caller-holds-the-lock helpers exempt).
+//                    Also the inference direction: a member whose every
+//                    access is under the same mutex must carry the
+//                    annotation, so deleting one is itself a finding
+//                    rather than a silent relaxation.
+//   cancellation     An estimation root — a function named
+//                    AssessComplexity/Run in core/serve/module code, or
+//                    any function there fanning out via ParallelFor/
+//                    ParallelMap — never reaches CheckCancellation
+//                    through the name-based call graph. New modules
+//                    cannot silently become un-cancellable.
+//   layering         An `#include "efes/..."` edge points from a lower
+//                    layer to a higher one (declared order: common <
+//                    lint/telemetry < relational/provenance/analyze <
+//                    cache/profiling < matching/csg < core+modules <
+//                    execute/scenario < experiment < serve; tools/
+//                    tests/bench above all), a directory is missing
+//                    from the declared order, or headers form an
+//                    include cycle.
+//   registry         An observability name (metric/span, fault point,
+//                    CLI flag) appears at a call site but not in the
+//                    checked-in docs/registry/ manifest, or a manifest
+//                    entry has no call site left (stale). Names built
+//                    at runtime are excluded by the complete-dotted-
+//                    literal rule and declared `(dynamic)` in the
+//                    manifests.
+//   bad-suppression  An EFES_ANALYZE_ALLOW comment with an unknown
+//                    check id or no reason (not suppressible).
+//
+// Suppressions: `// EFES_ANALYZE_ALLOW(<check-id>): <reason>` on the
+// finding's line or the line above, same contract as EFES_LINT_ALLOW.
+// Stale-manifest findings anchor in the manifest .md files and are
+// deliberately not suppressible — fix the manifest.
+
+#ifndef EFES_ANALYZE_ANALYZE_H_
+#define EFES_ANALYZE_ANALYZE_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "efes/analyze/summary.h"
+#include "efes/lint/lint.h"
+
+namespace efes::analyze {
+
+/// One directory-substring → layer-rank rule. Includes may point to the
+/// same or a lower rank; an edge to a strictly higher rank is a
+/// back-edge finding.
+struct LayerRule {
+  std::string dir;
+  int rank = 0;
+};
+
+struct AnalyzeConfig {
+  SummaryConfig summary;
+
+  /// The declared layer order. Same-rank directories may include each
+  /// other (cache<->profiling, core<->dedup are deliberate pairs; the
+  /// include-cycle check still rejects header cycles inside them).
+  std::vector<LayerRule> layers = {
+      {"efes/common/", 0},
+      {"efes/lint/", 1},       {"efes/telemetry/", 1},
+      {"efes/relational/", 2}, {"efes/provenance/", 2},
+      {"efes/analyze/", 2},
+      {"efes/cache/", 3},      {"efes/profiling/", 3},
+      {"efes/matching/", 4},   {"efes/csg/", 4},
+      {"efes/core/", 5},       {"efes/dedup/", 5},
+      {"efes/mapping/", 5},    {"efes/structure/", 5},
+      {"efes/values/", 5},     {"efes/baseline/", 5},
+      {"efes/execute/", 6},    {"efes/scenario/", 6},
+      {"efes/experiment/", 7},
+      {"efes/serve/", 8},
+  };
+  /// Path substrings sitting above every layer (may include anything).
+  std::vector<std::string> top_paths = {"tools/", "tests/", "bench/"};
+
+  /// Function names that are cancellation roots when defined under
+  /// `checkpoint_dirs`.
+  std::vector<std::string> checkpoint_roots = {"AssessComplexity", "Run"};
+  /// Directories whose roots (and ParallelFor/ParallelMap callers) must
+  /// reach the checkpoint.
+  std::vector<std::string> checkpoint_dirs = {
+      "efes/core/",   "efes/serve/",     "efes/execute/",
+      "efes/mapping/", "efes/structure/", "efes/values/",
+      "efes/dedup/",  "efes/baseline/"};
+  std::string checkpoint_function = "CheckCancellation";
+  /// Calling one of these also makes a function a root: a fan-out point
+  /// must stay cancellable (today they are, via ParallelFor's own entry
+  /// checkpoint — this is the regression guard for exactly that).
+  std::vector<std::string> parallel_primitives = {"ParallelFor",
+                                                  "ParallelMap"};
+};
+
+/// One backtick-quoted name parsed out of a manifest line.
+struct ManifestEntry {
+  std::string name;
+  int line = 0;
+};
+
+/// The three docs/registry/ manifests (see registry.h for the loader).
+struct RegistryManifests {
+  std::string metrics_path = "docs/registry/metrics.md";
+  std::string faults_path = "docs/registry/faults.md";
+  std::string flags_path = "docs/registry/flags.md";
+  std::vector<ManifestEntry> metrics;
+  std::vector<ManifestEntry> faults;
+  std::vector<ManifestEntry> flags;
+};
+
+/// Names of all analyzer checks, for --list-checks and validation.
+const std::vector<std::string>& AllCheckIds();
+
+/// Whole-program analyzer: feed every file, then Run(). Deterministic
+/// for a fixed file set (findings are sorted by file/line/check).
+class Analyzer {
+ public:
+  Analyzer() : Analyzer(AnalyzeConfig()) {}
+  explicit Analyzer(AnalyzeConfig config);
+
+  /// Summarizes and indexes one file.
+  void AddFile(std::string_view path, std::string_view content);
+
+  /// Installs the registry manifests and enables the registry check
+  /// (without them the check is skipped — the CLI warns).
+  void SetRegistry(RegistryManifests manifests);
+
+  /// Runs every check over the merged index.
+  std::vector<lint::Finding> Run() const;
+
+  /// Convenience: AddFile each {path, content} pair, then Run.
+  std::vector<lint::Finding> RunFiles(
+      const std::vector<std::pair<std::string, std::string>>& files);
+
+  const std::vector<FileSummary>& summaries() const { return summaries_; }
+
+ private:
+  AnalyzeConfig config_;
+  std::vector<FileSummary> summaries_;
+  bool has_registry_ = false;
+  RegistryManifests registry_;
+};
+
+/// Text report, one "file:line: [check] message" per line plus an
+/// "efes_analyze: ..." summary line (same shape as lint::RenderText).
+std::string RenderText(const std::vector<lint::Finding>& findings,
+                       bool show_suppressed = false);
+
+}  // namespace efes::analyze
+
+#endif  // EFES_ANALYZE_ANALYZE_H_

@@ -1,0 +1,37 @@
+// Loader/parser for the docs/registry/ manifests consumed by the
+// registry check (analyze.h). A manifest is a markdown file where each
+// registered name is a list line with the name in backticks:
+//
+//   - `serve.requests.received` — one per request line read
+//   - `fault.<point>.hits` (dynamic) — per-point hit counter
+//
+// Lines containing "(dynamic)" document runtime-built name families and
+// are excluded from both directions of the consistency check; every
+// other backticked list entry must have a call site, and every call-
+// site literal must have an entry.
+
+#ifndef EFES_ANALYZE_REGISTRY_H_
+#define EFES_ANALYZE_REGISTRY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "efes/analyze/analyze.h"
+#include "efes/common/result.h"
+
+namespace efes::analyze {
+
+/// Parses one manifest: every line of the form `- \`name\` ...` yields
+/// an entry unless the line contains "(dynamic)". Never fails; lines
+/// that don't match the grammar are prose.
+std::vector<ManifestEntry> ParseManifest(std::string_view content);
+
+/// Reads `<dir>/metrics.md`, `<dir>/faults.md`, `<dir>/flags.md`. A
+/// missing manifest is an error — deleting one must fail the analyzer,
+/// not silently skip the check.
+Result<RegistryManifests> LoadRegistryDir(const std::string& dir);
+
+}  // namespace efes::analyze
+
+#endif  // EFES_ANALYZE_REGISTRY_H_

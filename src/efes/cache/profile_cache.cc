@@ -11,7 +11,7 @@
 #include "efes/common/fault.h"
 #include "efes/common/file_io.h"
 #include "efes/telemetry/log.h"
-#include "efes/telemetry/metrics.h"
+#include "efes/common/metrics.h"
 
 namespace efes {
 

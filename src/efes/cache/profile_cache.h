@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "efes/common/result.h"
+#include "efes/common/thread_annotations.h"
 #include "efes/profiling/constraint_discovery.h"
 #include "efes/profiling/statistics.h"
 
@@ -99,8 +100,10 @@ class ProfileCache {
 
   mutable std::mutex mutex_;
   // Ordered maps so SaveToFile emits entries in deterministic key order.
-  std::map<uint64_t, AttributeStatistics> statistics_;
-  std::map<uint64_t, std::vector<DiscoveredConstraint>> constraints_;
+  std::map<uint64_t, AttributeStatistics> statistics_
+      EFES_GUARDED_BY(mutex_);
+  std::map<uint64_t, std::vector<DiscoveredConstraint>> constraints_
+      EFES_GUARDED_BY(mutex_);
 };
 
 /// RAII activation: installs `cache` as ProfileCache::Active() for the

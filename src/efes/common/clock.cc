@@ -1,4 +1,4 @@
-#include "efes/telemetry/clock.h"
+#include "efes/common/clock.h"
 
 #include <chrono>
 

@@ -1,0 +1,54 @@
+// Injectable time source. All durations (spans, latency histograms,
+// bench wall times, deadlines) are measured against a Clock so that
+// tests can substitute a deterministic FakeClock and assert exact
+// durations instead of sleeping. Lives in common/ (not telemetry/)
+// because deadline and fault handling need time without depending on
+// the telemetry layer.
+
+#ifndef EFES_COMMON_CLOCK_H_
+#define EFES_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace efes {
+
+/// Abstract monotonic time source. Implementations must be thread-safe.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Nanoseconds since an arbitrary fixed epoch; never decreases.
+  virtual int64_t NowNanos() const = 0;
+
+  double NowMillis() const {
+    return static_cast<double>(NowNanos()) / 1e6;
+  }
+
+  /// Process-wide default clock (a MonotonicClock singleton).
+  static const Clock* Default();
+};
+
+/// Wall clock backed by std::chrono::steady_clock.
+class MonotonicClock : public Clock {
+ public:
+  int64_t NowNanos() const override;
+};
+
+/// Deterministic clock for tests: time only moves when advanced.
+class FakeClock : public Clock {
+ public:
+  explicit FakeClock(int64_t start_nanos = 0) : now_nanos_(start_nanos) {}
+
+  int64_t NowNanos() const override { return now_nanos_; }
+
+  void AdvanceNanos(int64_t nanos) { now_nanos_ += nanos; }
+  void AdvanceMicros(int64_t micros) { now_nanos_ += micros * 1000; }
+  void AdvanceMillis(int64_t millis) { now_nanos_ += millis * 1000000; }
+
+ private:
+  int64_t now_nanos_;
+};
+
+}  // namespace efes
+
+#endif  // EFES_COMMON_CLOCK_H_

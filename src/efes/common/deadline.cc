@@ -5,7 +5,7 @@
 #include <utility>
 
 #include "efes/common/fault.h"
-#include "efes/telemetry/clock.h"
+#include "efes/common/clock.h"
 
 namespace efes {
 

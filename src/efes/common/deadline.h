@@ -35,6 +35,7 @@
 #include <mutex>
 
 #include "efes/common/status.h"
+#include "efes/common/thread_annotations.h"
 
 namespace efes {
 
@@ -100,7 +101,7 @@ class CancelToken {
   std::atomic<bool> cancelled_{false};
   mutable std::mutex mutex_;
   std::condition_variable cancelled_cv_;
-  Status reason_;  // Guarded by mutex_; valid once cancelled_.
+  Status reason_ EFES_GUARDED_BY(mutex_);  // Valid once cancelled_.
 };
 
 /// Installs `token` as the calling thread's active token for the scope.

@@ -7,7 +7,7 @@
 
 #include "efes/common/random.h"
 #include "efes/common/string_util.h"
-#include "efes/telemetry/metrics.h"
+#include "efes/common/metrics.h"
 
 namespace efes {
 

@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "efes/common/status.h"
+#include "efes/common/thread_annotations.h"
 
 namespace efes {
 
@@ -112,7 +113,8 @@ class FaultRegistry {
   struct ArmedPoint;
 
   mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<ArmedPoint>, std::less<>> points_;
+  std::map<std::string, std::unique_ptr<ArmedPoint>, std::less<>> points_
+      EFES_GUARDED_BY(mutex_);
   std::atomic<size_t> armed_count_{0};
 };
 

@@ -8,7 +8,7 @@
 
 #include "efes/common/fault.h"
 #include "efes/common/random.h"
-#include "efes/telemetry/metrics.h"
+#include "efes/common/metrics.h"
 
 namespace efes {
 

@@ -1,4 +1,4 @@
-#include "efes/telemetry/metrics.h"
+#include "efes/common/metrics.h"
 
 #include <algorithm>
 

@@ -10,8 +10,8 @@
 
 #include "efes/common/deadline.h"
 #include "efes/common/fault.h"
-#include "efes/telemetry/clock.h"
-#include "efes/telemetry/metrics.h"
+#include "efes/common/clock.h"
+#include "efes/common/metrics.h"
 
 namespace efes {
 

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "efes/common/result.h"
+#include "efes/common/thread_annotations.h"
 
 namespace efes {
 
@@ -77,8 +78,8 @@ class ThreadPool {
 
   std::mutex mutex_;
   std::condition_variable wake_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  std::deque<std::function<void()>> queue_ EFES_GUARDED_BY(mutex_);
+  bool stop_ EFES_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -11,7 +11,7 @@
 #include "efes/common/text_table.h"
 #include "efes/provenance/provenance.h"
 #include "efes/telemetry/log.h"
-#include "efes/telemetry/metrics.h"
+#include "efes/common/metrics.h"
 #include "efes/telemetry/trace.h"
 
 namespace efes {

@@ -15,7 +15,7 @@
 #include "efes/csg/path_search.h"
 #include "efes/provenance/provenance.h"
 #include "efes/telemetry/log.h"
-#include "efes/telemetry/metrics.h"
+#include "efes/common/metrics.h"
 #include "efes/telemetry/trace.h"
 
 namespace efes {

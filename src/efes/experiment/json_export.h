@@ -11,7 +11,7 @@
 #include "efes/core/engine.h"
 #include "efes/experiment/study.h"
 #include "efes/provenance/provenance.h"
-#include "efes/telemetry/metrics.h"
+#include "efes/common/metrics.h"
 
 namespace efes {
 

@@ -11,7 +11,7 @@
 #include "efes/scenario/bibliographic.h"
 #include "efes/scenario/ground_truth.h"
 #include "efes/scenario/music.h"
-#include "efes/telemetry/metrics.h"
+#include "efes/common/metrics.h"
 #include "efes/telemetry/trace.h"
 
 namespace efes {

@@ -49,27 +49,6 @@ bool IsIdent(const Token& t, std::string_view text) {
   return t.kind == TokenKind::kIdentifier && t.text == text;
 }
 
-/// True for dotted lowercase metric/span names: two or more [a-z0-9_]+
-/// segments joined by single dots (`module.phase.metric`).
-bool IsDottedMetricName(std::string_view name) {
-  bool seen_dot = false;
-  bool segment_char = false;
-  for (char c : name) {
-    if (c == '.') {
-      if (!segment_char) return false;  // empty segment
-      seen_dot = true;
-      segment_char = false;
-      continue;
-    }
-    if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_') {
-      segment_char = true;
-      continue;
-    }
-    return false;
-  }
-  return seen_dot && segment_char;
-}
-
 bool IsPunct(const Token& t, std::string_view text) {
   return t.kind == TokenKind::kPunct && t.text == text;
 }
@@ -174,6 +153,25 @@ size_t SkipAngles(const std::vector<Token>& code, size_t i) {
 }
 
 }  // namespace
+
+bool IsDottedMetricName(std::string_view name) {
+  bool seen_dot = false;
+  bool segment_char = false;
+  for (char c : name) {
+    if (c == '.') {
+      if (!segment_char) return false;  // empty segment
+      seen_dot = true;
+      segment_char = false;
+      continue;
+    }
+    if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_') {
+      segment_char = true;
+      continue;
+    }
+    return false;
+  }
+  return seen_dot && segment_char;
+}
 
 const std::vector<std::string>& AllCheckIds() {
   static const std::vector<std::string>* ids = []() {
@@ -336,13 +334,13 @@ void Linter::CheckFile(std::string_view path, std::string_view content,
       }
       if (t.text == "time" && called && !member_access) {
         add(kNondeterminism, t.line,
-            "time() reads the wall clock; use telemetry/clock");
+            "time() reads the wall clock; use common/clock");
       }
       if (t.text == "system_clock" && i + 3 < code.size() &&
           IsPunct(code[i + 1], "::") && IsIdent(code[i + 2], "now") &&
           IsPunct(code[i + 3], "(")) {
         add(kNondeterminism, t.line,
-            "system_clock::now() outside telemetry/clock makes output "
+            "system_clock::now() outside common/clock makes output "
             "time-dependent");
       }
     }

@@ -78,7 +78,7 @@ struct Finding {
 struct LintConfig {
   /// Files allowed to touch raw entropy/time sources.
   std::vector<std::string> nondeterminism_allowlist = {"common/random",
-                                                       "telemetry/clock"};
+                                                       "common/clock"};
   /// Files allowed to open files for writing / rename directly.
   std::vector<std::string> raw_file_write_allowlist = {"common/file_io"};
   /// Files allowed naked new/delete without a suppression comment.
@@ -98,6 +98,11 @@ struct LintConfig {
 
 /// Names of all checks, for --list-checks and validation.
 const std::vector<std::string>& AllCheckIds();
+
+/// True for dotted lowercase metric/span names: two or more [a-z0-9_]+
+/// segments joined by single dots (`module.phase.metric`). Shared with
+/// efes_analyze, whose registry check collects exactly these literals.
+bool IsDottedMetricName(std::string_view name);
 
 /// Two-pass linter. Feed every file to IndexFile first (collects the
 /// names of Status/Result-returning functions tree-wide), then run

@@ -6,6 +6,7 @@
 #include <set>
 #include <sstream>
 
+#include "efes/common/deadline.h"
 #include "efes/common/text_table.h"
 #include "efes/provenance/provenance.h"
 
@@ -102,6 +103,9 @@ Result<std::unique_ptr<ComplexityReport>> MappingModule::AssessComplexity(
   ProvenanceRecorder* prov = ProvenanceRecorder::Active();
   std::vector<MappingConnection> connections;
   for (const SourceBinding& source : scenario.sources) {
+    // Source databases can be numerous and each connection walk touches
+    // the whole join graph; checkpoint at the per-source boundary.
+    EFES_RETURN_IF_ERROR(CheckCancellation());
     const Schema& source_schema = source.database.schema();
     const Schema& target_schema = scenario.target.schema();
     for (const std::string& target_table :

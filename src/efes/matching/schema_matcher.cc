@@ -8,7 +8,7 @@
 #include "efes/common/string_util.h"
 #include "efes/profiling/statistics.h"
 #include "efes/provenance/provenance.h"
-#include "efes/telemetry/metrics.h"
+#include "efes/common/metrics.h"
 
 namespace efes {
 

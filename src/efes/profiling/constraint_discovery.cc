@@ -8,7 +8,7 @@
 #include "efes/cache/fingerprint.h"
 #include "efes/cache/profile_cache.h"
 #include "efes/common/parallel.h"
-#include "efes/telemetry/metrics.h"
+#include "efes/common/metrics.h"
 #include "efes/telemetry/trace.h"
 
 namespace efes {

@@ -10,8 +10,8 @@
 #include "efes/cache/profile_cache.h"
 #include "efes/common/parallel.h"
 #include "efes/common/string_util.h"
-#include "efes/telemetry/clock.h"
-#include "efes/telemetry/metrics.h"
+#include "efes/common/clock.h"
+#include "efes/common/metrics.h"
 
 namespace efes {
 

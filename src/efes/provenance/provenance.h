@@ -27,6 +27,8 @@
 #include <string_view>
 #include <vector>
 
+#include "efes/common/thread_annotations.h"
+
 namespace efes {
 
 /// Node taxonomy, from raw evidence to priced outputs (DESIGN.md §12).
@@ -136,8 +138,8 @@ class ProvenanceRecorder {
   uint64_t RecordLocked(ProvenanceNode node);
 
   mutable std::mutex mutex_;
-  std::vector<ProvenanceNode> nodes_;
-  bool degraded_ = false;
+  std::vector<ProvenanceNode> nodes_ EFES_GUARDED_BY(mutex_);
+  bool degraded_ EFES_GUARDED_BY(mutex_) = false;
 };
 
 /// Installs a recorder as the ambient ProvenanceRecorder::Active() for the

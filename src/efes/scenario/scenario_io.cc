@@ -8,7 +8,7 @@
 #include "efes/common/file_io.h"
 #include "efes/common/string_util.h"
 #include "efes/relational/schema_text.h"
-#include "efes/telemetry/metrics.h"
+#include "efes/common/metrics.h"
 
 namespace efes {
 

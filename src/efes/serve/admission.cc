@@ -2,7 +2,7 @@
 
 #include <utility>
 
-#include "efes/telemetry/metrics.h"
+#include "efes/common/metrics.h"
 
 namespace efes {
 

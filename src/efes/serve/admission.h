@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "efes/common/status.h"
+#include "efes/common/thread_annotations.h"
 
 namespace efes {
 
@@ -100,21 +101,25 @@ class AdmissionController {
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;  // workers: ready_ nonempty or stop_
-  std::condition_variable idle_cv_;  // AwaitDrain: outstanding_ == 0
-  std::condition_variable gate_cv_;  // exclusivity gate transitions
-  std::deque<Queued> ready_;
+  // AwaitDrain: outstanding_ == 0.
+  std::condition_variable idle_cv_ EFES_GUARDED_BY(mutex_);
+  // Exclusivity gate transitions.
+  std::condition_variable gate_cv_ EFES_GUARDED_BY(mutex_);
+  std::deque<Queued> ready_ EFES_GUARDED_BY(mutex_);
   /// Tasks waiting behind their strand's currently queued/running task.
-  std::map<std::string, std::deque<Queued>> strand_waiting_;
+  std::map<std::string, std::deque<Queued>> strand_waiting_
+      EFES_GUARDED_BY(mutex_);
   /// Strands with a task in ready_ or executing.
-  std::set<std::string> strand_active_;
-  size_t queued_count_ = 0;   // admitted, not yet started
-  size_t outstanding_ = 0;    // admitted, not yet finished
-  size_t running_ = 0;        // currently executing
-  size_t exclusive_waiting_ = 0;
-  bool exclusive_active_ = false;
-  bool draining_ = false;
-  bool stop_ = false;
-  bool joined_ = false;
+  std::set<std::string> strand_active_ EFES_GUARDED_BY(mutex_);
+  // Admitted-not-started / admitted-not-finished / executing counts.
+  size_t queued_count_ EFES_GUARDED_BY(mutex_) = 0;
+  size_t outstanding_ EFES_GUARDED_BY(mutex_) = 0;
+  size_t running_ EFES_GUARDED_BY(mutex_) = 0;
+  size_t exclusive_waiting_ EFES_GUARDED_BY(mutex_) = 0;
+  bool exclusive_active_ EFES_GUARDED_BY(mutex_) = false;
+  bool draining_ EFES_GUARDED_BY(mutex_) = false;
+  bool stop_ EFES_GUARDED_BY(mutex_) = false;
+  bool joined_ EFES_GUARDED_BY(mutex_) = false;
 
   std::vector<std::thread> workers_;
 };

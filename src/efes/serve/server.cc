@@ -14,8 +14,8 @@
 #include "efes/experiment/json_export.h"
 #include "efes/provenance/provenance.h"
 #include "efes/provenance/render.h"
-#include "efes/telemetry/clock.h"
-#include "efes/telemetry/metrics.h"
+#include "efes/common/clock.h"
+#include "efes/common/metrics.h"
 #include "efes/telemetry/trace.h"
 
 namespace efes {

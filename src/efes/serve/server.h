@@ -49,6 +49,7 @@
 
 #include "efes/cache/profile_cache.h"
 #include "efes/common/deadline.h"
+#include "efes/common/thread_annotations.h"
 #include "efes/serve/admission.h"
 #include "efes/serve/protocol.h"
 #include "efes/serve/session.h"
@@ -163,8 +164,8 @@ class EfesServer {
   };
   std::mutex watchdog_mutex_;
   std::condition_variable watchdog_cv_;
-  std::vector<WatchedRequest> watched_;
-  bool watchdog_stop_ = false;
+  std::vector<WatchedRequest> watched_ EFES_GUARDED_BY(watchdog_mutex_);
+  bool watchdog_stop_ EFES_GUARDED_BY(watchdog_mutex_) = false;
   std::thread watchdog_;
 };
 

@@ -3,7 +3,7 @@
 #include <utility>
 
 #include "efes/scenario/scenario_io.h"
-#include "efes/telemetry/metrics.h"
+#include "efes/common/metrics.h"
 
 namespace efes {
 

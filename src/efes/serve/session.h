@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "efes/common/result.h"
+#include "efes/common/thread_annotations.h"
 #include "efes/core/integration_scenario.h"
 
 namespace efes {
@@ -84,10 +85,12 @@ class SessionManager {
   std::vector<std::string> Names() const;
 
  private:
-  const size_t max_sessions_;
+  // Immutable after construction, but only ever read while deciding
+  // admission under the lock, so it carries the annotation too.
+  const size_t max_sessions_ EFES_GUARDED_BY(mutex_);
   mutable std::mutex mutex_;
   std::map<std::string, std::shared_ptr<const IntegrationScenario>>
-      sessions_;
+      sessions_ EFES_GUARDED_BY(mutex_);
 };
 
 }  // namespace efes

@@ -3,6 +3,7 @@
 #include <map>
 #include <sstream>
 
+#include "efes/common/deadline.h"
 #include "efes/common/text_table.h"
 #include "efes/provenance/provenance.h"
 
@@ -49,6 +50,9 @@ size_t StructureComplexityReport::ProblemCount() const {
 Result<std::unique_ptr<ComplexityReport>> StructureModule::AssessComplexity(
     const IntegrationScenario& scenario) const {
   CsgGraph target_graph;
+  // Conflict detection walks every source CSG against the target; make
+  // sure a cancelled deadline stops the assessment before that work.
+  EFES_RETURN_IF_ERROR(CheckCancellation());
   EFES_ASSIGN_OR_RETURN(
       std::vector<SourceStructureAssessment> assessments,
       DetectStructureConflicts(scenario, &target_graph,

@@ -13,6 +13,8 @@
 #include <string_view>
 #include <vector>
 
+#include "efes/common/thread_annotations.h"
+
 namespace efes {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
@@ -53,7 +55,7 @@ class CaptureSink : public LogSink {
 
  private:
   mutable std::mutex mutex_;
-  std::vector<Entry> entries_;
+  std::vector<Entry> entries_ EFES_GUARDED_BY(mutex_);
 };
 
 class Logger {
@@ -82,7 +84,8 @@ class Logger {
  private:
   std::atomic<LogLevel> level_{LogLevel::kOff};
   std::mutex sink_mutex_;
-  LogSink* sink_ = nullptr;  // nullptr = the shared NullSink
+  // nullptr = the shared NullSink.
+  LogSink* sink_ EFES_GUARDED_BY(sink_mutex_) = nullptr;
 };
 
 /// Logs `message_expr` (any expression convertible to std::string_view)

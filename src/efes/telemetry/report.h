@@ -10,7 +10,7 @@
 #include <string_view>
 #include <vector>
 
-#include "efes/telemetry/metrics.h"
+#include "efes/common/metrics.h"
 
 namespace efes {
 

@@ -17,8 +17,9 @@
 #include <string>
 #include <vector>
 
-#include "efes/telemetry/clock.h"
-#include "efes/telemetry/metrics.h"
+#include "efes/common/clock.h"
+#include "efes/common/metrics.h"
+#include "efes/common/thread_annotations.h"
 
 namespace efes {
 
@@ -81,7 +82,7 @@ class TraceRecorder {
   std::atomic<bool> enabled_{false};
   std::atomic<int64_t> next_id_{0};
   mutable std::mutex mutex_;
-  std::vector<TraceEvent> events_;
+  std::vector<TraceEvent> events_ EFES_GUARDED_BY(mutex_);
 };
 
 /// RAII span: opens at construction, records at destruction. Nesting is

@@ -14,7 +14,7 @@
 #include "efes/common/parallel.h"
 #include "efes/experiment/default_pipeline.h"
 #include "efes/scenario/paper_example.h"
-#include "efes/telemetry/clock.h"
+#include "efes/common/clock.h"
 
 namespace efes {
 namespace {

@@ -22,7 +22,7 @@
 #include "efes/experiment/default_pipeline.h"
 #include "efes/scenario/paper_example.h"
 #include "efes/scenario/scenario_io.h"
-#include "efes/telemetry/metrics.h"
+#include "efes/common/metrics.h"
 
 #include "test_paths.h"
 

@@ -10,7 +10,7 @@
 #include <string>
 
 #include "efes/common/fault.h"
-#include "efes/telemetry/metrics.h"
+#include "efes/common/metrics.h"
 
 #include "test_paths.h"
 

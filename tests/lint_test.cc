@@ -164,7 +164,7 @@ TEST(NondeterminismTest, AllowlistedPathsAreClean) {
   EXPECT_TRUE(FindingsOf(Lint({{"src/efes/common/random.cc", body}}),
                          "nondeterminism")
                   .empty());
-  EXPECT_TRUE(FindingsOf(Lint({{"src/efes/telemetry/clock.cc", body}}),
+  EXPECT_TRUE(FindingsOf(Lint({{"src/efes/common/clock.cc", body}}),
                          "nondeterminism")
                   .empty());
 }

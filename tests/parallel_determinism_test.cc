@@ -20,7 +20,7 @@
 #include "efes/scenario/bibliographic.h"
 #include "efes/scenario/fuzzer.h"
 #include "efes/scenario/scenario_io.h"
-#include "efes/telemetry/metrics.h"
+#include "efes/common/metrics.h"
 
 namespace efes {
 namespace {

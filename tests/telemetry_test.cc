@@ -13,9 +13,9 @@
 #include "efes/common/json_writer.h"
 #include "efes/profiling/statistics.h"
 #include "efes/relational/value.h"
-#include "efes/telemetry/clock.h"
+#include "efes/common/clock.h"
 #include "efes/telemetry/log.h"
-#include "efes/telemetry/metrics.h"
+#include "efes/common/metrics.h"
 #include "efes/telemetry/report.h"
 #include "efes/telemetry/trace.h"
 

@@ -13,6 +13,10 @@
 # `--lint` builds only the efes_lint tool and runs it over src/, tools/,
 # tests/, and bench/ with --format=json, failing on any unsuppressed
 # finding.
+# `--analyze` builds efes_lint and efes_analyze and runs both: the
+# linter over the full tree, the whole-program analyzer (lock
+# discipline, cancellation coverage, layering, registry consistency)
+# over src/ and tools/ against docs/registry/.
 # `--cache-roundtrip` builds only the CLI, exports the paper example, and
 # estimates it three times — cold with a fresh --cache-dir, warm against
 # the saved snapshot, and once with --no-cache — then diffs the three
@@ -39,6 +43,7 @@
 #   tools/check_build.sh --asan [build-dir]             # default: build-asan
 #   tools/check_build.sh --ubsan [build-dir]            # default: build-ubsan
 #   tools/check_build.sh --lint [build-dir]             # default: build-lint
+#   tools/check_build.sh --analyze [build-dir]          # default: build-lint
 #   tools/check_build.sh --cache-roundtrip [build-dir]  # default: build-cache
 #   tools/check_build.sh --explain-determinism [build-dir]  # default: build-cache
 #   tools/check_build.sh --bench-smoke [build-dir]      # default: build-bench
@@ -60,6 +65,9 @@ elif [[ "${1:-}" == "--ubsan" ]]; then
   shift
 elif [[ "${1:-}" == "--lint" ]]; then
   MODE=lint
+  shift
+elif [[ "${1:-}" == "--analyze" ]]; then
+  MODE=analyze
   shift
 elif [[ "${1:-}" == "--cache-roundtrip" ]]; then
   MODE=cache
@@ -105,6 +113,14 @@ elif [[ "$MODE" == "lint" ]]; then
   cmake --build "$BUILD_DIR" -j --target efes_lint
   "$BUILD_DIR/tools/efes_lint" --format=json src tools tests bench
   echo "check_build: OK (efes_lint, tree is lint-clean)"
+elif [[ "$MODE" == "analyze" ]]; then
+  BUILD_DIR="${1:-build-lint}"
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j --target efes_lint --target efes_analyze
+  "$BUILD_DIR/tools/efes_lint" --format=json src tools tests bench
+  "$BUILD_DIR/tools/efes_analyze" --format=json --registry=docs/registry \
+    src tools
+  echo "check_build: OK (efes_lint + efes_analyze, tree is analyze-clean)"
 elif [[ "$MODE" == "cache" ]]; then
   BUILD_DIR="${1:-build-cache}"
   cmake -B "$BUILD_DIR" -S .

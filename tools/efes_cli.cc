@@ -68,7 +68,7 @@
 #include "efes/scenario/paper_example.h"
 #include "efes/scenario/scenario_io.h"
 #include "efes/telemetry/log.h"
-#include "efes/telemetry/metrics.h"
+#include "efes/common/metrics.h"
 #include "efes/telemetry/report.h"
 #include "efes/telemetry/trace.h"
 

@@ -9,7 +9,7 @@
 // src/efes/lint/lint.h (and DESIGN.md §10).
 //
 // Flags:
-//   --format=text|json   report format (default text)
+//   --format=text|json|sarif  report format (default text)
 //   --show-suppressed    include suppressed findings in text output
 //   --list-checks        print the check catalog and exit
 //
@@ -27,6 +27,7 @@
 #include "efes/common/flags.h"
 #include "efes/common/result.h"
 #include "efes/lint/lint.h"
+#include "efes/lint/sarif.h"
 
 namespace {
 
@@ -38,7 +39,8 @@ constexpr int kExitUnknownFlag = 64;
 
 int Usage(int exit_code = kExitUsage) {
   std::fprintf(stderr,
-               "usage: efes_lint [--format=text|json] [--show-suppressed]\n"
+               "usage: efes_lint [--format=text|json|sarif] "
+               "[--show-suppressed]\n"
                "                 [--list-checks] <path>...\n"
                "Paths are C++ files or directories (walked recursively).\n");
   return exit_code;
@@ -89,7 +91,8 @@ int main(int argc, char** argv) {
   bool show_suppressed = false;
   bool list_checks = false;
   efes::FlagSet flags;
-  flags.AddChoice("format", {"text", "json"}, "report format", &format);
+  flags.AddChoice("format", {"text", "json", "sarif"}, "report format",
+                  &format);
   flags.AddBool("show-suppressed",
                 "include suppressed findings in text output",
                 &show_suppressed);
@@ -135,6 +138,9 @@ int main(int argc, char** argv) {
 
   if (format == "json") {
     std::printf("%s\n", efes::lint::RenderJson(findings).c_str());
+  } else if (format == "sarif") {
+    std::printf("%s\n",
+                efes::lint::RenderSarif("efes_lint", findings).c_str());
   } else {
     std::fputs(efes::lint::RenderText(findings, show_suppressed).c_str(),
                stdout);
