@@ -30,8 +30,13 @@ int main() {
   options.min_relation_confidence = 0.30;
   options.min_attribute_confidence = 0.45;
   efes::SchemaMatcher matcher(options);
-  efes::CorrespondenceSet discovered = matcher.Match(
-      curated->sources[0].database, curated->target);
+  auto matched = matcher.Match(curated->sources[0].database, curated->target);
+  if (!matched.ok()) {
+    std::fprintf(stderr, "matching: %s\n",
+                 matched.status().ToString().c_str());
+    return 1;
+  }
+  efes::CorrespondenceSet discovered = *std::move(matched);
   std::printf("Discovered correspondences (with confidences):\n");
   for (const efes::Correspondence& corr : discovered.all()) {
     std::printf("  %-45s %.2f\n", corr.ToString().c_str(),

@@ -1,6 +1,9 @@
 #include "efes/common/csv.h"
 
+#include <deque>
+#include <fstream>
 #include <sstream>
+#include <utility>
 
 #include "efes/common/fault.h"
 #include "efes/common/file_io.h"
@@ -36,93 +39,178 @@ void AddIssue(std::vector<DataIssue>* issues, std::string location,
       DataIssue{"csv", std::move(location), std::move(message)});
 }
 
+// Incremental RFC-4180 scanner shared by ParseCsv (one Feed over the whole
+// text) and ChunkedCsvReader (repeated Feeds over file blocks). Because a
+// quote escape ("") and a \r\n sequence can straddle a block boundary, the
+// scanner defers those decisions with one-character pending flags instead
+// of looking ahead, which makes it produce the exact same records for any
+// split of the input.
+class CsvScanner {
+ public:
+  explicit CsvScanner(const CsvReadOptions& options) : options_(options) {}
+
+  // Feeds input bytes; completed records accumulate in records().
+  // Returns false once a resource limit latched (see limit_error()).
+  bool Feed(std::string_view text) {
+    for (char c : text) {
+      if (!FeedChar(c)) return false;
+    }
+    return true;
+  }
+
+  // Signals end of input: resolves pending state and flushes a final
+  // record without a trailing newline. Same return contract as Feed.
+  bool Finish() {
+    if (pending_cr_) {
+      pending_cr_ = false;
+      if (!EndRecord()) return false;
+    }
+    if (pending_quote_) {
+      // A closing quote was the last character of the input.
+      pending_quote_ = false;
+      in_quotes_ = false;
+    }
+    if (in_quotes_) {
+      unterminated_quote_ = true;
+      in_quotes_ = false;
+    }
+    if (!current_cell_.empty() || !current_record_.empty() || cell_started_) {
+      if (!EndRecord()) return false;
+    }
+    return true;
+  }
+
+  std::deque<std::vector<std::string>>& records() { return records_; }
+  bool unterminated_quote() const { return unterminated_quote_; }
+  const Status& limit_error() const { return limit_error_; }
+
+ private:
+  bool FeedChar(char c) {
+    if (pending_quote_) {
+      pending_quote_ = false;
+      if (c == '"') return GrowCell('"');  // doubled quote: literal "
+      in_quotes_ = false;                  // closing quote; reprocess c
+    } else if (pending_cr_) {
+      pending_cr_ = false;
+      if (c == '\n') return EndRecord();  // \r\n ends one record
+      if (!EndRecord()) return false;     // bare \r; reprocess c
+    }
+    if (in_quotes_) {
+      if (c == '"') {
+        pending_quote_ = true;  // escape or closing quote: next char tells
+        return true;
+      }
+      return GrowCell(c);
+    }
+    if (c == '"' && !cell_started_ && current_cell_.empty()) {
+      in_quotes_ = true;
+      cell_started_ = true;
+      return true;
+    }
+    if (c == options_.delimiter) {
+      EndCell();
+      return true;
+    }
+    if (c == '\r') {
+      pending_cr_ = true;  // a following \n merges into one record end
+      return true;
+    }
+    if (c == '\n') return EndRecord();
+    cell_started_ = true;
+    return GrowCell(c);
+  }
+
+  void EndCell() {
+    current_record_.push_back(std::move(current_cell_));
+    current_cell_.clear();
+    cell_started_ = false;
+  }
+
+  bool EndRecord() {
+    EndCell();
+    records_.push_back(std::move(current_record_));
+    current_record_.clear();
+    ++total_records_;
+    if (total_records_ > options_.max_rows) {
+      std::ostringstream oss;
+      oss << "CSV input exceeds the row limit of " << options_.max_rows;
+      limit_error_ = Status::ResourceExhausted(oss.str());
+      return false;
+    }
+    return true;
+  }
+
+  bool GrowCell(char c) {
+    if (current_cell_.size() >= options_.max_field_bytes) {
+      std::ostringstream oss;
+      oss << "CSV field in record " << total_records_ + 1
+          << " exceeds the field limit of " << options_.max_field_bytes
+          << " bytes";
+      limit_error_ = Status::ResourceExhausted(oss.str());
+      return false;
+    }
+    current_cell_.push_back(c);
+    return true;
+  }
+
+  const CsvReadOptions options_;
+  std::deque<std::vector<std::string>> records_;
+  std::vector<std::string> current_record_;
+  std::string current_cell_;
+  bool in_quotes_ = false;
+  bool cell_started_ = false;
+  bool pending_quote_ = false;
+  bool pending_cr_ = false;
+  bool unterminated_quote_ = false;
+  size_t total_records_ = 0;
+  Status limit_error_;
+};
+
+// Conforms `record` (data row number `row_number`, 1-based) to the header
+// width: strict mode fails, recover mode pads/truncates and reports.
+Status NormalizeRecord(std::vector<std::string>& record, size_t header_size,
+                       size_t row_number, bool recover,
+                       std::vector<DataIssue>* issues) {
+  if (record.size() == header_size) return Status::OK();
+  if (!recover) {
+    std::ostringstream oss;
+    oss << "CSV row " << row_number << " has " << record.size()
+        << " cells, expected " << header_size;
+    return Status::ParseError(oss.str());
+  }
+  std::ostringstream location;
+  location << "row " << row_number;
+  std::ostringstream oss;
+  if (record.size() < header_size) {
+    oss << "short row padded from " << record.size() << " to " << header_size
+        << " cells";
+  } else {
+    oss << "long row truncated from " << record.size() << " to "
+        << header_size << " cells";
+  }
+  AddIssue(issues, location.str(), oss.str());
+  record.resize(header_size);
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<CsvDocument> ParseCsv(std::string_view text,
                              const CsvReadOptions& options,
                              std::vector<DataIssue>* issues) {
   const bool recover = options.mode == CsvReadOptions::Mode::kRecover;
-  std::vector<std::vector<std::string>> records;
-  std::vector<std::string> current_record;
-  std::string current_cell;
-  bool in_quotes = false;
-  bool cell_started = false;
-  Status limit_error;
-
-  auto end_cell = [&]() {
-    current_record.push_back(std::move(current_cell));
-    current_cell.clear();
-    cell_started = false;
-  };
-  auto end_record = [&]() -> bool {
-    end_cell();
-    records.push_back(std::move(current_record));
-    current_record.clear();
-    if (records.size() > options.max_rows) {
-      std::ostringstream oss;
-      oss << "CSV input exceeds the row limit of " << options.max_rows;
-      limit_error = Status::ResourceExhausted(oss.str());
-      return false;
-    }
-    return true;
-  };
-  auto grow_cell = [&](char c) -> bool {
-    if (current_cell.size() >= options.max_field_bytes) {
-      std::ostringstream oss;
-      oss << "CSV field in record " << records.size() + 1
-          << " exceeds the field limit of " << options.max_field_bytes
-          << " bytes";
-      limit_error = Status::ResourceExhausted(oss.str());
-      return false;
-    }
-    current_cell.push_back(c);
-    return true;
-  };
-
-  size_t i = 0;
-  while (i < text.size()) {
-    char c = text[i];
-    if (in_quotes) {
-      if (c == '"') {
-        if (i + 1 < text.size() && text[i + 1] == '"') {
-          if (!grow_cell('"')) return limit_error;
-          ++i;
-        } else {
-          in_quotes = false;
-        }
-      } else {
-        if (!grow_cell(c)) return limit_error;
-      }
-    } else if (c == '"' && !cell_started && current_cell.empty()) {
-      in_quotes = true;
-      cell_started = true;
-    } else if (c == options.delimiter) {
-      end_cell();
-    } else if (c == '\r') {
-      // Swallow; the following \n (if any) ends the record.
-      if (i + 1 >= text.size() || text[i + 1] != '\n') {
-        if (!end_record()) return limit_error;
-      }
-    } else if (c == '\n') {
-      if (!end_record()) return limit_error;
-    } else {
-      if (!grow_cell(c)) return limit_error;
-      cell_started = true;
-    }
-    ++i;
+  CsvScanner scanner(options);
+  if (!scanner.Feed(text) || !scanner.Finish()) {
+    return scanner.limit_error();
   }
-  if (in_quotes) {
+  if (scanner.unterminated_quote()) {
     if (!recover) {
       return Status::ParseError("unterminated quoted CSV field");
     }
     AddIssue(issues, "end of input",
              "unterminated quoted field closed at end of input");
   }
-  // Final record without trailing newline.
-  if (!current_cell.empty() || !current_record.empty() || cell_started) {
-    if (!end_record()) return limit_error;
-  }
-
+  std::deque<std::vector<std::string>>& records = scanner.records();
   if (records.empty()) {
     return Status::ParseError("CSV input contains no header row");
   }
@@ -130,29 +218,8 @@ Result<CsvDocument> ParseCsv(std::string_view text,
   CsvDocument doc;
   doc.header = std::move(records.front());
   for (size_t r = 1; r < records.size(); ++r) {
-    if (records[r].size() != doc.header.size()) {
-      if (!recover) {
-        std::ostringstream oss;
-        oss << "CSV row " << r << " has " << records[r].size()
-            << " cells, expected " << doc.header.size();
-        return Status::ParseError(oss.str());
-      }
-      std::ostringstream location;
-      location << "row " << r;
-      if (records[r].size() < doc.header.size()) {
-        std::ostringstream oss;
-        oss << "short row padded from " << records[r].size() << " to "
-            << doc.header.size() << " cells";
-        AddIssue(issues, location.str(), oss.str());
-        records[r].resize(doc.header.size());
-      } else {
-        std::ostringstream oss;
-        oss << "long row truncated from " << records[r].size() << " to "
-            << doc.header.size() << " cells";
-        AddIssue(issues, location.str(), oss.str());
-        records[r].resize(doc.header.size());
-      }
-    }
+    EFES_RETURN_IF_ERROR(
+        NormalizeRecord(records[r], doc.header.size(), r, recover, issues));
     doc.rows.push_back(std::move(records[r]));
   }
   return doc;
@@ -200,6 +267,127 @@ Result<CsvDocument> ReadCsvFile(const std::string& path, char delimiter) {
 Status WriteCsvFile(const CsvDocument& doc, const std::string& path,
                     char delimiter) {
   return WriteFileAtomic(path, WriteCsv(doc, delimiter));
+}
+
+// --- ChunkedCsvReader ------------------------------------------------------
+
+struct ChunkedCsvReader::Impl {
+  Impl(const CsvReadOptions& options, std::string path, size_t chunk_rows)
+      : options(options),
+        path(std::move(path)),
+        chunk_rows(chunk_rows),
+        scanner(options) {}
+
+  // Appends " (path)" the way ReadCsvFile does, and latches the error so
+  // every later NextChunk repeats it.
+  Status Fail(const Status& status) {
+    error = Status(status.code(), status.message() + " (" + path + ")");
+    return error;
+  }
+
+  // Reads one block from the file into the scanner; sets source_done and
+  // finishes the scanner at end of file.
+  Status Pump() {
+    char buffer[1 << 16];
+    stream.read(buffer, sizeof(buffer));
+    const std::streamsize got = stream.gcount();
+    if (stream.bad()) {
+      return Fail(Status::Unavailable("read error"));
+    }
+    if (got > 0 &&
+        !scanner.Feed(std::string_view(buffer, static_cast<size_t>(got)))) {
+      return Fail(scanner.limit_error());
+    }
+    if (stream.eof()) {
+      source_done = true;
+      if (!scanner.Finish()) return Fail(scanner.limit_error());
+    }
+    return Status::OK();
+  }
+
+  const CsvReadOptions options;
+  const std::string path;
+  const size_t chunk_rows;
+  std::ifstream stream;
+  CsvScanner scanner;
+  std::vector<std::string> header;
+  bool source_done = false;
+  bool quote_issue_reported = false;
+  size_t rows_delivered = 0;
+  Status error;
+};
+
+ChunkedCsvReader::ChunkedCsvReader(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+ChunkedCsvReader::ChunkedCsvReader(ChunkedCsvReader&&) noexcept = default;
+ChunkedCsvReader& ChunkedCsvReader::operator=(ChunkedCsvReader&&) noexcept =
+    default;
+ChunkedCsvReader::~ChunkedCsvReader() = default;
+
+Result<ChunkedCsvReader> ChunkedCsvReader::Open(const std::string& path,
+                                                const CsvReadOptions& options,
+                                                size_t chunk_rows) {
+  EFES_RETURN_IF_ERROR(CheckFaultPoint("csv.read"));
+  auto impl = std::make_unique<Impl>(options, path, chunk_rows);
+  impl->stream.open(path, std::ios::binary);
+  if (!impl->stream) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  while (impl->scanner.records().empty() && !impl->source_done) {
+    EFES_RETURN_IF_ERROR(impl->Pump());
+  }
+  if (impl->scanner.records().empty()) {
+    return impl->Fail(Status::ParseError("CSV input contains no header row"));
+  }
+  impl->header = std::move(impl->scanner.records().front());
+  impl->scanner.records().pop_front();
+  return ChunkedCsvReader(std::move(impl));
+}
+
+const std::vector<std::string>& ChunkedCsvReader::header() const {
+  return impl_->header;
+}
+
+Result<std::vector<std::vector<std::string>>> ChunkedCsvReader::NextChunk(
+    std::vector<DataIssue>* issues) {
+  Impl& impl = *impl_;
+  EFES_RETURN_IF_ERROR(impl.error);
+  const bool recover = impl.options.mode == CsvReadOptions::Mode::kRecover;
+  const size_t want =
+      impl.chunk_rows == 0 ? impl.options.max_rows : impl.chunk_rows;
+  while (impl.scanner.records().size() < want && !impl.source_done) {
+    EFES_RETURN_IF_ERROR(impl.Pump());
+  }
+  if (impl.source_done && impl.scanner.unterminated_quote() &&
+      !impl.quote_issue_reported) {
+    impl.quote_issue_reported = true;
+    if (!recover) {
+      return impl.Fail(Status::ParseError("unterminated quoted CSV field"));
+    }
+    AddIssue(issues, "end of input",
+             "unterminated quoted field closed at end of input");
+  }
+  std::vector<std::vector<std::string>> rows;
+  std::deque<std::vector<std::string>>& pending = impl.scanner.records();
+  while (!pending.empty() && rows.size() < want) {
+    std::vector<std::string> record = std::move(pending.front());
+    pending.pop_front();
+    Status normalized = NormalizeRecord(record, impl.header.size(),
+                                        impl.rows_delivered + rows.size() + 1,
+                                        recover, issues);
+    if (!normalized.ok()) return impl.Fail(normalized);
+    rows.push_back(std::move(record));
+  }
+  impl.rows_delivered += rows.size();
+  return rows;
+}
+
+bool ChunkedCsvReader::done() const {
+  return impl_->source_done && impl_->scanner.records().empty();
+}
+
+size_t ChunkedCsvReader::rows_delivered() const {
+  return impl_->rows_delivered;
 }
 
 }  // namespace efes

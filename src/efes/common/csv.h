@@ -19,6 +19,7 @@
 #define EFES_COMMON_CSV_H_
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -78,6 +79,58 @@ Result<CsvDocument> ReadCsvFile(const std::string& path,
 /// any existing file.
 Status WriteCsvFile(const CsvDocument& doc, const std::string& path,
                     char delimiter = ',');
+
+/// Streaming CSV ingest: reads a file in fixed-size row blocks instead of
+/// materializing the whole document, so profiling can absorb arbitrarily
+/// large sources chunk by chunk (profiling/profiler.h). Parsing semantics
+/// are identical to ReadCsvFile — same quoting rules, strict/recover
+/// behavior, repair messages, and resource limits — because both run the
+/// same incremental scanner; only the delivery granularity differs.
+///
+/// Usage:
+///   EFES_ASSIGN_OR_RETURN(ChunkedCsvReader reader,
+///                         ChunkedCsvReader::Open(path, options, 65536));
+///   while (!reader.done()) {
+///     EFES_ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> rows,
+///                           reader.NextChunk(&issues));
+///     ...  // at most 65536 rows; empty only at end of file
+///   }
+class ChunkedCsvReader {
+ public:
+  /// Opens `path` and parses up to the header row. `chunk_rows` == 0 means
+  /// "all remaining rows in one chunk". Fault point: `csv.read`.
+  static Result<ChunkedCsvReader> Open(const std::string& path,
+                                       const CsvReadOptions& options,
+                                       size_t chunk_rows);
+
+  ChunkedCsvReader(ChunkedCsvReader&&) noexcept;
+  ChunkedCsvReader& operator=(ChunkedCsvReader&&) noexcept;
+  ChunkedCsvReader(const ChunkedCsvReader&) = delete;
+  ChunkedCsvReader& operator=(const ChunkedCsvReader&) = delete;
+  ~ChunkedCsvReader();
+
+  /// The header row (available immediately after Open succeeds).
+  const std::vector<std::string>& header() const;
+
+  /// The next block of at most chunk_rows data rows, normalized to the
+  /// header width under the configured mode (repairs reported through
+  /// `issues`, which may be null). Returns an empty vector at end of
+  /// file. Errors (strict-mode shape violations, resource limits) are
+  /// sticky: every later call returns the same status.
+  Result<std::vector<std::vector<std::string>>> NextChunk(
+      std::vector<DataIssue>* issues = nullptr);
+
+  /// True once the file is exhausted and every row has been delivered.
+  bool done() const;
+
+  /// Data rows delivered so far (header excluded).
+  size_t rows_delivered() const;
+
+ private:
+  struct Impl;
+  explicit ChunkedCsvReader(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace efes
 

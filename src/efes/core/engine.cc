@@ -9,6 +9,7 @@
 #include "efes/common/parallel.h"
 #include "efes/common/string_util.h"
 #include "efes/common/text_table.h"
+#include "efes/profiling/profiler.h"
 #include "efes/provenance/provenance.h"
 #include "efes/telemetry/log.h"
 #include "efes/common/metrics.h"
@@ -142,6 +143,9 @@ Result<EstimationResult> EfesEngine::Run(const IntegrationScenario& scenario,
   // Install the caller's cache for the run; leave an ambient one alone.
   ScopedProfileCache scoped_cache(
       options.cache != nullptr ? options.cache : ProfileCache::Active());
+  // Every ProfileColumn call under this run streams with the caller's
+  // chunking / budget / approximation policy.
+  ScopedProfileOptions scoped_profile(options.profile);
   MetricsRegistry& metrics = MetricsRegistry::Global();
   static Histogram& run_ms = metrics.GetHistogram("engine.run.ms");
   TraceSpan run_span("engine.run", nullptr, &run_ms);
@@ -157,6 +161,7 @@ Result<EstimationResult> EfesEngine::Run(const IntegrationScenario& scenario,
   ProvenanceRecorder* prov = ProvenanceRecorder::Active();
   uint64_t multiplier_node = 0;
   uint64_t scale_node = 0;
+  uint64_t profile_mode_node = 0;
   if (prov != nullptr) {
     multiplier_node = prov->RecordValue(
         ProvenanceKind::kParameter, "parameter settings.overall_multiplier",
@@ -164,6 +169,15 @@ Result<EstimationResult> EfesEngine::Run(const IntegrationScenario& scenario,
     scale_node = prov->RecordValue(ProvenanceKind::kParameter,
                                    "parameter effort_model.global_scale", "",
                                    effort_model_.global_scale());
+    // Record how phase-1 statistics were computed: exact, sketch, or
+    // auto-degrading. Anyone auditing an estimate produced under an
+    // approximation budget can see that from the provenance alone.
+    profile_mode_node = prov->RecordValue(
+        ProvenanceKind::kParameter,
+        "parameter profile.approximation_mode (" +
+            std::string(ApproximationModeToString(options.profile.mode)) +
+            ")",
+        "", static_cast<double>(static_cast<int>(options.profile.mode)));
   }
   std::vector<uint64_t> module_effort_nodes;
   size_t task_counter = 0;
@@ -220,6 +234,7 @@ Result<EstimationResult> EfesEngine::Run(const IntegrationScenario& scenario,
         }
         effort_inputs.push_back(multiplier_node);
         effort_inputs.push_back(scale_node);
+        effort_inputs.push_back(profile_mode_node);
         module_effort_inputs.push_back(prov->RecordValue(
             ProvenanceKind::kTaskEffort,
             "task effort " + ref + ": " + explained.function, task.subject,
@@ -262,6 +277,7 @@ EfesEngine::AssessComplexity(const IntegrationScenario& scenario,
                              const RunOptions& options) const {
   ScopedProfileCache scoped_cache(
       options.cache != nullptr ? options.cache : ProfileCache::Active());
+  ScopedProfileOptions scoped_profile(options.profile);
   static Histogram& run_ms =
       MetricsRegistry::Global().GetHistogram("engine.run.ms");
   TraceSpan run_span("engine.assess", nullptr, &run_ms);

@@ -15,6 +15,7 @@
 #include "efes/core/integration_scenario.h"
 #include "efes/core/module.h"
 #include "efes/core/task.h"
+#include "efes/profiling/sketch.h"
 
 namespace efes {
 
@@ -42,6 +43,12 @@ struct RunOptions {
   /// null, an already-active ambient cache (e.g. installed by a bench
   /// harness or the CLI) is left in place.
   ProfileCache* cache = nullptr;
+  /// Profiling execution knobs (chunk size, memory budget, approximation
+  /// mode — profiling/sketch.h). Installed for the duration of the run
+  /// (ScopedProfileOptions) so every ProfileColumn call under the engine
+  /// streams under the same policy. The default is the legacy exact,
+  /// unbudgeted behavior.
+  ProfileOptions profile;
 };
 
 /// One planned task with its estimated effort.

@@ -10,6 +10,7 @@
 #include "efes/common/parallel.h"
 #include "efes/common/string_util.h"
 #include "efes/common/text_table.h"
+#include "efes/profiling/profiler.h"
 #include "efes/profiling/statistics.h"
 #include "efes/provenance/provenance.h"
 
@@ -212,11 +213,11 @@ Result<std::unique_ptr<ComplexityReport>> DedupModule::AssessComplexity(
     ProvenanceFragment fragment;
     size_t finding_local = 0;
   };
-  EFES_ASSIGN_OR_RETURN(
-      std::vector<ItemResult> results,
-      ParallelMap(items.size(), [&](size_t index) {
+  std::vector<ItemResult> results(items.size());
+  EFES_RETURN_IF_ERROR(
+      ParallelFor(items.size(), [&](size_t index) -> Status {
         const RelationWork& work = items[index];
-        ItemResult computed;
+        ItemResult& computed = results[index];
 
         // Per-shared-attribute, per-feed statistics against the target
         // attribute's datatype (cache-served when a ProfileCache is
@@ -228,9 +229,11 @@ Result<std::unique_ptr<ComplexityReport>> DedupModule::AssessComplexity(
           for (const Feed& feed : work.feeds) {
             const std::vector<Value>& column =
                 *feed.columns.at(attribute.name);
-            stats[ai].push_back(
-                ComputeStatistics(SampleColumn(column, options_.sample_limit),
-                                  attribute.type));
+            EFES_ASSIGN_OR_RETURN(
+                AttributeStatistics feed_stats,
+                ProfileColumn(SampleColumn(column, options_.sample_limit),
+                              attribute.type));
+            stats[ai].push_back(std::move(feed_stats));
           }
         }
 
@@ -261,7 +264,9 @@ Result<std::unique_ptr<ComplexityReport>> DedupModule::AssessComplexity(
             key_fill = min_fill;
           }
         }
-        if (key_index == work.shared_attributes.size()) return computed;
+        if (key_index == work.shared_attributes.size()) {
+          return Status::OK();
+        }
         const std::string& key_attribute =
             work.shared_attributes[key_index].name;
 
@@ -342,7 +347,7 @@ Result<std::unique_ptr<ComplexityReport>> DedupModule::AssessComplexity(
         finding.cluster_count = finding.clusters.size();
         if (finding.cluster_count == 0 ||
             support_similarity < options_.min_support_similarity) {
-          return computed;
+          return Status::OK();
         }
 
         if (prov != nullptr) {
@@ -373,7 +378,7 @@ Result<std::unique_ptr<ComplexityReport>> DedupModule::AssessComplexity(
         }
         computed.has_finding = true;
         computed.finding = std::move(finding);
-        return computed;
+        return Status::OK();
       }));
 
   // Pass 3 (sequential): absorb fragments and assemble findings in

@@ -6,6 +6,7 @@
 
 #include "efes/common/parallel.h"
 #include "efes/common/string_util.h"
+#include "efes/profiling/profiler.h"
 #include "efes/profiling/statistics.h"
 #include "efes/provenance/provenance.h"
 #include "efes/common/metrics.h"
@@ -16,17 +17,21 @@ namespace {
 
 /// Instance evidence in [0, 1]: castability of source values to the
 /// target type blended with the statistics fit of Section 5.1. Returns
-/// -1 when either side lacks data.
-double InstanceScore(const Table& source_table, size_t source_column,
-                     const Table& target_table, size_t target_column,
-                     DataType target_type) {
+/// -1 when either side lacks data; fails only when the ambient
+/// ProfileOptions demand an exact profile under an unsatisfiable
+/// --max-memory budget.
+Result<double> InstanceScore(const Table& source_table, size_t source_column,
+                             const Table& target_table, size_t target_column,
+                             DataType target_type) {
   if (source_table.row_count() == 0 || target_table.row_count() == 0) {
     return -1.0;
   }
-  AttributeStatistics source_stats =
-      ComputeStatistics(source_table.column(source_column), target_type);
-  AttributeStatistics target_stats =
-      ComputeStatistics(target_table.column(target_column), target_type);
+  EFES_ASSIGN_OR_RETURN(
+      AttributeStatistics source_stats,
+      ProfileColumn(source_table.column(source_column), target_type));
+  EFES_ASSIGN_OR_RETURN(
+      AttributeStatistics target_stats,
+      ProfileColumn(target_table.column(target_column), target_type));
   double castable = source_stats.fill_status.CastableFraction();
   double fit = OverallFit(source_stats, target_stats);
   return 0.5 * castable + 0.5 * fit;
@@ -34,7 +39,7 @@ double InstanceScore(const Table& source_table, size_t source_column,
 
 }  // namespace
 
-double SchemaMatcher::ScoreAttributePair(
+Result<double> SchemaMatcher::ScoreAttributePair(
     const Database& source, const std::string& source_relation,
     const AttributeDef& source_attribute, const Database& target,
     const std::string& target_relation,
@@ -59,9 +64,10 @@ double SchemaMatcher::ScoreAttributePair(
           (*target_table)->def().AttributeIndex(target_attribute.name);
       if (source_index.has_value() && target_index.has_value()) {
         instance_pairs.Increment();
-        instance =
+        EFES_ASSIGN_OR_RETURN(
+            instance,
             InstanceScore(**source_table, *source_index, **target_table,
-                          *target_index, target_attribute.type);
+                          *target_index, target_attribute.type));
       }
     }
   }
@@ -86,7 +92,7 @@ double SchemaMatcher::ScoreAttributePair(
          total;
 }
 
-std::vector<MatchCandidate> SchemaMatcher::ScoreRelations(
+Result<std::vector<MatchCandidate>> SchemaMatcher::ScoreRelations(
     const Database& source, const Database& target) const {
   // All (source relation, target relation) pairs in canonical schema
   // order; each pair's score is independent (dominated by the per-pair
@@ -99,7 +105,8 @@ std::vector<MatchCandidate> SchemaMatcher::ScoreRelations(
       pairs.emplace_back(&source_rel, &target_rel);
     }
   }
-  auto scored = ParallelMap(pairs.size(), [&](size_t i) {
+  std::vector<MatchCandidate> candidates(pairs.size());
+  EFES_RETURN_IF_ERROR(ParallelFor(pairs.size(), [&](size_t i) -> Status {
     const RelationDef& source_rel = *pairs[i].first;
     const RelationDef& target_rel = *pairs[i].second;
     // Relation score: name similarity blended with the mean of each
@@ -113,27 +120,26 @@ std::vector<MatchCandidate> SchemaMatcher::ScoreRelations(
     for (const AttributeDef& target_attr : target_rel.attributes()) {
       double best = 0.0;
       for (const AttributeDef& source_attr : source_rel.attributes()) {
-        best = std::max(
-            best, ScoreAttributePair(source, source_rel.name(),
-                                     source_attr, target, target_rel.name(),
-                                     target_attr));
+        EFES_ASSIGN_OR_RETURN(
+            double score,
+            ScoreAttributePair(source, source_rel.name(), source_attr,
+                               target, target_rel.name(), target_attr));
+        best = std::max(best, score);
       }
       attribute_sum += best;
       ++attribute_count;
     }
     double attribute_mean =
         attribute_count == 0 ? 0.0 : attribute_sum / attribute_count;
-    MatchCandidate candidate;
+    MatchCandidate& candidate = candidates[i];
     candidate.source_relation = source_rel.name();
     candidate.target_relation = target_rel.name();
     // Attribute-level evidence dominates: two relations about the
     // same entities often carry dissimilar names (albums vs records)
     // but similar attribute sets.
     candidate.score = 0.3 * name + 0.7 * attribute_mean;
-    return candidate;
-  });
-  std::vector<MatchCandidate> candidates =
-      scored.ok() ? std::move(*scored) : std::vector<MatchCandidate>();
+    return Status::OK();
+  }));
   std::sort(candidates.begin(), candidates.end(),
             [](const MatchCandidate& a, const MatchCandidate& b) {
               if (a.score != b.score) return a.score > b.score;
@@ -145,8 +151,8 @@ std::vector<MatchCandidate> SchemaMatcher::ScoreRelations(
   return candidates;
 }
 
-CorrespondenceSet SchemaMatcher::Match(const Database& source,
-                                       const Database& target) const {
+Result<CorrespondenceSet> SchemaMatcher::Match(const Database& source,
+                                               const Database& target) const {
   CorrespondenceSet correspondences;
 
   // Scoring fans out over the pool; recording stays on this sequential
@@ -164,8 +170,8 @@ CorrespondenceSet SchemaMatcher::Match(const Database& source,
   }
 
   // Greedy 1:1 relation matching by descending score.
-  std::vector<MatchCandidate> relation_candidates =
-      ScoreRelations(source, target);
+  EFES_ASSIGN_OR_RETURN(std::vector<MatchCandidate> relation_candidates,
+                        ScoreRelations(source, target));
   std::set<std::string> used_source;
   std::set<std::string> used_target;
   std::vector<std::pair<std::string, std::string>> relation_pairs;
@@ -206,15 +212,20 @@ CorrespondenceSet SchemaMatcher::Match(const Database& source,
         attribute_pairs.emplace_back(&source_attr, &target_attr);
       }
     }
-    auto scores = ParallelMap(attribute_pairs.size(), [&](size_t i) {
-      return ScoreAttributePair(source, source_relation,
-                                *attribute_pairs[i].first, target,
-                                target_relation, *attribute_pairs[i].second);
-    });
-    if (!scores.ok()) continue;
+    std::vector<double> scores(attribute_pairs.size(), 0.0);
+    EFES_RETURN_IF_ERROR(
+        ParallelFor(attribute_pairs.size(), [&](size_t i) -> Status {
+          EFES_ASSIGN_OR_RETURN(
+              scores[i],
+              ScoreAttributePair(source, source_relation,
+                                 *attribute_pairs[i].first, target,
+                                 target_relation,
+                                 *attribute_pairs[i].second));
+          return Status::OK();
+        }));
     std::vector<MatchCandidate> attribute_candidates;
     for (size_t i = 0; i < attribute_pairs.size(); ++i) {
-      double score = (*scores)[i];
+      double score = scores[i];
       if (score < options_.min_attribute_confidence) continue;
       MatchCandidate candidate;
       candidate.source_relation = source_relation;

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "efes/common/result.h"
 #include "efes/relational/correspondence.h"
 #include "efes/relational/database.h"
 
@@ -46,25 +47,29 @@ class SchemaMatcher {
   SchemaMatcher() = default;
   explicit SchemaMatcher(MatcherOptions options) : options_(options) {}
 
-  /// Scores a single attribute pair in [0, 1].
-  double ScoreAttributePair(const Database& source,
-                            const std::string& source_relation,
-                            const AttributeDef& source_attribute,
-                            const Database& target,
-                            const std::string& target_relation,
-                            const AttributeDef& target_attribute) const;
+  /// Scores a single attribute pair in [0, 1]. Instance evidence runs
+  /// through the chunked profiler (profiling/profiler.h) under the
+  /// ambient ProfileOptions; an exact profile that cannot satisfy a
+  /// --max-memory budget surfaces as kResourceExhausted rather than
+  /// silently degrading the score.
+  Result<double> ScoreAttributePair(const Database& source,
+                                    const std::string& source_relation,
+                                    const AttributeDef& source_attribute,
+                                    const Database& target,
+                                    const std::string& target_relation,
+                                    const AttributeDef& target_attribute) const;
 
   /// Produces relation- and attribute-level correspondences from source
   /// into target. Relations are matched greedily 1:1 by the average of
   /// their best attribute scores blended with relation-name similarity;
   /// attributes are then matched greedily 1:1 within matched relation
   /// pairs.
-  CorrespondenceSet Match(const Database& source,
-                          const Database& target) const;
+  Result<CorrespondenceSet> Match(const Database& source,
+                                  const Database& target) const;
 
   /// All scored relation-level candidates, descending (diagnostics).
-  std::vector<MatchCandidate> ScoreRelations(const Database& source,
-                                             const Database& target) const;
+  Result<std::vector<MatchCandidate>> ScoreRelations(
+      const Database& source, const Database& target) const;
 
  private:
   MatcherOptions options_;

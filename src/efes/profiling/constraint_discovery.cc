@@ -9,6 +9,7 @@
 #include "efes/cache/profile_cache.h"
 #include "efes/common/parallel.h"
 #include "efes/common/metrics.h"
+#include "efes/profiling/sketch.h"
 #include "efes/telemetry/trace.h"
 
 namespace efes {
@@ -43,23 +44,29 @@ bool IsDeclared(const Schema& schema, const Constraint& candidate) {
   return false;
 }
 
-/// Null count plus the distinct non-null values of one column, computed
-/// once up front (the legacy code recomputed the distinct set for every
-/// candidate pair that referenced the column).
-struct ColumnProfile {
+/// Null count, the distinct non-null values, and a bloom filter over
+/// their content hashes, computed once up front (the legacy code
+/// recomputed the distinct set for every candidate pair that referenced
+/// the column). The bloom is the sketch half of discovery: its sound
+/// subset test prunes inclusion-dependency candidates before the exact
+/// per-value scan ever runs.
+struct DiscoveryColumnProfile {
   size_t nulls = 0;
   std::unordered_set<Value, ValueHash> values;
+  ValueBloom bloom;
 
   size_t distinct() const { return values.size(); }
 };
 
-ColumnProfile ProfileColumn(const Table& table, size_t column) {
-  ColumnProfile profile;
+DiscoveryColumnProfile ProfileDiscoveryColumn(const Table& table,
+                                              size_t column) {
+  DiscoveryColumnProfile profile;
   for (const Value& v : table.column(column)) {
     if (v.is_null()) {
       ++profile.nulls;
     } else {
-      profile.values.insert(v);
+      auto [it, inserted] = profile.values.insert(v);
+      if (inserted) profile.bloom.InsertHash(SketchValueHash(v));
     }
   }
   return profile;
@@ -101,6 +108,8 @@ std::vector<DiscoveredConstraint> DiscoverConstraintsUncached(
       metrics.GetCounter("profiling.discovery.validated");
   static Counter& ind_checks =
       metrics.GetCounter("profiling.discovery.ind_checks");
+  static Counter& bloom_pruned =
+      metrics.GetCounter("profiling.discovery.bloom_pruned");
   TraceSpan span("profiling.discover", nullptr, &discover_ms);
 
   std::vector<DiscoveredConstraint> discovered;
@@ -127,10 +136,10 @@ std::vector<DiscoveredConstraint> DiscoverConstraintsUncached(
   }
   auto profiled = ParallelMap(column_index.size(), [&](size_t i) {
     auto [t, c] = column_index[i];
-    return ProfileColumn(*tables[t], c);
+    return ProfileDiscoveryColumn(*tables[t], c);
   });
   if (!profiled.ok()) return discovered;  // only possible via task throw
-  std::vector<std::vector<ColumnProfile>> profiles(tables.size());
+  std::vector<std::vector<DiscoveryColumnProfile>> profiles(tables.size());
   for (size_t i = 0; i < column_index.size(); ++i) {
     auto [t, c] = column_index[i];
     (void)c;  // columns arrive in order per table
@@ -142,7 +151,7 @@ std::vector<DiscoveredConstraint> DiscoverConstraintsUncached(
     const Table& table = *tables[t];
     for (size_t c = 0; c < table.column_count(); ++c) {
       const std::string& attribute = table.def().attributes()[c].name;
-      const ColumnProfile& profile = profiles[t][c];
+      const DiscoveryColumnProfile& profile = profiles[t][c];
       if (profile.nulls == 0) {
         propose(Constraint::NotNull(table.name(), attribute),
                 table.row_count());
@@ -162,7 +171,7 @@ std::vector<DiscoveredConstraint> DiscoverConstraintsUncached(
     for (size_t t = 0; t < tables.size(); ++t) {
       const Table& table = *tables[t];
       for (size_t lhs = 0; lhs < table.column_count(); ++lhs) {
-        const ColumnProfile& lhs_profile = profiles[t][lhs];
+        const DiscoveryColumnProfile& lhs_profile = profiles[t][lhs];
         if (lhs_profile.distinct() < options.min_distinct_for_fd) continue;
         // A unique LHS determines everything trivially; skip.
         if (lhs_profile.nulls == 0 &&
@@ -202,7 +211,7 @@ std::vector<DiscoveredConstraint> DiscoverConstraintsUncached(
   for (size_t ct = 0; ct < tables.size(); ++ct) {
     const Table& child = *tables[ct];
     for (size_t cc = 0; cc < child.column_count(); ++cc) {
-      const ColumnProfile& child_profile = profiles[ct][cc];
+      const DiscoveryColumnProfile& child_profile = profiles[ct][cc];
       if (child_profile.distinct() < options.min_distinct_for_ind) continue;
       for (size_t pt = 0; pt < tables.size(); ++pt) {
         const Table& parent = *tables[pt];
@@ -212,13 +221,21 @@ std::vector<DiscoveredConstraint> DiscoverConstraintsUncached(
               child.def().attributes()[cc].type) {
             continue;
           }
-          const ColumnProfile& parent_profile = profiles[pt][pc];
+          const DiscoveryColumnProfile& parent_profile = profiles[pt][pc];
           if (options.require_unique_referenced) {
             bool unique = parent_profile.nulls == 0 &&
                           parent_profile.distinct() == parent.row_count();
             if (!unique) continue;
           }
           if (parent_profile.distinct() < child_profile.distinct()) continue;
+          // Sketch prune: if some child hash bit is missing from the
+          // parent bloom, at least one child value is definitely absent
+          // and the inclusion cannot hold. A "maybe" still goes to the
+          // exact scan, so the discovered set is unchanged.
+          if (!child_profile.bloom.SubsetOf(parent_profile.bloom)) {
+            bloom_pruned.Increment();
+            continue;
+          }
           ind_checks.Increment();
           ind_candidates.emplace_back(ct, cc, pt, pc);
         }

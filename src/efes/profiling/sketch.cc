@@ -1,0 +1,491 @@
+#include "efes/profiling/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <sstream>
+
+#include "efes/cache/fingerprint.h"
+
+namespace efes {
+
+namespace {
+
+constexpr double kEpsilon = 1e-12;
+
+/// Build-stable fixed overhead charged against the --max-memory budget
+/// (deliberately not sizeof(StatisticsSketch): cached sketch state must
+/// re-import under the same budget arithmetic across builds).
+constexpr uint64_t kSketchFixedBytes = 256;
+
+bool IsNumericTarget(DataType type) {
+  return type == DataType::kInteger || type == DataType::kReal;
+}
+
+/// The numeric reading the legacy statistics used: numerics directly,
+/// text only when it parses completely; booleans are not numeric.
+std::optional<double> NumericOf(const Value& value) {
+  if (value.type() == DataType::kInteger ||
+      value.type() == DataType::kReal) {
+    return value.NumericValue();
+  }
+  if (value.CanCastTo(DataType::kReal)) {
+    Result<Value> cast = value.CastTo(DataType::kReal);
+    if (cast.ok()) return cast->AsReal();
+  }
+  return std::nullopt;
+}
+
+/// Budget cost of one tracked map entry: node + key/count overhead plus
+/// the owned text bytes. A deterministic model, not malloc truth.
+uint64_t EntryCost(const Value& value) {
+  uint64_t cost = 64;
+  if (value.type() == DataType::kText) cost += value.AsText().size();
+  return cost;
+}
+
+}  // namespace
+
+std::string_view ApproximationModeToString(ApproximationMode mode) {
+  switch (mode) {
+    case ApproximationMode::kExact:
+      return "exact";
+    case ApproximationMode::kSketch:
+      return "sketch";
+    case ApproximationMode::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+Result<ApproximationMode> ParseApproximationMode(std::string_view text) {
+  if (text == "exact") return ApproximationMode::kExact;
+  if (text == "sketch") return ApproximationMode::kSketch;
+  if (text == "auto") return ApproximationMode::kAuto;
+  return Status::InvalidArgument("unknown approximation mode '" +
+                                 std::string(text) +
+                                 "' (expected exact, sketch, or auto)");
+}
+
+uint64_t SketchValueHash(const Value& value) {
+  Fingerprinter fp;
+  fp.MixValue(value);
+  // The FNV digest has weak high-bit avalanche on short inputs (a few
+  // multiplies cannot spread a one-byte difference into the top bits),
+  // and the sampling rule keys on exactly those bits. A murmur-style
+  // finalizer makes every digest bit diffuse; without it, small-integer
+  // columns leave almost no survivors at level 1 and the distinct
+  // estimate collapses.
+  uint64_t h = fp.digest();
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+StatisticsSketch::StatisticsSketch(DataType target_type,
+                                   const ProfileOptions& options)
+    : target_type_(target_type), mode_(options.mode) {
+  if (options.max_memory_bytes != 0) {
+    cap_bytes_ = options.max_memory_bytes;
+  } else if (mode_ != ApproximationMode::kExact) {
+    cap_bytes_ = kDefaultSketchMemoryBytes;
+  }
+}
+
+Status StatisticsSketch::Absorb(const Value& value) {
+  ++total_count_;
+  if (value.is_null()) {
+    ++null_count_;
+    return Status::OK();
+  }
+  if (!value.CanCastTo(target_type_)) ++uncastable_count_;
+  if (IsNumericTarget(target_type_)) {
+    if (std::optional<double> num = NumericOf(value)) {
+      if (numeric_count_ == 0) {
+        numeric_min_ = numeric_max_ = *num;
+      } else {
+        numeric_min_ = std::min(numeric_min_, *num);
+        numeric_max_ = std::max(numeric_max_, *num);
+      }
+      ++numeric_count_;
+    }
+  }
+  const uint64_t hash = SketchValueHash(value);
+  if (!Tracks(hash)) return Status::OK();
+  auto [it, inserted] =
+      tracked_.try_emplace(value, std::pair<uint64_t, uint64_t>(0, hash));
+  ++it->second.first;
+  if (inserted) {
+    tracked_bytes_ += EntryCost(value);
+    return EnforceBudget();
+  }
+  return Status::OK();
+}
+
+Status StatisticsSketch::AbsorbRange(const std::vector<Value>& column,
+                                     size_t begin, size_t end) {
+  end = std::min(end, column.size());
+  for (size_t i = begin; i < end; ++i) {
+    EFES_RETURN_IF_ERROR(Absorb(column[i]));
+  }
+  return Status::OK();
+}
+
+Status StatisticsSketch::Merge(const StatisticsSketch& other) {
+  if (other.target_type_ != target_type_ || other.mode_ != mode_ ||
+      other.cap_bytes_ != cap_bytes_) {
+    return Status::InvalidArgument(
+        "cannot merge statistic sketches with different target types or "
+        "profile options");
+  }
+  total_count_ += other.total_count_;
+  null_count_ += other.null_count_;
+  uncastable_count_ += other.uncastable_count_;
+  if (other.numeric_count_ > 0) {
+    if (numeric_count_ == 0) {
+      numeric_min_ = other.numeric_min_;
+      numeric_max_ = other.numeric_max_;
+    } else {
+      numeric_min_ = std::min(numeric_min_, other.numeric_min_);
+      numeric_max_ = std::max(numeric_max_, other.numeric_max_);
+    }
+    numeric_count_ += other.numeric_count_;
+  }
+  if (other.level_ > level_) {
+    // Adopt the coarser threshold, dropping our now-untracked values.
+    level_ = other.level_;
+    for (auto it = tracked_.begin(); it != tracked_.end();) {
+      if (Tracks(it->second.second)) {
+        ++it;
+      } else {
+        tracked_bytes_ -= EntryCost(it->first);
+        it = tracked_.erase(it);
+      }
+    }
+  }
+  for (const auto& [value, entry] : other.tracked_) {
+    if (!Tracks(entry.second)) continue;
+    auto [it, inserted] = tracked_.try_emplace(
+        value, std::pair<uint64_t, uint64_t>(0, entry.second));
+    it->second.first += entry.first;
+    if (inserted) tracked_bytes_ += EntryCost(value);
+  }
+  return EnforceBudget();
+}
+
+Status StatisticsSketch::EnforceBudget() {
+  while (cap_bytes_ != 0 &&
+         kSketchFixedBytes + tracked_bytes_ > cap_bytes_) {
+    if (mode_ == ApproximationMode::kExact || level_ >= 63) {
+      std::ostringstream oss;
+      oss << "profiling an attribute exactly needs "
+          << (kSketchFixedBytes + tracked_bytes_)
+          << " bytes but the --max-memory budget is " << cap_bytes_
+          << " bytes per sketch";
+      if (mode_ == ApproximationMode::kExact) {
+        oss << "; rerun with --approx=sketch or --approx=auto";
+      }
+      return Status::ResourceExhausted(oss.str());
+    }
+    ++level_;
+    for (auto it = tracked_.begin(); it != tracked_.end();) {
+      if (Tracks(it->second.second)) {
+        ++it;
+      } else {
+        tracked_bytes_ -= EntryCost(it->first);
+        it = tracked_.erase(it);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+size_t StatisticsSketch::MemoryBytes() const {
+  return static_cast<size_t>(kSketchFixedBytes + tracked_bytes_);
+}
+
+ApproximationMode StatisticsSketch::effective_mode() const {
+  return level_ == 0 ? ApproximationMode::kExact : ApproximationMode::kSketch;
+}
+
+AttributeStatistics StatisticsSketch::Finalize() const {
+  AttributeStatistics stats;
+  stats.evaluated_against = target_type_;
+
+  // --- Fill status: exact counters in every mode. -------------------------
+  stats.fill_status.total_count = static_cast<size_t>(total_count_);
+  stats.fill_status.null_count = static_cast<size_t>(null_count_);
+  stats.fill_status.uncastable_count = static_cast<size_t>(uncastable_count_);
+  const uint64_t non_null = total_count_ - null_count_;
+
+  // Canonical iteration order: sorted by value, regardless of how the
+  // unordered tracking map hashed. This is what makes Finalize a pure
+  // function of the sketch state.
+  std::vector<std::pair<const Value*, uint64_t>> sorted;
+  sorted.reserve(tracked_.size());
+  uint64_t sample_total = 0;
+  for (const auto& [value, entry] : tracked_) {
+    sorted.emplace_back(&value, entry.first);
+    sample_total += entry.first;
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return *a.first < *b.first; });
+
+  // Inverse sampling rate: each distinct value is tracked with
+  // probability 2^-level, with an exact count when it is.
+  const double scale = std::ldexp(1.0, static_cast<int>(level_));
+  uint64_t distinct_estimate = tracked_.size();
+  for (uint32_t l = 0; l < level_; ++l) {
+    if (distinct_estimate > (UINT64_MAX >> 1)) break;
+    distinct_estimate <<= 1;
+  }
+
+  // --- Constancy (inverse normalized entropy). ----------------------------
+  stats.constancy.non_null_count = static_cast<size_t>(non_null);
+  stats.constancy.distinct_count = static_cast<size_t>(distinct_estimate);
+  if (non_null > 0 && distinct_estimate > 1) {
+    double entropy = 0.0;
+    for (const auto& [value, count] : sorted) {
+      double p = static_cast<double>(count) / static_cast<double>(non_null);
+      entropy -= p * std::log2(p);
+    }
+    entropy *= scale;
+    double max_entropy = std::log2(static_cast<double>(non_null));
+    stats.constancy.constancy =
+        max_entropy < kEpsilon ? 1.0
+                               : std::max(0.0, 1.0 - entropy / max_entropy);
+  } else {
+    stats.constancy.constancy = 1.0;  // empty or single-valued
+  }
+
+  // --- Top-k: tracked counts are exact global frequencies. ----------------
+  {
+    std::vector<std::pair<Value, double>> ranked;
+    ranked.reserve(sorted.size());
+    for (const auto& [value, count] : sorted) {
+      ranked.emplace_back(*value,
+                          non_null == 0 ? 0.0
+                                        : static_cast<double>(count) /
+                                              static_cast<double>(non_null));
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;  // deterministic tie-break
+              });
+    if (ranked.size() > TopKStats::kK) ranked.resize(TopKStats::kK);
+    stats.top_k.top_values = std::move(ranked);
+    stats.top_k.coverage = 0.0;
+    for (const auto& [value, freq] : stats.top_k.top_values) {
+      stats.top_k.coverage += freq;
+    }
+  }
+
+  // --- String-directed statistics (ratio estimates over the sample;
+  // exact at level 0 where the sample is the whole column). ----------------
+  if (target_type_ == DataType::kText) {
+    std::map<std::string, uint64_t> pattern_counts;
+    // Flat 256-slot histogram instead of a tree map in the hot loop:
+    // branch-free, cache-resident, and iterated over *distinct* values
+    // only — duplicates cost one integer add, not a re-scan.
+    std::array<uint64_t, 256> char_counts{};
+    uint64_t total_chars = 0;
+    double length_sum = 0.0;
+    for (const auto& [value, count] : sorted) {
+      std::string text = value->ToString();
+      pattern_counts[GeneralizeToPattern(text)] += count;
+      for (unsigned char c : text) char_counts[c] += count;
+      total_chars += count * text.size();
+      length_sum += static_cast<double>(count) *
+                    static_cast<double>(text.size());
+    }
+
+    const double denom = static_cast<double>(sample_total);
+    TextPatternStats pattern_stats;
+    for (const auto& [pattern, count] : pattern_counts) {
+      pattern_stats.patterns.emplace_back(
+          pattern,
+          sample_total == 0 ? 0.0 : static_cast<double>(count) / denom);
+    }
+    std::sort(pattern_stats.patterns.begin(), pattern_stats.patterns.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    if (pattern_stats.patterns.size() > TextPatternStats::kMaxPatterns) {
+      pattern_stats.patterns.resize(TextPatternStats::kMaxPatterns);
+    }
+    stats.text_pattern = std::move(pattern_stats);
+
+    CharHistogramStats char_stats;
+    for (size_t i = 0; i < char_counts.size(); ++i) {
+      if (char_counts[i] == 0) continue;
+      char_stats.frequencies[static_cast<char>(i)] =
+          total_chars == 0 ? 0.0
+                           : static_cast<double>(char_counts[i]) /
+                                 static_cast<double>(total_chars);
+    }
+    stats.char_histogram = std::move(char_stats);
+
+    double mean = sample_total == 0 ? 0.0 : length_sum / denom;
+    double variance = 0.0;
+    for (const auto& [value, count] : sorted) {
+      double d = static_cast<double>(value->ToString().size()) - mean;
+      variance += static_cast<double>(count) * d * d;
+    }
+    if (sample_total > 0) variance /= denom;
+    stats.string_length = StringLengthStats{mean, std::sqrt(variance)};
+  }
+
+  // --- Numeric statistics: exact min/max scalars; moments and buckets
+  // from the (exact-at-level-0) sample. ------------------------------------
+  if (IsNumericTarget(target_type_) && numeric_count_ > 0) {
+    std::vector<std::pair<double, uint64_t>> numbers;
+    numbers.reserve(sorted.size());
+    uint64_t sample_numeric = 0;
+    for (const auto& [value, count] : sorted) {
+      if (std::optional<double> num = NumericOf(*value)) {
+        numbers.emplace_back(*num, count);
+        sample_numeric += count;
+      }
+    }
+    const double denom = static_cast<double>(sample_numeric);
+    double mean = 0.0;
+    for (const auto& [v, count] : numbers) {
+      mean += static_cast<double>(count) * v;
+    }
+    if (sample_numeric > 0) mean /= denom;
+    double variance = 0.0;
+    for (const auto& [v, count] : numbers) {
+      variance += static_cast<double>(count) * (v - mean) * (v - mean);
+    }
+    if (sample_numeric > 0) variance /= denom;
+    stats.mean = MeanStats{mean, std::sqrt(variance)};
+
+    stats.value_range = ValueRangeStats{numeric_min_, numeric_max_};
+
+    HistogramStats histogram;
+    histogram.min = numeric_min_;
+    histogram.max = numeric_max_;
+    histogram.bucket_fractions.assign(HistogramStats::kBucketCount, 0.0);
+    double width = (numeric_max_ - numeric_min_) / HistogramStats::kBucketCount;
+    for (const auto& [v, count] : numbers) {
+      size_t bucket =
+          width < kEpsilon
+              ? 0
+              : std::min(HistogramStats::kBucketCount - 1,
+                         static_cast<size_t>((v - numeric_min_) / width));
+      if (sample_numeric > 0) {
+        histogram.bucket_fractions[bucket] +=
+            static_cast<double>(count) / denom;
+      }
+    }
+    stats.histogram = std::move(histogram);
+  }
+
+  return stats;
+}
+
+SketchState StatisticsSketch::ExportState() const {
+  SketchState state;
+  state.target_type = target_type_;
+  state.mode = mode_;
+  state.cap_bytes = cap_bytes_;
+  state.level = level_;
+  state.total_count = total_count_;
+  state.null_count = null_count_;
+  state.uncastable_count = uncastable_count_;
+  state.numeric_count = numeric_count_;
+  state.numeric_min = numeric_min_;
+  state.numeric_max = numeric_max_;
+  state.entries.reserve(tracked_.size());
+  for (const auto& [value, entry] : tracked_) {
+    state.entries.emplace_back(value, entry.first);
+  }
+  std::sort(state.entries.begin(), state.entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return state;
+}
+
+Result<StatisticsSketch> StatisticsSketch::FromState(
+    const SketchState& state) {
+  if (state.mode != ApproximationMode::kExact &&
+      state.mode != ApproximationMode::kSketch &&
+      state.mode != ApproximationMode::kAuto) {
+    return Status::InvalidArgument("sketch state has an unknown mode");
+  }
+  if (state.level > 63) {
+    return Status::InvalidArgument("sketch state has an impossible level");
+  }
+  StatisticsSketch sketch;
+  sketch.target_type_ = state.target_type;
+  sketch.mode_ = state.mode;
+  sketch.cap_bytes_ = state.cap_bytes;
+  sketch.level_ = state.level;
+  sketch.total_count_ = state.total_count;
+  sketch.null_count_ = state.null_count;
+  sketch.uncastable_count_ = state.uncastable_count;
+  sketch.numeric_count_ = state.numeric_count;
+  sketch.numeric_min_ = state.numeric_min;
+  sketch.numeric_max_ = state.numeric_max;
+  uint64_t non_null = 0;
+  for (const auto& [value, count] : state.entries) {
+    if (count == 0 || value.is_null()) {
+      return Status::InvalidArgument("sketch state entry is degenerate");
+    }
+    const uint64_t hash = SketchValueHash(value);
+    if (!sketch.Tracks(hash)) {
+      return Status::InvalidArgument(
+          "sketch state entry violates its sampling threshold");
+    }
+    auto [it, inserted] = sketch.tracked_.try_emplace(
+        value, std::pair<uint64_t, uint64_t>(count, hash));
+    if (!inserted) {
+      return Status::InvalidArgument("sketch state has duplicate entries");
+    }
+    sketch.tracked_bytes_ += EntryCost(value);
+    non_null += count;
+  }
+  if (non_null > state.total_count - state.null_count ||
+      state.null_count > state.total_count) {
+    return Status::InvalidArgument("sketch state counters are inconsistent");
+  }
+  if (sketch.cap_bytes_ != 0 &&
+      kSketchFixedBytes + sketch.tracked_bytes_ > sketch.cap_bytes_) {
+    return Status::InvalidArgument("sketch state exceeds its own budget");
+  }
+  return sketch;
+}
+
+void ValueBloom::InsertHash(uint64_t hash) {
+  // Three probes from independent 12-bit slices of the 64-bit hash.
+  for (int probe = 0; probe < 3; ++probe) {
+    uint64_t bit = (hash >> (probe * 12)) & 4095;
+    bits_[bit >> 6] |= (1ull << (bit & 63));
+  }
+}
+
+bool ValueBloom::MightContain(const Value& value) const {
+  const uint64_t hash = SketchValueHash(value);
+  for (int probe = 0; probe < 3; ++probe) {
+    uint64_t bit = (hash >> (probe * 12)) & 4095;
+    if ((bits_[bit >> 6] & (1ull << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
+bool ValueBloom::SubsetOf(const ValueBloom& other) const {
+  for (size_t i = 0; i < kWords; ++i) {
+    if ((bits_[i] & ~other.bits_[i]) != 0) return false;
+  }
+  return true;
+}
+
+void ValueBloom::MergeFrom(const ValueBloom& other) {
+  for (size_t i = 0; i < kWords; ++i) bits_[i] |= other.bits_[i];
+}
+
+}  // namespace efes

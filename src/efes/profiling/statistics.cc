@@ -1,35 +1,17 @@
 #include "efes/profiling/statistics.h"
 
 #include <algorithm>
-#include <cctype>
 #include <cmath>
 #include <sstream>
-#include <unordered_map>
 
-#include "efes/cache/fingerprint.h"
-#include "efes/cache/profile_cache.h"
-#include "efes/common/parallel.h"
 #include "efes/common/string_util.h"
-#include "efes/common/clock.h"
-#include "efes/common/metrics.h"
+#include "efes/profiling/profiler.h"
 
 namespace efes {
 
 namespace {
 
 constexpr double kEpsilon = 1e-12;
-
-/// Welford-style mean/stddev over a sample.
-std::pair<double, double> MeanAndStddev(const std::vector<double>& sample) {
-  if (sample.empty()) return {0.0, 0.0};
-  double mean = 0.0;
-  for (double v : sample) mean += v;
-  mean /= static_cast<double>(sample.size());
-  double variance = 0.0;
-  for (double v : sample) variance += (v - mean) * (v - mean);
-  variance /= static_cast<double>(sample.size());
-  return {mean, std::sqrt(variance)};
-}
 
 /// Intersection of two discrete distributions given as sorted
 /// (key, frequency) vectors: sum of min frequencies per shared key.
@@ -120,20 +102,40 @@ double FillStatusStats::CastableFraction() const {
          static_cast<double>(non_null);
 }
 
+namespace {
+
+/// 256-entry character-class table (digit -> '9', letter -> 'a',
+/// whitespace -> ' ', everything else verbatim, matching the C locale).
+/// A flat lookup keeps the per-byte classing loop branch-free — the
+/// profiling hot path runs this over every tracked value.
+struct PatternClassTable {
+  constexpr PatternClassTable() : cls() {
+    for (int i = 0; i < 256; ++i) {
+      const char c = static_cast<char>(i);
+      if (c >= '0' && c <= '9') {
+        cls[i] = '9';
+      } else if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')) {
+        cls[i] = 'a';
+      } else if (c == ' ' || c == '\t' || c == '\n' || c == '\v' ||
+                 c == '\f' || c == '\r') {
+        cls[i] = ' ';
+      } else {
+        cls[i] = c;
+      }
+    }
+  }
+  char cls[256];
+};
+
+constexpr PatternClassTable kPatternClasses;
+
+}  // namespace
+
 std::string GeneralizeToPattern(std::string_view text) {
   std::string pattern;
   char last_class = '\0';
   for (char c : text) {
-    char cls;
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      cls = '9';
-    } else if (std::isalpha(static_cast<unsigned char>(c))) {
-      cls = 'a';
-    } else if (std::isspace(static_cast<unsigned char>(c))) {
-      cls = ' ';
-    } else {
-      cls = c;
-    }
+    const char cls = kPatternClasses.cls[static_cast<unsigned char>(c)];
     // Collapse runs of the same digit/letter/space class; punctuation is
     // kept verbatim and not collapsed so "1998-01-02" -> "9-9-9".
     if (cls == '9' || cls == 'a' || cls == ' ') {
@@ -147,191 +149,36 @@ std::string GeneralizeToPattern(std::string_view text) {
 
 namespace {
 
-/// The full (uncached) computation; ComputeStatistics below fronts it
-/// with the active profile cache.
-AttributeStatistics ComputeStatisticsUncached(const std::vector<Value>& column,
-                                              DataType target_type) {
-  static Counter& columns_profiled =
-      MetricsRegistry::Global().GetCounter("profiling.statistics.columns");
-  static Counter& cells_scanned =
-      MetricsRegistry::Global().GetCounter("profiling.statistics.cells");
-  static Histogram& compute_ms =
-      MetricsRegistry::Global().GetHistogram("profiling.statistics.ms");
-  columns_profiled.Increment();
-  cells_scanned.Increment(column.size());
-  const int64_t start_nanos = Clock::Default()->NowNanos();
-
-  AttributeStatistics stats;
-  stats.evaluated_against = target_type;
-
-  // --- Fill status ---------------------------------------------------------
-  stats.fill_status.total_count = column.size();
-  for (const Value& value : column) {
-    if (value.is_null()) {
-      ++stats.fill_status.null_count;
-    } else if (!value.CanCastTo(target_type)) {
-      ++stats.fill_status.uncastable_count;
-    }
-  }
-
-  // --- Constancy + top-k over all non-null values --------------------------
-  std::unordered_map<Value, size_t, ValueHash> frequencies;
-  size_t non_null = 0;
-  for (const Value& value : column) {
-    if (value.is_null()) continue;
-    ++frequencies[value];
-    ++non_null;
-  }
-  stats.constancy.non_null_count = non_null;
-  stats.constancy.distinct_count = frequencies.size();
-  if (non_null > 0 && frequencies.size() > 1) {
-    double entropy = 0.0;
-    for (const auto& [value, count] : frequencies) {
-      double p = static_cast<double>(count) / static_cast<double>(non_null);
-      entropy -= p * std::log2(p);
-    }
-    double max_entropy = std::log2(static_cast<double>(non_null));
-    stats.constancy.constancy =
-        max_entropy < kEpsilon ? 1.0
-                               : std::max(0.0, 1.0 - entropy / max_entropy);
-  } else {
-    stats.constancy.constancy = 1.0;  // empty or single-valued
-  }
-
-  {
-    std::vector<std::pair<Value, double>> ranked;
-    ranked.reserve(frequencies.size());
-    for (const auto& [value, count] : frequencies) {
-      ranked.emplace_back(
-          value, non_null == 0
-                     ? 0.0
-                     : static_cast<double>(count) /
-                           static_cast<double>(non_null));
-    }
-    std::sort(ranked.begin(), ranked.end(),
-              [](const auto& a, const auto& b) {
-                if (a.second != b.second) return a.second > b.second;
-                return a.first < b.first;  // deterministic tie-break
-              });
-    if (ranked.size() > TopKStats::kK) ranked.resize(TopKStats::kK);
-    stats.top_k.top_values = std::move(ranked);
-    stats.top_k.coverage = 0.0;
-    for (const auto& [value, freq] : stats.top_k.top_values) {
-      stats.top_k.coverage += freq;
-    }
-  }
-
-  // --- String-directed statistics ------------------------------------------
-  if (target_type == DataType::kText) {
-    std::unordered_map<std::string, size_t> pattern_counts;
-    std::map<char, size_t> char_counts;
-    size_t total_chars = 0;
-    std::vector<double> lengths;
-    for (const Value& value : column) {
-      if (value.is_null()) continue;
-      std::string text = value.ToString();
-      ++pattern_counts[GeneralizeToPattern(text)];
-      for (char c : text) {
-        ++char_counts[c];
-        ++total_chars;
-      }
-      lengths.push_back(static_cast<double>(text.size()));
-    }
-
-    TextPatternStats pattern_stats;
-    for (const auto& [pattern, count] : pattern_counts) {
-      pattern_stats.patterns.emplace_back(
-          pattern, non_null == 0 ? 0.0
-                                 : static_cast<double>(count) /
-                                       static_cast<double>(non_null));
-    }
-    std::sort(pattern_stats.patterns.begin(), pattern_stats.patterns.end(),
-              [](const auto& a, const auto& b) {
-                if (a.second != b.second) return a.second > b.second;
-                return a.first < b.first;
-              });
-    if (pattern_stats.patterns.size() > TextPatternStats::kMaxPatterns) {
-      pattern_stats.patterns.resize(TextPatternStats::kMaxPatterns);
-    }
-    stats.text_pattern = std::move(pattern_stats);
-
-    CharHistogramStats char_stats;
-    for (const auto& [c, count] : char_counts) {
-      char_stats.frequencies[c] =
-          total_chars == 0 ? 0.0
-                           : static_cast<double>(count) /
-                                 static_cast<double>(total_chars);
-    }
-    stats.char_histogram = std::move(char_stats);
-
-    auto [mean, stddev] = MeanAndStddev(lengths);
-    stats.string_length = StringLengthStats{mean, stddev};
-  }
-
-  // --- Numeric statistics ----------------------------------------------------
-  if (IsNumericTarget(target_type)) {
-    std::vector<double> numbers;
-    for (const Value& value : column) {
-      if (value.is_null()) continue;
-      if (value.type() == DataType::kInteger ||
-          value.type() == DataType::kReal) {
-        numbers.push_back(value.NumericValue());
-      } else if (value.CanCastTo(DataType::kReal)) {
-        auto cast = value.CastTo(DataType::kReal);
-        if (cast.ok()) numbers.push_back(cast->AsReal());
-      }
-    }
-    if (!numbers.empty()) {
-      auto [mean, stddev] = MeanAndStddev(numbers);
-      stats.mean = MeanStats{mean, stddev};
-
-      double min = *std::min_element(numbers.begin(), numbers.end());
-      double max = *std::max_element(numbers.begin(), numbers.end());
-      stats.value_range = ValueRangeStats{min, max};
-
-      HistogramStats histogram;
-      histogram.min = min;
-      histogram.max = max;
-      histogram.bucket_fractions.assign(HistogramStats::kBucketCount, 0.0);
-      double width = (max - min) / HistogramStats::kBucketCount;
-      for (double v : numbers) {
-        size_t bucket =
-            width < kEpsilon
-                ? 0
-                : std::min(HistogramStats::kBucketCount - 1,
-                           static_cast<size_t>((v - min) / width));
-        histogram.bucket_fractions[bucket] +=
-            1.0 / static_cast<double>(numbers.size());
-      }
-      stats.histogram = std::move(histogram);
-    }
-  }
-
-  compute_ms.Observe(
-      static_cast<double>(Clock::Default()->NowNanos() - start_nanos) / 1e6);
-  return stats;
+/// The legacy one-shot semantics: exact, unchunked, unbudgeted. An
+/// exact profile without a --max-memory budget cannot fail, which is
+/// what lets the deprecated wrappers keep their non-Result signatures.
+ProfileOptions LegacyWholeColumnOptions() {
+  ProfileOptions options;
+  options.chunk_rows = 0;  // the whole column as one chunk
+  options.max_memory_bytes = 0;
+  options.mode = ApproximationMode::kExact;
+  return options;
 }
 
 }  // namespace
 
 AttributeStatistics ComputeStatistics(const std::vector<Value>& column,
                                       DataType target_type) {
-  ProfileCache* cache = ProfileCache::Active();
-  if (cache == nullptr) return ComputeStatisticsUncached(column, target_type);
-  const uint64_t key = FingerprintColumn(column, target_type);
-  if (std::optional<AttributeStatistics> hit = cache->LookupStatistics(key)) {
-    return *std::move(hit);
-  }
-  AttributeStatistics stats = ComputeStatisticsUncached(column, target_type);
-  cache->StoreStatistics(key, stats);
-  return stats;
+  Result<AttributeStatistics> stats =
+      ProfileColumn(column, target_type, LegacyWholeColumnOptions());
+  if (!stats.ok()) return AttributeStatistics{};  // unreachable: cannot fail
+  return *std::move(stats);
 }
 
 Result<std::vector<AttributeStatistics>> ComputeStatisticsBatch(
     const std::vector<ColumnStatisticsRequest>& requests) {
-  return ParallelMap(requests.size(), [&](size_t i) {
-    return ComputeStatistics(*requests[i].column, requests[i].target_type);
-  });
+  std::vector<ProfileRequest> profile_requests;
+  profile_requests.reserve(requests.size());
+  for (const ColumnStatisticsRequest& request : requests) {
+    profile_requests.push_back(
+        ProfileRequest{request.column, request.target_type});
+  }
+  return ProfileColumns(profile_requests, LegacyWholeColumnOptions());
 }
 
 std::vector<StatisticType> ApplicableStatistics(DataType target_type) {

@@ -146,21 +146,26 @@ struct AttributeStatistics {
   std::string ToString() const;
 };
 
-/// Computes all statistics applicable to `target_type` over `column`.
+/// \deprecated One-shot whole-column wrapper kept for compatibility.
+/// New call sites must use ProfileColumn (profiling/profiler.h), which
+/// streams the column in chunks under the ambient ProfileOptions; the
+/// `whole-column-profile` efes_lint check bans this name outside
+/// profiling/. This wrapper profiles exactly, unchunked, unbudgeted —
+/// the legacy semantics — and is itself a thin shim over the sketch
+/// path, so wrapper and sketch outputs are bit-identical.
 AttributeStatistics ComputeStatistics(const std::vector<Value>& column,
                                       DataType target_type);
 
-/// One column to profile in a batch. The referenced column must outlive
-/// the ComputeStatisticsBatch call.
+/// \deprecated Superseded by ProfileRequest (profiling/profiler.h),
+/// which adds ProfileOptions (chunking, memory budget, approximation
+/// mode). Kept only for the ComputeStatisticsBatch wrapper below.
 struct ColumnStatisticsRequest {
   const std::vector<Value>* column = nullptr;
   DataType target_type = DataType::kText;
 };
 
-/// Profiles many columns through the shared thread pool (common/parallel).
-/// Each column is computed whole by one task and the results come back in
-/// request order, so the output is bit-identical to calling
-/// ComputeStatistics sequentially — for any thread count.
+/// \deprecated Whole-column batch wrapper over ProfileColumns
+/// (profiling/profiler.h); same migration rule as ComputeStatistics.
 Result<std::vector<AttributeStatistics>> ComputeStatisticsBatch(
     const std::vector<ColumnStatisticsRequest>& requests);
 

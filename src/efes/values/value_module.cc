@@ -6,6 +6,7 @@
 #include "efes/common/parallel.h"
 #include "efes/common/string_util.h"
 #include "efes/common/text_table.h"
+#include "efes/profiling/profiler.h"
 #include "efes/provenance/provenance.h"
 
 namespace efes {
@@ -224,15 +225,17 @@ Result<std::unique_ptr<ComplexityReport>> ValueModule::AssessComplexity(
     /// Fragment-local index of the finding node for each entry of `types`.
     std::vector<size_t> finding_locals;
   };
-  EFES_ASSIGN_OR_RETURN(
-      std::vector<ItemResult> results,
-      ParallelMap(items.size(), [&](size_t index) {
+  std::vector<ItemResult> results(items.size());
+  EFES_RETURN_IF_ERROR(
+      ParallelFor(items.size(), [&](size_t index) -> Status {
         const WorkItem& item = items[index];
-        ItemResult computed;
-        computed.source_stats = ComputeStatistics(item.source_sample,
-                                                  item.target_attribute.type);
-        computed.target_stats = ComputeStatistics(item.target_sample,
-                                                  item.target_attribute.type);
+        ItemResult& computed = results[index];
+        EFES_ASSIGN_OR_RETURN(
+            computed.source_stats,
+            ProfileColumn(item.source_sample, item.target_attribute.type));
+        EFES_ASSIGN_OR_RETURN(
+            computed.target_stats,
+            ProfileColumn(item.target_sample, item.target_attribute.type));
         computed.types = DetectValueHeterogeneities(
             computed.source_stats, computed.target_stats,
             item.has_target_data, options_, &computed.overall_fit);
@@ -312,7 +315,7 @@ Result<std::unique_ptr<ComplexityReport>> ValueModule::AssessComplexity(
                 subject, std::move(global_inputs), std::move(local_inputs)));
           }
         }
-        return computed;
+        return Status::OK();
       }));
 
   // Pass 3 (sequential): assemble the heterogeneity list in item order.

@@ -99,8 +99,10 @@ TEST(ParallelDeterminismTest, SchemaMatchingIsThreadCountInvariant) {
   std::vector<std::string> runs;
   for (size_t threads : kThreadCounts) {
     SetThreadCountOverride(threads);
-    runs.push_back(WriteCorrespondences(matcher.Match(
-        scenario.sources[0].database, scenario.target)));
+    auto matched =
+        matcher.Match(scenario.sources[0].database, scenario.target);
+    ASSERT_TRUE(matched.ok());
+    runs.push_back(WriteCorrespondences(*matched));
   }
   SetThreadCountOverride(0);
   EXPECT_FALSE(runs[0].empty());

@@ -17,17 +17,27 @@
 #include "efes/cache/fingerprint.h"
 #include "efes/common/fault.h"
 #include "efes/common/file_io.h"
+#include "efes/common/metrics.h"
 #include "efes/common/parallel.h"
 #include "efes/common/random.h"
 #include "efes/core/engine.h"
 #include "efes/experiment/default_pipeline.h"
 #include "efes/experiment/json_export.h"
 #include "efes/profiling/constraint_discovery.h"
+#include "efes/profiling/profiler.h"
 #include "efes/profiling/statistics.h"
 #include "efes/scenario/bibliographic.h"
 
 namespace efes {
 namespace {
+
+/// Cache tests drive the production chunked profiler; under default
+/// options ProfileColumn cannot fail, so the helper unwraps in place.
+AttributeStatistics Stats(const std::vector<Value>& column, DataType type) {
+  auto profiled = ProfileColumn(column, type);
+  EXPECT_TRUE(profiled.ok()) << profiled.status().ToString();
+  return profiled.ok() ? *std::move(profiled) : AttributeStatistics{};
+}
 
 std::vector<Value> MixedColumn() {
   return {Value::Text("Sweet Home Alabama"), Value::Null(),
@@ -204,7 +214,7 @@ void ExpectStatisticsEqual(const AttributeStatistics& a,
 
 TEST(CacheSerializationTest, TextStatisticsRoundtripBitExact) {
   AttributeStatistics stats =
-      ComputeStatistics(MixedColumn(), DataType::kText);
+      Stats(MixedColumn(), DataType::kText);
   auto parsed = ParseStatistics(SerializeStatistics(stats));
   ASSERT_TRUE(parsed.ok()) << parsed.status();
   ExpectStatisticsEqual(stats, *parsed);
@@ -212,7 +222,7 @@ TEST(CacheSerializationTest, TextStatisticsRoundtripBitExact) {
 
 TEST(CacheSerializationTest, NumericStatisticsRoundtripBitExact) {
   AttributeStatistics stats =
-      ComputeStatistics(NumericColumn(), DataType::kReal);
+      Stats(NumericColumn(), DataType::kReal);
   auto parsed = ParseStatistics(SerializeStatistics(stats));
   ASSERT_TRUE(parsed.ok()) << parsed.status();
   ExpectStatisticsEqual(stats, *parsed);
@@ -245,12 +255,12 @@ TEST(CacheSerializationTest, MalformedLinesAreParseErrors) {
 
 // --- In-memory cache behavior ---------------------------------------------
 
-TEST(ProfileCacheTest, ComputeStatisticsHitsTheActiveCache) {
+TEST(ProfileCacheTest, ProfilingHitsTheActiveCache) {
   ProfileCache cache;
   ScopedProfileCache scoped(&cache);
-  AttributeStatistics cold = ComputeStatistics(MixedColumn(), DataType::kText);
+  AttributeStatistics cold = Stats(MixedColumn(), DataType::kText);
   EXPECT_EQ(cache.entry_count(), 1u);
-  AttributeStatistics warm = ComputeStatistics(MixedColumn(), DataType::kText);
+  AttributeStatistics warm = Stats(MixedColumn(), DataType::kText);
   ExpectStatisticsEqual(cold, warm);
 }
 
@@ -258,11 +268,11 @@ TEST(ProfileCacheTest, NoActiveCacheMeansNoCaching) {
   ProfileCache cache;
   {
     ScopedProfileCache scoped(&cache);
-    (void)ComputeStatistics(MixedColumn(), DataType::kText);
+    (void)Stats(MixedColumn(), DataType::kText);
   }
   EXPECT_EQ(ProfileCache::Active(), nullptr);
   EXPECT_EQ(cache.entry_count(), 1u);
-  (void)ComputeStatistics(NumericColumn(), DataType::kReal);
+  (void)Stats(NumericColumn(), DataType::kReal);
   EXPECT_EQ(cache.entry_count(), 1u);  // unchanged: cache no longer active
 }
 
@@ -381,8 +391,8 @@ TEST(CachePersistenceTest, SaveLoadRoundtripServesIdenticalEntries) {
   ProfileCache cache;
   {
     ScopedProfileCache scoped(&cache);
-    (void)ComputeStatistics(MixedColumn(), DataType::kText);
-    (void)ComputeStatistics(NumericColumn(), DataType::kReal);
+    (void)Stats(MixedColumn(), DataType::kText);
+    (void)Stats(NumericColumn(), DataType::kReal);
     (void)DiscoverConstraints(MakeTinyDatabase());
   }
   ASSERT_TRUE(cache.SaveToFile(path).ok());
@@ -425,6 +435,64 @@ TEST(CachePersistenceTest, VersionMismatchIsIgnoredWholesale) {
   EXPECT_EQ(cache.entry_count(), 0u);
 }
 
+TEST(CachePersistenceTest, PreSketchV1SnapshotDegradesToAMiss) {
+  // The sketch-spill entries forced the EFESCACHE 2 bump; a v1 snapshot
+  // from an older build must load as empty (a cold start), never crash
+  // or resurrect stale statistics under the new key scheme.
+  const std::string path = TempCachePath("v1");
+  ASSERT_TRUE(WriteFileAtomic(path,
+                              "EFESCACHE 1\n"
+                              "S 00000000deadbeef 3 1 0 0\n"
+                              "C 00000000deadbeef 0\n")
+                  .ok());
+  ProfileCache cache;
+  EXPECT_TRUE(cache.LoadFromFile(path).ok());
+  EXPECT_EQ(cache.entry_count(), 0u);
+}
+
+TEST(CachePersistenceTest, SpilledSketchChunksRoundtripThroughDisk) {
+  // Multi-chunk profiling spills per-chunk partial sketches ('K'
+  // entries) into the active cache; a reloaded snapshot must serve them
+  // so a resumed run re-reads absorbed chunks instead of recomputing.
+  Random rng(31337);
+  std::vector<Value> column;
+  for (size_t i = 0; i < 400; ++i) {
+    column.push_back(Value::Text("cell-" + std::to_string(rng.UniformUint64(
+                                     90))));
+  }
+  ProfileOptions options;
+  options.chunk_rows = 64;  // 400 rows -> 7 chunks -> 7 spilled sketches
+
+  ProfileCache cache;
+  std::string expected;
+  {
+    ScopedProfileCache scoped(&cache);
+    auto cold = ProfileColumn(column, DataType::kText, options);
+    ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+    expected = cold->ToString();
+  }
+  const std::string path = TempCachePath("sketch_spill");
+  ASSERT_TRUE(cache.SaveToFile(path).ok());
+  auto snapshot = ReadFileToString(path);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_NE(snapshot->find("\nK "), std::string::npos)
+      << "no spilled sketch entries in the snapshot";
+
+  ProfileCache reloaded;
+  ASSERT_TRUE(reloaded.LoadFromFile(path).ok());
+  EXPECT_EQ(reloaded.entry_count(), cache.entry_count());
+  {
+    ScopedProfileCache scoped(&reloaded);
+    MetricsRegistry::Global().Reset();
+    auto warm = ProfileColumn(column, DataType::kText, options);
+    ASSERT_TRUE(warm.ok());
+    EXPECT_EQ(warm->ToString(), expected);
+    const MetricsSnapshot metrics = MetricsRegistry::Global().Snapshot();
+    EXPECT_GT(metrics.CounterValue("cache.hits"), 0u);
+    EXPECT_EQ(metrics.CounterValue("cache.misses"), 0u);
+  }
+}
+
 /// Seeded byte-mangler in the corruption_property_test style: truncate,
 /// flip a byte, splice a hostile fragment, duplicate a slice.
 std::string Corrupt(std::string text, Random& rng) {
@@ -442,7 +510,7 @@ std::string Corrupt(std::string text, Random& rng) {
       }
       case 2: {
         static const char* kFragments[] = {
-            "S ",   "C ",  "EFESCACHE 1",
+            "S ",   "C ",  "K ",      "EFESCACHE 1", "EFESCACHE 2",
             "\n\n", "=%%", "\xff\xfe",
             " ",    "r0x1p+1", "999999999999999999999999",
         };
@@ -467,9 +535,20 @@ TEST(CachePersistenceTest, CorruptSnapshotsDegradeToRecomputationNotError) {
   ProfileCache cache;
   {
     ScopedProfileCache scoped(&cache);
-    (void)ComputeStatistics(MixedColumn(), DataType::kText);
-    (void)ComputeStatistics(NumericColumn(), DataType::kReal);
+    (void)Stats(MixedColumn(), DataType::kText);
+    (void)Stats(NumericColumn(), DataType::kReal);
     (void)DiscoverConstraints(MakeTinyDatabase());
+    // A multi-chunk profile spills 'K' sketch entries, so the mangler
+    // also exercises the sketch-state parser.
+    Random spill_rng(808);
+    std::vector<Value> wide;
+    for (size_t i = 0; i < 300; ++i) {
+      wide.push_back(
+          Value::Text("w" + std::to_string(spill_rng.UniformUint64(70))));
+    }
+    ProfileOptions chunked;
+    chunked.chunk_rows = 64;
+    (void)ProfileColumn(wide, DataType::kText, chunked);
   }
   const std::string path = TempCachePath("corrupt");
   ASSERT_TRUE(cache.SaveToFile(path).ok());
@@ -486,7 +565,7 @@ TEST(CachePersistenceTest, CorruptSnapshotsDegradeToRecomputationNotError) {
     EXPECT_TRUE(recovered.LoadFromFile(path).ok());
     // Whatever survived, profiling through the cache still works.
     ScopedProfileCache scoped(&recovered);
-    AttributeStatistics stats = ComputeStatistics(column, DataType::kReal);
+    AttributeStatistics stats = Stats(column, DataType::kReal);
     EXPECT_EQ(stats.fill_status.total_count, column.size());
   }
 }
@@ -502,7 +581,7 @@ TEST_F(CacheFaultTest, LoadAndSaveFaultPointsAreInjectable) {
   ProfileCache cache;
   {
     ScopedProfileCache scoped(&cache);
-    (void)ComputeStatistics(MixedColumn(), DataType::kText);
+    (void)Stats(MixedColumn(), DataType::kText);
   }
   ASSERT_TRUE(cache.SaveToFile(path).ok());
 

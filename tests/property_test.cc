@@ -14,6 +14,7 @@
 #include "efes/common/random.h"
 #include "efes/csg/builder.h"
 #include "efes/csg/cardinality.h"
+#include "efes/profiling/profiler.h"
 #include "efes/profiling/statistics.h"
 #include "efes/structure/repair_planner.h"
 
@@ -292,7 +293,9 @@ TEST_P(StatisticsPropertyTest, MomentsMatchNaiveComputation) {
       numbers.push_back(v);
     }
   }
-  AttributeStatistics stats = ComputeStatistics(column, DataType::kReal);
+  auto profiled = ProfileColumn(column, DataType::kReal);
+  ASSERT_TRUE(profiled.ok());
+  AttributeStatistics stats = *std::move(profiled);
   ASSERT_TRUE(stats.mean.has_value());
   double mean = 0.0;
   for (double v : numbers) mean += v;
@@ -317,7 +320,9 @@ TEST_P(StatisticsPropertyTest, TopKFrequenciesSumToCoverage) {
     column.push_back(
         Value::Integer(static_cast<int64_t>(rng.Zipf(30, 1.1))));
   }
-  AttributeStatistics stats = ComputeStatistics(column, DataType::kInteger);
+  auto profiled = ProfileColumn(column, DataType::kInteger);
+  ASSERT_TRUE(profiled.ok());
+  AttributeStatistics stats = *std::move(profiled);
   double sum = 0.0;
   double previous = 1.0;
   for (const auto& [value, freq] : stats.top_k.top_values) {
@@ -336,7 +341,9 @@ TEST_P(StatisticsPropertyTest, SelfFitIsAlwaysPerfect) {
   for (size_t i = 0; i < n; ++i) {
     column.push_back(Value::Text(rng.Word(2, 10)));
   }
-  AttributeStatistics stats = ComputeStatistics(column, DataType::kText);
+  auto profiled = ProfileColumn(column, DataType::kText);
+  ASSERT_TRUE(profiled.ok());
+  AttributeStatistics stats = *std::move(profiled);
   EXPECT_NEAR(OverallFit(stats, stats), 1.0, 1e-9);
 }
 

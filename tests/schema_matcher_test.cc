@@ -52,27 +52,31 @@ TEST(SchemaMatcherTest, IdenticalNamesScoreHigh) {
   SchemaMatcher matcher;
   Database source = MakeSource();
   Database target = MakeTarget();
-  double score = matcher.ScoreAttributePair(
+  auto score = matcher.ScoreAttributePair(
       source, "albums", {"artist_name", DataType::kText}, target, "records",
       {"artist", DataType::kText});
-  EXPECT_GT(score, 0.6);
+  ASSERT_TRUE(score.ok());
+  EXPECT_GT(*score, 0.6);
 }
 
 TEST(SchemaMatcherTest, UnrelatedNamesScoreLow) {
   SchemaMatcher matcher;
   Database source = MakeSource();
   Database target = MakeTarget();
-  double score = matcher.ScoreAttributePair(
+  auto score = matcher.ScoreAttributePair(
       source, "reviews", {"score", DataType::kInteger}, target, "records",
       {"title", DataType::kText});
-  EXPECT_LT(score, 0.5);
+  ASSERT_TRUE(score.ok());
+  EXPECT_LT(*score, 0.5);
 }
 
 TEST(SchemaMatcherTest, MatchFindsRelationAndAttributes) {
   SchemaMatcher matcher;
   Database source = MakeSource();
   Database target = MakeTarget();
-  CorrespondenceSet correspondences = matcher.Match(source, target);
+  auto matched = matcher.Match(source, target);
+  ASSERT_TRUE(matched.ok());
+  CorrespondenceSet& correspondences = *matched;
 
   auto relation = correspondences.RelationCorrespondenceFor("records");
   ASSERT_TRUE(relation.ok());
@@ -100,7 +104,9 @@ TEST(SchemaMatcherTest, MatchIsOneToOne) {
   SchemaMatcher matcher;
   Database source = MakeSource();
   Database target = MakeTarget();
-  CorrespondenceSet correspondences = matcher.Match(source, target);
+  auto matched = matcher.Match(source, target);
+  ASSERT_TRUE(matched.ok());
+  CorrespondenceSet& correspondences = *matched;
   std::set<std::string> used_targets;
   for (const Correspondence& corr : correspondences.all()) {
     if (!corr.is_attribute_level()) continue;
@@ -114,7 +120,9 @@ TEST(SchemaMatcherTest, ProducedCorrespondencesValidate) {
   SchemaMatcher matcher;
   Database source = MakeSource();
   Database target = MakeTarget();
-  CorrespondenceSet correspondences = matcher.Match(source, target);
+  auto matched = matcher.Match(source, target);
+  ASSERT_TRUE(matched.ok());
+  CorrespondenceSet& correspondences = *matched;
   EXPECT_TRUE(
       correspondences.Validate(source.schema(), target.schema()).ok());
   for (const Correspondence& corr : correspondences.all()) {
@@ -127,8 +135,9 @@ TEST(SchemaMatcherTest, ScoreRelationsSortedDescending) {
   SchemaMatcher matcher;
   Database source = MakeSource();
   Database target = MakeTarget();
-  std::vector<MatchCandidate> candidates =
-      matcher.ScoreRelations(source, target);
+  auto scored = matcher.ScoreRelations(source, target);
+  ASSERT_TRUE(scored.ok());
+  std::vector<MatchCandidate>& candidates = *scored;
   ASSERT_EQ(candidates.size(), 2u);  // {albums, reviews} x {records}
   EXPECT_GE(candidates[0].score, candidates[1].score);
   EXPECT_EQ(candidates[0].source_relation, "albums");
@@ -159,13 +168,15 @@ TEST(SchemaMatcherTest, InstanceEvidenceBreaksNameTies) {
             .ok());
   }
   SchemaMatcher matcher;
-  double fitting = matcher.ScoreAttributePair(
+  auto fitting = matcher.ScoreAttributePair(
       *source, "t", {"colx", DataType::kText}, *target, "u",
       {"dur", DataType::kText});
-  double misfitting = matcher.ScoreAttributePair(
+  auto misfitting = matcher.ScoreAttributePair(
       *source, "t", {"coly", DataType::kText}, *target, "u",
       {"dur", DataType::kText});
-  EXPECT_GT(fitting, misfitting);
+  ASSERT_TRUE(fitting.ok());
+  ASSERT_TRUE(misfitting.ok());
+  EXPECT_GT(*fitting, *misfitting);
 }
 
 TEST(SchemaMatcherTest, ThresholdsFilterWeakMatches) {
@@ -175,9 +186,10 @@ TEST(SchemaMatcherTest, ThresholdsFilterWeakMatches) {
   SchemaMatcher matcher(options);
   Database source = MakeSource();
   Database target = MakeTarget();
-  CorrespondenceSet correspondences = matcher.Match(source, target);
+  auto matched = matcher.Match(source, target);
+  ASSERT_TRUE(matched.ok());
   // With an impossible threshold nothing should match.
-  EXPECT_TRUE(correspondences.empty());
+  EXPECT_TRUE(matched->empty());
 }
 
 }  // namespace

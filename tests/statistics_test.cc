@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "efes/common/parallel.h"
+#include "efes/profiling/profiler.h"
 
 namespace efes {
 namespace {
@@ -24,6 +25,16 @@ std::vector<Value> Integers(const std::vector<int64_t>& numbers) {
   return values;
 }
 
+/// Content tests profile through the production chunked API; only the
+/// dedicated wrapper tests below name the deprecated one-shot entry
+/// points. ProfileColumn fails only under an unsatisfiable exact
+/// --max-memory budget, which no test here configures.
+AttributeStatistics Stats(const std::vector<Value>& column, DataType type) {
+  auto result = ProfileColumn(column, type);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? *std::move(result) : AttributeStatistics{};
+}
+
 TEST(GeneralizeToPatternTest, PaperDurationExample) {
   EXPECT_EQ(GeneralizeToPattern("4:43"), "9:9");
   EXPECT_EQ(GeneralizeToPattern("215900"), "9");
@@ -37,7 +48,7 @@ TEST(GeneralizeToPatternTest, PaperDurationExample) {
 TEST(FillStatusTest, CountsNullsAndUncastables) {
   std::vector<Value> column = {Value::Text("42"), Value::Text("4:43"),
                                Value::Null()};
-  AttributeStatistics stats = ComputeStatistics(column, DataType::kInteger);
+  AttributeStatistics stats = Stats(column, DataType::kInteger);
   EXPECT_EQ(stats.fill_status.total_count, 3u);
   EXPECT_EQ(stats.fill_status.null_count, 1u);
   EXPECT_EQ(stats.fill_status.uncastable_count, 1u);
@@ -47,34 +58,34 @@ TEST(FillStatusTest, CountsNullsAndUncastables) {
 }
 
 TEST(FillStatusTest, EmptyColumnIsFullyFilled) {
-  AttributeStatistics stats = ComputeStatistics({}, DataType::kText);
+  AttributeStatistics stats = Stats({}, DataType::kText);
   EXPECT_DOUBLE_EQ(stats.fill_status.FillFraction(), 1.0);
   EXPECT_DOUBLE_EQ(stats.fill_status.CastableFraction(), 1.0);
 }
 
 TEST(ConstancyTest, SingleValueIsFullyConstant) {
-  AttributeStatistics stats = ComputeStatistics(
+  AttributeStatistics stats = Stats(
       Texts({"x", "x", "x", "x"}), DataType::kText);
   EXPECT_DOUBLE_EQ(stats.constancy.constancy, 1.0);
   EXPECT_EQ(stats.constancy.distinct_count, 1u);
 }
 
 TEST(ConstancyTest, AllDistinctIsZeroConstancy) {
-  AttributeStatistics stats = ComputeStatistics(
+  AttributeStatistics stats = Stats(
       Texts({"a", "b", "c", "d", "e", "f", "g", "h"}), DataType::kText);
   EXPECT_NEAR(stats.constancy.constancy, 0.0, 1e-9);
 }
 
 TEST(ConstancyTest, SkewIncreasesConstancy) {
-  AttributeStatistics skewed = ComputeStatistics(
+  AttributeStatistics skewed = Stats(
       Texts({"a", "a", "a", "a", "a", "a", "b", "c"}), DataType::kText);
-  AttributeStatistics uniform = ComputeStatistics(
+  AttributeStatistics uniform = Stats(
       Texts({"a", "a", "a", "b", "b", "b", "c", "c"}), DataType::kText);
   EXPECT_GT(skewed.constancy.constancy, uniform.constancy.constancy);
 }
 
 TEST(TextPatternTest, CollectsFrequentPatterns) {
-  AttributeStatistics stats = ComputeStatistics(
+  AttributeStatistics stats = Stats(
       Texts({"4:43", "6:55", "3:26", "hello"}), DataType::kText);
   ASSERT_TRUE(stats.text_pattern.has_value());
   ASSERT_FALSE(stats.text_pattern->patterns.empty());
@@ -84,13 +95,13 @@ TEST(TextPatternTest, CollectsFrequentPatterns) {
 
 TEST(TextPatternTest, NotComputedForNumericTarget) {
   AttributeStatistics stats =
-      ComputeStatistics(Integers({1, 2, 3}), DataType::kInteger);
+      Stats(Integers({1, 2, 3}), DataType::kInteger);
   EXPECT_FALSE(stats.text_pattern.has_value());
 }
 
 TEST(CharHistogramTest, RelativeFrequencies) {
   AttributeStatistics stats =
-      ComputeStatistics(Texts({"aab"}), DataType::kText);
+      Stats(Texts({"aab"}), DataType::kText);
   ASSERT_TRUE(stats.char_histogram.has_value());
   EXPECT_NEAR(stats.char_histogram->frequencies.at('a'), 2.0 / 3.0, 1e-12);
   EXPECT_NEAR(stats.char_histogram->frequencies.at('b'), 1.0 / 3.0, 1e-12);
@@ -98,7 +109,7 @@ TEST(CharHistogramTest, RelativeFrequencies) {
 
 TEST(StringLengthTest, MeanAndStddev) {
   AttributeStatistics stats =
-      ComputeStatistics(Texts({"ab", "abcd"}), DataType::kText);
+      Stats(Texts({"ab", "abcd"}), DataType::kText);
   ASSERT_TRUE(stats.string_length.has_value());
   EXPECT_DOUBLE_EQ(stats.string_length->mean, 3.0);
   EXPECT_DOUBLE_EQ(stats.string_length->stddev, 1.0);
@@ -106,14 +117,14 @@ TEST(StringLengthTest, MeanAndStddev) {
 
 TEST(MeanStatsTest, NumericMoments) {
   AttributeStatistics stats =
-      ComputeStatistics(Integers({2, 4, 6}), DataType::kInteger);
+      Stats(Integers({2, 4, 6}), DataType::kInteger);
   ASSERT_TRUE(stats.mean.has_value());
   EXPECT_DOUBLE_EQ(stats.mean->mean, 4.0);
   EXPECT_NEAR(stats.mean->stddev, std::sqrt(8.0 / 3.0), 1e-12);
 }
 
 TEST(MeanStatsTest, CastableTextCountsTowardsNumericStats) {
-  AttributeStatistics stats = ComputeStatistics(
+  AttributeStatistics stats = Stats(
       Texts({"10", "20", "not a number"}), DataType::kInteger);
   ASSERT_TRUE(stats.mean.has_value());
   EXPECT_DOUBLE_EQ(stats.mean->mean, 15.0);
@@ -121,7 +132,7 @@ TEST(MeanStatsTest, CastableTextCountsTowardsNumericStats) {
 
 TEST(ValueRangeTest, MinMax) {
   AttributeStatistics stats =
-      ComputeStatistics(Integers({5, -2, 9}), DataType::kReal);
+      Stats(Integers({5, -2, 9}), DataType::kReal);
   ASSERT_TRUE(stats.value_range.has_value());
   EXPECT_DOUBLE_EQ(stats.value_range->min, -2.0);
   EXPECT_DOUBLE_EQ(stats.value_range->max, 9.0);
@@ -130,7 +141,7 @@ TEST(ValueRangeTest, MinMax) {
 TEST(HistogramTest, BucketsSumToOne) {
   std::vector<Value> column;
   for (int i = 0; i < 100; ++i) column.push_back(Value::Integer(i));
-  AttributeStatistics stats = ComputeStatistics(column, DataType::kInteger);
+  AttributeStatistics stats = Stats(column, DataType::kInteger);
   ASSERT_TRUE(stats.histogram.has_value());
   double sum = 0.0;
   for (double fraction : stats.histogram->bucket_fractions) sum += fraction;
@@ -138,7 +149,7 @@ TEST(HistogramTest, BucketsSumToOne) {
 }
 
 TEST(TopKTest, RanksByFrequency) {
-  AttributeStatistics stats = ComputeStatistics(
+  AttributeStatistics stats = Stats(
       Texts({"x", "x", "x", "y", "y", "z"}), DataType::kText);
   ASSERT_GE(stats.top_k.top_values.size(), 3u);
   EXPECT_EQ(stats.top_k.top_values[0].first, Value::Text("x"));
@@ -151,7 +162,7 @@ TEST(TopKTest, CapsAtK) {
   for (int i = 0; i < 50; ++i) {
     column.push_back(Value::Integer(i));
   }
-  AttributeStatistics stats = ComputeStatistics(column, DataType::kInteger);
+  AttributeStatistics stats = Stats(column, DataType::kInteger);
   EXPECT_EQ(stats.top_k.top_values.size(), TopKStats::kK);
   EXPECT_LT(stats.top_k.coverage, 0.5);
 }
@@ -159,23 +170,23 @@ TEST(TopKTest, CapsAtK) {
 // --- Importance / fit -------------------------------------------------------
 
 TEST(ImportanceTest, UniformPatternIsHighlyImportant) {
-  AttributeStatistics uniform = ComputeStatistics(
+  AttributeStatistics uniform = Stats(
       Texts({"1:23", "4:56", "7:89"}), DataType::kText);
-  AttributeStatistics mixed = ComputeStatistics(
+  AttributeStatistics mixed = Stats(
       Texts({"1:23", "abc", "a-b", "x y z"}), DataType::kText);
   EXPECT_GT(ImportanceScore(StatisticType::kTextPattern, uniform), 0.9);
   EXPECT_LT(ImportanceScore(StatisticType::kTextPattern, mixed), 0.5);
 }
 
 TEST(ImportanceTest, TightLengthsAreImportant) {
-  AttributeStatistics tight = ComputeStatistics(
+  AttributeStatistics tight = Stats(
       Texts({"abcd", "efgh", "ijkl"}), DataType::kText);
   EXPECT_GT(ImportanceScore(StatisticType::kStringLength, tight), 0.95);
 }
 
 TEST(FitTest, IdenticalDistributionsFitPerfectly) {
   std::vector<Value> column = Texts({"4:43", "6:55", "3:26"});
-  AttributeStatistics stats = ComputeStatistics(column, DataType::kText);
+  AttributeStatistics stats = Stats(column, DataType::kText);
   EXPECT_NEAR(FitValue(StatisticType::kTextPattern, stats, stats), 1.0,
               1e-9);
   EXPECT_NEAR(FitValue(StatisticType::kCharHistogram, stats, stats), 1.0,
@@ -196,9 +207,9 @@ TEST(FitTest, PaperLengthVsDurationMismatch) {
                     std::to_string(10 + i % 45)));
   }
   AttributeStatistics source_stats =
-      ComputeStatistics(source, DataType::kText);
+      Stats(source, DataType::kText);
   AttributeStatistics target_stats =
-      ComputeStatistics(target, DataType::kText);
+      Stats(target, DataType::kText);
   // The paper's threshold separates these: fit well below 0.9.
   EXPECT_LT(OverallFit(source_stats, target_stats), 0.9);
 }
@@ -212,9 +223,9 @@ TEST(FitTest, NumericScaleMismatchDetected) {
     milliseconds.push_back(Value::Integer((120 + i * 3) * 1000));
   }
   AttributeStatistics source_stats =
-      ComputeStatistics(seconds, DataType::kInteger);
+      Stats(seconds, DataType::kInteger);
   AttributeStatistics target_stats =
-      ComputeStatistics(milliseconds, DataType::kInteger);
+      Stats(milliseconds, DataType::kInteger);
   EXPECT_LT(OverallFit(source_stats, target_stats), 0.9);
 }
 
@@ -225,8 +236,8 @@ TEST(FitTest, SameNumericPopulationFits) {
     a.push_back(Value::Integer(1970 + (i * 37) % 45));
     b.push_back(Value::Integer(1970 + (i * 53) % 45));
   }
-  AttributeStatistics source_stats = ComputeStatistics(a, DataType::kInteger);
-  AttributeStatistics target_stats = ComputeStatistics(b, DataType::kInteger);
+  AttributeStatistics source_stats = Stats(a, DataType::kInteger);
+  AttributeStatistics target_stats = Stats(b, DataType::kInteger);
   EXPECT_GE(OverallFit(source_stats, target_stats), 0.9);
 }
 
@@ -234,9 +245,9 @@ TEST(FitTest, ValueRangeContainment) {
   std::vector<Value> narrow = Integers({10, 20, 30});
   std::vector<Value> wide = Integers({0, 50, 100});
   AttributeStatistics narrow_stats =
-      ComputeStatistics(narrow, DataType::kInteger);
+      Stats(narrow, DataType::kInteger);
   AttributeStatistics wide_stats =
-      ComputeStatistics(wide, DataType::kInteger);
+      Stats(wide, DataType::kInteger);
   EXPECT_DOUBLE_EQ(
       FitValue(StatisticType::kValueRange, narrow_stats, wide_stats), 1.0);
   EXPECT_LT(FitValue(StatisticType::kValueRange, wide_stats, narrow_stats),
@@ -244,7 +255,7 @@ TEST(FitTest, ValueRangeContainment) {
 }
 
 TEST(FitTest, MissingStatisticsFitPerfectly) {
-  AttributeStatistics empty = ComputeStatistics({}, DataType::kText);
+  AttributeStatistics empty = Stats({}, DataType::kText);
   EXPECT_DOUBLE_EQ(OverallFit(empty, empty), 1.0);
 }
 
@@ -261,19 +272,22 @@ TEST(StatisticsTest, BatchMatchesSequentialForAnyThreadCount) {
       {Value::Null(), Value::Text("x"), Value::Null()},
       {},
   };
+  // EFES_LINT_ALLOW(whole-column-profile): deprecated-wrapper coverage
   std::vector<ColumnStatisticsRequest> requests;
   std::vector<DataType> types = {DataType::kText, DataType::kInteger,
                                  DataType::kText, DataType::kReal};
   for (size_t i = 0; i < columns.size(); ++i) {
+    // EFES_LINT_ALLOW(whole-column-profile): deprecated-wrapper coverage
     requests.push_back(ColumnStatisticsRequest{&columns[i], types[i]});
   }
   for (size_t threads : {1u, 4u}) {
     SetThreadCountOverride(threads);
+    // EFES_LINT_ALLOW(whole-column-profile): deprecated-wrapper coverage
     auto batch = ComputeStatisticsBatch(requests);
     ASSERT_TRUE(batch.ok());
     ASSERT_EQ(batch->size(), requests.size());
     for (size_t i = 0; i < requests.size(); ++i) {
-      AttributeStatistics sequential = ComputeStatistics(columns[i], types[i]);
+      AttributeStatistics sequential = Stats(columns[i], types[i]);
       EXPECT_EQ((*batch)[i].ToString(), sequential.ToString()) << i;
       EXPECT_EQ((*batch)[i].evaluated_against, types[i]);
     }
@@ -282,11 +296,22 @@ TEST(StatisticsTest, BatchMatchesSequentialForAnyThreadCount) {
 }
 
 TEST(StatisticsTest, ToStringMentionsKeyFacts) {
-  AttributeStatistics stats = ComputeStatistics(
+  AttributeStatistics stats = Stats(
       Texts({"4:43", "6:55"}), DataType::kText);
   std::string text = stats.ToString();
   EXPECT_NE(text.find("patterns:"), std::string::npos);
   EXPECT_NE(text.find("9:9"), std::string::npos);
+}
+
+TEST(StatisticsTest, DeprecatedWrapperMatchesProfileColumn) {
+  // The one-shot wrapper is a shim over the sketch path, so its output
+  // must stay bit-identical to ProfileColumn under default options.
+  std::vector<Value> column = Texts({"4:43", "6:55", "1:02", "4:43", "x"});
+  // EFES_LINT_ALLOW(whole-column-profile): deprecated-wrapper coverage
+  AttributeStatistics wrapper = ComputeStatistics(column, DataType::kText);
+  auto profiled = ProfileColumn(column, DataType::kText);
+  ASSERT_TRUE(profiled.ok());
+  EXPECT_EQ(wrapper.ToString(), profiled->ToString());
 }
 
 TEST(StatisticTypeTest, Names) {

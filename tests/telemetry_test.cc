@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "efes/common/json_writer.h"
+#include "efes/profiling/profiler.h"
 #include "efes/profiling/statistics.h"
 #include "efes/relational/value.h"
 #include "efes/common/clock.h"
@@ -444,11 +445,11 @@ TEST(ReportTest, BenchJsonLineGolden) {
 
 // --- Instrumented library code --------------------------------------------
 
-TEST(InstrumentationTest, ComputeStatisticsBumpsProfilingCounters) {
+TEST(InstrumentationTest, ProfilingBumpsStatisticsCounters) {
   MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
   std::vector<Value> column = {Value::Integer(1), Value::Integer(2),
                                Value::Null()};
-  ComputeStatistics(column, DataType::kInteger);
+  ASSERT_TRUE(ProfileColumn(column, DataType::kInteger).ok());
   MetricsSnapshot after = MetricsRegistry::Global().Snapshot();
   EXPECT_EQ(after.CounterValue("profiling.statistics.columns"),
             before.CounterValue("profiling.statistics.columns") + 1);

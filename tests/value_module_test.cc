@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "efes/profiling/profiler.h"
 #include "efes/scenario/paper_example.h"
 
 namespace efes {
@@ -18,7 +19,9 @@ std::vector<Value> Texts(const std::vector<std::string>& texts) {
 
 AttributeStatistics StatsOf(const std::vector<Value>& column,
                             DataType target) {
-  return ComputeStatistics(column, target);
+  auto profiled = ProfileColumn(column, target);
+  EXPECT_TRUE(profiled.ok()) << profiled.status().ToString();
+  return profiled.ok() ? *std::move(profiled) : AttributeStatistics{};
 }
 
 bool Has(const std::vector<ValueHeterogeneityType>& detected,

@@ -36,6 +36,13 @@
 # responses across --threads=1/4/8, zero cross-request contamination
 # (good responses unchanged by the hostile mix), file_io.retries staying
 # 0 on a clean run, and a clean SIGTERM drain (exit 0).
+# `--profile-scale` builds the CLI + efes_fuzz, amplifies a fuzz-
+# generated source to 200k rows with a prepended high-distinct uid
+# column, and profiles it under a --max-memory budget the exact
+# whole-column path cannot satisfy: the sketch report must be
+# byte-identical across --threads=1/4/8 and --chunk-rows=4096/16384/0,
+# --approx=auto must match it byte-for-byte, and --approx=exact must
+# refuse the budget with a nonzero exit.
 # Exits nonzero on the first failure. Usage:
 #
 #   tools/check_build.sh [build-dir]                    # default: build-werror
@@ -49,6 +56,7 @@
 #   tools/check_build.sh --bench-smoke [build-dir]      # default: build-bench
 #   tools/check_build.sh --fuzz-corpus [build-dir]      # default: build-cache
 #   tools/check_build.sh --serve-soak [build-dir]       # default: build-cache
+#   tools/check_build.sh --profile-scale [build-dir]    # default: build-cache
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -83,6 +91,9 @@ elif [[ "${1:-}" == "--fuzz-corpus" ]]; then
   shift
 elif [[ "${1:-}" == "--serve-soak" ]]; then
   MODE=serve
+  shift
+elif [[ "${1:-}" == "--profile-scale" ]]; then
+  MODE=scale
   shift
 fi
 
@@ -331,6 +342,55 @@ with open(sys.argv[1]) as f:
             "no histogram quantile fields in " + record["bench"]
 EOF
   echo "check_build: OK (bench smoke, $COLD cold + $WARM warm JSON records)"
+elif [[ "$MODE" == "scale" ]]; then
+  BUILD_DIR="${1:-build-cache}"
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j --target efes_cli --target efes_fuzz
+  WORK="$(mktemp -d)"
+  trap 'rm -rf "$WORK"' EXIT
+  # A fuzz-generated source supplies realistic typed columns; awk
+  # amplifies its body to 200k rows and prepends a unique uid column so
+  # the exact distinct-value set cannot fit a 64 KiB sketch budget.
+  "$BUILD_DIR/tools/efes_fuzz" generate "$WORK/scenario" --fuzz-seed=7
+  SRC="$WORK/scenario/sources/fuzz_src2/data/s2_entity.csv"
+  test -f "$SRC"
+  awk -v target=200000 '
+      NR == 1 { print "uid," $0; next }
+      { body[++n] = $0 }
+      END {
+        rows = 0
+        while (rows < target) {
+          for (i = 1; i <= n && rows < target; i++) {
+            rows++
+            print "u" rows "_" i "," body[i]
+          }
+        }
+      }' "$SRC" > "$WORK/big.csv"
+  BUDGET=65536
+  profile() {  # $1 = approx, $2 = chunk-rows, $3 = threads
+    "$BUILD_DIR/tools/efes" profile "$WORK/big.csv" --approx="$1" \
+      --chunk-rows="$2" --max-memory="$BUDGET" --threads="$3"
+  }
+  profile sketch 4096 1 > "$WORK/ref.txt"
+  grep -q ': 200000 rows' "$WORK/ref.txt"
+  grep -q ', sketch)' "$WORK/ref.txt"
+  # The report must not depend on how the stream was cut or scheduled.
+  for threads in 1 4 8; do
+    for chunk in 4096 16384 0; do
+      profile sketch "$chunk" "$threads" > "$WORK/out.txt"
+      diff "$WORK/ref.txt" "$WORK/out.txt"
+    done
+  done
+  # Auto degrades to the same sketch, byte for byte.
+  profile auto 4096 4 > "$WORK/auto.txt"
+  diff "$WORK/ref.txt" "$WORK/auto.txt"
+  # Exact mode must refuse the budget rather than silently approximate.
+  if profile exact 4096 1 > "$WORK/exact.out" 2> "$WORK/exact.err"; then
+    echo "check_build: exact mode unexpectedly fit the memory budget" >&2
+    exit 1
+  fi
+  grep -q 'approx=sketch' "$WORK/exact.err"
+  echo "check_build: OK (profile scale: 200k rows byte-identical across threads/chunking, exact refused budget)"
 else
   BUILD_DIR="${1:-build-werror}"
   cmake -B "$BUILD_DIR" -S . -DEFES_WERROR=ON

@@ -23,6 +23,9 @@
 //   efes plan <dir>                cost-benefit execution order
 //       --quality=high|low         expected result quality (default high)
 //   efes match <dir>               propose correspondences with the matcher
+//   efes profile <csv>             stream one CSV file through the sketch
+//                                  profiler (chunked ingest; the file is
+//                                  never materialized whole)
 //   efes visualize <dir> [out.dot] Graphviz problem heatmap
 //   efes study                     run the Figure 6/7 cross-validated study
 //
@@ -30,12 +33,14 @@
 // in GlobalFlags() below — the usage text renders straight from the
 // FlagSet (common/flags.h), so help and parser cannot drift apart.
 // Highlights: --metrics, --trace=<file>, --log-level=<level>,
-// --threads=<n>, --lenient, --inject-fault=<point>[:spec], and the
+// --threads=<n>, --lenient, --inject-fault=<point>[:spec], the
 // profile cache pair --cache-dir=<dir> / --no-cache (cache/README in
-// DESIGN.md §11): profiling results are cached in memory per run by
+// DESIGN.md §11), and the streaming-profiling policy
+// --approx=exact|sketch|auto / --chunk-rows=<n> / --max-memory=<bytes>
+// (DESIGN.md §16): profiling results are cached in memory per run by
 // default; --cache-dir persists them across runs, --no-cache disables
 // caching entirely. Cached and uncached runs print byte-identical
-// output.
+// output, at any thread count and any chunk size.
 //
 // Exit codes: 0 success, 1 runtime error, 2 usage error, 64 unknown flag.
 // Scenario directories follow the layout of scenario/scenario_io.h.
@@ -61,9 +66,13 @@
 #include "efes/experiment/json_export.h"
 #include "efes/experiment/study.h"
 #include "efes/experiment/visualization.h"
+#include "efes/common/csv.h"
 #include "efes/matching/schema_matcher.h"
 #include "efes/profiling/constraint_discovery.h"
+#include "efes/profiling/profiler.h"
+#include "efes/profiling/sketch.h"
 #include "efes/provenance/provenance.h"
+#include "efes/relational/value.h"
 #include "efes/provenance/render.h"
 #include "efes/scenario/paper_example.h"
 #include "efes/scenario/scenario_io.h"
@@ -96,6 +105,9 @@ struct CliFlags {
   bool no_cache = false;
   /// --timeout-ms: deadline for the whole invocation (0 = none).
   size_t timeout_ms = 0;
+  /// --approx / --chunk-rows / --max-memory: the streaming-profiling
+  /// policy installed for the whole invocation (profiling/sketch.h).
+  efes::ProfileOptions profile;
 };
 
 CliFlags g_flags;
@@ -103,6 +115,20 @@ CliFlags g_flags;
 /// The profile cache of this invocation (null with --no-cache); threaded
 /// into every RunOptions and installed as the ambient cache in main().
 efes::ProfileCache* g_cache = nullptr;
+
+/// Parses a base-10 size_t where zero is a legal value (AddUint rejects
+/// it), for flags whose zero means "whole column" or "unlimited".
+efes::Status ParseNonNegative(std::string_view value, size_t* target) {
+  std::string buffer(value);
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(buffer.c_str(), &end, 10);
+  if (buffer.empty() || end != buffer.c_str() + buffer.size()) {
+    return efes::Status::InvalidArgument(
+        "expected a non-negative integer, got '" + buffer + "'");
+  }
+  *target = static_cast<size_t>(v);
+  return efes::Status::OK();
+}
 
 /// The telemetry/execution flags every subcommand accepts. Registered
 /// once; Usage() renders this set, Parse strips it off the argv.
@@ -178,6 +204,31 @@ efes::FlagSet& GlobalFlags() {
                "abort the run with exit 3 once this deadline passes "
                "(checked at batch boundaries; no partial output)",
                &g_flags.timeout_ms);
+    f->AddAction("approx", "exact|sketch|auto",
+                 "statistics approximation mode (default exact; sketch "
+                 "caps per-column memory, auto degrades only on overflow)",
+                 [](std::string_view value) {
+                   EFES_ASSIGN_OR_RETURN(
+                       g_flags.profile.mode,
+                       efes::ParseApproximationMode(value));
+                   return efes::Status::OK();
+                 });
+    // Unlike AddUint targets, zero is a meaningful value for both of
+    // these (whole column / unlimited), so they parse via AddAction.
+    f->AddAction("chunk-rows", "<n>",
+                 "rows per streaming profiling chunk (0 = whole column; "
+                 "results are byte-identical for any chunk size)",
+                 [](std::string_view value) {
+                   return ParseNonNegative(value,
+                                           &g_flags.profile.chunk_rows);
+                 });
+    f->AddAction("max-memory", "<bytes>",
+                 "per-column profiling memory budget; exact mode fails when "
+                 "it would overflow, sketch/auto coarsen deterministically",
+                 [](std::string_view value) {
+                   return ParseNonNegative(
+                       value, &g_flags.profile.max_memory_bytes);
+                 });
     return f;
   }();
   return *flags;
@@ -193,6 +244,7 @@ int Usage(int exit_code = kExitUsage) {
       "                     [--modules=<list>] [--format=text|json]\n"
       "                     [--out=<file>] [--explain[=<task-id>]]\n"
       "  efes match <dir>\n"
+      "  efes profile <csv-file>\n"
       "  efes execute <dir> <out-dir> [--quality=high|low]\n"
       "  efes plan <dir> [--quality=high|low]\n"
       "  efes visualize <dir> [<out.dot>]\n"
@@ -243,6 +295,7 @@ efes::RunOptions MakeRunOptions(
   options.quality = quality;
   options.settings = settings;
   options.cache = g_cache;
+  options.profile = g_flags.profile;
   return options;
 }
 
@@ -440,10 +493,10 @@ int RunMatch(const std::string& directory) {
   efes::SchemaMatcher matcher;
   for (const efes::SourceBinding& source : scenario->sources) {
     std::printf("# %s -> target\n", source.database.name().c_str());
-    efes::CorrespondenceSet discovered =
-        matcher.Match(source.database, scenario->target);
+    auto discovered = matcher.Match(source.database, scenario->target);
+    if (!discovered.ok()) return Fail(discovered.status());
     std::printf("%s",
-                efes::WriteCorrespondences(discovered).c_str());
+                efes::WriteCorrespondences(*discovered).c_str());
   }
   return 0;
 }
@@ -530,6 +583,106 @@ int RunStudy() {
   return 0;
 }
 
+// Streams one CSV file through the sketch profiler: pass 1 infers each
+// column's target type, pass 2 absorbs fixed-size row chunks into
+// per-column sketches (profiling/sketch.h) under the global
+// --approx / --chunk-rows / --max-memory policy. The file is never
+// materialized whole, so this handles sources far beyond what the
+// scenario loader would hold in memory; output is byte-identical for
+// any --threads and any --chunk-rows (the canonical-merge contract).
+int RunProfile(const std::string& path, std::vector<std::string> options) {
+  efes::FlagSet flags;
+  int code = ParseSubcommandFlags(flags, &options);
+  if (code >= 0) return code;
+  efes::CsvReadOptions csv_options;
+  if (g_flags.lenient) {
+    csv_options.mode = efes::CsvReadOptions::Mode::kRecover;
+  }
+  const size_t chunk_rows = g_flags.profile.chunk_rows;
+
+  // Pass 1: streaming type inference. A column where every non-empty
+  // cell parses as an integer profiles as integer, likewise real; mixed
+  // or non-numeric columns profile as text.
+  auto reader = efes::ChunkedCsvReader::Open(path, csv_options, chunk_rows);
+  if (!reader.ok()) return Fail(reader.status());
+  const std::vector<std::string> header = reader->header();
+  std::vector<char> all_integer(header.size(), 1);
+  std::vector<char> all_real(header.size(), 1);
+  std::vector<char> saw_value(header.size(), 0);
+  size_t row_count = 0;
+  while (!reader->done()) {
+    auto chunk = reader->NextChunk();
+    if (!chunk.ok()) return Fail(chunk.status());
+    row_count += chunk->size();
+    for (const std::vector<std::string>& row : *chunk) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        const std::string& cell = row[c];
+        if (cell.empty()) continue;
+        saw_value[c] = 1;
+        if (!all_integer[c] && !all_real[c]) continue;
+        efes::Value value = efes::Value::Text(cell);
+        if (all_integer[c] &&
+            !value.CanCastTo(efes::DataType::kInteger)) {
+          all_integer[c] = 0;
+        }
+        if (all_real[c] && !value.CanCastTo(efes::DataType::kReal)) {
+          all_real[c] = 0;
+        }
+      }
+    }
+  }
+  std::vector<efes::DataType> types(header.size(), efes::DataType::kText);
+  for (size_t c = 0; c < header.size(); ++c) {
+    if (!saw_value[c]) continue;
+    if (all_integer[c]) {
+      types[c] = efes::DataType::kInteger;
+    } else if (all_real[c]) {
+      types[c] = efes::DataType::kReal;
+    }
+  }
+
+  // Pass 2: chunked profiling. Each chunk is absorbed column-parallel
+  // into a fresh partial sketch and folded into the column accumulator;
+  // per-column state evolves identically at any thread count.
+  auto again = efes::ChunkedCsvReader::Open(path, csv_options, chunk_rows);
+  if (!again.ok()) return Fail(again.status());
+  std::vector<efes::StatisticsSketch> columns;
+  columns.reserve(header.size());
+  for (size_t c = 0; c < header.size(); ++c) {
+    columns.emplace_back(types[c], g_flags.profile);
+  }
+  while (!again->done()) {
+    auto chunk = again->NextChunk();
+    if (!chunk.ok()) return Fail(chunk.status());
+    if (chunk->empty()) break;
+    efes::Status absorbed =
+        efes::ParallelFor(header.size(), [&](size_t c) -> efes::Status {
+          efes::StatisticsSketch chunk_sketch(types[c], g_flags.profile);
+          for (const std::vector<std::string>& row : *chunk) {
+            const std::string& cell = row[c];
+            EFES_RETURN_IF_ERROR(chunk_sketch.Absorb(
+                cell.empty() ? efes::Value::Null()
+                             : efes::Value::Text(cell)));
+          }
+          return columns[c].Merge(chunk_sketch);
+        });
+    if (!absorbed.ok()) return Fail(absorbed);
+  }
+  std::printf("# %s: %zu rows, %zu columns\n", path.c_str(), row_count,
+              header.size());
+  for (size_t c = 0; c < header.size(); ++c) {
+    efes::AttributeStatistics stats = columns[c].Finalize();
+    std::printf(
+        "=== column %s (%s%s) ===\n%s\n", header[c].c_str(),
+        std::string(efes::DataTypeToString(types[c])).c_str(),
+        columns[c].effective_mode() == efes::ApproximationMode::kSketch
+            ? ", sketch"
+            : "",
+        stats.ToString().c_str());
+  }
+  return 0;
+}
+
 int Dispatch(const std::string& command, std::vector<std::string> rest) {
   if (command == "study") {
     for (const std::string& option : rest) {
@@ -578,6 +731,12 @@ int Dispatch(const std::string& command, std::vector<std::string> rest) {
     rest.erase(rest.begin());
     return RunEstimate(directory, std::move(rest));
   }
+  if (command == "profile") {
+    if (rest.empty()) return Usage();
+    std::string path = rest[0];
+    rest.erase(rest.begin());
+    return RunProfile(path, std::move(rest));
+  }
   return Usage();
 }
 
@@ -613,6 +772,10 @@ int main(int argc, char** argv) {
     }
   }
   efes::ScopedProfileCache scoped_cache(g_cache);
+  // The streaming-profiling policy (--approx/--chunk-rows/--max-memory)
+  // is ambient for the whole invocation, like the cache above; engine
+  // runs re-install it from RunOptions::profile.
+  efes::ScopedProfileOptions scoped_profile(g_flags.profile);
 
   // --timeout-ms: install a deadline-carrying cancel token for the whole
   // invocation. The engine and the parallel loops check it at batch
